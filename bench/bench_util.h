@@ -1,0 +1,80 @@
+// Shared configuration glue for the figure/table benches.
+//
+// Every bench accepts the same core options (or OMNC_* environment
+// variables):
+//   --sessions N        number of unicast sessions            (default 60)
+//   --nodes N           deployment size                       (default 300)
+//   --sim-seconds S     virtual seconds per session           (default 150)
+//   --block-bytes B     data block size                       (default 1024)
+//   --gen-blocks N      blocks per generation                 (default 40)
+//   --seed S            master seed                           (default 42)
+//   --paper             paper-scale run (300 sessions, 800 s)
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "coding/coded_packet.h"
+#include "common/options.h"
+#include "experiments/paper.h"
+#include "experiments/runner.h"
+#include "experiments/workload.h"
+
+namespace omnc::bench {
+
+struct BenchSetup {
+  experiments::WorkloadConfig workload;
+  experiments::RunConfig run;
+};
+
+inline BenchSetup parse_setup(const Options& options) {
+  namespace paper = experiments::paper;
+  BenchSetup setup;
+  const bool paper_scale = options.get_bool("paper", false);
+
+  setup.workload.deployment.nodes =
+      static_cast<int>(options.get_int("nodes", paper::kNodes));
+  setup.workload.deployment.density = paper::kDensity;
+  setup.workload.sessions = static_cast<int>(options.get_int(
+      "sessions", paper_scale ? paper::kPaperSessions : 60));
+  setup.workload.min_hops = paper::kMinHops;
+  setup.workload.max_hops = paper::kMaxHops;
+  setup.workload.seed = options.get_seed("seed", 42);
+
+  auto& protocol = setup.run.protocol;
+  protocol.coding.generation_blocks = static_cast<std::uint16_t>(
+      options.get_int("gen-blocks", paper::kGenerationBlocks));
+  protocol.coding.block_bytes = static_cast<std::uint16_t>(
+      options.get_int("block-bytes", paper::kBlockBytes));
+  protocol.mac.capacity_bytes_per_s = options.get_double(
+      "capacity", paper::kCapacityBytesPerSecond);
+  protocol.mac.slot_bytes = coding::CodedPacket::kHeaderBytes +
+                            protocol.coding.generation_blocks +
+                            protocol.coding.block_bytes;
+  protocol.cbr_bytes_per_s =
+      options.get_double("cbr", paper::kCbrBytesPerSecond);
+  protocol.max_sim_seconds = options.get_double(
+      "sim-seconds", paper_scale ? paper::kPaperSessionSeconds : 150.0);
+  return setup;
+}
+
+inline void print_setup(const BenchSetup& setup) {
+  std::printf(
+      "# setup: %d nodes (density %.0f), %d sessions of %.0f s, "
+      "generation %u x %u B, C = %.0f B/s, CBR = %.0f B/s, seed %llu\n",
+      setup.workload.deployment.nodes, setup.workload.deployment.density,
+      setup.workload.sessions, setup.run.protocol.max_sim_seconds,
+      setup.run.protocol.coding.generation_blocks,
+      setup.run.protocol.coding.block_bytes,
+      setup.run.protocol.mac.capacity_bytes_per_s,
+      setup.run.protocol.cbr_bytes_per_s,
+      static_cast<unsigned long long>(setup.workload.seed));
+}
+
+inline void print_progress(std::size_t done, std::size_t total) {
+  if (done % 10 == 0 || done == total) {
+    std::fprintf(stderr, "  ... %zu/%zu sessions\n", done, total);
+  }
+}
+
+}  // namespace omnc::bench

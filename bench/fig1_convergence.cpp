@@ -1,0 +1,88 @@
+// Figure 1 — convergence speed of the distributed rate control algorithm.
+//
+// The paper shows the per-node broadcast rate converging within a few tens
+// of iterations on a sample topology with tagged reception probabilities and
+// channel capacity 10^5 bytes/second.  We use a two-relay diamond plus one
+// opportunistic shortcut link, print the iteration series for every node,
+// and compare the converged rates against the centralized sUnicast LP.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/options.h"
+#include "common/table.h"
+#include "experiments/paper.h"
+#include "net/topology.h"
+#include "opt/rate_control.h"
+#include "opt/sunicast.h"
+#include "routing/node_selection.h"
+
+using namespace omnc;
+
+int main(int argc, char** argv) {
+  const Options options(argc, argv);
+  const double capacity = options.get_double(
+      "capacity", experiments::paper::kFig1CapacityBytesPerSecond);
+
+  std::printf("== Fig. 1: convergence of the distributed rate control ==\n");
+  std::printf("# sample topology: S -> {u, v} -> T diamond with an S -> T\n");
+  std::printf("# opportunistic shortcut; tagged reception probabilities.\n");
+  std::printf("# channel capacity C = %.0f bytes/second (paper: 1e5)\n\n",
+              capacity);
+
+  // Tagged link probabilities, as in the paper's Fig. 1 setup.
+  std::vector<std::vector<double>> p(4, std::vector<double>(4, 0.0));
+  p[0][1] = p[1][0] = 0.8;  // S <-> u
+  p[0][2] = p[2][0] = 0.6;  // S <-> v
+  p[1][3] = p[3][1] = 0.7;  // u <-> T
+  p[2][3] = p[3][2] = 0.9;  // v <-> T
+  p[0][3] = p[3][0] = 0.2;  // S <-> T opportunistic shortcut
+  const net::Topology topo = net::Topology::from_link_matrix(p);
+  const routing::SessionGraph graph = routing::select_nodes(topo, 0, 3);
+
+  opt::RateControlParams params;
+  params.capacity = capacity;
+  opt::DistributedRateControl controller(graph, params);
+  opt::IterationTrace trace;
+  const opt::RateControlResult result = controller.run(&trace);
+
+  const opt::SUnicastSolution lp = opt::solve_sunicast(graph, capacity);
+
+  std::printf("broadcast rate (bytes/second) per node vs iteration:\n");
+  TextTable table({"iter", "b_S", "b_u", "b_v", "gamma"});
+  const int total = static_cast<int>(trace.b.size());
+  for (int t = 0; t < total;
+       t += (t < 10 ? 1 : (t < 50 ? 5 : 25))) {
+    const auto& b = trace.b[static_cast<std::size_t>(t)];
+    table.add_row({std::to_string(t + 1),
+                   TextTable::fmt(b[static_cast<std::size_t>(graph.source)], 0),
+                   TextTable::fmt(b[static_cast<std::size_t>(graph.local_index(1))], 0),
+                   TextTable::fmt(b[static_cast<std::size_t>(graph.local_index(2))], 0),
+                   TextTable::fmt(trace.gamma[static_cast<std::size_t>(t)], 0)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf("converged after %d iterations (%s); %zu control messages\n",
+              result.iterations, result.converged ? "tolerance met" : "cap hit",
+              result.messages);
+  std::printf("\nconverged rates vs centralized sUnicast LP:\n");
+  TextTable final_table({"node", "distributed b", "LP b"});
+  const char* names[] = {"S", "u", "v", "T"};
+  for (int id = 0; id < 4; ++id) {
+    const int local = graph.local_index(id);
+    final_table.add_row(
+        {names[id],
+         TextTable::fmt(result.b[static_cast<std::size_t>(local)], 0),
+         TextTable::fmt(lp.b[static_cast<std::size_t>(local)], 0)});
+  }
+  std::printf("%s\n", final_table.render().c_str());
+  std::printf("distributed gamma estimate: %.0f  |  LP gamma*: %.0f\n",
+              result.gamma, lp.gamma);
+  std::printf(
+      "\npaper comparison: Fig. 1 shows convergence within a few tens of\n"
+      "iterations to rates below 5e4 B/s at C = 1e5; measured: converged in\n"
+      "%d iterations with max rate %.0f B/s.\n",
+      result.iterations,
+      *std::max_element(result.b.begin(), result.b.end()));
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Quickstart: random linear coding end to end in ~60 lines.
+//
+// Encodes a message at a source, loses packets on the way, re-encodes at a
+// relay, and decodes progressively at the destination — the coding core the
+// OMNC protocol is built on.
+//
+//   ./quickstart [--loss 0.4]
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "coding/decoder.h"
+#include "coding/encoder.h"
+#include "coding/recoder.h"
+#include "common/options.h"
+#include "common/rng.h"
+
+using namespace omnc;
+
+int main(int argc, char** argv) {
+  const Options options(argc, argv);
+  const double loss = options.get_double("loss", 0.4);
+
+  // The message to ship: grouped into a generation of 8 blocks x 32 bytes.
+  const std::string message =
+      "Optimized Multipath Network Coding pushes random linear combinations "
+      "of data blocks over every useful path; any n independent coded "
+      "packets reconstruct the generation.";
+  coding::CodingParams params{8, 32};
+  const auto generation = coding::Generation::from_bytes(
+      0, params,
+      {reinterpret_cast<const std::uint8_t*>(message.data()), message.size()});
+
+  coding::SourceEncoder source(generation, /*session_id=*/1);
+  coding::Recoder relay(params, 1, 0);
+  coding::ProgressiveDecoder destination(params, 0);
+  Rng rng(7);
+
+  int source_tx = 0;
+  int relay_tx = 0;
+  while (!destination.complete()) {
+    // Source broadcasts a fresh random combination; the relay overhears it
+    // with probability (1 - loss).
+    const coding::CodedPacket pkt = source.next_packet(rng);
+    ++source_tx;
+    if (!rng.chance(loss)) relay.offer(pkt);
+    // The relay re-encodes whatever it holds and broadcasts onward.
+    if (relay.can_send()) {
+      ++relay_tx;
+      if (!rng.chance(loss)) {
+        const bool innovative = destination.offer(relay.recode(rng));
+        if (innovative) {
+          std::printf("destination rank %2zu/%u after %d source + %d relay "
+                      "transmissions\n",
+                      destination.rank(), params.generation_blocks, source_tx,
+                      relay_tx);
+        }
+      }
+    }
+  }
+
+  const auto bytes = destination.recover();
+  const std::string recovered(reinterpret_cast<const char*>(bytes.data()),
+                              message.size());
+  std::printf("\nloss rate %.0f%%, no retransmissions, no feedback:\n  \"%s\"\n",
+              loss * 100.0, recovered.c_str());
+  std::printf("\nround trip %s\n",
+              recovered == message ? "EXACT — generation recovered" : "FAILED");
+  return recovered == message ? 0 : 1;
+}

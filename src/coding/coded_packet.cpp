@@ -1,0 +1,64 @@
+#include "coding/coded_packet.h"
+
+#include <cstring>
+
+namespace omnc::coding {
+namespace {
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  return (static_cast<std::uint32_t>(p[0]) << 24) |
+         (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) | p[3];
+}
+
+std::uint16_t get_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>((p[0] << 8) | p[1]);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> CodedPacket::serialize() const {
+  std::vector<std::uint8_t> wire;
+  wire.reserve(wire_size());
+  put_u32(wire, session_id);
+  put_u32(wire, generation_id);
+  put_u16(wire, generation_blocks);
+  put_u16(wire, block_bytes);
+  wire.insert(wire.end(), coefficients.begin(), coefficients.end());
+  wire.insert(wire.end(), payload.begin(), payload.end());
+  return wire;
+}
+
+bool CodedPacket::parse(std::span<const std::uint8_t> wire, CodedPacket* out) {
+  if (wire.size() < kHeaderBytes) return false;
+  CodedPacket pkt;
+  pkt.session_id = get_u32(wire.data());
+  pkt.generation_id = get_u32(wire.data() + 4);
+  pkt.generation_blocks = get_u16(wire.data() + 8);
+  pkt.block_bytes = get_u16(wire.data() + 10);
+  const std::size_t expected = kHeaderBytes +
+                               static_cast<std::size_t>(pkt.generation_blocks) +
+                               pkt.block_bytes;
+  if (wire.size() != expected) return false;
+  if (pkt.generation_blocks == 0 || pkt.block_bytes == 0) return false;
+  const std::uint8_t* body = wire.data() + kHeaderBytes;
+  pkt.coefficients.assign(body, body + pkt.generation_blocks);
+  pkt.payload.assign(body + pkt.generation_blocks,
+                     body + pkt.generation_blocks + pkt.block_bytes);
+  *out = std::move(pkt);
+  return true;
+}
+
+}  // namespace omnc::coding

@@ -1,0 +1,42 @@
+// Wire format of a coded packet: header, coding-coefficient vector (a row of
+// the R matrix) and the coded payload (the corresponding row of X = R * B).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "coding/generation.h"
+
+namespace omnc::coding {
+
+struct CodedPacket {
+  std::uint32_t session_id = 0;
+  std::uint32_t generation_id = 0;
+  std::uint16_t generation_blocks = 0;        // n
+  std::uint16_t block_bytes = 0;              // m
+  std::vector<std::uint8_t> coefficients;     // length n
+  std::vector<std::uint8_t> payload;          // length m
+
+  /// Fixed header bytes on the wire (session, generation, n, m).
+  static constexpr std::size_t kHeaderBytes = 12;
+
+  /// Total bytes this packet occupies on the air; the MAC charges this.
+  std::size_t wire_size() const {
+    return kHeaderBytes + coefficients.size() + payload.size();
+  }
+
+  bool dimensions_match(const CodingParams& params) const {
+    return generation_blocks == params.generation_blocks &&
+           block_bytes == params.block_bytes &&
+           coefficients.size() == params.generation_blocks &&
+           payload.size() == params.block_bytes;
+  }
+
+  std::vector<std::uint8_t> serialize() const;
+
+  /// Parses a packet; returns false on truncation or inconsistent lengths.
+  static bool parse(std::span<const std::uint8_t> wire, CodedPacket* out);
+};
+
+}  // namespace omnc::coding

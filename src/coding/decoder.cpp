@@ -1,0 +1,57 @@
+#include "coding/decoder.h"
+
+#include "common/assert.h"
+
+namespace omnc::coding {
+
+ProgressiveDecoder::ProgressiveDecoder(const CodingParams& params,
+                                       std::uint32_t generation_id)
+    : params_(params),
+      generation_id_(generation_id),
+      rref_(params.generation_blocks,
+            static_cast<std::size_t>(params.generation_blocks) +
+                params.block_bytes) {}
+
+bool ProgressiveDecoder::offer(const CodedPacket& packet) {
+  if (packet.generation_id != generation_id_) return false;
+  if (!packet.dimensions_match(params_)) return false;
+  ++packets_seen_;
+  std::vector<std::uint8_t> row;
+  row.reserve(rref_.row_bytes());
+  row.insert(row.end(), packet.coefficients.begin(), packet.coefficients.end());
+  row.insert(row.end(), packet.payload.begin(), packet.payload.end());
+  return rref_.insert(std::move(row));
+}
+
+const std::uint8_t* ProgressiveDecoder::decoded_block(std::size_t index) const {
+  OMNC_ASSERT(index < params_.generation_blocks);
+  const std::uint8_t* row = rref_.row_for_pivot(index);
+  if (row == nullptr) return nullptr;
+  // The block is decoded when its row's coefficient part is the unit vector:
+  // pivot normalized to 1 and every other coefficient zero.
+  for (std::size_t c = 0; c < params_.generation_blocks; ++c) {
+    const std::uint8_t expected = (c == index) ? 1 : 0;
+    if (row[c] != expected) return nullptr;
+  }
+  return row + params_.generation_blocks;
+}
+
+std::vector<std::uint8_t> ProgressiveDecoder::recover() const {
+  OMNC_ASSERT_MSG(complete(), "recover() before the generation is decodable");
+  std::vector<std::uint8_t> out;
+  out.reserve(params_.generation_bytes());
+  for (std::size_t b = 0; b < params_.generation_blocks; ++b) {
+    const std::uint8_t* block = decoded_block(b);
+    OMNC_ASSERT(block != nullptr);
+    out.insert(out.end(), block, block + params_.block_bytes);
+  }
+  return out;
+}
+
+void ProgressiveDecoder::reset(std::uint32_t generation_id) {
+  generation_id_ = generation_id;
+  rref_.clear();
+  packets_seen_ = 0;
+}
+
+}  // namespace omnc::coding

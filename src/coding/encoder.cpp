@@ -1,0 +1,45 @@
+#include "coding/encoder.h"
+
+#include "common/assert.h"
+#include "galois/region.h"
+
+namespace omnc::coding {
+
+SourceEncoder::SourceEncoder(const Generation& generation,
+                             std::uint32_t session_id)
+    : generation_(&generation), session_id_(session_id) {}
+
+CodedPacket SourceEncoder::next_packet(Rng& rng) const {
+  const auto n = generation_->params().generation_blocks;
+  std::vector<std::uint8_t> coefficients(n);
+  // All-zero coefficient vectors are useless; retry (probability 256^-n).
+  bool nonzero = false;
+  while (!nonzero) {
+    for (auto& c : coefficients) {
+      c = rng.next_byte();
+      nonzero |= (c != 0);
+    }
+  }
+  return packet_with_coefficients(coefficients);
+}
+
+CodedPacket SourceEncoder::packet_with_coefficients(
+    const std::vector<std::uint8_t>& coefficients) const {
+  const CodingParams& params = generation_->params();
+  OMNC_ASSERT(coefficients.size() == params.generation_blocks);
+  CodedPacket pkt;
+  pkt.session_id = session_id_;
+  pkt.generation_id = generation_->id();
+  pkt.generation_blocks = params.generation_blocks;
+  pkt.block_bytes = params.block_bytes;
+  pkt.coefficients = coefficients;
+  pkt.payload.assign(params.block_bytes, 0);
+  for (std::size_t i = 0; i < coefficients.size(); ++i) {
+    if (coefficients[i] == 0) continue;
+    gf::region_axpy(pkt.payload.data(), generation_->block(i),
+                    coefficients[i], params.block_bytes);
+  }
+  return pkt;
+}
+
+}  // namespace omnc::coding

@@ -1,0 +1,33 @@
+// Source-side encoder: emits random linear combinations X = R * B of the
+// current generation (Sec. 3.1).
+#pragma once
+
+#include <cstdint>
+
+#include "coding/coded_packet.h"
+#include "coding/generation.h"
+#include "common/rng.h"
+
+namespace omnc::coding {
+
+class SourceEncoder {
+ public:
+  /// The encoder borrows the generation; the caller keeps it alive.
+  SourceEncoder(const Generation& generation, std::uint32_t session_id);
+
+  /// Produces one coded packet with fresh random coefficients.
+  CodedPacket next_packet(Rng& rng) const;
+
+  /// Produces a packet with the caller's coefficients (length n); used by
+  /// tests and by the systematic warm-up variant.
+  CodedPacket packet_with_coefficients(
+      const std::vector<std::uint8_t>& coefficients) const;
+
+  std::uint32_t generation_id() const { return generation_->id(); }
+
+ private:
+  const Generation* generation_;
+  std::uint32_t session_id_;
+};
+
+}  // namespace omnc::coding

@@ -1,0 +1,38 @@
+#include "coding/generation.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+#include "common/rng.h"
+
+namespace omnc::coding {
+
+Generation::Generation(std::uint32_t id, const CodingParams& params)
+    : id_(id), params_(params), data_(params.generation_bytes(), 0) {
+  OMNC_ASSERT(params.generation_blocks > 0);
+  OMNC_ASSERT(params.block_bytes > 0);
+}
+
+Generation Generation::from_bytes(std::uint32_t id, const CodingParams& params,
+                                  std::span<const std::uint8_t> bytes) {
+  Generation gen(id, params);
+  OMNC_ASSERT_MSG(bytes.size() <= gen.data_.size(),
+                  "input exceeds generation capacity");
+  std::copy(bytes.begin(), bytes.end(), gen.data_.begin());
+  return gen;
+}
+
+Generation Generation::synthetic(std::uint32_t id, const CodingParams& params,
+                                 std::uint64_t seed) {
+  Generation gen(id, params);
+  Rng rng(seed ^ (0xabcdef1234567890ULL + id));
+  for (auto& byte : gen.data_) byte = rng.next_byte();
+  return gen;
+}
+
+const std::uint8_t* Generation::block(std::size_t index) const {
+  OMNC_ASSERT(index < params_.generation_blocks);
+  return data_.data() + index * params_.block_bytes;
+}
+
+}  // namespace omnc::coding

@@ -1,0 +1,53 @@
+// Generation model for random linear coding (Sec. 3.1 of the paper).
+//
+// Source data is grouped into generations; a generation is an n x m matrix B
+// whose rows are the n data blocks and whose columns are the m bytes of each
+// block.  Coded packets carry linear combinations of the rows.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace omnc::coding {
+
+/// Coding parameters shared by every node of a session.
+struct CodingParams {
+  std::uint16_t generation_blocks = 40;  // n — blocks per generation
+  std::uint16_t block_bytes = 1024;      // m — bytes per block
+
+  std::size_t generation_bytes() const {
+    return static_cast<std::size_t>(generation_blocks) * block_bytes;
+  }
+
+  bool operator==(const CodingParams&) const = default;
+};
+
+/// One generation of source data (the matrix B).
+class Generation {
+ public:
+  Generation(std::uint32_t id, const CodingParams& params);
+
+  /// Builds a generation from raw bytes; input shorter than n*m is
+  /// zero-padded, longer input is rejected by assertion.
+  static Generation from_bytes(std::uint32_t id, const CodingParams& params,
+                               std::span<const std::uint8_t> bytes);
+
+  /// A generation filled with deterministic pseudo-random payload; used by
+  /// simulations that only care about byte counts.
+  static Generation synthetic(std::uint32_t id, const CodingParams& params,
+                              std::uint64_t seed);
+
+  std::uint32_t id() const { return id_; }
+  const CodingParams& params() const { return params_; }
+
+  const std::uint8_t* block(std::size_t index) const;
+  std::span<const std::uint8_t> bytes() const { return data_; }
+
+ private:
+  std::uint32_t id_;
+  CodingParams params_;
+  std::vector<std::uint8_t> data_;  // row-major n x m
+};
+
+}  // namespace omnc::coding

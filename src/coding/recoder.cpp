@@ -1,0 +1,58 @@
+#include "coding/recoder.h"
+
+#include "common/assert.h"
+#include "galois/region.h"
+
+namespace omnc::coding {
+
+Recoder::Recoder(const CodingParams& params, std::uint32_t session_id,
+                 std::uint32_t generation_id)
+    : params_(params),
+      session_id_(session_id),
+      generation_id_(generation_id),
+      filter_(params.generation_blocks, params.generation_blocks) {}
+
+bool Recoder::offer(const CodedPacket& packet) {
+  if (packet.generation_id != generation_id_) return false;
+  if (!packet.dimensions_match(params_)) return false;
+  if (!filter_.insert(packet.coefficients)) return false;
+  buffer_.push_back(packet);
+  return true;
+}
+
+CodedPacket Recoder::recode(Rng& rng) const {
+  OMNC_ASSERT_MSG(can_send(), "recode() with an empty buffer");
+  CodedPacket out;
+  out.session_id = session_id_;
+  out.generation_id = generation_id_;
+  out.generation_blocks = params_.generation_blocks;
+  out.block_bytes = params_.block_bytes;
+  out.coefficients.assign(params_.generation_blocks, 0);
+  out.payload.assign(params_.block_bytes, 0);
+  // Random combination over the buffer.  At least one multiplier must be
+  // nonzero, otherwise the output would be the zero packet.
+  std::vector<std::uint8_t> multipliers(buffer_.size());
+  bool nonzero = false;
+  while (!nonzero) {
+    for (auto& m : multipliers) {
+      m = rng.next_byte();
+      nonzero |= (m != 0);
+    }
+  }
+  for (std::size_t k = 0; k < buffer_.size(); ++k) {
+    if (multipliers[k] == 0) continue;
+    gf::region_axpy(out.coefficients.data(), buffer_[k].coefficients.data(),
+                    multipliers[k], out.coefficients.size());
+    gf::region_axpy(out.payload.data(), buffer_[k].payload.data(),
+                    multipliers[k], out.payload.size());
+  }
+  return out;
+}
+
+void Recoder::reset(std::uint32_t generation_id) {
+  generation_id_ = generation_id;
+  filter_.clear();
+  buffer_.clear();
+}
+
+}  // namespace omnc::coding

@@ -1,0 +1,56 @@
+// Relay-side re-encoder (Sec. 3.1 and Sec. 4, "Packet and Queue
+// Management").
+//
+// A relay accepts an incoming packet only if it is innovative with respect to
+// what it already holds; innovative packets are buffered, and outgoing
+// packets are fresh random linear combinations of the buffer, which replaces
+// the coding coefficients with a new random set exactly as re-encoding is
+// defined in the paper.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "coding/coded_packet.h"
+#include "coding/generation.h"
+#include "coding/rref.h"
+#include "common/rng.h"
+
+namespace omnc::coding {
+
+class Recoder {
+ public:
+  Recoder(const CodingParams& params, std::uint32_t session_id,
+          std::uint32_t generation_id);
+
+  /// Considers an incoming packet: returns true (and buffers it) iff it is
+  /// innovative for this relay.  Packets from other generations or with
+  /// mismatched dimensions are rejected.
+  bool offer(const CodedPacket& packet);
+
+  /// True if this relay can emit packets (holds at least one innovative
+  /// packet of the current generation).
+  bool can_send() const { return !buffer_.empty(); }
+
+  std::size_t rank() const { return filter_.rank(); }
+  bool is_full() const { return filter_.complete(); }
+  std::uint32_t generation_id() const { return generation_id_; }
+
+  /// Emits a re-encoded packet: a random combination of the buffered
+  /// innovative packets.  Requires can_send().
+  CodedPacket recode(Rng& rng) const;
+
+  /// Discards buffered packets and moves to a new generation (triggered by an
+  /// ACK or by overhearing a higher generation ID).
+  void reset(std::uint32_t generation_id);
+
+ private:
+  CodingParams params_;
+  std::uint32_t session_id_;
+  std::uint32_t generation_id_;
+  // Coefficient-only innovation filter; payload stays untouched in buffer_.
+  RrefAccumulator filter_;
+  std::vector<CodedPacket> buffer_;
+};
+
+}  // namespace omnc::coding

@@ -1,0 +1,87 @@
+#include "coding/rref.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+#include "galois/gf256.h"
+#include "galois/region.h"
+
+namespace omnc::coding {
+
+RrefAccumulator::RrefAccumulator(std::size_t pivot_cols, std::size_t row_bytes)
+    : pivot_cols_(pivot_cols),
+      row_bytes_(row_bytes),
+      pivot_to_row_(pivot_cols, -1) {
+  OMNC_ASSERT(pivot_cols > 0);
+  OMNC_ASSERT(row_bytes >= pivot_cols);
+}
+
+bool RrefAccumulator::insert(std::vector<std::uint8_t> row) {
+  OMNC_ASSERT(row.size() == row_bytes_);
+  // Forward elimination against the existing basis.
+  for (const BasisRow& basis : rows_) {
+    const std::uint8_t factor = row[basis.pivot];
+    if (factor != 0) {
+      gf::region_axpy(row.data(), data_[basis.index].data(), factor,
+                      row_bytes_);
+    }
+  }
+  // Locate the pivot of the residual.
+  std::size_t pivot = pivot_cols_;
+  for (std::size_t c = 0; c < pivot_cols_; ++c) {
+    if (row[c] != 0) {
+      pivot = c;
+      break;
+    }
+  }
+  if (pivot == pivot_cols_) return false;  // linearly dependent
+  // Normalize so the pivot entry is 1.
+  const std::uint8_t pivot_value = row[pivot];
+  if (pivot_value != 1) {
+    gf::region_mul(row.data(), row.data(), gf::inv(pivot_value), row_bytes_);
+  }
+  // Back-substitute the new pivot out of existing rows.
+  for (const BasisRow& basis : rows_) {
+    std::uint8_t* existing = data_[basis.index].data();
+    const std::uint8_t factor = existing[pivot];
+    if (factor != 0) gf::region_axpy(existing, row.data(), factor, row_bytes_);
+  }
+  // Install the row, keeping rows_ sorted by pivot.
+  data_.push_back(std::move(row));
+  const BasisRow entry{pivot, data_.size() - 1};
+  const auto pos = std::lower_bound(
+      rows_.begin(), rows_.end(), entry,
+      [](const BasisRow& a, const BasisRow& b) { return a.pivot < b.pivot; });
+  rows_.insert(pos, entry);
+  pivot_to_row_[pivot] = static_cast<int>(data_.size() - 1);
+  return true;
+}
+
+bool RrefAccumulator::would_be_innovative(
+    const std::uint8_t* coefficients) const {
+  std::vector<std::uint8_t> scratch(coefficients, coefficients + pivot_cols_);
+  for (const BasisRow& basis : rows_) {
+    const std::uint8_t factor = scratch[basis.pivot];
+    if (factor != 0) {
+      gf::region_axpy(scratch.data(), data_[basis.index].data(), factor,
+                      pivot_cols_);
+    }
+  }
+  return std::any_of(scratch.begin(), scratch.end(),
+                     [](std::uint8_t b) { return b != 0; });
+}
+
+const std::uint8_t* RrefAccumulator::row_for_pivot(std::size_t pivot) const {
+  OMNC_ASSERT(pivot < pivot_cols_);
+  const int index = pivot_to_row_[pivot];
+  if (index < 0) return nullptr;
+  return data_[static_cast<std::size_t>(index)].data();
+}
+
+void RrefAccumulator::clear() {
+  rows_.clear();
+  data_.clear();
+  std::fill(pivot_to_row_.begin(), pivot_to_row_.end(), -1);
+}
+
+}  // namespace omnc::coding

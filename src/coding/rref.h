@@ -1,0 +1,60 @@
+// Incremental reduced-row-echelon-form accumulator — the engine behind both
+// the destination's progressive Gauss–Jordan decoder and the relays'
+// innovation filter (Sec. 4, "Progressive decoding").
+//
+// Rows are byte vectors whose first `pivot_cols` entries are coding
+// coefficients; the remainder (if any) is payload that undergoes the same row
+// operations.  Inserting a row reduces it against the current basis: a
+// linearly dependent row reduces to all-zero coefficients and is rejected,
+// an innovative row is normalized, back-substituted into the existing rows,
+// and joins the basis.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace omnc::coding {
+
+class RrefAccumulator {
+ public:
+  /// pivot_cols: number of coefficient columns (pivots only arise there).
+  /// row_bytes: full row length, >= pivot_cols.
+  RrefAccumulator(std::size_t pivot_cols, std::size_t row_bytes);
+
+  std::size_t pivot_cols() const { return pivot_cols_; }
+  std::size_t row_bytes() const { return row_bytes_; }
+  std::size_t rank() const { return rows_.size(); }
+  bool complete() const { return rank() == pivot_cols_; }
+
+  /// Reduces `row` (length row_bytes) in place against the basis.  Returns
+  /// true and takes ownership of the (now normalized) row if it is
+  /// innovative; returns false if it reduced to zero.
+  bool insert(std::vector<std::uint8_t> row);
+
+  /// Checks innovation without mutating the accumulator: reduces a scratch
+  /// copy of just the coefficient part.
+  bool would_be_innovative(const std::uint8_t* coefficients) const;
+
+  /// Basis row whose pivot is `pivot` column, or nullptr if absent.
+  const std::uint8_t* row_for_pivot(std::size_t pivot) const;
+
+  /// Rows in pivot order.
+  const std::vector<std::vector<std::uint8_t>>& rows() const { return data_; }
+
+  void clear();
+
+ private:
+  struct BasisRow {
+    std::size_t pivot;
+    std::size_t index;  // into data_
+  };
+
+  std::size_t pivot_cols_;
+  std::size_t row_bytes_;
+  std::vector<BasisRow> rows_;                 // sorted by pivot
+  std::vector<std::vector<std::uint8_t>> data_;
+  std::vector<int> pivot_to_row_;              // pivot -> index into rows_, -1
+};
+
+}  // namespace omnc::coding

@@ -1,0 +1,39 @@
+// Assertion macros used across the OMNC libraries.
+//
+// OMNC_ASSERT checks an invariant in every build type (the simulation
+// correctness depends on them and the cost is negligible next to the
+// Galois-field work).  OMNC_DCHECK compiles out in NDEBUG builds and is
+// reserved for hot inner loops.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace omnc {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "OMNC assertion failed: %s at %s:%d%s%s\n", expr, file,
+               line, msg[0] ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace omnc
+
+#define OMNC_ASSERT(expr)                                      \
+  do {                                                         \
+    if (!(expr)) ::omnc::assert_fail(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define OMNC_ASSERT_MSG(expr, msg)                                \
+  do {                                                            \
+    if (!(expr)) ::omnc::assert_fail(#expr, __FILE__, __LINE__, msg); \
+  } while (0)
+
+#ifdef NDEBUG
+#define OMNC_DCHECK(expr) \
+  do {                    \
+  } while (0)
+#else
+#define OMNC_DCHECK(expr) OMNC_ASSERT(expr)
+#endif

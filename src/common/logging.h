@@ -1,0 +1,28 @@
+// Minimal leveled logger.
+//
+// The simulator and protocols log through this interface so that tests can
+// silence output and benches can enable per-iteration traces selectively.
+#pragma once
+
+#include <cstdarg>
+#include <string>
+
+namespace omnc {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Sets the global threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// printf-style logging entry point.  Prefer the OMNC_LOG_* macros.
+void log_message(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+}  // namespace omnc
+
+#define OMNC_LOG_TRACE(...) ::omnc::log_message(::omnc::LogLevel::kTrace, __VA_ARGS__)
+#define OMNC_LOG_DEBUG(...) ::omnc::log_message(::omnc::LogLevel::kDebug, __VA_ARGS__)
+#define OMNC_LOG_INFO(...) ::omnc::log_message(::omnc::LogLevel::kInfo, __VA_ARGS__)
+#define OMNC_LOG_WARN(...) ::omnc::log_message(::omnc::LogLevel::kWarn, __VA_ARGS__)
+#define OMNC_LOG_ERROR(...) ::omnc::log_message(::omnc::LogLevel::kError, __VA_ARGS__)

@@ -1,0 +1,102 @@
+#include "common/options.h"
+
+#include <cstdlib>
+
+#include "common/assert.h"
+
+namespace omnc {
+namespace {
+
+std::string env_name(const std::string& name) {
+  std::string out = "OMNC_";
+  for (char c : name) {
+    if (c == '-') {
+      out.push_back('_');
+    } else {
+      out.push_back(static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Options::Options(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";  // bare boolean flag
+    }
+  }
+}
+
+bool Options::lookup(const std::string& name, std::string* out) const {
+  queried_[name] = true;
+  const auto it = values_.find(name);
+  if (it != values_.end()) {
+    *out = it->second;
+    return true;
+  }
+  if (const char* env = std::getenv(env_name(name).c_str())) {
+    *out = env;
+    return true;
+  }
+  return false;
+}
+
+bool Options::has(const std::string& name) const {
+  std::string unused_value;
+  return lookup(name, &unused_value);
+}
+
+std::string Options::get(const std::string& name,
+                         const std::string& fallback) const {
+  std::string value;
+  return lookup(name, &value) ? value : fallback;
+}
+
+long Options::get_int(const std::string& name, long fallback) const {
+  std::string value;
+  if (!lookup(name, &value)) return fallback;
+  return std::strtol(value.c_str(), nullptr, 10);
+}
+
+double Options::get_double(const std::string& name, double fallback) const {
+  std::string value;
+  if (!lookup(name, &value)) return fallback;
+  return std::strtod(value.c_str(), nullptr);
+}
+
+bool Options::get_bool(const std::string& name, bool fallback) const {
+  std::string value;
+  if (!lookup(name, &value)) return fallback;
+  return value == "true" || value == "1" || value == "yes" || value == "on";
+}
+
+std::uint64_t Options::get_seed(const std::string& name,
+                                std::uint64_t fallback) const {
+  std::string value;
+  if (!lookup(name, &value)) return fallback;
+  return std::strtoull(value.c_str(), nullptr, 0);
+}
+
+std::vector<std::string> Options::unused() const {
+  std::vector<std::string> names;
+  for (const auto& [name, value] : values_) {
+    (void)value;
+    if (!queried_.count(name)) names.push_back(name);
+  }
+  return names;
+}
+
+}  // namespace omnc

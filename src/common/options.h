@@ -1,0 +1,43 @@
+// Tiny command-line / environment option parser used by benches and examples.
+//
+// Supported syntax: --name=value, --name value, and boolean --flag.  Every
+// option can also be supplied through the environment as OMNC_<NAME> (upper
+// case, '-' replaced by '_'), which the bench harness uses to scale runs
+// without editing the command lines baked into scripts.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace omnc {
+
+class Options {
+ public:
+  Options(int argc, char** argv);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name, const std::string& fallback) const;
+  long get_int(const std::string& name, long fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+  std::uint64_t get_seed(const std::string& name, std::uint64_t fallback) const;
+
+  /// Positional (non --option) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Names that were parsed from argv but never queried; used to warn about
+  /// typos in bench invocations.
+  std::vector<std::string> unused() const;
+
+ private:
+  /// Returns the raw value: argv beats environment.
+  bool lookup(const std::string& name, std::string* out) const;
+
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+  mutable std::map<std::string, bool> queried_;
+};
+
+}  // namespace omnc

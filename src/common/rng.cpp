@@ -1,0 +1,15 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace omnc {
+
+double Rng::normal() {
+  // Box–Muller; u1 is bounded away from 0 so log() is finite.
+  double u1 = next_double();
+  if (u1 < 1e-300) u1 = 1e-300;
+  const double u2 = next_double();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+}  // namespace omnc

@@ -1,0 +1,122 @@
+// Deterministic random number generation.
+//
+// Everything random in the library — node deployment, link shadowing, packet
+// losses, coding coefficients, workload choices — flows from an explicit Rng
+// seeded by the caller, so that every experiment is reproducible bit-for-bit.
+//
+// The generator is xoshiro256** seeded through splitmix64, which is fast,
+// high-quality, and trivially portable (no <random> engine state-size or
+// distribution portability concerns).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.h"
+
+namespace omnc {
+
+/// splitmix64 step; used to expand seeds and derive sub-stream seeds.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** generator with convenience distributions.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9d2c5680u) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  /// Uniform 64-bit word.
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t next_below(std::uint64_t bound) {
+    OMNC_ASSERT(bound > 0);
+    std::uint64_t x = next_u64();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < bound) {
+      const std::uint64_t threshold = -bound % bound;
+      while (low < threshold) {
+        x = next_u64();
+        m = static_cast<__uint128_t>(x) * bound;
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    OMNC_DCHECK(lo <= hi);
+    return lo + (hi - lo) * next_double();
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int uniform_int(int lo, int hi) {
+    OMNC_ASSERT(lo <= hi);
+    return lo + static_cast<int>(next_below(
+                    static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool chance(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return next_double() < p;
+  }
+
+  /// Standard normal via Box–Muller (no cached spare: keeps state simple).
+  double normal();
+
+  /// Uniform byte; used for Galois coding coefficients.
+  std::uint8_t next_byte() { return static_cast<std::uint8_t>(next_u64()); }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      std::size_t j = next_below(i);
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Derives an independent sub-stream for a named component, so parallel
+  /// sessions stay deterministic regardless of scheduling order.
+  Rng fork(std::uint64_t stream_id) {
+    std::uint64_t sm = state_[0] ^ (stream_id * 0x9e3779b97f4a7c15ULL) ^
+                       rotl(state_[2], 13);
+    return Rng(splitmix64(sm));
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace omnc

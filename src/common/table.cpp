@@ -1,0 +1,114 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/assert.h"
+
+namespace omnc {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  OMNC_ASSERT(!header_.empty());
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::fmt(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << "| " << row[c] << std::string(widths[c] - row[c].size() + 1, ' ');
+    }
+    out << "|\n";
+  };
+  emit_row(header_);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    out << "|" << std::string(widths[c] + 2, '-');
+  }
+  out << "|\n";
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+std::string render_cdf_chart(
+    const std::vector<std::pair<std::string, const Cdf*>>& series,
+    double x_min, double x_max, int width, int height) {
+  OMNC_ASSERT(width > 4 && height > 2);
+  OMNC_ASSERT(x_max > x_min);
+  static const char kMarks[] = {'o', '+', 'x', '*', '#', '@'};
+  std::vector<std::string> grid(static_cast<std::size_t>(height),
+                                std::string(static_cast<std::size_t>(width), ' '));
+  for (std::size_t s = 0; s < series.size(); ++s) {
+    const Cdf* cdf = series[s].second;
+    if (cdf == nullptr || cdf->empty()) continue;
+    const char mark = kMarks[s % sizeof(kMarks)];
+    for (int col = 0; col < width; ++col) {
+      const double x = x_min + (x_max - x_min) * col / (width - 1);
+      const double f = cdf->at(x);
+      int row = static_cast<int>((1.0 - f) * (height - 1) + 0.5);
+      row = std::clamp(row, 0, height - 1);
+      grid[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)] = mark;
+    }
+  }
+  std::ostringstream out;
+  for (int row = 0; row < height; ++row) {
+    const double f = 1.0 - static_cast<double>(row) / (height - 1);
+    char label[16];
+    std::snprintf(label, sizeof(label), "%4.2f |", f);
+    out << label << grid[static_cast<std::size_t>(row)] << "\n";
+  }
+  out << "     +" << std::string(static_cast<std::size_t>(width), '-') << "\n";
+  char axis[128];
+  std::snprintf(axis, sizeof(axis), "      %-10.3g%*s%.3g\n", x_min,
+                width - 14, "", x_max);
+  out << axis;
+  out << "      legend:";
+  for (std::size_t s = 0; s < series.size(); ++s) {
+    out << "  " << kMarks[s % sizeof(kMarks)] << "=" << series[s].first;
+  }
+  out << "\n";
+  return out.str();
+}
+
+std::string render_cdf_data(
+    const std::vector<std::pair<std::string, const Cdf*>>& series,
+    double x_min, double x_max, int points) {
+  OMNC_ASSERT(points >= 2);
+  std::ostringstream out;
+  out << "# x";
+  for (const auto& [name, cdf] : series) {
+    (void)cdf;
+    out << " " << name;
+  }
+  out << "\n";
+  for (int i = 0; i < points; ++i) {
+    const double x = x_min + (x_max - x_min) * i / (points - 1);
+    out << TextTable::fmt(x, 4);
+    for (const auto& [name, cdf] : series) {
+      (void)name;
+      out << " " << TextTable::fmt(cdf != nullptr && !cdf->empty() ? cdf->at(x) : 0.0, 4);
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace omnc

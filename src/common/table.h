@@ -1,0 +1,43 @@
+// ASCII output helpers: aligned tables and CDF plots for the bench binaries.
+//
+// The benches reproduce the paper's figures as terminal output: each figure
+// becomes a table of (x, F(x)) series plus a coarse ASCII plot, and each
+// headline number becomes a paper-vs-measured row.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace omnc {
+
+/// A simple right-padded text table.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  /// Renders with column alignment; every row is clipped/padded to header
+  /// width count.
+  std::string render() const;
+
+  static std::string fmt(double value, int precision = 3);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Renders several named CDFs as one ASCII chart (x axis = value, y = F).
+std::string render_cdf_chart(
+    const std::vector<std::pair<std::string, const Cdf*>>& series,
+    double x_min, double x_max, int width = 64, int height = 16);
+
+/// Emits "x f1 f2 ..." rows for the given CDFs over a shared x grid, in a
+/// machine-readable block (for replotting outside the terminal).
+std::string render_cdf_data(
+    const std::vector<std::pair<std::string, const Cdf*>>& series,
+    double x_min, double x_max, int points = 25);
+
+}  // namespace omnc

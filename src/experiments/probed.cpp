@@ -1,0 +1,52 @@
+#include "experiments/probed.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace omnc::experiments {
+
+ProbedSession probe_session(const SessionSpec& spec,
+                            const ProbeModeConfig& config) {
+  OMNC_ASSERT(spec.topology != nullptr);
+  OMNC_ASSERT(spec.graph.size() >= 2);
+
+  // Participants: the selected nodes of this session.
+  const std::vector<net::NodeId>& participants = spec.graph.nodes;
+  routing::ProbeConfig probe_config;
+  probe_config.probes_per_node = config.probes_per_node;
+  probe_config.mac = config.mac;
+  const routing::ProbeReport report = routing::measure_link_qualities(
+      *spec.topology, participants, probe_config, Rng(spec.seed ^ 0x9b0b));
+
+  ProbedSession out;
+  out.spec = spec;
+  out.probe_seconds = report.duration_s;
+
+  // Replace edge probabilities with the estimates; keep a floor so edges
+  // whose probes all died stay usable (a deployment would re-probe).
+  double error_sum = 0.0;
+  std::size_t error_count = 0;
+  auto index_of = [&](int local) {
+    const net::NodeId id = spec.graph.node_id(local);
+    for (std::size_t i = 0; i < participants.size(); ++i) {
+      if (participants[i] == id) return i;
+    }
+    OMNC_ASSERT_MSG(false, "participant lookup failed");
+    return std::size_t{0};
+  };
+  for (auto& edge : out.spec.graph.edges) {
+    const std::size_t from = index_of(edge.from);
+    const std::size_t to = index_of(edge.to);
+    const double measured = report.estimate[from][to];
+    error_sum += std::abs(measured - edge.p);
+    ++error_count;
+    edge.p = std::max(measured, 0.02);
+  }
+  out.mean_abs_error =
+      error_count > 0 ? error_sum / static_cast<double>(error_count) : 0.0;
+  return out;
+}
+
+}  // namespace omnc::experiments

@@ -1,0 +1,36 @@
+// Honest-measurement mode: instead of handing protocols the PHY's true
+// reception probabilities, run a probing campaign (Sec. 4 of the paper: "the
+// reception probability p_ij is measured by broadcasting probing packets")
+// over the session's selected nodes and rebuild the session graph from the
+// estimates.  Rate control, MORE credits and the min-cost program then plan
+// on noisy inputs exactly as a deployment would, while the simulation's
+// losses still follow the true PHY.
+#pragma once
+
+#include "experiments/workload.h"
+#include "routing/link_prober.h"
+
+namespace omnc::experiments {
+
+struct ProbeModeConfig {
+  int probes_per_node = 200;
+  net::MacConfig mac;  // channel the probes ride on
+};
+
+struct ProbedSession {
+  /// The session with `graph` rebuilt from measured probabilities (same
+  /// node set and edges; edge p replaced by the estimate, floored so no
+  /// selected edge vanishes).
+  SessionSpec spec;
+  /// Virtual seconds the probing campaign took (protocol overhead).
+  double probe_seconds = 0.0;
+  /// Mean absolute estimation error over the session's directed links.
+  double mean_abs_error = 0.0;
+};
+
+/// Probes the session's selected nodes and rebuilds its graph from the
+/// estimates.
+ProbedSession probe_session(const SessionSpec& spec,
+                            const ProbeModeConfig& config);
+
+}  // namespace omnc::experiments

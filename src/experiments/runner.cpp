@@ -1,0 +1,94 @@
+#include "experiments/runner.h"
+
+#include <atomic>
+#include <mutex>
+
+#include "common/assert.h"
+#include "opt/sunicast.h"
+#include "protocols/etx_routing.h"
+#include "protocols/more.h"
+#include "protocols/oldmore.h"
+#include "protocols/omnc.h"
+
+namespace omnc::experiments {
+namespace {
+
+double safe_gain(const protocols::SessionResult& coded,
+                 const protocols::SessionResult& baseline) {
+  if (baseline.throughput_bytes_per_s <= 0.0) return 0.0;
+  return coded.throughput_per_generation / baseline.throughput_bytes_per_s;
+}
+
+}  // namespace
+
+ComparisonResult run_comparison(const SessionSpec& spec,
+                                const RunConfig& config) {
+  OMNC_ASSERT(spec.topology != nullptr);
+  ComparisonResult out;
+  out.spec_summary = spec;
+  out.spec_summary.topology.reset();
+
+  protocols::ProtocolConfig base = config.protocol;
+  base.seed = spec.seed;
+
+  if (config.run_etx) {
+    protocols::EtxRoutingProtocol etx(*spec.topology, spec.src, spec.dst,
+                                      base);
+    out.etx = etx.run();
+  }
+  if (config.run_omnc) {
+    protocols::ProtocolConfig pc = base;
+    pc.seed = spec.seed ^ 0x01;
+    protocols::OmncProtocol omnc(*spec.topology, spec.graph, pc,
+                                 protocols::OmncConfig{});
+    out.omnc = omnc.run();
+    out.gain_omnc = safe_gain(out.omnc, out.etx);
+  }
+  if (config.run_more) {
+    protocols::ProtocolConfig pc = base;
+    pc.seed = spec.seed ^ 0x02;
+    protocols::MoreProtocol more(*spec.topology, spec.graph, pc,
+                                 protocols::MoreConfig{});
+    out.more = more.run();
+    out.gain_more = safe_gain(out.more, out.etx);
+  }
+  if (config.run_oldmore) {
+    protocols::ProtocolConfig pc = base;
+    pc.seed = spec.seed ^ 0x03;
+    protocols::OldMoreProtocol oldmore(*spec.topology, spec.graph, pc,
+                                       protocols::OldMoreConfig{});
+    out.oldmore = oldmore.run();
+    out.gain_oldmore = safe_gain(out.oldmore, out.etx);
+  }
+  if (config.solve_lp) {
+    const opt::SUnicastSolution lp = opt::solve_sunicast(
+        spec.graph, config.protocol.mac.capacity_bytes_per_s);
+    out.lp_gamma = lp.feasible ? lp.gamma : 0.0;
+  }
+  return out;
+}
+
+std::vector<ComparisonResult> run_all(
+    const std::vector<SessionSpec>& sessions, const RunConfig& config,
+    ThreadPool* pool,
+    const std::function<void(std::size_t, std::size_t)>& progress) {
+  std::vector<ComparisonResult> results(sessions.size());
+  std::atomic<std::size_t> done{0};
+  std::mutex progress_mutex;
+  auto run_one = [&](std::size_t i) {
+    results[i] = run_comparison(sessions[i], config);
+    const std::size_t finished = ++done;
+    if (progress) {
+      std::lock_guard<std::mutex> lock(progress_mutex);
+      progress(finished, sessions.size());
+    }
+  };
+  if (pool != nullptr && pool->thread_count() > 1) {
+    pool->parallel_for_each(sessions.size(), run_one);
+  } else {
+    for (std::size_t i = 0; i < sessions.size(); ++i) run_one(i);
+  }
+  return results;
+}
+
+}  // namespace omnc::experiments

@@ -1,0 +1,50 @@
+// Runs the four protocols on a session and aggregates results for the
+// figure benches.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "experiments/workload.h"
+#include "protocols/metrics.h"
+
+namespace omnc::experiments {
+
+struct RunConfig {
+  protocols::ProtocolConfig protocol;
+  bool run_omnc = true;
+  bool run_more = true;
+  bool run_oldmore = true;
+  bool run_etx = true;
+  /// Also solve the centralized sUnicast LP (for the LP-gap table).
+  bool solve_lp = false;
+};
+
+struct ComparisonResult {
+  SessionSpec spec_summary;  // topology pointer cleared; src/dst/hops kept
+  protocols::SessionResult etx;
+  protocols::SessionResult omnc;
+  protocols::SessionResult more;
+  protocols::SessionResult oldmore;
+  /// Throughput gains versus ETX routing (the Fig. 2 metric); 0 when the
+  /// ETX baseline delivered nothing.
+  double gain_omnc = 0.0;
+  double gain_more = 0.0;
+  double gain_oldmore = 0.0;
+  /// Centralized sUnicast optimum (bytes/s); only set when solve_lp.
+  double lp_gamma = 0.0;
+};
+
+/// Runs the configured protocols on one session.
+ComparisonResult run_comparison(const SessionSpec& spec,
+                                const RunConfig& config);
+
+/// Runs every session, optionally in parallel; `progress` (if set) is called
+/// after each finished session with (done, total).
+std::vector<ComparisonResult> run_all(
+    const std::vector<SessionSpec>& sessions, const RunConfig& config,
+    ThreadPool* pool = nullptr,
+    const std::function<void(std::size_t, std::size_t)>& progress = {});
+
+}  // namespace omnc::experiments

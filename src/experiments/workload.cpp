@@ -1,0 +1,60 @@
+#include "experiments/workload.h"
+
+#include "common/assert.h"
+#include "common/logging.h"
+#include "routing/etx.h"
+
+namespace omnc::experiments {
+
+std::vector<SessionSpec> generate_workload(const WorkloadConfig& config) {
+  OMNC_ASSERT(config.sessions > 0);
+  OMNC_ASSERT(config.topologies > 0);
+  OMNC_ASSERT(config.min_hops >= 1 && config.max_hops >= config.min_hops);
+
+  Rng master(config.seed);
+  std::vector<SessionSpec> sessions;
+  sessions.reserve(static_cast<std::size_t>(config.sessions));
+
+  std::vector<std::shared_ptr<const net::Topology>> topologies;
+  for (int t = 0; t < config.topologies; ++t) {
+    Rng topo_rng = master.fork(0x7000 + static_cast<std::uint64_t>(t));
+    topologies.push_back(std::make_shared<const net::Topology>(
+        net::Topology::random_deployment(config.deployment, topo_rng)));
+    OMNC_LOG_INFO(
+        "workload topology %d: %d nodes, %zu links, mean p=%.3f, mean "
+        "neighbors=%.2f",
+        t, topologies.back()->node_count(), topologies.back()->link_count(),
+        topologies.back()->mean_link_probability(),
+        topologies.back()->mean_neighbor_count());
+  }
+
+  Rng pick = master.fork(0x9999);
+  for (int s = 0; s < config.sessions; ++s) {
+    const auto& topology =
+        topologies[static_cast<std::size_t>(s % config.topologies)];
+    SessionSpec spec;
+    bool found = false;
+    for (int attempt = 0; attempt < config.max_draws_per_session; ++attempt) {
+      const net::NodeId src = pick.uniform_int(0, topology->node_count() - 1);
+      const net::NodeId dst = pick.uniform_int(0, topology->node_count() - 1);
+      if (src == dst) continue;
+      const int hops = routing::etx_hop_count(*topology, src, dst);
+      if (hops < config.min_hops || hops > config.max_hops) continue;
+      routing::SessionGraph graph = routing::select_nodes(*topology, src, dst);
+      if (graph.size() < 2 || graph.edges.empty()) continue;
+      spec.topology = topology;
+      spec.src = src;
+      spec.dst = dst;
+      spec.hops = hops;
+      spec.graph = std::move(graph);
+      spec.seed = master.fork(0x5e55 + static_cast<std::uint64_t>(s)).next_u64();
+      found = true;
+      break;
+    }
+    OMNC_ASSERT_MSG(found, "could not draw a session within the hop bounds");
+    sessions.push_back(std::move(spec));
+  }
+  return sessions;
+}
+
+}  // namespace omnc::experiments

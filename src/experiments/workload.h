@@ -1,0 +1,42 @@
+// Workload generation for the evaluation: random 300-node deployments and
+// unicast sessions with the paper's 4-10 hop path-length constraint.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/topology.h"
+#include "routing/node_selection.h"
+
+namespace omnc::experiments {
+
+struct WorkloadConfig {
+  net::DeploymentConfig deployment;
+  int sessions = 60;
+  /// Sessions share this many random topologies (the paper deploys one
+  /// 300-node topology and runs 300 sessions on it).
+  int topologies = 1;
+  int min_hops = 4;
+  int max_hops = 10;
+  std::uint64_t seed = 42;
+  /// Give up on a topology after this many endpoint draws without a valid
+  /// session.
+  int max_draws_per_session = 2000;
+};
+
+struct SessionSpec {
+  std::shared_ptr<const net::Topology> topology;
+  net::NodeId src = -1;
+  net::NodeId dst = -1;
+  int hops = 0;                       // min-ETX route hop count
+  routing::SessionGraph graph;        // selected forwarder subgraph
+  std::uint64_t seed = 0;             // per-session RNG stream
+};
+
+/// Generates `config.sessions` sessions across `config.topologies` random
+/// deployments.  Every returned session has a connected graph and a route
+/// within the hop bounds.
+std::vector<SessionSpec> generate_workload(const WorkloadConfig& config);
+
+}  // namespace omnc::experiments

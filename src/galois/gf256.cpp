@@ -1,0 +1,66 @@
+#include "galois/gf256.h"
+
+#include <array>
+
+#include "common/assert.h"
+
+namespace omnc::gf {
+namespace {
+
+struct Tables {
+  std::array<std::uint8_t, 512> exp{};  // doubled so exp[log a + log b] works
+  std::array<std::uint8_t, 256> log{};
+  std::array<std::uint8_t, 256> inv{};
+  std::array<std::array<std::uint8_t, 256>, 256> mul{};
+};
+
+constexpr Tables make_tables() {
+  Tables t{};
+  std::uint8_t x = 1;
+  for (int i = 0; i < 255; ++i) {
+    t.exp[static_cast<std::size_t>(i)] = x;
+    t.log[x] = static_cast<std::uint8_t>(i);
+    x = mul_slow(x, 3);  // 3 generates the multiplicative group of GF(256)
+  }
+  for (int i = 255; i < 512; ++i) {
+    t.exp[static_cast<std::size_t>(i)] = t.exp[static_cast<std::size_t>(i - 255)];
+  }
+  t.inv[0] = 0;
+  for (int a = 1; a < 256; ++a) {
+    t.inv[static_cast<std::size_t>(a)] =
+        t.exp[255 - t.log[static_cast<std::size_t>(a)]];
+  }
+  for (int a = 0; a < 256; ++a) {
+    for (int b = 0; b < 256; ++b) {
+      t.mul[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)] =
+          mul_slow(static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b));
+    }
+  }
+  return t;
+}
+
+// ~66 KB of compile-time tables; lives in .rodata.
+constexpr Tables kTables = make_tables();
+
+}  // namespace
+
+std::uint8_t mul(std::uint8_t a, std::uint8_t b) { return kTables.mul[a][b]; }
+
+std::uint8_t inv(std::uint8_t a) { return kTables.inv[a]; }
+
+std::uint8_t div(std::uint8_t a, std::uint8_t b) {
+  OMNC_DCHECK(b != 0);
+  if (a == 0) return 0;
+  return kTables.exp[255 + kTables.log[a] - kTables.log[b]];
+}
+
+std::uint8_t exp_g(std::uint8_t e) { return kTables.exp[e]; }
+
+std::uint8_t log_g(std::uint8_t a) {
+  OMNC_DCHECK(a != 0);
+  return kTables.log[a];
+}
+
+const std::uint8_t* mul_row(std::uint8_t c) { return kTables.mul[c].data(); }
+
+}  // namespace omnc::gf

@@ -1,0 +1,59 @@
+// GF(2^8) arithmetic over the Rijndael polynomial x^8 + x^4 + x^3 + x + 1
+// (0x11B), the field the paper uses for random linear coding ("loop based
+// approach in Rijndael's finite field", Sec. 4).
+//
+// Scalar operations go through precomputed tables; bulk (region) operations
+// live in region.h with SIMD backends.
+#pragma once
+
+#include <cstdint>
+
+namespace omnc::gf {
+
+/// The reduction polynomial, without the x^8 term.
+inline constexpr std::uint8_t kPoly = 0x1b;
+
+/// Addition and subtraction coincide: bytewise XOR.
+constexpr std::uint8_t add(std::uint8_t a, std::uint8_t b) {
+  return static_cast<std::uint8_t>(a ^ b);
+}
+
+/// Multiply by x (the "xtime" primitive); constexpr so tables can be built at
+/// compile time.
+constexpr std::uint8_t xtime(std::uint8_t a) {
+  return static_cast<std::uint8_t>((a << 1) ^ ((a & 0x80) ? kPoly : 0));
+}
+
+/// Bitwise (slow) multiply; reference implementation for table generation and
+/// property tests.
+constexpr std::uint8_t mul_slow(std::uint8_t a, std::uint8_t b) {
+  std::uint8_t product = 0;
+  for (int bit = 0; bit < 8; ++bit) {
+    if (b & 1) product = static_cast<std::uint8_t>(product ^ a);
+    b = static_cast<std::uint8_t>(b >> 1);
+    a = xtime(a);
+  }
+  return product;
+}
+
+/// Table-based multiply.
+std::uint8_t mul(std::uint8_t a, std::uint8_t b);
+
+/// Multiplicative inverse; inv(0) is defined as 0 (never meaningful, but
+/// keeps lookups total).
+std::uint8_t inv(std::uint8_t a);
+
+/// a / b; b must be nonzero.
+std::uint8_t div(std::uint8_t a, std::uint8_t b);
+
+/// Discrete exponential/logarithm with generator 3.  log(0) is undefined and
+/// asserts in debug builds.
+std::uint8_t exp_g(std::uint8_t e);
+std::uint8_t log_g(std::uint8_t a);
+
+/// The 256-entry row MUL[c][*] of the full multiplication table; this is the
+/// "traditional lookup-table approach" the paper benchmarks against and is
+/// also used to build the SSSE3 nibble tables.
+const std::uint8_t* mul_row(std::uint8_t c);
+
+}  // namespace omnc::gf

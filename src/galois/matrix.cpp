@@ -1,0 +1,121 @@
+#include "galois/matrix.h"
+
+#include "common/assert.h"
+#include "galois/gf256.h"
+#include "galois/region.h"
+
+namespace omnc::gf {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0) {}
+
+std::uint8_t& Matrix::at(std::size_t r, std::size_t c) {
+  OMNC_DCHECK(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+std::uint8_t Matrix::at(std::size_t r, std::size_t c) const {
+  OMNC_DCHECK(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+std::uint8_t* Matrix::row(std::size_t r) {
+  OMNC_DCHECK(r < rows_);
+  return data_.data() + r * cols_;
+}
+
+const std::uint8_t* Matrix::row(std::size_t r) const {
+  OMNC_DCHECK(r < rows_);
+  return data_.data() + r * cols_;
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m.at(i, i) = 1;
+  return m;
+}
+
+Matrix Matrix::random(std::size_t rows, std::size_t cols, omnc::Rng& rng) {
+  Matrix m(rows, cols);
+  for (auto& byte : m.data_) byte = rng.next_byte();
+  return m;
+}
+
+Matrix Matrix::mul(const Matrix& other) const {
+  OMNC_ASSERT(cols_ == other.rows_);
+  Matrix out(rows_, other.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const std::uint8_t coeff = at(r, k);
+      if (coeff == 0) continue;
+      region_axpy(out.row(r), other.row(k), coeff, other.cols_);
+    }
+  }
+  return out;
+}
+
+std::size_t Matrix::rank() const {
+  Matrix copy = *this;
+  return copy.reduce_to_rref();
+}
+
+std::size_t Matrix::reduce_to_rref() {
+  std::size_t pivot_row = 0;
+  for (std::size_t col = 0; col < cols_ && pivot_row < rows_; ++col) {
+    // Find a row with a nonzero entry in this column.
+    std::size_t found = rows_;
+    for (std::size_t r = pivot_row; r < rows_; ++r) {
+      if (at(r, col) != 0) {
+        found = r;
+        break;
+      }
+    }
+    if (found == rows_) continue;
+    if (found != pivot_row) {
+      for (std::size_t c = 0; c < cols_; ++c) {
+        std::swap(at(found, c), at(pivot_row, c));
+      }
+    }
+    // Normalize the pivot row.
+    const std::uint8_t pivot = at(pivot_row, col);
+    if (pivot != 1) {
+      region_mul(row(pivot_row), row(pivot_row), inv(pivot), cols_);
+    }
+    // Eliminate the column everywhere else (reduced form).
+    for (std::size_t r = 0; r < rows_; ++r) {
+      if (r == pivot_row) continue;
+      const std::uint8_t factor = at(r, col);
+      if (factor != 0) region_axpy(row(r), row(pivot_row), factor, cols_);
+    }
+    ++pivot_row;
+  }
+  return pivot_row;
+}
+
+bool Matrix::invert(Matrix* out) const {
+  OMNC_ASSERT(rows_ == cols_);
+  OMNC_ASSERT(out != nullptr);
+  // Augment with the identity and reduce.
+  Matrix work(rows_, cols_ * 2);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) work.at(r, c) = at(r, c);
+    work.at(r, cols_ + r) = 1;
+  }
+  work.reduce_to_rref();
+  // Invertible iff the left block reduced to the identity: pivots may also
+  // appear in the augmented columns, so the combined rank is not sufficient.
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      if (work.at(r, c) != (r == c ? 1 : 0)) return false;
+    }
+  }
+  *out = Matrix(rows_, cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      out->at(r, c) = work.at(r, cols_ + c);
+    }
+  }
+  return true;
+}
+
+}  // namespace omnc::gf

@@ -1,0 +1,53 @@
+// Dense matrix over GF(2^8).
+//
+// Used for coding ground truth (block decode via inverse), rank/innovation
+// reasoning in tests, and as the reference implementation the progressive
+// decoder is validated against.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace omnc::gf {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  std::uint8_t& at(std::size_t r, std::size_t c);
+  std::uint8_t at(std::size_t r, std::size_t c) const;
+
+  std::uint8_t* row(std::size_t r);
+  const std::uint8_t* row(std::size_t r) const;
+
+  static Matrix identity(std::size_t n);
+  static Matrix random(std::size_t rows, std::size_t cols, omnc::Rng& rng);
+
+  /// this * other; dimensions must agree.
+  Matrix mul(const Matrix& other) const;
+
+  /// Gaussian-elimination rank (non-destructive).
+  std::size_t rank() const;
+
+  /// In-place reduction to reduced row-echelon form; returns the rank.
+  std::size_t reduce_to_rref();
+
+  /// Inverse of a square full-rank matrix; returns false if singular.
+  bool invert(Matrix* out) const;
+
+  bool operator==(const Matrix& other) const = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::uint8_t> data_;  // row-major
+};
+
+}  // namespace omnc::gf

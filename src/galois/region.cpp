@@ -1,0 +1,388 @@
+#include "galois/region.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define OMNC_X86 1
+#endif
+
+#include "common/assert.h"
+#include "galois/gf256.h"
+
+namespace omnc::gf {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scalar lookup-table backend (the baseline the paper compares against).
+// ---------------------------------------------------------------------------
+
+void scalar_mul(std::uint8_t* dst, const std::uint8_t* src, std::uint8_t c,
+                std::size_t n) {
+  const std::uint8_t* row = mul_row(c);
+  for (std::size_t i = 0; i < n; ++i) dst[i] = row[src[i]];
+}
+
+void scalar_axpy(std::uint8_t* dst, const std::uint8_t* src, std::uint8_t c,
+                 std::size_t n) {
+  const std::uint8_t* row = mul_row(c);
+  for (std::size_t i = 0; i < n; ++i) dst[i] ^= row[src[i]];
+}
+
+void scalar_xor(std::uint8_t* dst, const std::uint8_t* src, std::size_t n) {
+  // Word-at-a-time XOR; memcpy keeps it alias/alignment safe.
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    std::uint64_t a;
+    std::uint64_t b;
+    std::memcpy(&a, dst + i, 8);
+    std::memcpy(&b, src + i, 8);
+    a ^= b;
+    std::memcpy(dst + i, &a, 8);
+  }
+  for (; i < n; ++i) dst[i] ^= src[i];
+}
+
+#ifdef OMNC_X86
+
+// ---------------------------------------------------------------------------
+// SSE2 backend: loop-based (double-and-add) multiplication, per the paper's
+// accelerated coding framework.  Each of the (at most) 8 rounds doubles the
+// running product in the field — shift left bytewise, conditionally XOR the
+// reduction polynomial where the high bit was set — and adds src when the
+// corresponding bit of the constant is set.  Rounds above the constant's top
+// bit are skipped.
+// ---------------------------------------------------------------------------
+
+__attribute__((target("sse2"))) inline __m128i sse2_xtime(__m128i v) {
+  const __m128i zero = _mm_setzero_si128();
+  const __m128i poly = _mm_set1_epi8(static_cast<char>(kPoly));
+  const __m128i high = _mm_cmpgt_epi8(zero, v);  // 0xFF where sign bit set
+  __m128i shifted = _mm_add_epi8(v, v);          // bytewise << 1
+  return _mm_xor_si128(shifted, _mm_and_si128(high, poly));
+}
+
+__attribute__((target("sse2"))) inline __m128i sse2_mul_const(__m128i v,
+                                                              std::uint8_t c) {
+  __m128i product = _mm_setzero_si128();
+  // Horner form over the bits of c, most significant first.
+  int top = 7;
+  while (top > 0 && !((c >> top) & 1)) --top;
+  for (int bit = top; bit >= 0; --bit) {
+    if (bit != top) product = sse2_xtime(product);
+    if ((c >> bit) & 1) product = _mm_xor_si128(product, v);
+  }
+  return product;
+}
+
+__attribute__((target("sse2"))) void sse2_xor(std::uint8_t* dst,
+                                              const std::uint8_t* src,
+                                              std::size_t n);
+
+// Two independent double-and-add chains per iteration hide the xtime
+// dependency latency on superscalar cores.
+__attribute__((target("sse2"))) inline void sse2_mul_const2(
+    __m128i v0, __m128i v1, std::uint8_t c, __m128i* out0, __m128i* out1) {
+  __m128i p0 = _mm_setzero_si128();
+  __m128i p1 = _mm_setzero_si128();
+  int top = 7;
+  while (top > 0 && !((c >> top) & 1)) --top;
+  for (int bit = top; bit >= 0; --bit) {
+    if (bit != top) {
+      p0 = sse2_xtime(p0);
+      p1 = sse2_xtime(p1);
+    }
+    if ((c >> bit) & 1) {
+      p0 = _mm_xor_si128(p0, v0);
+      p1 = _mm_xor_si128(p1, v1);
+    }
+  }
+  *out0 = p0;
+  *out1 = p1;
+}
+
+__attribute__((target("sse2"))) void sse2_mul(std::uint8_t* dst,
+                                              const std::uint8_t* src,
+                                              std::uint8_t c, std::size_t n) {
+  if (c == 0) {
+    std::memset(dst, 0, n);
+    return;
+  }
+  if (c == 1) {
+    if (dst != src) std::memmove(dst, src, n);
+    return;
+  }
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m128i v0 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    const __m128i v1 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i + 16));
+    __m128i p0;
+    __m128i p1;
+    sse2_mul_const2(v0, v1, c, &p0, &p1);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), p0);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i + 16), p1);
+  }
+  for (; i + 16 <= n; i += 16) {
+    const __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), sse2_mul_const(v, c));
+  }
+  if (i < n) scalar_mul(dst + i, src + i, c, n - i);
+}
+
+__attribute__((target("sse2"))) void sse2_axpy(std::uint8_t* dst,
+                                               const std::uint8_t* src,
+                                               std::uint8_t c, std::size_t n) {
+  if (c == 0) return;
+  if (c == 1) {
+    sse2_xor(dst, src, n);
+    return;
+  }
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m128i v0 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    const __m128i v1 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i + 16));
+    __m128i p0;
+    __m128i p1;
+    sse2_mul_const2(v0, v1, c, &p0, &p1);
+    const __m128i d0 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    const __m128i d1 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i + 16));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), _mm_xor_si128(d0, p0));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i + 16),
+                     _mm_xor_si128(d1, p1));
+  }
+  for (; i + 16 <= n; i += 16) {
+    const __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    const __m128i d = _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                     _mm_xor_si128(d, sse2_mul_const(v, c)));
+  }
+  if (i < n) scalar_axpy(dst + i, src + i, c, n - i);
+}
+
+__attribute__((target("sse2"))) void sse2_xor(std::uint8_t* dst,
+                                              const std::uint8_t* src,
+                                              std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    const __m128i d = _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), _mm_xor_si128(d, v));
+  }
+  for (; i < n; ++i) dst[i] ^= src[i];
+}
+
+// ---------------------------------------------------------------------------
+// SSSE3 backend: split the byte into nibbles and resolve each through a
+// 16-entry PSHUFB table derived from the full multiplication table.
+// ---------------------------------------------------------------------------
+
+__attribute__((target("ssse3"))) void ssse3_tables(std::uint8_t c,
+                                                   __m128i* lo_table,
+                                                   __m128i* hi_table) {
+  alignas(16) std::uint8_t lo[16];
+  alignas(16) std::uint8_t hi[16];
+  const std::uint8_t* row = mul_row(c);
+  for (int i = 0; i < 16; ++i) {
+    lo[i] = row[i];
+    hi[i] = row[i << 4];
+  }
+  *lo_table = _mm_load_si128(reinterpret_cast<const __m128i*>(lo));
+  *hi_table = _mm_load_si128(reinterpret_cast<const __m128i*>(hi));
+}
+
+__attribute__((target("ssse3"))) void ssse3_mul(std::uint8_t* dst,
+                                                const std::uint8_t* src,
+                                                std::uint8_t c, std::size_t n) {
+  if (c == 0) {
+    std::memset(dst, 0, n);
+    return;
+  }
+  if (c == 1) {
+    if (dst != src) std::memmove(dst, src, n);
+    return;
+  }
+  __m128i lo_table;
+  __m128i hi_table;
+  ssse3_tables(c, &lo_table, &hi_table);
+  const __m128i mask = _mm_set1_epi8(0x0f);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    const __m128i lo = _mm_and_si128(v, mask);
+    const __m128i hi = _mm_and_si128(_mm_srli_epi64(v, 4), mask);
+    const __m128i product = _mm_xor_si128(_mm_shuffle_epi8(lo_table, lo),
+                                          _mm_shuffle_epi8(hi_table, hi));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), product);
+  }
+  if (i < n) scalar_mul(dst + i, src + i, c, n - i);
+}
+
+__attribute__((target("ssse3"))) void ssse3_axpy(std::uint8_t* dst,
+                                                 const std::uint8_t* src,
+                                                 std::uint8_t c,
+                                                 std::size_t n) {
+  if (c == 0) return;
+  if (c == 1) {
+    sse2_xor(dst, src, n);
+    return;
+  }
+  __m128i lo_table;
+  __m128i hi_table;
+  ssse3_tables(c, &lo_table, &hi_table);
+  const __m128i mask = _mm_set1_epi8(0x0f);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    const __m128i d = _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    const __m128i lo = _mm_and_si128(v, mask);
+    const __m128i hi = _mm_and_si128(_mm_srli_epi64(v, 4), mask);
+    const __m128i product = _mm_xor_si128(_mm_shuffle_epi8(lo_table, lo),
+                                          _mm_shuffle_epi8(hi_table, hi));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                     _mm_xor_si128(d, product));
+  }
+  if (i < n) scalar_axpy(dst + i, src + i, c, n - i);
+}
+
+bool cpu_has(const char* feature) {
+#if defined(__x86_64__)
+  if (std::strcmp(feature, "sse2") == 0) return true;  // baseline on x86-64
+  unsigned eax = 1, ebx = 0, ecx = 0, edx = 0;
+  __asm__ volatile("cpuid"
+                   : "+a"(eax), "=b"(ebx), "+c"(ecx), "=d"(edx));
+  if (std::strcmp(feature, "ssse3") == 0) return (ecx & (1u << 9)) != 0;
+  return false;
+#else
+  (void)feature;
+  return false;
+#endif
+}
+
+#endif  // OMNC_X86
+
+Backend detect_default_backend() {
+#ifdef OMNC_X86
+  if (const char* env = std::getenv("OMNC_GF_BACKEND")) {
+    if (std::strcmp(env, "scalar") == 0) return Backend::kScalarTable;
+    if (std::strcmp(env, "sse2") == 0) return Backend::kSse2;
+    if (std::strcmp(env, "ssse3") == 0 && cpu_has("ssse3")) {
+      return Backend::kSsse3;
+    }
+  }
+  if (cpu_has("ssse3")) return Backend::kSsse3;
+  return Backend::kSse2;
+#else
+  return Backend::kScalarTable;
+#endif
+}
+
+std::atomic<Backend> g_backend{detect_default_backend()};
+
+}  // namespace
+
+bool backend_supported(Backend backend) {
+  switch (backend) {
+    case Backend::kScalarTable:
+      return true;
+    case Backend::kSse2:
+#ifdef OMNC_X86
+      return cpu_has("sse2");
+#else
+      return false;
+#endif
+    case Backend::kSsse3:
+#ifdef OMNC_X86
+      return cpu_has("ssse3");
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+void set_backend(Backend backend) {
+  OMNC_ASSERT_MSG(backend_supported(backend), "backend not supported on CPU");
+  g_backend.store(backend);
+}
+
+Backend active_backend() { return g_backend.load(std::memory_order_relaxed); }
+
+const char* backend_name(Backend backend) {
+  switch (backend) {
+    case Backend::kScalarTable: return "scalar-table";
+    case Backend::kSse2: return "sse2-loop";
+    case Backend::kSsse3: return "ssse3-shuffle";
+  }
+  return "?";
+}
+
+void region_xor(std::uint8_t* dst, const std::uint8_t* src, std::size_t n) {
+#ifdef OMNC_X86
+  if (active_backend() != Backend::kScalarTable) {
+    sse2_xor(dst, src, n);
+    return;
+  }
+#endif
+  scalar_xor(dst, src, n);
+}
+
+void region_mul(std::uint8_t* dst, const std::uint8_t* src, std::uint8_t c,
+                std::size_t n) {
+  region_mul_backend(active_backend(), dst, src, c, n);
+}
+
+void region_axpy(std::uint8_t* dst, const std::uint8_t* src, std::uint8_t c,
+                 std::size_t n) {
+  region_axpy_backend(active_backend(), dst, src, c, n);
+}
+
+void region_mul_backend(Backend backend, std::uint8_t* dst,
+                        const std::uint8_t* src, std::uint8_t c,
+                        std::size_t n) {
+  switch (backend) {
+    case Backend::kScalarTable:
+      scalar_mul(dst, src, c, n);
+      return;
+#ifdef OMNC_X86
+    case Backend::kSse2:
+      sse2_mul(dst, src, c, n);
+      return;
+    case Backend::kSsse3:
+      ssse3_mul(dst, src, c, n);
+      return;
+#else
+    default:
+      scalar_mul(dst, src, c, n);
+      return;
+#endif
+  }
+}
+
+void region_axpy_backend(Backend backend, std::uint8_t* dst,
+                         const std::uint8_t* src, std::uint8_t c,
+                         std::size_t n) {
+  switch (backend) {
+    case Backend::kScalarTable:
+      scalar_axpy(dst, src, c, n);
+      return;
+#ifdef OMNC_X86
+    case Backend::kSse2:
+      sse2_axpy(dst, src, c, n);
+      return;
+    case Backend::kSsse3:
+      ssse3_axpy(dst, src, c, n);
+      return;
+#else
+    default:
+      scalar_axpy(dst, src, c, n);
+      return;
+#endif
+  }
+}
+
+}  // namespace omnc::gf

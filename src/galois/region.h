@@ -1,0 +1,54 @@
+// Bulk GF(2^8) region kernels — the hot path of network coding.
+//
+// Three backends implement the same contract:
+//   * kScalarTable — per-byte full multiplication table lookups, the
+//     "traditional lookup-table approach" (MORE-style) the paper compares
+//     against;
+//   * kSse2 — the paper's accelerated scheme: a loop-based (double-and-add)
+//     multiply over Rijndael's field carried out on 16-byte SSE2 registers,
+//     no per-byte table lookups;
+//   * kSsse3 — nibble split tables with PSHUFB, the fastest portable x86
+//     variant; included to show the acceleration headroom beyond SSE2.
+//
+// The active backend is chosen at startup from CPUID and can be overridden
+// programmatically (set_backend) or with OMNC_GF_BACKEND=scalar|sse2|ssse3.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace omnc::gf {
+
+enum class Backend { kScalarTable, kSse2, kSsse3 };
+
+/// True if the instruction set for `backend` is available on this CPU.
+bool backend_supported(Backend backend);
+
+/// Selects the region-kernel backend; asserts that it is supported.
+void set_backend(Backend backend);
+
+/// Currently active backend.
+Backend active_backend();
+
+const char* backend_name(Backend backend);
+
+/// dst[i] ^= src[i]
+void region_xor(std::uint8_t* dst, const std::uint8_t* src, std::size_t n);
+
+/// dst[i] = c * src[i]; in-place (dst == src) is allowed.
+void region_mul(std::uint8_t* dst, const std::uint8_t* src, std::uint8_t c,
+                std::size_t n);
+
+/// dst[i] ^= c * src[i]; the encode/decode workhorse.  dst and src must not
+/// alias unless equal... they must be either identical or disjoint.
+void region_axpy(std::uint8_t* dst, const std::uint8_t* src, std::uint8_t c,
+                 std::size_t n);
+
+// Direct entry points for a specific backend, used by the coding-speed bench
+// to measure each variant regardless of the global selection.
+void region_mul_backend(Backend backend, std::uint8_t* dst,
+                        const std::uint8_t* src, std::uint8_t c, std::size_t n);
+void region_axpy_backend(Backend backend, std::uint8_t* dst,
+                         const std::uint8_t* src, std::uint8_t c, std::size_t n);
+
+}  // namespace omnc::gf

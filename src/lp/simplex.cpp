@@ -1,0 +1,323 @@
+#include "lp/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/assert.h"
+
+namespace omnc::lp {
+namespace {
+
+constexpr double kEps = 1e-9;
+
+/// Classic dense tableau.  Row 0 is the objective row holding z_j - c_j;
+/// rows 1..m are the constraints; the last column is the RHS.  Maximization:
+/// optimal when every objective-row entry is >= -kEps.
+class Tableau {
+ public:
+  Tableau(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  double& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double at(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  void pivot(std::size_t pivot_row, std::size_t pivot_col) {
+    const double pivot_value = at(pivot_row, pivot_col);
+    OMNC_ASSERT(std::abs(pivot_value) > kEps);
+    const double inverse = 1.0 / pivot_value;
+    for (std::size_t c = 0; c < cols_; ++c) at(pivot_row, c) *= inverse;
+    at(pivot_row, pivot_col) = 1.0;  // exact
+    for (std::size_t r = 0; r < rows_; ++r) {
+      if (r == pivot_row) continue;
+      const double factor = at(r, pivot_col);
+      if (std::abs(factor) < kEps) {
+        at(r, pivot_col) = 0.0;
+        continue;
+      }
+      for (std::size_t c = 0; c < cols_; ++c) {
+        at(r, c) -= factor * at(pivot_row, c);
+      }
+      at(r, pivot_col) = 0.0;  // exact
+    }
+  }
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<double> data_;
+};
+
+struct SimplexState {
+  Tableau tableau;
+  std::vector<std::size_t> basis;       // basis[r-1] = column basic in row r
+  std::vector<bool> allowed;            // columns eligible to enter
+};
+
+/// Runs primal simplex iterations on the prepared tableau until optimality
+/// or unboundedness.  Uses Dantzig pricing normally, switching to Bland's
+/// rule when the objective has stalled for a while.
+Status iterate(SimplexState& state) {
+  Tableau& tab = state.tableau;
+  const std::size_t rhs_col = tab.cols() - 1;
+  const std::size_t m = tab.rows() - 1;
+  double last_objective = -std::numeric_limits<double>::infinity();
+  std::size_t stall = 0;
+  const std::size_t stall_limit = 50 + 4 * m;
+  // Generous global bound; cycling is prevented by Bland's rule after stall.
+  const std::size_t max_iterations = 2000 + 200 * m;
+
+  for (std::size_t iteration = 0; iteration < max_iterations; ++iteration) {
+    const bool use_bland = stall > stall_limit;
+    // Entering column: objective-row entry < -kEps.
+    std::size_t entering = tab.cols();
+    double best = -kEps;
+    for (std::size_t c = 0; c + 1 < tab.cols(); ++c) {
+      if (!state.allowed[c]) continue;
+      const double reduced = tab.at(0, c);
+      if (reduced < -kEps) {
+        if (use_bland) {
+          entering = c;
+          break;
+        }
+        if (reduced < best) {
+          best = reduced;
+          entering = c;
+        }
+      }
+    }
+    if (entering == tab.cols()) return Status::kOptimal;
+
+    // Ratio test; ties resolved by smallest basis column (lexicographic
+    // enough in combination with Bland's entering rule).
+    std::size_t leaving_row = 0;
+    double best_ratio = std::numeric_limits<double>::infinity();
+    std::size_t best_basis_col = std::numeric_limits<std::size_t>::max();
+    for (std::size_t r = 1; r <= m; ++r) {
+      const double column_entry = tab.at(r, entering);
+      if (column_entry <= kEps) continue;
+      const double ratio = tab.at(r, rhs_col) / column_entry;
+      if (ratio < best_ratio - kEps ||
+          (ratio < best_ratio + kEps && state.basis[r - 1] < best_basis_col)) {
+        best_ratio = ratio;
+        leaving_row = r;
+        best_basis_col = state.basis[r - 1];
+      }
+    }
+    if (leaving_row == 0) return Status::kUnbounded;
+
+    tab.pivot(leaving_row, entering);
+    state.basis[leaving_row - 1] = entering;
+
+    // With row 0 seeded as -c, the RHS of row 0 accumulates +z.
+    const double objective = tab.at(0, rhs_col);
+    if (objective > last_objective + kEps) {
+      last_objective = objective;
+      stall = 0;
+    } else {
+      ++stall;
+    }
+  }
+  OMNC_ASSERT_MSG(false, "simplex iteration limit exceeded");
+  return Status::kInfeasible;  // unreachable
+}
+
+}  // namespace
+
+void Problem::add_le(std::vector<double> coefficients, double rhs) {
+  OMNC_ASSERT(coefficients.size() == num_variables());
+  constraints.push_back({std::move(coefficients), Relation::kLessEqual, rhs});
+}
+
+void Problem::add_ge(std::vector<double> coefficients, double rhs) {
+  OMNC_ASSERT(coefficients.size() == num_variables());
+  constraints.push_back({std::move(coefficients), Relation::kGreaterEqual, rhs});
+}
+
+void Problem::add_eq(std::vector<double> coefficients, double rhs) {
+  OMNC_ASSERT(coefficients.size() == num_variables());
+  constraints.push_back({std::move(coefficients), Relation::kEqual, rhs});
+}
+
+Solution solve(const Problem& problem) {
+  const std::size_t n = problem.num_variables();
+  const std::size_t m = problem.constraints.size();
+  OMNC_ASSERT(n > 0);
+
+  // Column layout: [structural | slacks/surplus | artificials | rhs].
+  std::size_t slack_count = 0;
+  std::size_t artificial_count = 0;
+  for (const Constraint& row : problem.constraints) {
+    OMNC_ASSERT(row.coefficients.size() == n);
+    if (row.relation != Relation::kEqual) ++slack_count;
+    // Artificials are added per-row below only where needed.
+    (void)artificial_count;
+  }
+
+  // First pass: normalize rows to nonnegative rhs and decide which rows need
+  // artificial variables (>= rows and = rows; <= rows start basic on their
+  // slack).
+  struct RowPlan {
+    std::vector<double> coefficients;
+    Relation relation;
+    double rhs;
+    std::size_t slack_col = 0;       // 0 = none (offset by base below)
+    bool has_slack = false;
+    bool slack_is_basic = false;
+    bool needs_artificial = false;
+  };
+  std::vector<RowPlan> plan(m);
+  for (std::size_t r = 0; r < m; ++r) {
+    const Constraint& row = problem.constraints[r];
+    plan[r].coefficients = row.coefficients;
+    plan[r].relation = row.relation;
+    plan[r].rhs = row.rhs;
+    if (plan[r].rhs < 0.0) {
+      for (double& v : plan[r].coefficients) v = -v;
+      plan[r].rhs = -plan[r].rhs;
+      switch (plan[r].relation) {
+        case Relation::kLessEqual:
+          plan[r].relation = Relation::kGreaterEqual;
+          break;
+        case Relation::kGreaterEqual:
+          plan[r].relation = Relation::kLessEqual;
+          break;
+        case Relation::kEqual:
+          break;
+      }
+    }
+    switch (plan[r].relation) {
+      case Relation::kLessEqual:
+        plan[r].has_slack = true;
+        plan[r].slack_is_basic = true;
+        break;
+      case Relation::kGreaterEqual:
+        plan[r].has_slack = true;  // surplus
+        plan[r].needs_artificial = true;
+        break;
+      case Relation::kEqual:
+        plan[r].needs_artificial = true;
+        break;
+    }
+  }
+  slack_count = 0;
+  artificial_count = 0;
+  for (RowPlan& row : plan) {
+    if (row.has_slack) row.slack_col = slack_count++;
+    if (row.needs_artificial) ++artificial_count;
+  }
+
+  const std::size_t total_cols = n + slack_count + artificial_count + 1;
+  const std::size_t rhs_col = total_cols - 1;
+  const std::size_t artificial_base = n + slack_count;
+
+  SimplexState state{Tableau(m + 1, total_cols), {}, {}};
+  state.basis.resize(m);
+  state.allowed.assign(total_cols - 1, true);
+  Tableau& tab = state.tableau;
+
+  std::size_t next_artificial = artificial_base;
+  for (std::size_t r = 0; r < m; ++r) {
+    const RowPlan& row = plan[r];
+    for (std::size_t c = 0; c < n; ++c) tab.at(r + 1, c) = row.coefficients[c];
+    tab.at(r + 1, rhs_col) = row.rhs;
+    if (row.has_slack) {
+      const double sign =
+          (row.relation == Relation::kLessEqual) ? 1.0 : -1.0;  // surplus
+      tab.at(r + 1, n + row.slack_col) = sign;
+    }
+    if (row.needs_artificial) {
+      tab.at(r + 1, next_artificial) = 1.0;
+      state.basis[r] = next_artificial;
+      ++next_artificial;
+    } else {
+      state.basis[r] = n + row.slack_col;
+    }
+  }
+
+  // ---- Phase 1: maximize -(sum of artificials). ----
+  if (artificial_count > 0) {
+    // Objective row: z_j - c_j with c = -1 on artificials.  Start from c_B
+    // contributions: artificials are basic, so subtract their rows.
+    for (std::size_t c = 0; c < total_cols; ++c) tab.at(0, c) = 0.0;
+    for (std::size_t a = artificial_base; a < artificial_base + artificial_count;
+         ++a) {
+      tab.at(0, a) = 1.0;  // -c_j with c_j = -1
+    }
+    for (std::size_t r = 0; r < m; ++r) {
+      if (state.basis[r] >= artificial_base) {
+        for (std::size_t c = 0; c < total_cols; ++c) {
+          tab.at(0, c) -= tab.at(r + 1, c);
+        }
+      }
+    }
+    const Status phase1 = iterate(state);
+    OMNC_ASSERT_MSG(phase1 == Status::kOptimal,
+                    "phase 1 cannot be unbounded");
+    // Phase-1 objective z = -(sum of artificials); the problem is feasible
+    // iff that sum is (numerically) zero.
+    const double sum_artificials = -tab.at(0, rhs_col);
+    if (sum_artificials > 1e-6) {
+      return Solution{Status::kInfeasible, 0.0, {}};
+    }
+    // Drive any artificial still basic (at zero) out of the basis.
+    for (std::size_t r = 0; r < m; ++r) {
+      if (state.basis[r] < artificial_base) continue;
+      std::size_t entering = total_cols;
+      for (std::size_t c = 0; c < artificial_base; ++c) {
+        if (std::abs(tab.at(r + 1, c)) > kEps) {
+          entering = c;
+          break;
+        }
+      }
+      if (entering < total_cols) {
+        tab.pivot(r + 1, entering);
+        state.basis[r] = entering;
+      }
+      // Otherwise the row is redundant (all-zero); it stays with a zero
+      // artificial, which can never re-enter because artificials are
+      // disallowed in phase 2.
+    }
+    // Forbid artificial columns from now on.
+    for (std::size_t a = artificial_base; a < artificial_base + artificial_count;
+         ++a) {
+      state.allowed[a] = false;
+    }
+  }
+
+  // ---- Phase 2: the real objective. ----
+  for (std::size_t c = 0; c < total_cols; ++c) tab.at(0, c) = 0.0;
+  for (std::size_t c = 0; c < n; ++c) tab.at(0, c) = -problem.objective[c];
+  // Make the objective row consistent with the current basis: reduced cost
+  // of every basic column must be zero.
+  for (std::size_t r = 0; r < m; ++r) {
+    const std::size_t basic = state.basis[r];
+    const double coefficient = tab.at(0, basic);
+    if (std::abs(coefficient) > kEps) {
+      for (std::size_t c = 0; c < total_cols; ++c) {
+        tab.at(0, c) -= coefficient * tab.at(r + 1, c);
+      }
+      tab.at(0, basic) = 0.0;
+    }
+  }
+  const Status phase2 = iterate(state);
+  if (phase2 == Status::kUnbounded) {
+    return Solution{Status::kUnbounded, 0.0, {}};
+  }
+
+  Solution solution;
+  solution.status = Status::kOptimal;
+  solution.objective = tab.at(0, rhs_col);
+  solution.x.assign(n, 0.0);
+  for (std::size_t r = 0; r < m; ++r) {
+    if (state.basis[r] < n) {
+      solution.x[state.basis[r]] = tab.at(r + 1, rhs_col);
+    }
+  }
+  return solution;
+}
+
+}  // namespace omnc::lp

@@ -1,0 +1,51 @@
+// Dense two-phase primal simplex solver.
+//
+// Solves   maximize c^T x   subject to   A_i x {<=,=,>=} b_i,  x >= 0.
+//
+// This is the centralized ground truth for the paper's sUnicast linear
+// program ("the sUnicast problem is a linear program ... solved in
+// polynomial time") and the solver behind the oldMORE min-cost baseline.
+// Problem sizes here are a few hundred variables/rows, so a dense tableau
+// with Dantzig pricing (falling back to Bland's rule when the objective
+// stalls, for anti-cycling) is both simple and fast enough.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace omnc::lp {
+
+enum class Relation { kLessEqual, kEqual, kGreaterEqual };
+
+enum class Status { kOptimal, kInfeasible, kUnbounded };
+
+struct Constraint {
+  std::vector<double> coefficients;  // length = variable count
+  Relation relation = Relation::kLessEqual;
+  double rhs = 0.0;
+};
+
+struct Problem {
+  /// Objective coefficients (maximization); length defines the variable
+  /// count.
+  std::vector<double> objective;
+  std::vector<Constraint> constraints;
+
+  std::size_t num_variables() const { return objective.size(); }
+
+  /// Convenience builders.
+  void add_le(std::vector<double> coefficients, double rhs);
+  void add_ge(std::vector<double> coefficients, double rhs);
+  void add_eq(std::vector<double> coefficients, double rhs);
+};
+
+struct Solution {
+  Status status = Status::kInfeasible;
+  double objective = 0.0;
+  std::vector<double> x;
+};
+
+/// Solves the problem; `x` is meaningful only when status == kOptimal.
+Solution solve(const Problem& problem);
+
+}  // namespace omnc::lp

@@ -1,0 +1,317 @@
+#include "net/mac.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/assert.h"
+
+namespace omnc::net {
+
+SlottedMac::SlottedMac(sim::Simulator& simulator, const Topology& topology,
+                       std::vector<NodeId> participants,
+                       const MacConfig& config, Rng rng)
+    : simulator_(simulator),
+      topology_(topology),
+      participants_(std::move(participants)),
+      config_(config),
+      rng_(rng) {
+  OMNC_ASSERT(!participants_.empty());
+  OMNC_ASSERT(config_.capacity_bytes_per_s > 0.0);
+  OMNC_ASSERT(config_.slot_bytes > 0);
+  node_to_index_.assign(static_cast<std::size_t>(topology_.node_count()), -1);
+  states_.resize(participants_.size());
+  for (std::size_t i = 0; i < participants_.size(); ++i) {
+    const NodeId id = participants_[i];
+    OMNC_ASSERT(id >= 0 && id < topology_.node_count());
+    OMNC_ASSERT_MSG(node_to_index_[static_cast<std::size_t>(id)] == -1,
+                    "duplicate participant");
+    node_to_index_[static_cast<std::size_t>(id)] = static_cast<int>(i);
+  }
+  // Transmitters serialize iff they can hear each other (carrier sense over
+  // the interference range).  Hidden-terminal collisions — two mutually
+  // inaudible transmitters covering a common receiver — are resolved per
+  // slot at the receiver, not forbidden in the schedule (unless
+  // protect_receivers idealizes them away).
+  const std::size_t n = participants_.size();
+  conflict_.assign(n * n, 0);
+  auto hears = [&](NodeId a, NodeId b) { return topology_.interferes(a, b); };
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = a + 1; b < n; ++b) {
+      bool clash = hears(participants_[a], participants_[b]);
+      if (config_.protect_receivers) {
+        for (std::size_t v = 0; !clash && v < n; ++v) {
+          if (v == a || v == b) continue;
+          clash = hears(participants_[a], participants_[v]) &&
+                  hears(participants_[b], participants_[v]);
+        }
+      }
+      conflict_[a * n + b] = clash ? 1 : 0;
+      conflict_[b * n + a] = clash ? 1 : 0;
+    }
+  }
+
+  // Per-link Gilbert-Elliott fading, mean-preserving: the long-run average
+  // reception probability of every link equals the topology's p_ij.
+  effective_p_.assign(n * n, 0.0);
+  const FadingConfig& fading = config_.fading;
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = 0; b < n; ++b) {
+      if (a == b) continue;
+      const double p = topology_.prob(participants_[a], participants_[b]);
+      if (p <= 0.0) continue;
+      effective_p_[a * n + b] = p;
+      if (!fading.enabled) continue;
+      const double pi_bad = fading.bad_fraction;
+      double p_good = p * (1.0 - pi_bad * fading.bad_scale) / (1.0 - pi_bad);
+      double p_bad = p * fading.bad_scale;
+      if (p_good > 0.98) {
+        // Strong links saturate; rebalance the fade depth to keep the mean.
+        p_good = 0.98;
+        p_bad = (p - (1.0 - pi_bad) * p_good) / pi_bad;
+        if (p_bad < 0.0) p_bad = 0.0;
+      }
+      LinkFade link{a, b, p_good, p_bad, rng_.chance(pi_bad)};
+      effective_p_[a * n + b] = link.bad ? p_bad : p_good;
+      fades_.push_back(link);
+    }
+  }
+}
+
+void SlottedMac::advance_fading() {
+  const FadingConfig& fading = config_.fading;
+  if (!fading.enabled) return;
+  const std::size_t n = participants_.size();
+  const double leave_bad = 1.0 / fading.mean_bad_slots;
+  const double enter_bad = fading.bad_fraction / (1.0 - fading.bad_fraction) /
+                           fading.mean_bad_slots;
+  for (LinkFade& link : fades_) {
+    if (link.bad) {
+      if (rng_.chance(leave_bad)) link.bad = false;
+    } else {
+      if (rng_.chance(enter_bad)) link.bad = true;
+    }
+    effective_p_[link.tx_index * n + link.rx_index] =
+        link.bad ? link.p_bad : link.p_good;
+  }
+}
+
+int SlottedMac::index_of(NodeId node) const {
+  OMNC_ASSERT(node >= 0 && node < topology_.node_count());
+  const int index = node_to_index_[static_cast<std::size_t>(node)];
+  OMNC_ASSERT_MSG(index >= 0, "node is not a MAC participant");
+  return index;
+}
+
+void SlottedMac::set_receive_handler(ReceiveHandler handler) {
+  receive_handler_ = std::move(handler);
+}
+
+void SlottedMac::add_slot_hook(SlotHook hook) {
+  slot_hooks_.push_back(std::move(hook));
+}
+
+bool SlottedMac::enqueue(Frame frame) {
+  NodeState& state = states_[static_cast<std::size_t>(index_of(frame.from))];
+  if (state.queue.size() >= config_.max_queue) {
+    ++drops_;
+    return false;
+  }
+  OMNC_ASSERT(frame.bytes != nullptr);
+  if (frame.to != kBroadcast) {
+    OMNC_ASSERT(frame.to >= 0 && frame.to < topology_.node_count());
+  }
+  state.queue.push_back(std::move(frame));
+  return true;
+}
+
+std::size_t SlottedMac::queue_size(NodeId node) const {
+  return states_[static_cast<std::size_t>(index_of(node))].queue.size();
+}
+
+void SlottedMac::purge_queue(
+    NodeId node, const std::function<bool(const Frame&)>& predicate) {
+  auto& queue = states_[static_cast<std::size_t>(index_of(node))].queue;
+  queue.erase(std::remove_if(queue.begin(), queue.end(), predicate),
+              queue.end());
+}
+
+void SlottedMac::start() {
+  if (running_) return;
+  running_ = true;
+  simulator_.schedule_in(slot_duration(), [this] { run_slot(); });
+}
+
+void SlottedMac::stop() { running_ = false; }
+
+void SlottedMac::run_slot() {
+  if (!running_) return;
+  const sim::Time now = simulator_.now();
+  advance_fading();
+  for (const SlotHook& hook : slot_hooks_) hook(now);
+
+  const std::size_t n = participants_.size();
+  // Nodes finishing a multi-slot unicast attempt keep the channel busy: they
+  // count as transmitting (interference + cannot receive) but send nothing
+  // new and are not re-admitted.
+  std::vector<std::uint8_t> transmitting(n, 0);
+  std::vector<std::size_t> phantoms;
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    if (states_[i].cooldown > 0) {
+      --states_[i].cooldown;
+      transmitting[i] = 1;
+      phantoms.push_back(i);
+    }
+  }
+
+  std::vector<std::size_t> backlogged;
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    if (transmitting[i] == 0 && !states_[i].queue.empty()) {
+      backlogged.push_back(i);
+    }
+  }
+
+  std::vector<std::size_t> admitted;
+  if (config_.mode == MacMode::kIdealScheduling) {
+    // Greedy maximal conflict-free schedule in uniformly random priority
+    // order: an idealized randomized TDMA.  (Queue-length priority would let
+    // a saturated source starve its own downstream relays forever.)
+    rng_.shuffle(backlogged);
+    for (std::size_t candidate : backlogged) {
+      bool blocked = false;
+      for (std::size_t other = 0; !blocked && other < n; ++other) {
+        blocked = transmitting[other] != 0 &&
+                  conflict_[candidate * n + other] != 0;
+      }
+      if (!blocked) {
+        admitted.push_back(candidate);
+        transmitting[candidate] = 1;
+      }
+    }
+  } else {
+    // p-persistent CSMA: attempt with probability 1 / (1 + backlogged
+    // in-range competitors).  Attempts are independent; nothing prevents two
+    // in-range nodes from firing together — that is what collisions are.
+    // Carrier sensing defers to in-range nodes already mid-attempt.
+    std::vector<std::uint8_t> is_backlogged(n, 0);
+    for (std::size_t i : backlogged) is_backlogged[i] = 1;
+    for (std::size_t candidate : backlogged) {
+      bool channel_busy = false;
+      for (std::size_t phantom : phantoms) {
+        if (conflict_[candidate * n + phantom] != 0) {
+          channel_busy = true;
+          break;
+        }
+      }
+      if (channel_busy) continue;
+      std::size_t contenders = 1;
+      for (std::size_t other = 0; other < n; ++other) {
+        if (other != candidate && is_backlogged[other] &&
+            conflict_[candidate * n + other] != 0) {
+          ++contenders;
+        }
+      }
+      const double attempt = std::min(
+          1.0, config_.csma_persistence / static_cast<double>(contenders));
+      if (rng_.chance(attempt)) {
+        admitted.push_back(candidate);
+        transmitting[candidate] = 1;
+      }
+    }
+  }
+
+  // Hidden-terminal collisions: a participant covered by two or more
+  // concurrent transmitters (including tail slots of multi-slot unicast
+  // attempts) receives nothing this slot.
+  std::vector<std::uint8_t> covered(n, 0);
+  auto cover_neighborhood = [&](std::size_t tx_index) {
+    const NodeId tx = participants_[tx_index];
+    for (NodeId nbr : topology_.interference_neighbors(tx)) {
+      const int rx_index = node_to_index_[static_cast<std::size_t>(nbr)];
+      if (rx_index >= 0 && covered[static_cast<std::size_t>(rx_index)] < 2) {
+        ++covered[static_cast<std::size_t>(rx_index)];
+      }
+    }
+  };
+  for (std::size_t tx_index : admitted) cover_neighborhood(tx_index);
+  for (std::size_t phantom : phantoms) cover_neighborhood(phantom);
+
+  // Transmit.
+  for (std::size_t tx_index : admitted) {
+    NodeState& state = states_[tx_index];
+    Frame& frame = state.queue.front();
+    ++state.transmissions;
+    if (frame.to != kBroadcast && config_.unicast_slot_cost > 1) {
+      state.cooldown = config_.unicast_slot_cost - 1;
+    }
+    bool consumed = true;
+    auto receives = [&](NodeId rx) {
+      const int rx_index = node_to_index_[static_cast<std::size_t>(rx)];
+      if (rx_index < 0) return false;  // not in this session
+      if (transmitting[static_cast<std::size_t>(rx_index)]) return false;
+      if (covered[static_cast<std::size_t>(rx_index)] >= 2) return false;
+      return rng_.chance(
+          effective_p_[tx_index * n + static_cast<std::size_t>(rx_index)]);
+    };
+    if (frame.to == kBroadcast) {
+      for (NodeId nbr : topology_.neighbors(frame.from)) {
+        if (!receives(nbr)) continue;
+        ++deliveries_;
+        if (receive_handler_) receive_handler_(nbr, frame);
+      }
+    } else {
+      OMNC_ASSERT_MSG(
+          node_to_index_[static_cast<std::size_t>(frame.to)] >= 0,
+          "unicast target not a participant");
+      if (receives(frame.to)) {
+        ++deliveries_;
+        if (receive_handler_) receive_handler_(frame.to, frame);
+      } else if (frame.reliable) {
+        ++state.head_attempts;
+        if (config_.unicast_retry_limit > 0 &&
+            state.head_attempts >= config_.unicast_retry_limit) {
+          ++retry_failures_;  // 802.11 gives up on the frame
+        } else {
+          consumed = false;  // ARQ: stays at the head for retransmission
+        }
+      }
+    }
+    if (consumed) {
+      state.queue.pop_front();
+      state.head_attempts = 0;
+    }
+  }
+
+  // Sample queue sizes for the Fig. 3 metric.
+  for (NodeState& state : states_) {
+    state.queue_average.advance_to(now, static_cast<double>(state.queue.size()));
+  }
+
+  if (running_) {
+    simulator_.schedule_in(slot_duration(), [this] { run_slot(); });
+  }
+}
+
+std::size_t SlottedMac::transmissions(NodeId node) const {
+  return states_[static_cast<std::size_t>(index_of(node))].transmissions;
+}
+
+std::size_t SlottedMac::total_transmissions() const {
+  std::size_t total = 0;
+  for (const NodeState& state : states_) total += state.transmissions;
+  return total;
+}
+
+std::size_t SlottedMac::total_deliveries() const { return deliveries_; }
+
+double SlottedMac::queue_time_average(NodeId node) const {
+  return states_[static_cast<std::size_t>(index_of(node))]
+      .queue_average.average();
+}
+
+bool SlottedMac::conflicts(NodeId a, NodeId b) const {
+  const std::size_t n = participants_.size();
+  return conflict_[static_cast<std::size_t>(index_of(a)) * n +
+                   static_cast<std::size_t>(index_of(b))] != 0;
+}
+
+}  // namespace omnc::net

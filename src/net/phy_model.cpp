@@ -1,0 +1,76 @@
+#include "net/phy_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace omnc::net {
+
+double PhyModel::range_for_threshold(double threshold) const {
+  OMNC_ASSERT(threshold > 0.0 && threshold < 1.0);
+  // Bisection over a generous distance interval; the curves used here are
+  // monotone non-increasing.
+  double lo = 0.0;
+  double hi = 1.0;
+  while (reception_probability(hi) > threshold && hi < 1e7) hi *= 2.0;
+  for (int i = 0; i < 80; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (reception_probability(mid) > threshold) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+TracePhy::TracePhy(std::vector<Point> points, double power_factor)
+    : points_(std::move(points)), power_factor_(power_factor) {
+  OMNC_ASSERT(points_.size() >= 2);
+  OMNC_ASSERT(power_factor_ > 0.0);
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    OMNC_ASSERT_MSG(points_[i].first > points_[i - 1].first,
+                    "trace points must have increasing distance");
+  }
+}
+
+TracePhy TracePhy::urban_mesh(double power_factor) {
+  // Sigmoid-shaped control points: p(d) ~ 1 / (1 + exp((d/250 - 0.737) /
+  // 0.1895)), sampled and lightly rounded.  This reproduces the published
+  // urban-mesh behaviour qualitatively: near-perfect links below ~100 m, a
+  // wide band of intermediate-quality links, and p = 0.2 at d = 250 m.
+  return TracePhy(
+      {
+          {0.0, 0.98},
+          {50.0, 0.95},
+          {75.0, 0.92},
+          {100.0, 0.87},
+          {125.0, 0.79},
+          {150.0, 0.68},
+          {175.0, 0.55},
+          {200.0, 0.42},
+          {225.0, 0.30},
+          {250.0, 0.20},
+          {275.0, 0.12},
+          {300.0, 0.07},
+          {350.0, 0.02},
+          {400.0, 0.0},
+      },
+      power_factor);
+}
+
+double TracePhy::reception_probability(double distance) const {
+  const double d = std::max(0.0, distance) / power_factor_;
+  if (d <= points_.front().first) return points_.front().second;
+  if (d >= points_.back().first) return points_.back().second;
+  const auto it = std::lower_bound(
+      points_.begin(), points_.end(), d,
+      [](const Point& pt, double value) { return pt.first < value; });
+  const auto& [d1, p1] = *it;
+  const auto& [d0, p0] = *(it - 1);
+  const double frac = (d - d0) / (d1 - d0);
+  return p0 + (p1 - p0) * frac;
+}
+
+}  // namespace omnc::net

@@ -1,0 +1,89 @@
+// Multiple-unicast extension of the sUnicast framework — the scenario the
+// paper's conclusion singles out ("the rate control framework can be
+// flexibly extended to other scenarios such as the multiple-unicast case").
+//
+// K unicast sessions share the channel.  Each session s keeps its own
+// selected subgraph, information rates x^s and broadcast rates b^s; the
+// broadcast MAC constraint (4) now charges the *total* load around every
+// receiver:
+//
+//   sum_s b^s_i + sum_{j in N(i)} sum_s b^s_j <= C       (i not a source-only node)
+//
+// Two solvers are provided:
+//   * a centralized max-min LP (maximize t s.t. gamma_s >= t for all s) —
+//     the fairness-oriented ground truth; and
+//   * the distributed algorithm: per-session SUB1/lambda exactly as in
+//     Table 1, with a single *shared* congestion price beta_i per node that
+//     coordinates all sessions through the common constraint.  Because
+//     every session maximizes U(gamma) = ln(gamma), the equilibrium is
+//     proportionally fair across sessions.
+#pragma once
+
+#include <vector>
+
+#include "net/topology.h"
+#include "opt/rate_control.h"
+#include "routing/node_selection.h"
+
+namespace omnc::opt {
+
+/// One session's view inside the joint problem.
+struct MultiSessionMember {
+  const routing::SessionGraph* graph = nullptr;
+};
+
+struct MultiRateControlResult {
+  bool converged = false;
+  int iterations = 0;
+  /// Recovered throughput estimate per session.
+  std::vector<double> gamma;
+  /// rates[s][local node of session s] in bytes/s.
+  std::vector<std::vector<double>> b;
+  std::size_t messages = 0;
+};
+
+struct MultiSUnicastSolution {
+  bool feasible = false;
+  /// The max-min throughput t*.
+  double min_gamma = 0.0;
+  std::vector<double> gamma;             // per session (all >= t*)
+  std::vector<std::vector<double>> b;    // per session, per local node
+};
+
+/// Centralized max-min LP over the shared topology.  Sessions' graphs must
+/// reference nodes of `topology`.
+MultiSUnicastSolution solve_multi_sunicast(
+    const net::Topology& topology,
+    const std::vector<const routing::SessionGraph*>& sessions,
+    double capacity);
+
+/// Joint load factor of per-session rate vectors: max over receivers of
+/// (total own + neighborhood rate) / C, with neighborhoods taken from the
+/// topology's interference relation.
+double multi_broadcast_load_factor(
+    const net::Topology& topology,
+    const std::vector<const routing::SessionGraph*>& sessions,
+    const std::vector<std::vector<double>>& b, double capacity);
+
+/// Scales *all* sessions' rates by a common factor so the joint constraint
+/// holds; returns the factor.
+double multi_rescale_to_feasible(
+    const net::Topology& topology,
+    const std::vector<const routing::SessionGraph*>& sessions,
+    std::vector<std::vector<double>>& b, double capacity);
+
+class MultiSessionRateControl {
+ public:
+  MultiSessionRateControl(const net::Topology& topology,
+                          std::vector<const routing::SessionGraph*> sessions,
+                          const RateControlParams& params);
+
+  MultiRateControlResult run();
+
+ private:
+  const net::Topology& topology_;
+  std::vector<const routing::SessionGraph*> sessions_;
+  RateControlParams params_;
+};
+
+}  // namespace omnc::opt

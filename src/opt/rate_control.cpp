@@ -1,0 +1,181 @@
+#include "opt/rate_control.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+#include "routing/shortest_path.h"
+
+namespace omnc::opt {
+
+DistributedRateControl::DistributedRateControl(
+    const routing::SessionGraph& graph, const RateControlParams& params)
+    : graph_(graph), params_(params) {
+  OMNC_ASSERT(graph.size() >= 2);
+  OMNC_ASSERT(!graph.edges.empty());
+  OMNC_ASSERT(params.capacity > 0.0);
+  OMNC_ASSERT(params.proximal_c > 0.0);
+}
+
+RateControlResult DistributedRateControl::run(IterationTrace* trace) {
+  const std::size_t v = static_cast<std::size_t>(graph_.size());
+  const std::size_t e = graph_.edges.size();
+  // The iteration runs in capacity-normalized units (C = 1): the paper's
+  // step-size constants (A = 1, B = 0.5, C_step = 10) and the proximal
+  // constant are dimensionless, and the Lagrange multipliers then live at
+  // O(1) scale regardless of whether the channel is 2*10^4 or 10^5 bytes
+  // per second.  Results are scaled back by `unit` on the way out.
+  const double unit = params_.capacity;
+  const double capacity = 1.0;
+
+  // Step 1 (Table 1): primal variables start at small positive values, dual
+  // variables at zero.
+  std::vector<double> lambda(e, 0.0);       // multiplier of (5), per edge
+  std::vector<double> beta(v, 0.0);         // congestion price, per node
+  std::vector<double> b(v, 1e-3 * capacity);
+  std::vector<double> b_avg(v, 0.0);
+  std::vector<double> x_avg(e, 0.0);
+  double gamma_avg = 0.0;
+
+  // Edges of the shortest-path instance are rebuilt each iteration with the
+  // current lambda as costs.
+  std::vector<routing::GraphEdge> sp_edges(e);
+  for (std::size_t edge = 0; edge < e; ++edge) {
+    sp_edges[edge].from = graph_.edges[edge].from;
+    sp_edges[edge].to = graph_.edges[edge].to;
+  }
+
+  RateControlResult result;
+  std::vector<double> prev_b_avg(v, 0.0);
+  double prev_gamma_avg = 0.0;
+  int stable = 0;
+
+  std::size_t neighbor_links = 0;
+  for (const auto& nbrs : graph_.range_neighbors) neighbor_links += nbrs.size();
+
+  int t = 0;
+  while (t < params_.max_iterations) {
+    ++t;
+    const double theta =
+        params_.step_a / (params_.step_b + params_.step_c * static_cast<double>(t));
+
+    // ---- SUB1: shortest path under lambda costs, gamma = U'^-1(p_min). ----
+    for (std::size_t edge = 0; edge < e; ++edge) {
+      sp_edges[edge].cost = lambda[edge];
+    }
+    const routing::ShortestPathTree tree = routing::bellman_ford_to_target(
+        graph_.size(), sp_edges, graph_.destination);
+    const double p_min =
+        tree.distance[static_cast<std::size_t>(graph_.source)];
+    OMNC_ASSERT_MSG(p_min != routing::kUnreachable,
+                    "session graph lost connectivity");
+    // U(gamma) = ln(gamma) => gamma = 1/p_min, clamped into (0, C]: with all
+    // lambda at zero the unclamped value would be infinite.
+    const double gamma_t =
+        (p_min <= 1.0 / capacity) ? capacity : 1.0 / p_min;
+    // x^t: gamma_t on the links of the single shortest path, zero elsewhere.
+    const double keep = static_cast<double>(t - 1) / static_cast<double>(t);
+    std::vector<double> x_t(e, 0.0);
+    {
+      int node = graph_.source;
+      while (node != graph_.destination) {
+        const int next = tree.next_hop[static_cast<std::size_t>(node)];
+        OMNC_ASSERT(next >= 0);
+        // Find the edge (node -> next); linear scan is fine at these sizes.
+        for (std::size_t edge = 0; edge < e; ++edge) {
+          if (graph_.edges[edge].from == node &&
+              graph_.edges[edge].to == next) {
+            x_t[edge] = gamma_t;
+            break;
+          }
+        }
+        node = next;
+      }
+    }
+    // Primal recovery (13): x-bar(t) = ((t-1) x-bar + x^t) / t.
+    for (std::size_t edge = 0; edge < e; ++edge) {
+      x_avg[edge] = keep * x_avg[edge] + x_t[edge] / static_cast<double>(t);
+    }
+    gamma_avg = keep * gamma_avg + gamma_t / static_cast<double>(t);
+    // Bellman-Ford messages: one distance vector per edge per round.
+    result.messages += e * static_cast<std::size_t>(tree.rounds);
+
+    // ---- SUB2: proximal update of b, subgradient update of beta. ----
+    // w_i = sum over outgoing links of lambda_ij p_ij.
+    std::vector<double> w(v, 0.0);
+    for (std::size_t edge = 0; edge < e; ++edge) {
+      w[static_cast<std::size_t>(graph_.edges[edge].from)] +=
+          lambda[edge] * graph_.edges[edge].p;
+    }
+    for (std::size_t i = 0; i < v; ++i) {
+      double price = beta[i];  // beta_source stays 0 (no constraint at S)
+      for (int j : graph_.range_neighbors[i]) {
+        price += beta[static_cast<std::size_t>(j)];
+      }
+      const double updated =
+          b[i] + (w[i] - price) / (2.0 * params_.proximal_c);
+      b[i] = std::clamp(updated, 0.0, capacity);
+    }
+    // Congestion prices (15): beta_i += theta * (b_i + sum_{j in N(i)} b_j -
+    // C), projected onto beta >= 0; only receivers (i != S) are constrained.
+    for (std::size_t i = 0; i < v; ++i) {
+      if (static_cast<int>(i) == graph_.source) continue;
+      double load = b[i];
+      for (int j : graph_.range_neighbors[i]) {
+        load += b[static_cast<std::size_t>(j)];
+      }
+      beta[i] = std::max(0.0, beta[i] + theta * (load - capacity));
+    }
+    // Primal recovery (18).
+    for (std::size_t i = 0; i < v; ++i) {
+      b_avg[i] = keep * b_avg[i] + b[i] / static_cast<double>(t);
+    }
+    // Each node sends its updated rate and congestion price to every
+    // neighbor (the only message passing besides the shortest path).
+    result.messages += 2 * neighbor_links;
+
+    // ---- Master: subgradient update of lambda (8), using the current
+    // iterates b(t), x^t as the paper specifies. ----
+    for (std::size_t edge = 0; edge < e; ++edge) {
+      const auto& ge = graph_.edges[edge];
+      const double slack =
+          b[static_cast<std::size_t>(ge.from)] * ge.p - x_t[edge];
+      lambda[edge] = std::max(0.0, lambda[edge] - theta * slack);
+    }
+
+    if (trace != nullptr) {
+      trace->gamma.push_back(gamma_avg * unit);
+      std::vector<double> b_scaled(b_avg);
+      for (double& value : b_scaled) value *= unit;
+      trace->b.push_back(std::move(b_scaled));
+    }
+
+    // ---- Convergence test on the recovered primal. ----
+    double delta = std::abs(gamma_avg - prev_gamma_avg);
+    double scale = std::max(gamma_avg, 1e-9 * capacity);
+    for (std::size_t i = 0; i < v; ++i) {
+      delta = std::max(delta, std::abs(b_avg[i] - prev_b_avg[i]));
+      scale = std::max(scale, b_avg[i]);
+    }
+    prev_b_avg = b_avg;
+    prev_gamma_avg = gamma_avg;
+    if (delta / scale < params_.tolerance) {
+      if (++stable >= params_.stable_iterations) {
+        result.converged = true;
+        break;
+      }
+    } else {
+      stable = 0;
+    }
+  }
+
+  result.iterations = t;
+  result.gamma = gamma_avg * unit;
+  result.b = std::move(b_avg);
+  for (double& value : result.b) value *= unit;
+  result.x = std::move(x_avg);
+  for (double& value : result.x) value *= unit;
+  return result;
+}
+
+}  // namespace omnc::opt

@@ -1,0 +1,111 @@
+#include "opt/sunicast.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace omnc::opt {
+
+lp::Problem build_sunicast_lp(const routing::SessionGraph& graph,
+                              double capacity) {
+  OMNC_ASSERT(graph.size() >= 2);
+  OMNC_ASSERT(capacity > 0.0);
+  const std::size_t v = static_cast<std::size_t>(graph.size());
+  const std::size_t e = graph.edges.size();
+  const std::size_t num_vars = 1 + e + v;  // [gamma | x_e | b_i]
+  const std::size_t gamma_var = 0;
+  auto x_var = [&](std::size_t edge) { return 1 + edge; };
+  auto b_var = [&](std::size_t node) { return 1 + e + node; };
+
+  lp::Problem problem;
+  problem.objective.assign(num_vars, 0.0);
+  problem.objective[gamma_var] = 1.0;  // maximize gamma
+
+  // Flow conservation (2): sum_out x - sum_in x - w(i) gamma = 0.
+  for (std::size_t i = 0; i < v; ++i) {
+    std::vector<double> row(num_vars, 0.0);
+    for (std::size_t edge = 0; edge < e; ++edge) {
+      if (graph.edges[edge].from == static_cast<int>(i)) row[x_var(edge)] += 1.0;
+      if (graph.edges[edge].to == static_cast<int>(i)) row[x_var(edge)] -= 1.0;
+    }
+    if (static_cast<int>(i) == graph.source) {
+      row[gamma_var] = -1.0;  // out - in = +gamma
+    } else if (static_cast<int>(i) == graph.destination) {
+      row[gamma_var] = 1.0;  // out - in = -gamma
+    }
+    problem.add_eq(std::move(row), 0.0);
+  }
+
+  // Broadcast MAC constraint (4): b_i + sum_{j in N(i)} b_j <= C, i != S.
+  for (std::size_t i = 0; i < v; ++i) {
+    if (static_cast<int>(i) == graph.source) continue;
+    std::vector<double> row(num_vars, 0.0);
+    row[b_var(i)] = 1.0;
+    for (int j : graph.range_neighbors[i]) {
+      row[b_var(static_cast<std::size_t>(j))] += 1.0;
+    }
+    problem.add_le(std::move(row), capacity);
+  }
+
+  // Loss-resilience constraint (5): b_i p_ij - x_ij >= 0.
+  for (std::size_t edge = 0; edge < e; ++edge) {
+    std::vector<double> row(num_vars, 0.0);
+    row[b_var(static_cast<std::size_t>(graph.edges[edge].from))] =
+        graph.edges[edge].p;
+    row[x_var(edge)] = -1.0;
+    problem.add_ge(std::move(row), 0.0);
+  }
+
+  // Loose bounds 0 <= b_i <= C keep the program bounded even for nodes whose
+  // rate no receiver constraint covers (e.g. the source in degenerate
+  // graphs).
+  for (std::size_t i = 0; i < v; ++i) {
+    std::vector<double> row(num_vars, 0.0);
+    row[b_var(i)] = 1.0;
+    problem.add_le(std::move(row), capacity);
+  }
+  return problem;
+}
+
+SUnicastSolution solve_sunicast(const routing::SessionGraph& graph,
+                                double capacity) {
+  SUnicastSolution result;
+  if (graph.size() < 2 || graph.edges.empty()) return result;
+  const lp::Problem problem = build_sunicast_lp(graph, capacity);
+  const lp::Solution solution = lp::solve(problem);
+  if (solution.status != lp::Status::kOptimal) return result;
+  result.feasible = true;
+  result.gamma = solution.objective;
+  const std::size_t e = graph.edges.size();
+  result.x.assign(solution.x.begin() + 1, solution.x.begin() + 1 + e);
+  result.b.assign(solution.x.begin() + 1 + static_cast<long>(e),
+                  solution.x.end());
+  return result;
+}
+
+double broadcast_load_factor(const routing::SessionGraph& graph,
+                             const std::vector<double>& b, double capacity) {
+  OMNC_ASSERT(b.size() == static_cast<std::size_t>(graph.size()));
+  OMNC_ASSERT(capacity > 0.0);
+  double worst = 0.0;
+  for (int i = 0; i < graph.size(); ++i) {
+    if (i == graph.source) continue;
+    double load = b[static_cast<std::size_t>(i)];
+    for (int j : graph.range_neighbors[static_cast<std::size_t>(i)]) {
+      load += b[static_cast<std::size_t>(j)];
+    }
+    worst = std::max(worst, load / capacity);
+  }
+  return worst;
+}
+
+double rescale_to_feasible(const routing::SessionGraph& graph,
+                           std::vector<double>& b, double capacity) {
+  const double load = broadcast_load_factor(graph, b, capacity);
+  if (load <= 1.0) return 1.0;
+  const double scale = 1.0 / load;
+  for (double& rate : b) rate *= scale;
+  return scale;
+}
+
+}  // namespace omnc::opt

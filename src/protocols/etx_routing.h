@@ -1,0 +1,41 @@
+// High-throughput single-path routing with the ETX metric (Couto et al.) —
+// the traditional baseline every throughput gain in the paper is measured
+// against.
+//
+// The session runs uncoded store-and-forward unicast along the min-ETX path.
+// Reliability comes from MAC-layer retransmissions (reliable unicast frames
+// in the slotted MAC), which the paper notes is more efficient than
+// end-to-end retransmission.  The source is fed by the same CBR process as
+// the coded protocols.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/mac.h"
+#include "net/topology.h"
+#include "protocols/metrics.h"
+#include "sim/simulator.h"
+
+namespace omnc::protocols {
+
+class EtxRoutingProtocol {
+ public:
+  EtxRoutingProtocol(const net::Topology& topology, net::NodeId src,
+                     net::NodeId dst, const ProtocolConfig& config);
+
+  /// Runs the session; result.connected == false when no route exists.
+  SessionResult run();
+
+  const std::vector<net::NodeId>& route() const { return route_; }
+
+ private:
+  const net::Topology& topology_;
+  net::NodeId src_;
+  net::NodeId dst_;
+  ProtocolConfig config_;
+  std::vector<net::NodeId> route_;
+};
+
+}  // namespace omnc::protocols

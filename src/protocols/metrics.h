@@ -1,0 +1,60 @@
+// Per-session configuration and result records shared by all protocols.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "coding/generation.h"
+#include "net/mac.h"
+
+namespace omnc::protocols {
+
+struct ProtocolConfig {
+  coding::CodingParams coding;   // generation geometry (paper: 40 x 1 KB)
+  net::MacConfig mac;            // channel capacity, slot size, queue bound
+  /// Application offered load; the paper uses UDP CBR at half the channel
+  /// capacity.
+  double cbr_bytes_per_s = 1e4;
+  /// Session ends at this virtual time or after max_generations, whichever
+  /// comes first.
+  double max_sim_seconds = 150.0;
+  int max_generations = 1000;
+  std::uint64_t seed = 1;
+  /// When false (default), packets of an expired generation that are already
+  /// queued at the MAC drain over the air (receivers ignore them) — queued
+  /// congestion costs real channel time, which is the paper's Fig. 3
+  /// mechanism.  When true, stale frames are dropped from the queues at the
+  /// generation switch (an idealization, kept for ablation).
+  bool flush_stale_frames = false;
+};
+
+struct SessionResult {
+  bool connected = false;
+
+  /// Completed-generation bytes divided by the time of the last ACK.
+  double throughput_bytes_per_s = 0.0;
+  /// Mean of per-generation throughputs (the paper's measurement: throughput
+  /// computed at each ACK, averaged over the session).
+  double throughput_per_generation = 0.0;
+  int generations_completed = 0;
+
+  /// Average over involved nodes of the per-node time-averaged transmit
+  /// queue (Fig. 3 metric).
+  double mean_queue = 0.0;
+  /// Fig. 4 metrics.
+  double node_utility_ratio = 0.0;
+  double path_utility_ratio = 0.0;
+
+  std::size_t transmissions = 0;
+  std::size_t packets_delivered = 0;
+  std::size_t queue_drops = 0;
+
+  // Rate-control diagnostics (OMNC) / LP diagnostics (oldMORE).
+  int rc_iterations = 0;
+  bool rc_converged = false;
+  std::size_t rc_messages = 0;
+  /// Throughput the optimization framework predicts (gamma-bar for OMNC).
+  double predicted_gamma = 0.0;
+};
+
+}  // namespace omnc::protocols

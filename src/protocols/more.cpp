@@ -1,0 +1,128 @@
+#include "protocols/more.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace omnc::protocols {
+
+void compute_more_credits(const routing::SessionGraph& graph,
+                          std::vector<double>* z,
+                          std::vector<double>* tx_credit) {
+  const std::size_t v = static_cast<std::size_t>(graph.size());
+  z->assign(v, 0.0);
+  tx_credit->assign(v, 0.0);
+
+  // Fast probability lookup between local nodes (0 when no DAG edge).
+  std::vector<double> p(v * v, 0.0);
+  for (const auto& edge : graph.edges) {
+    p[static_cast<std::size_t>(edge.from) * v +
+      static_cast<std::size_t>(edge.to)] = edge.p;
+  }
+  auto prob = [&](int a, int b) {
+    return p[static_cast<std::size_t>(a) * v + static_cast<std::size_t>(b)];
+  };
+  auto closer = [&](int a, int b) {  // true if a is closer to dst than b
+    return graph.etx_to_dst[static_cast<std::size_t>(a)] <
+           graph.etx_to_dst[static_cast<std::size_t>(b)];
+  };
+
+  // Farthest-first order (topological): the source is processed first, the
+  // destination last.
+  const std::vector<int> order = graph.topological_order();
+  std::vector<double> expected_from_upstream(v, 0.0);  // per-source-packet
+
+  for (int j : order) {
+    if (j == graph.destination) continue;
+    // L_j: packets j must forward — heard by j, missed by everyone closer.
+    double load;
+    if (j == graph.source) {
+      load = 1.0;
+    } else {
+      load = 0.0;
+      for (int i : order) {
+        if (i == j || closer(i, j)) continue;  // only farther nodes
+        const double pij = prob(i, j);
+        if (pij <= 0.0 || (*z)[static_cast<std::size_t>(i)] <= 0.0) continue;
+        double missed_by_closer = 1.0;
+        for (int k = 0; k < graph.size(); ++k) {
+          if (k == i || k == j || !closer(k, j)) continue;
+          missed_by_closer *= 1.0 - prob(i, k);
+        }
+        load += (*z)[static_cast<std::size_t>(i)] * pij * missed_by_closer;
+      }
+    }
+    // Probability one transmission of j reaches somebody closer.
+    double forward_success = 1.0;
+    for (int k = 0; k < graph.size(); ++k) {
+      if (k == j || !closer(k, j)) continue;
+      forward_success *= 1.0 - prob(j, k);
+    }
+    forward_success = 1.0 - forward_success;
+    OMNC_ASSERT_MSG(forward_success > 0.0,
+                    "selected forwarder has no downstream links");
+    (*z)[static_cast<std::size_t>(j)] = load / forward_success;
+  }
+
+  // TX credit: z_j normalized by the expected receptions from upstream.
+  for (int j : order) {
+    if (j == graph.source || j == graph.destination) continue;
+    double receptions = 0.0;
+    for (int i = 0; i < graph.size(); ++i) {
+      if (i == j || closer(i, j)) continue;
+      receptions += (*z)[static_cast<std::size_t>(i)] * prob(i, j);
+    }
+    if (receptions > 0.0) {
+      (*tx_credit)[static_cast<std::size_t>(j)] =
+          (*z)[static_cast<std::size_t>(j)] / receptions;
+    }
+  }
+}
+
+MoreProtocol::MoreProtocol(const net::Topology& topology,
+                           const routing::SessionGraph& graph,
+                           const ProtocolConfig& config,
+                           const MoreConfig& more_config)
+    : CodedProtocolBase(topology, graph, config),
+      more_config_(more_config) {}
+
+void MoreProtocol::prepare(SessionResult& result) {
+  compute_more_credits(graph(), &z_, &tx_credit_);
+  credit_.assign(static_cast<std::size_t>(graph().size()), 0.0);
+  (void)result;
+}
+
+void MoreProtocol::on_generation_start() {
+  std::fill(credit_.begin(), credit_.end(), 0.0);
+}
+
+void MoreProtocol::on_reception(int rx_local, int tx_local, bool innovative) {
+  (void)innovative;  // credit accrues on every upstream reception
+  if (rx_local == graph().source || rx_local == graph().destination) return;
+  // Upstream check: tx must be farther from the destination.
+  if (graph().etx_to_dst[static_cast<std::size_t>(tx_local)] <=
+      graph().etx_to_dst[static_cast<std::size_t>(rx_local)]) {
+    return;
+  }
+  credit_[static_cast<std::size_t>(rx_local)] +=
+      tx_credit_[static_cast<std::size_t>(rx_local)];
+}
+
+int MoreProtocol::packets_to_enqueue(int local, double slot_seconds) {
+  (void)slot_seconds;
+  if (local == graph().source) {
+    // Backlogged source: always contends for the medium.
+    const std::size_t queued = mac_queue_size(local);
+    if (queued >= more_config_.source_backlog) return 0;
+    return static_cast<int>(more_config_.source_backlog - queued);
+  }
+  const std::size_t i = static_cast<std::size_t>(local);
+  if (credit_[i] < 1.0) return 0;
+  const int send = std::min(static_cast<int>(credit_[i]),
+                            more_config_.max_enqueue_per_slot);
+  credit_[i] -= send;
+  return send;
+}
+
+}  // namespace omnc::protocols

@@ -1,0 +1,66 @@
+// MORE (Chachulski et al., SIGCOMM'07) — the credit-based heuristic baseline.
+//
+// Forwarders are ordered by ETX distance to the destination.  For each node
+// the heuristic computes z_i, the expected number of transmissions i must
+// make per source packet, from the link loss probabilities:
+//
+//   L_src = 1
+//   L_j   = sum_{i farther} z_i * p_ij * prod_{k closer than j} (1 - p_ik)
+//   z_j   = L_j / (1 - prod_{k closer than j} (1 - p_jk))
+//
+// and the per-reception transmission credit
+//
+//   TX_credit_j = z_j / (sum_{i farther} z_i * p_ij),
+//
+// i.e. z_j normalized by the expected number of packets j hears from
+// upstream.  At run time a forwarder adds TX_credit to its credit counter on
+// every packet it hears from upstream and hands one re-encoded packet to the
+// MAC per whole credit; the source stays backlogged.  There is no rate
+// control: whether the queued packets can actually be sent is up to the MAC
+// — the congestion obliviousness the paper demonstrates in Fig. 3.
+#pragma once
+
+#include <vector>
+
+#include "protocols/coded_base.h"
+
+namespace omnc::protocols {
+
+struct MoreConfig {
+  /// The source keeps this many packets queued so it always contends.
+  std::size_t source_backlog = 2;
+  /// At most this many packets are handed to the MAC per node per slot.
+  int max_enqueue_per_slot = 4;
+};
+
+class MoreProtocol final : public CodedProtocolBase {
+ public:
+  MoreProtocol(const net::Topology& topology,
+               const routing::SessionGraph& graph,
+               const ProtocolConfig& config, const MoreConfig& more_config);
+
+  /// The heuristic's expected transmission counts (per local node); valid
+  /// after run().
+  const std::vector<double>& z() const { return z_; }
+  const std::vector<double>& tx_credit() const { return tx_credit_; }
+
+ protected:
+  void prepare(SessionResult& result) override;
+  int packets_to_enqueue(int local, double slot_seconds) override;
+  void on_reception(int rx_local, int tx_local, bool innovative) override;
+  void on_generation_start() override;
+
+ private:
+  MoreConfig more_config_;
+  std::vector<double> z_;
+  std::vector<double> tx_credit_;
+  std::vector<double> credit_;
+};
+
+/// Computes (z, TX_credit) for a session graph; exposed for tests and the
+/// ablation benches.
+void compute_more_credits(const routing::SessionGraph& graph,
+                          std::vector<double>* z,
+                          std::vector<double>* tx_credit);
+
+}  // namespace omnc::protocols

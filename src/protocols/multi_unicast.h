@@ -1,0 +1,89 @@
+// OMNC for concurrent unicast sessions — the multiple-unicast scenario the
+// paper's conclusion points to.
+//
+// K sessions share one channel (one MAC instance over the union of their
+// selected nodes).  Rates come from the joint distributed rate control
+// (opt/multi_unicast.h), which couples the sessions through shared
+// congestion prices; each node then runs independent per-session coding
+// state (re-encoders, decoders, token buckets), and frames carry the session
+// id so receivers dispatch to the right generation state.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "coding/decoder.h"
+#include "coding/encoder.h"
+#include "coding/recoder.h"
+#include "common/rng.h"
+#include "net/mac.h"
+#include "net/topology.h"
+#include "opt/multi_unicast.h"
+#include "protocols/metrics.h"
+#include "routing/node_selection.h"
+#include "sim/simulator.h"
+
+namespace omnc::protocols {
+
+struct MultiUnicastConfig {
+  ProtocolConfig protocol;             // shared coding / MAC / CBR settings
+  opt::RateControlParams rate_control;
+  double token_burst_cap = 2.0;
+};
+
+struct MultiUnicastResult {
+  /// Per-session metrics (same fields as single-session runs).
+  std::vector<SessionResult> sessions;
+  /// Sum and minimum of the per-session per-generation throughputs.
+  double aggregate_throughput = 0.0;
+  double min_throughput = 0.0;
+  bool rc_converged = false;
+  int rc_iterations = 0;
+};
+
+class MultiUnicastOmnc {
+ public:
+  MultiUnicastOmnc(const net::Topology& topology,
+                   std::vector<const routing::SessionGraph*> graphs,
+                   const MultiUnicastConfig& config);
+
+  MultiUnicastResult run();
+
+  /// Installed per-session rate vectors (bytes/s); valid after run().
+  const std::vector<std::vector<double>>& rates() const { return rates_; }
+
+ private:
+  struct SessionState {
+    const routing::SessionGraph* graph = nullptr;
+    std::optional<coding::Generation> generation;
+    std::optional<coding::SourceEncoder> encoder;
+    std::vector<std::unique_ptr<coding::Recoder>> recoders;  // per local
+    std::unique_ptr<coding::ProgressiveDecoder> decoder;
+    std::vector<double> tokens;  // per local node
+    std::uint32_t current_generation = 0;
+    bool active = false;
+    double generation_start = 0.0;
+    double ack_delay = 0.0;
+    double last_ack = 0.0;
+    std::vector<double> per_generation_throughput;
+    int generations = 0;
+  };
+
+  void on_slot(sim::Time now);
+  void on_receive(net::NodeId rx, const net::Frame& frame);
+  void start_generation_if_ready(std::size_t s, sim::Time now);
+  void deliver_ack(std::size_t s, double ack_time);
+
+  const net::Topology& topology_;
+  std::vector<const routing::SessionGraph*> graphs_;
+  MultiUnicastConfig config_;
+  Rng rng_;
+
+  sim::Simulator simulator_;
+  std::unique_ptr<net::SlottedMac> mac_;
+  std::vector<SessionState> sessions_;
+  std::vector<std::vector<double>> rates_;
+};
+
+}  // namespace omnc::protocols

@@ -1,0 +1,129 @@
+#include "protocols/oldmore.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+#include "lp/simplex.h"
+
+namespace omnc::protocols {
+
+std::vector<double> solve_min_cost_rates(const routing::SessionGraph& graph) {
+  // Per-link expected-transmission accounting: delivering x_ij over link
+  // (i, j) costs x_ij / p_ij transmissions by node i.  This is the variant
+  // the paper ascribes to oldMORE — its "corresponding [constraint] in
+  // [5, 17] favors high-quality paths": the optimum concentrates all flow on
+  // the minimum-ETX route and zeroes everything else.  (OMNC's constraint
+  // (5) instead lets a single broadcast serve every downstream link, which
+  // is exactly the path-diversity contrast Sec. 5 demonstrates.)
+  const std::size_t v = static_cast<std::size_t>(graph.size());
+  const std::size_t e = graph.edges.size();
+
+  lp::Problem problem;
+  // Minimize sum_e x_e / p_e == maximize the negation.
+  problem.objective.assign(e, 0.0);
+  for (std::size_t edge = 0; edge < e; ++edge) {
+    problem.objective[edge] = -1.0 / graph.edges[edge].p;
+  }
+  // Flow conservation at unit demand.
+  for (std::size_t i = 0; i < v; ++i) {
+    std::vector<double> row(e, 0.0);
+    for (std::size_t edge = 0; edge < e; ++edge) {
+      if (graph.edges[edge].from == static_cast<int>(i)) row[edge] += 1.0;
+      if (graph.edges[edge].to == static_cast<int>(i)) row[edge] -= 1.0;
+    }
+    double rhs = 0.0;
+    if (static_cast<int>(i) == graph.source) rhs = 1.0;
+    if (static_cast<int>(i) == graph.destination) rhs = -1.0;
+    problem.add_eq(std::move(row), rhs);
+  }
+
+  const lp::Solution solution = lp::solve(problem);
+  if (solution.status != lp::Status::kOptimal) return {};
+  // z_i = expected transmissions of node i per source packet.
+  std::vector<double> z(v, 0.0);
+  for (std::size_t edge = 0; edge < e; ++edge) {
+    z[static_cast<std::size_t>(graph.edges[edge].from)] +=
+        solution.x[edge] / graph.edges[edge].p;
+  }
+  return z;
+}
+
+OldMoreProtocol::OldMoreProtocol(const net::Topology& topology,
+                                 const routing::SessionGraph& graph,
+                                 const ProtocolConfig& config,
+                                 const OldMoreConfig& oldmore_config)
+    : CodedProtocolBase(topology, graph, config),
+      oldmore_config_(oldmore_config) {}
+
+void OldMoreProtocol::prepare(SessionResult& result) {
+  z_ = solve_min_cost_rates(graph());
+  OMNC_ASSERT_MSG(!z_.empty(), "min-cost program infeasible");
+  for (double& value : z_) {
+    if (value < oldmore_config_.prune_epsilon) value = 0.0;  // pruned node
+  }
+  // TX credit as in MORE, but fed by the LP's z: normalize by the expected
+  // number of packets heard from upstream per source packet.
+  const std::size_t v = static_cast<std::size_t>(graph().size());
+  tx_credit_.assign(v, 0.0);
+  std::vector<double> p(v * v, 0.0);
+  for (const auto& edge : graph().edges) {
+    p[static_cast<std::size_t>(edge.from) * v +
+      static_cast<std::size_t>(edge.to)] = edge.p;
+  }
+  for (int j = 0; j < graph().size(); ++j) {
+    if (j == graph().source || j == graph().destination) continue;
+    if (z_[static_cast<std::size_t>(j)] <= 0.0) continue;
+    double receptions = 0.0;
+    for (int i = 0; i < graph().size(); ++i) {
+      if (i == j) continue;
+      // Upstream: farther from the destination.
+      if (graph().etx_to_dst[static_cast<std::size_t>(i)] <=
+          graph().etx_to_dst[static_cast<std::size_t>(j)]) {
+        continue;
+      }
+      receptions += z_[static_cast<std::size_t>(i)] *
+                    p[static_cast<std::size_t>(i) * v +
+                      static_cast<std::size_t>(j)];
+    }
+    if (receptions > 0.0) {
+      tx_credit_[static_cast<std::size_t>(j)] =
+          z_[static_cast<std::size_t>(j)] / receptions;
+    }
+  }
+  credit_.assign(v, 0.0);
+  result.predicted_gamma = config().cbr_bytes_per_s;  // what it assumes
+}
+
+void OldMoreProtocol::on_generation_start() {
+  std::fill(credit_.begin(), credit_.end(), 0.0);
+}
+
+void OldMoreProtocol::on_reception(int rx_local, int tx_local,
+                                   bool innovative) {
+  (void)innovative;
+  if (rx_local == graph().source || rx_local == graph().destination) return;
+  if (graph().etx_to_dst[static_cast<std::size_t>(tx_local)] <=
+      graph().etx_to_dst[static_cast<std::size_t>(rx_local)]) {
+    return;
+  }
+  credit_[static_cast<std::size_t>(rx_local)] +=
+      tx_credit_[static_cast<std::size_t>(rx_local)];
+}
+
+int OldMoreProtocol::packets_to_enqueue(int local, double slot_seconds) {
+  (void)slot_seconds;
+  if (local == graph().source) {
+    const std::size_t queued = mac_queue_size(local);
+    if (queued >= oldmore_config_.source_backlog) return 0;
+    return static_cast<int>(oldmore_config_.source_backlog - queued);
+  }
+  const std::size_t i = static_cast<std::size_t>(local);
+  if (credit_[i] < 1.0) return 0;
+  const int send = std::min(static_cast<int>(credit_[i]),
+                            oldmore_config_.max_enqueue_per_slot);
+  credit_[i] -= send;
+  return send;
+}
+
+}  // namespace omnc::protocols

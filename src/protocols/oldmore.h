@@ -1,0 +1,66 @@
+// oldMORE — the preliminary MORE (MIT tech report 2006), which the paper
+// describes as the min-cost formulation of Lun et al. [17] "subsequently
+// applied to an unpublished system implementation, i.e., the preliminary
+// version of MORE".
+//
+// The expected transmission counts come from the min-cost program
+//
+//   minimize   sum_i z_i
+//   subject to sum_j x_ij - sum_j x_ji = w(i)      (unit demand S -> T)
+//              z_i * p_ij >= x_ij,   x >= 0, z >= 0
+//
+// solved centrally; the runtime is the MORE credit machine driven by those
+// z values (TX_credit_i = z_i / expected upstream receptions).  Two
+// properties follow, both of which the paper demonstrates:
+//   * minimizing total transmissions concentrates flow on high-quality
+//     paths, pruning nodes attached through low-quality links (z_i = 0 for
+//     most nodes -> low node and path utility, Fig. 4);
+//   * there is no channel-capacity term (no counterpart of constraint (4)),
+//     so the credits are oblivious to congestion.
+#pragma once
+
+#include <vector>
+
+#include "protocols/coded_base.h"
+
+namespace omnc::protocols {
+
+struct OldMoreConfig {
+  /// The source keeps this many packets queued so it always contends.
+  std::size_t source_backlog = 2;
+  /// At most this many packets are handed to the MAC per node per slot.
+  int max_enqueue_per_slot = 4;
+  /// z values below this are the LP's numerical zeros: the node is pruned.
+  double prune_epsilon = 1e-6;
+};
+
+class OldMoreProtocol final : public CodedProtocolBase {
+ public:
+  OldMoreProtocol(const net::Topology& topology,
+                  const routing::SessionGraph& graph,
+                  const ProtocolConfig& config,
+                  const OldMoreConfig& oldmore_config);
+
+  /// Min-cost expected transmission counts per local node; valid after
+  /// run().
+  const std::vector<double>& z() const { return z_; }
+  const std::vector<double>& tx_credit() const { return tx_credit_; }
+
+ protected:
+  void prepare(SessionResult& result) override;
+  int packets_to_enqueue(int local, double slot_seconds) override;
+  void on_reception(int rx_local, int tx_local, bool innovative) override;
+  void on_generation_start() override;
+
+ private:
+  OldMoreConfig oldmore_config_;
+  std::vector<double> z_;
+  std::vector<double> tx_credit_;
+  std::vector<double> credit_;
+};
+
+/// Solves the min-cost program at unit demand; returns per-node z (empty on
+/// infeasibility).  Exposed for tests and benches.
+std::vector<double> solve_min_cost_rates(const routing::SessionGraph& graph);
+
+}  // namespace omnc::protocols

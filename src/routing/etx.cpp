@@ -1,0 +1,56 @@
+#include "routing/etx.h"
+
+#include "common/assert.h"
+
+namespace omnc::routing {
+namespace {
+
+std::vector<GraphEdge> etx_edges(const net::Topology& topology) {
+  std::vector<GraphEdge> edges;
+  for (net::NodeId i = 0; i < topology.node_count(); ++i) {
+    for (net::NodeId j : topology.neighbors(i)) {
+      edges.push_back(GraphEdge{i, j, 1.0 / topology.prob(i, j)});
+    }
+  }
+  return edges;
+}
+
+}  // namespace
+
+double link_etx(const net::Topology& topology, net::NodeId from,
+                net::NodeId to) {
+  const double p = topology.prob(from, to);
+  if (p <= 0.0) return kUnreachable;
+  return 1.0 / p;
+}
+
+ShortestPathTree etx_tree_to(const net::Topology& topology,
+                             net::NodeId target) {
+  return dijkstra_to_target(topology.node_count(), etx_edges(topology),
+                            target);
+}
+
+std::vector<net::NodeId> etx_route(const net::Topology& topology,
+                                   net::NodeId src, net::NodeId dst) {
+  const ShortestPathTree tree = etx_tree_to(topology, dst);
+  return extract_path(tree, src, dst);
+}
+
+int etx_hop_count(const net::Topology& topology, net::NodeId src,
+                  net::NodeId dst) {
+  const auto route = etx_route(topology, src, dst);
+  if (route.size() < 2) return 0;
+  return static_cast<int>(route.size()) - 1;
+}
+
+double route_etx(const net::Topology& topology,
+                 const std::vector<net::NodeId>& route) {
+  OMNC_ASSERT(route.size() >= 2);
+  double total = 0.0;
+  for (std::size_t i = 0; i + 1 < route.size(); ++i) {
+    total += link_etx(topology, route[i], route[i + 1]);
+  }
+  return total;
+}
+
+}  // namespace omnc::routing

@@ -1,0 +1,37 @@
+// Expected transmission count (ETX) metric and routing (Couto et al.,
+// MobiCom'03) — the high-throughput single-path baseline the paper compares
+// against, and the distance metric its node-selection procedure uses.
+//
+// Per the paper, ETX of link (i, j) is 1 / p_ij, with p_ij the one-way
+// reception probability.
+#pragma once
+
+#include <vector>
+
+#include "net/topology.h"
+#include "routing/shortest_path.h"
+
+namespace omnc::routing {
+
+/// ETX of one link; kUnreachable when no link exists.
+double link_etx(const net::Topology& topology, net::NodeId from,
+                net::NodeId to);
+
+/// ETX distance of every node to `target` (Dijkstra over the whole
+/// topology), with next hops toward the target.
+ShortestPathTree etx_tree_to(const net::Topology& topology,
+                             net::NodeId target);
+
+/// The min-ETX route from src to dst; empty when disconnected.
+std::vector<net::NodeId> etx_route(const net::Topology& topology,
+                                   net::NodeId src, net::NodeId dst);
+
+/// Hop count of the min-ETX route (0 when disconnected or src == dst).
+int etx_hop_count(const net::Topology& topology, net::NodeId src,
+                  net::NodeId dst);
+
+/// Total ETX cost of a given route.
+double route_etx(const net::Topology& topology,
+                 const std::vector<net::NodeId>& route);
+
+}  // namespace omnc::routing

@@ -1,0 +1,107 @@
+#include "routing/link_prober.h"
+
+#include <memory>
+
+#include "common/assert.h"
+
+namespace omnc::routing {
+
+ProbeReport measure_link_qualities(const net::Topology& topology,
+                                   const std::vector<net::NodeId>& participants,
+                                   const ProbeConfig& config, Rng rng) {
+  OMNC_ASSERT(!participants.empty());
+  OMNC_ASSERT(config.probes_per_node > 0);
+  sim::Simulator simulator;
+  net::SlottedMac mac(simulator, topology, participants, config.mac, rng);
+
+  const std::size_t n = participants.size();
+  std::vector<int> index_of(static_cast<std::size_t>(topology.node_count()),
+                            -1);
+  for (std::size_t i = 0; i < n; ++i) {
+    index_of[static_cast<std::size_t>(participants[i])] = static_cast<int>(i);
+  }
+
+  ProbeReport report;
+  report.estimate.assign(n, std::vector<double>(n, 0.0));
+  report.sent.assign(n, 0);
+  std::vector<std::vector<int>> received(n, std::vector<int>(n, 0));
+
+  // Probe payload identifies the sender; one shared buffer per sender.
+  std::vector<std::shared_ptr<const std::vector<std::uint8_t>>> payloads;
+  payloads.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    payloads.push_back(std::make_shared<const std::vector<std::uint8_t>>(
+        std::vector<std::uint8_t>{static_cast<std::uint8_t>(i),
+                                  static_cast<std::uint8_t>(i >> 8)}));
+  }
+
+  mac.set_receive_handler([&](net::NodeId rx, const net::Frame& frame) {
+    const int tx_index = index_of[static_cast<std::size_t>(frame.from)];
+    const int rx_index = index_of[static_cast<std::size_t>(rx)];
+    OMNC_ASSERT(tx_index >= 0 && rx_index >= 0);
+    ++received[static_cast<std::size_t>(tx_index)]
+              [static_cast<std::size_t>(rx_index)];
+  });
+
+  // Staggered campaign: probe slots are owned round-robin so that probes
+  // never collide with each other — exactly how deployed ETX probing
+  // schedules (e.g. Roofnet's) stagger broadcast probes.
+  std::size_t slot_counter = 0;
+  mac.add_slot_hook([&](sim::Time) {
+    const std::size_t owner = slot_counter++ % n;
+    if (report.sent[owner] >= config.probes_per_node) return;
+    if (mac.queue_size(participants[owner]) > 0) return;
+    net::Frame frame;
+    frame.from = participants[owner];
+    frame.to = net::kBroadcast;
+    frame.bytes = payloads[owner];
+    if (mac.enqueue(std::move(frame))) ++report.sent[owner];
+  });
+
+  mac.start();
+  // Upper bound: every node needs probes_per_node slots; conflicts stretch
+  // the campaign, so allow a generous multiple before giving up.
+  const double horizon =
+      mac.slot_duration() * config.probes_per_node * static_cast<double>(n) * 4.0;
+  double t = 0.0;
+  bool done = false;
+  while (!done && t < horizon) {
+    t += mac.slot_duration() * 64.0;
+    simulator.run_until(t);
+    done = true;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (report.sent[i] < config.probes_per_node) {
+        done = false;
+        break;
+      }
+    }
+  }
+  mac.stop();
+  report.duration_s = simulator.now();
+
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (report.sent[i] == 0) continue;
+      report.estimate[i][j] = static_cast<double>(received[i][j]) /
+                              static_cast<double>(report.sent[i]);
+    }
+  }
+  return report;
+}
+
+net::Topology topology_from_probes(const std::vector<net::NodeId>& participants,
+                                   const ProbeReport& report, int node_count) {
+  std::vector<std::vector<double>> p(
+      static_cast<std::size_t>(node_count),
+      std::vector<double>(static_cast<std::size_t>(node_count), 0.0));
+  for (std::size_t i = 0; i < participants.size(); ++i) {
+    for (std::size_t j = 0; j < participants.size(); ++j) {
+      if (i == j) continue;
+      p[static_cast<std::size_t>(participants[i])]
+       [static_cast<std::size_t>(participants[j])] = report.estimate[i][j];
+    }
+  }
+  return net::Topology::from_link_matrix(p);
+}
+
+}  // namespace omnc::routing

@@ -1,0 +1,47 @@
+// Link-quality measurement (Sec. 4 of the paper): each node broadcasts
+// probing packets and receivers estimate p_ij as the fraction of probes
+// correctly received.  The prober drives real probe frames through the
+// slotted MAC so that estimation error, probe scheduling and channel
+// competition are all exercised end-to-end.
+//
+// Protocol layers may run on measured probabilities (honest mode) or on the
+// ground-truth PHY matrix (fast mode for large sweeps); tests verify the two
+// agree within sampling error.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "net/mac.h"
+#include "net/topology.h"
+#include "sim/simulator.h"
+
+namespace omnc::routing {
+
+struct ProbeConfig {
+  int probes_per_node = 200;
+  net::MacConfig mac;
+};
+
+struct ProbeReport {
+  /// estimate[i][j] = measured reception probability from participant index i
+  /// to participant index j (0 when no probe got through).
+  std::vector<std::vector<double>> estimate;
+  /// Probes actually transmitted per participant.
+  std::vector<int> sent;
+  /// Virtual seconds the measurement campaign occupied.
+  double duration_s = 0.0;
+};
+
+/// Runs a probing campaign among `participants` on a fresh simulator.
+ProbeReport measure_link_qualities(const net::Topology& topology,
+                                   const std::vector<net::NodeId>& participants,
+                                   const ProbeConfig& config, Rng rng);
+
+/// Builds a topology whose link probabilities are the measured estimates —
+/// the view protocols see in honest mode.
+net::Topology topology_from_probes(const std::vector<net::NodeId>& participants,
+                                   const ProbeReport& report,
+                                   int node_count);
+
+}  // namespace omnc::routing

@@ -1,0 +1,168 @@
+#include "routing/node_selection.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/assert.h"
+#include "routing/etx.h"
+
+namespace omnc::routing {
+
+int SessionGraph::local_index(net::NodeId id) const {
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i] == id) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::vector<int> SessionGraph::out_edges_of(int local) const {
+  std::vector<int> out;
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    if (edges[e].from == local) out.push_back(static_cast<int>(e));
+  }
+  return out;
+}
+
+std::vector<int> SessionGraph::in_edges_of(int local) const {
+  std::vector<int> in;
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    if (edges[e].to == local) in.push_back(static_cast<int>(e));
+  }
+  return in;
+}
+
+std::vector<int> SessionGraph::topological_order() const {
+  std::vector<int> order(nodes.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [this](int a, int b) {
+    const double da = etx_to_dst[static_cast<std::size_t>(a)];
+    const double db = etx_to_dst[static_cast<std::size_t>(b)];
+    if (da != db) return da > db;  // farther first
+    return a < b;
+  });
+  return order;
+}
+
+SessionGraph select_nodes(const net::Topology& topology, net::NodeId src,
+                          net::NodeId dst) {
+  OMNC_ASSERT(src != dst);
+  SessionGraph graph;
+  const ShortestPathTree tree = etx_tree_to(topology, dst);
+  const double src_distance = tree.distance[static_cast<std::size_t>(src)];
+  if (src_distance == kUnreachable) return graph;  // disconnected
+
+  // Candidate set: src, dst, and every node strictly closer than src.
+  const int n = topology.node_count();
+  std::vector<bool> candidate(static_cast<std::size_t>(n), false);
+  candidate[static_cast<std::size_t>(src)] = true;
+  for (net::NodeId v = 0; v < n; ++v) {
+    const double d = tree.distance[static_cast<std::size_t>(v)];
+    if (d != kUnreachable && d < src_distance) {
+      candidate[static_cast<std::size_t>(v)] = true;
+    }
+  }
+
+  // DAG edge u -> v: link exists and v is strictly closer to dst.
+  auto is_dag_edge = [&](net::NodeId u, net::NodeId v) {
+    if (!candidate[static_cast<std::size_t>(u)] ||
+        !candidate[static_cast<std::size_t>(v)]) {
+      return false;
+    }
+    if (topology.prob(u, v) <= 0.0) return false;
+    return tree.distance[static_cast<std::size_t>(v)] <
+           tree.distance[static_cast<std::size_t>(u)];
+  };
+
+  // Forward reachability from src across DAG edges.
+  std::vector<bool> from_src(static_cast<std::size_t>(n), false);
+  {
+    std::vector<net::NodeId> stack{src};
+    from_src[static_cast<std::size_t>(src)] = true;
+    while (!stack.empty()) {
+      const net::NodeId u = stack.back();
+      stack.pop_back();
+      for (net::NodeId v : topology.neighbors(u)) {
+        if (!from_src[static_cast<std::size_t>(v)] && is_dag_edge(u, v)) {
+          from_src[static_cast<std::size_t>(v)] = true;
+          stack.push_back(v);
+        }
+      }
+    }
+  }
+  // Backward reachability to dst.
+  std::vector<bool> to_dst(static_cast<std::size_t>(n), false);
+  {
+    std::vector<net::NodeId> stack{dst};
+    to_dst[static_cast<std::size_t>(dst)] = true;
+    while (!stack.empty()) {
+      const net::NodeId v = stack.back();
+      stack.pop_back();
+      for (net::NodeId u : topology.neighbors(v)) {
+        if (!to_dst[static_cast<std::size_t>(u)] && is_dag_edge(u, v)) {
+          to_dst[static_cast<std::size_t>(u)] = true;
+          stack.push_back(u);
+        }
+      }
+    }
+  }
+
+  for (net::NodeId v = 0; v < n; ++v) {
+    if (candidate[static_cast<std::size_t>(v)] &&
+        from_src[static_cast<std::size_t>(v)] &&
+        to_dst[static_cast<std::size_t>(v)]) {
+      graph.nodes.push_back(v);
+      graph.etx_to_dst.push_back(tree.distance[static_cast<std::size_t>(v)]);
+    }
+  }
+  if (graph.local_index(src) < 0 || graph.local_index(dst) < 0) {
+    return SessionGraph{};  // src pruned => no usable path
+  }
+  graph.source = graph.local_index(src);
+  graph.destination = graph.local_index(dst);
+
+  for (int a = 0; a < graph.size(); ++a) {
+    for (int b = 0; b < graph.size(); ++b) {
+      if (a == b) continue;
+      const net::NodeId u = graph.node_id(a);
+      const net::NodeId v = graph.node_id(b);
+      if (is_dag_edge(u, v)) {
+        graph.edges.push_back(
+            SessionGraph::Edge{a, b, topology.prob(u, v)});
+      }
+    }
+  }
+
+  // N(i) of the broadcast MAC constraint (4): nodes whose transmissions are
+  // audible at i, i.e. the interference neighborhood (equal to the link
+  // neighborhood at base power, wider when transmit power is raised).
+  graph.range_neighbors.assign(graph.nodes.size(), {});
+  for (int a = 0; a < graph.size(); ++a) {
+    for (int b = a + 1; b < graph.size(); ++b) {
+      const net::NodeId u = graph.node_id(a);
+      const net::NodeId v = graph.node_id(b);
+      if (topology.interferes(u, v)) {
+        graph.range_neighbors[static_cast<std::size_t>(a)].push_back(b);
+        graph.range_neighbors[static_cast<std::size_t>(b)].push_back(a);
+      }
+    }
+  }
+  return graph;
+}
+
+double selection_overhead_transmissions(const net::Topology& topology,
+                                        const SessionGraph& graph) {
+  // Each selected node pseudo-broadcasts the distance announcement once per
+  // neighbor, with reliable delivery costing the link's ETX in expectation.
+  double total = 0.0;
+  for (int a = 0; a < graph.size(); ++a) {
+    const net::NodeId u = graph.node_id(a);
+    for (int b : graph.range_neighbors[static_cast<std::size_t>(a)]) {
+      const net::NodeId v = graph.node_id(b);
+      const double p = topology.prob(u, v);
+      if (p > 0.0) total += 1.0 / p;
+    }
+  }
+  return total;
+}
+
+}  // namespace omnc::routing

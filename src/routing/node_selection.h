@@ -1,0 +1,67 @@
+// Node selection and implicit multipath construction (Sec. 4 of the paper).
+//
+// Forwarders are the nodes whose ETX distance to the destination is strictly
+// smaller than the source's ("each relay is closer to the destination T than
+// its predecessor").  The selected subgraph's directed edges run from a node
+// to every in-range node that is strictly closer, which makes the session
+// graph a DAG.  Nodes that cannot be reached from the source through that
+// DAG, or from which the destination cannot be reached, contribute nothing
+// and are pruned.
+//
+// The multiple opportunistic paths are implicit: every DAG edge may carry
+// coded traffic; no explicit disjoint-path computation is performed.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "net/topology.h"
+#include "routing/shortest_path.h"
+
+namespace omnc::routing {
+
+/// The per-session subgraph all higher layers (optimization, protocols)
+/// operate on.  Node indices are local (0 .. size-1); `nodes` maps back to
+/// topology ids.
+struct SessionGraph {
+  struct Edge {
+    int from = 0;  // local index, strictly farther from the destination
+    int to = 0;    // local index, strictly closer
+    double p = 0.0;  // one-way reception probability
+  };
+
+  std::vector<net::NodeId> nodes;  // selected nodes; includes source and dst
+  int source = -1;                 // local index
+  int destination = -1;            // local index
+  std::vector<double> etx_to_dst;  // per local node
+  std::vector<Edge> edges;
+  /// Undirected in-range neighborhoods within the selected set; this is the
+  /// N(i) of the broadcast MAC constraint (4).
+  std::vector<std::vector<int>> range_neighbors;
+
+  int size() const { return static_cast<int>(nodes.size()); }
+  /// Local index of a topology node; -1 if not selected.
+  int local_index(net::NodeId id) const;
+  net::NodeId node_id(int local) const { return nodes[static_cast<std::size_t>(local)]; }
+
+  std::vector<int> out_edges_of(int local) const;   // edge indices
+  std::vector<int> in_edges_of(int local) const;    // edge indices
+
+  /// Local node indices ordered by decreasing ETX distance (a topological
+  /// order of the DAG; source first, destination last).
+  std::vector<int> topological_order() const;
+};
+
+/// Runs the node-selection procedure.  Returns an empty graph (size 0) when
+/// src cannot reach dst.
+SessionGraph select_nodes(const net::Topology& topology, net::NodeId src,
+                          net::NodeId dst);
+
+/// Expected number of pseudo-broadcast transmissions needed to disseminate
+/// the distance information during node selection (Katti et al.'s
+/// pseudo-broadcast delivers reliably to each neighbor at unicast-ARQ cost,
+/// i.e. the link's ETX); reported as protocol overhead.
+double selection_overhead_transmissions(const net::Topology& topology,
+                                        const SessionGraph& graph);
+
+}  // namespace omnc::routing

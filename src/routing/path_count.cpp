@@ -1,0 +1,82 @@
+#include "routing/path_count.h"
+
+#include "common/assert.h"
+
+namespace omnc::routing {
+namespace {
+
+/// paths_from[v] = number of v -> destination paths over active edges.
+std::vector<double> paths_to_destination(const SessionGraph& graph,
+                                         const std::vector<bool>& edge_active) {
+  std::vector<double> paths(graph.nodes.size(), 0.0);
+  if (graph.size() == 0) return paths;
+  paths[static_cast<std::size_t>(graph.destination)] = 1.0;
+  const std::vector<int> order = graph.topological_order();
+  // Process closest-to-destination first (reverse topological order).
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const int v = *it;
+    if (v == graph.destination) continue;
+    double total = 0.0;
+    for (std::size_t e = 0; e < graph.edges.size(); ++e) {
+      if (!edge_active[e]) continue;
+      if (graph.edges[e].from != v) continue;
+      total += paths[static_cast<std::size_t>(graph.edges[e].to)];
+    }
+    paths[static_cast<std::size_t>(v)] = total;
+  }
+  return paths;
+}
+
+/// paths_from_source[v] = number of source -> v paths over active edges.
+std::vector<double> paths_from_source(const SessionGraph& graph,
+                                      const std::vector<bool>& edge_active) {
+  std::vector<double> paths(graph.nodes.size(), 0.0);
+  if (graph.size() == 0) return paths;
+  paths[static_cast<std::size_t>(graph.source)] = 1.0;
+  const std::vector<int> order = graph.topological_order();
+  for (int v : order) {
+    if (v == graph.source) continue;
+    double total = 0.0;
+    for (std::size_t e = 0; e < graph.edges.size(); ++e) {
+      if (!edge_active[e]) continue;
+      if (graph.edges[e].to != v) continue;
+      total += paths[static_cast<std::size_t>(graph.edges[e].from)];
+    }
+    paths[static_cast<std::size_t>(v)] = total;
+  }
+  return paths;
+}
+
+}  // namespace
+
+double count_paths(const SessionGraph& graph) {
+  return count_paths_filtered(graph,
+                              std::vector<bool>(graph.edges.size(), true));
+}
+
+double count_paths_filtered(const SessionGraph& graph,
+                            const std::vector<bool>& edge_active) {
+  OMNC_ASSERT(edge_active.size() == graph.edges.size());
+  if (graph.size() == 0) return 0.0;
+  const auto paths = paths_to_destination(graph, edge_active);
+  return paths[static_cast<std::size_t>(graph.source)];
+}
+
+int count_nodes_on_active_paths(const SessionGraph& graph,
+                                const std::vector<bool>& edge_active) {
+  OMNC_ASSERT(edge_active.size() == graph.edges.size());
+  if (graph.size() == 0) return 0;
+  const auto down = paths_to_destination(graph, edge_active);
+  const auto up = paths_from_source(graph, edge_active);
+  int count = 0;
+  for (int v = 0; v < graph.size(); ++v) {
+    if (v == graph.destination) continue;
+    if (up[static_cast<std::size_t>(v)] > 0.0 &&
+        down[static_cast<std::size_t>(v)] > 0.0) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace omnc::routing

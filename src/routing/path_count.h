@@ -1,0 +1,30 @@
+// Path counting on the session DAG — the denominator and numerator of the
+// paper's "path utility ratio" (Fig. 4): the number of source-to-destination
+// paths involved in the transmission divided by the number of paths available
+// after node selection.
+//
+// Counts are exact DAG path counts computed by dynamic programming over the
+// topological order; values are doubles because path counts grow
+// exponentially with graph size.
+#pragma once
+
+#include <vector>
+
+#include "routing/node_selection.h"
+
+namespace omnc::routing {
+
+/// Number of source->destination paths using every DAG edge.
+double count_paths(const SessionGraph& graph);
+
+/// Number of source->destination paths restricted to edges where
+/// edge_active[e] is true.
+double count_paths_filtered(const SessionGraph& graph,
+                            const std::vector<bool>& edge_active);
+
+/// Node utility ratio helper: nodes (excluding the destination) that lie on
+/// at least one active path, given active edges.
+int count_nodes_on_active_paths(const SessionGraph& graph,
+                                const std::vector<bool>& edge_active);
+
+}  // namespace omnc::routing

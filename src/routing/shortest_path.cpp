@@ -1,0 +1,101 @@
+#include "routing/shortest_path.h"
+
+#include <queue>
+
+#include "common/assert.h"
+
+namespace omnc::routing {
+namespace {
+
+/// Adjacency "who can reach target through this edge": for cost-to-target we
+/// relax backwards, so index edges by their head (to).
+std::vector<std::vector<const GraphEdge*>> index_by_head(
+    int node_count, const std::vector<GraphEdge>& edges) {
+  std::vector<std::vector<const GraphEdge*>> by_head(
+      static_cast<std::size_t>(node_count));
+  for (const GraphEdge& e : edges) {
+    OMNC_ASSERT(e.from >= 0 && e.from < node_count);
+    OMNC_ASSERT(e.to >= 0 && e.to < node_count);
+    OMNC_ASSERT(e.cost >= 0.0);
+    by_head[static_cast<std::size_t>(e.to)].push_back(&e);
+  }
+  return by_head;
+}
+
+}  // namespace
+
+ShortestPathTree dijkstra_to_target(int node_count,
+                                    const std::vector<GraphEdge>& edges,
+                                    int target) {
+  OMNC_ASSERT(target >= 0 && target < node_count);
+  const auto by_head = index_by_head(node_count, edges);
+  ShortestPathTree tree;
+  tree.distance.assign(static_cast<std::size_t>(node_count), kUnreachable);
+  tree.next_hop.assign(static_cast<std::size_t>(node_count), -1);
+  using Item = std::pair<double, int>;  // (distance, node)
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  tree.distance[static_cast<std::size_t>(target)] = 0.0;
+  heap.emplace(0.0, target);
+  while (!heap.empty()) {
+    const auto [dist, node] = heap.top();
+    heap.pop();
+    if (dist > tree.distance[static_cast<std::size_t>(node)]) continue;
+    for (const GraphEdge* e : by_head[static_cast<std::size_t>(node)]) {
+      const double candidate = dist + e->cost;
+      if (candidate < tree.distance[static_cast<std::size_t>(e->from)]) {
+        tree.distance[static_cast<std::size_t>(e->from)] = candidate;
+        tree.next_hop[static_cast<std::size_t>(e->from)] = e->to;
+        heap.emplace(candidate, e->from);
+      }
+    }
+  }
+  return tree;
+}
+
+ShortestPathTree bellman_ford_to_target(int node_count,
+                                        const std::vector<GraphEdge>& edges,
+                                        int target) {
+  OMNC_ASSERT(target >= 0 && target < node_count);
+  ShortestPathTree tree;
+  tree.distance.assign(static_cast<std::size_t>(node_count), kUnreachable);
+  tree.next_hop.assign(static_cast<std::size_t>(node_count), -1);
+  tree.distance[static_cast<std::size_t>(target)] = 0.0;
+  tree.rounds = 0;
+  bool changed = true;
+  while (changed && tree.rounds < node_count + 1) {
+    changed = false;
+    ++tree.rounds;
+    for (const GraphEdge& e : edges) {
+      const double through = tree.distance[static_cast<std::size_t>(e.to)];
+      if (through == kUnreachable) continue;
+      const double candidate = through + e.cost;
+      if (candidate <
+          tree.distance[static_cast<std::size_t>(e.from)] - 1e-15) {
+        tree.distance[static_cast<std::size_t>(e.from)] = candidate;
+        tree.next_hop[static_cast<std::size_t>(e.from)] = e.to;
+        changed = true;
+      }
+    }
+  }
+  return tree;
+}
+
+std::vector<int> extract_path(const ShortestPathTree& tree, int from,
+                              int target) {
+  std::vector<int> path;
+  if (tree.distance[static_cast<std::size_t>(from)] == kUnreachable) {
+    return path;
+  }
+  int node = from;
+  path.push_back(node);
+  while (node != target) {
+    node = tree.next_hop[static_cast<std::size_t>(node)];
+    OMNC_ASSERT_MSG(node >= 0, "broken next_hop chain");
+    path.push_back(node);
+    OMNC_ASSERT_MSG(path.size() <= tree.distance.size(),
+                    "next_hop cycle detected");
+  }
+  return path;
+}
+
+}  // namespace omnc::routing

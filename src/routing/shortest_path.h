@@ -1,0 +1,52 @@
+// Generic single-target shortest paths on small directed graphs.
+//
+// Two solvers share one edge representation:
+//   * dijkstra() — the centralized solver used for ETX distances and node
+//     selection;
+//   * bellman_ford() — the distributed-style iterative solver the rate
+//     control algorithm uses for SUB1 ("find the shortest path in a
+//     distributed manner"); it also reports how many relaxation rounds were
+//     needed, which the message-overhead accounting consumes.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+namespace omnc::routing {
+
+inline constexpr double kUnreachable = std::numeric_limits<double>::infinity();
+
+struct GraphEdge {
+  int from = 0;
+  int to = 0;
+  double cost = 0.0;  // must be >= 0
+};
+
+struct ShortestPathTree {
+  /// distance[v] = cost of the cheapest v -> target path (kUnreachable if
+  /// none).
+  std::vector<double> distance;
+  /// next_hop[v] = successor of v on that path; -1 at the target and for
+  /// unreachable nodes.
+  std::vector<int> next_hop;
+  /// Relaxation rounds used (Bellman–Ford only; 1 for Dijkstra).
+  int rounds = 1;
+};
+
+/// Cost-to-target for every node, Dijkstra (binary heap).
+ShortestPathTree dijkstra_to_target(int node_count,
+                                    const std::vector<GraphEdge>& edges,
+                                    int target);
+
+/// Cost-to-target via synchronous Bellman–Ford rounds (each round models one
+/// neighborhood message exchange).
+ShortestPathTree bellman_ford_to_target(int node_count,
+                                        const std::vector<GraphEdge>& edges,
+                                        int target);
+
+/// Follows next_hop from `from`; empty when unreachable, otherwise the node
+/// sequence from -> ... -> target.
+std::vector<int> extract_path(const ShortestPathTree& tree, int from,
+                              int target);
+
+}  // namespace omnc::routing

@@ -1,0 +1,88 @@
+#include "coding/coded_packet.h"
+
+#include <gtest/gtest.h>
+
+#include "coding/encoder.h"
+#include "common/rng.h"
+
+namespace omnc::coding {
+namespace {
+
+CodedPacket sample_packet() {
+  CodedPacket pkt;
+  pkt.session_id = 0xAABBCCDD;
+  pkt.generation_id = 42;
+  pkt.generation_blocks = 4;
+  pkt.block_bytes = 16;
+  pkt.coefficients = {1, 2, 3, 4};
+  pkt.payload.assign(16, 0x5A);
+  return pkt;
+}
+
+TEST(CodedPacket, SerializeParseRoundTrip) {
+  const CodedPacket pkt = sample_packet();
+  const auto wire = pkt.serialize();
+  EXPECT_EQ(wire.size(), pkt.wire_size());
+  CodedPacket parsed;
+  ASSERT_TRUE(CodedPacket::parse(wire, &parsed));
+  EXPECT_EQ(parsed.session_id, pkt.session_id);
+  EXPECT_EQ(parsed.generation_id, pkt.generation_id);
+  EXPECT_EQ(parsed.generation_blocks, pkt.generation_blocks);
+  EXPECT_EQ(parsed.block_bytes, pkt.block_bytes);
+  EXPECT_EQ(parsed.coefficients, pkt.coefficients);
+  EXPECT_EQ(parsed.payload, pkt.payload);
+}
+
+TEST(CodedPacket, WireSizeAccounting) {
+  const CodedPacket pkt = sample_packet();
+  EXPECT_EQ(pkt.wire_size(), CodedPacket::kHeaderBytes + 4u + 16u);
+}
+
+TEST(CodedPacket, ParseRejectsTruncatedHeader) {
+  std::vector<std::uint8_t> wire(CodedPacket::kHeaderBytes - 1, 0);
+  CodedPacket out;
+  EXPECT_FALSE(CodedPacket::parse(wire, &out));
+}
+
+TEST(CodedPacket, ParseRejectsLengthMismatch) {
+  auto wire = sample_packet().serialize();
+  wire.pop_back();
+  CodedPacket out;
+  EXPECT_FALSE(CodedPacket::parse(wire, &out));
+  wire = sample_packet().serialize();
+  wire.push_back(0);
+  EXPECT_FALSE(CodedPacket::parse(wire, &out));
+}
+
+TEST(CodedPacket, ParseRejectsZeroDimensions) {
+  CodedPacket pkt = sample_packet();
+  pkt.generation_blocks = 0;
+  pkt.coefficients.clear();
+  const auto wire = pkt.serialize();
+  CodedPacket out;
+  EXPECT_FALSE(CodedPacket::parse(wire, &out));
+}
+
+TEST(CodedPacket, DimensionsMatch) {
+  const CodedPacket pkt = sample_packet();
+  EXPECT_TRUE(pkt.dimensions_match(CodingParams{4, 16}));
+  EXPECT_FALSE(pkt.dimensions_match(CodingParams{4, 32}));
+  EXPECT_FALSE(pkt.dimensions_match(CodingParams{8, 16}));
+}
+
+TEST(CodedPacket, EncoderPacketsRoundTripOnTheWire) {
+  CodingParams params{6, 48};
+  const Generation gen = Generation::synthetic(1, params, 77);
+  SourceEncoder encoder(gen, 5);
+  Rng rng(3);
+  for (int i = 0; i < 10; ++i) {
+    const CodedPacket pkt = encoder.next_packet(rng);
+    CodedPacket parsed;
+    ASSERT_TRUE(CodedPacket::parse(pkt.serialize(), &parsed));
+    EXPECT_EQ(parsed.coefficients, pkt.coefficients);
+    EXPECT_EQ(parsed.payload, pkt.payload);
+  }
+}
+
+}  // namespace
+}  // namespace omnc::coding

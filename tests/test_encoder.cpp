@@ -1,0 +1,70 @@
+#include "coding/encoder.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "galois/gf256.h"
+
+namespace omnc::coding {
+namespace {
+
+TEST(SourceEncoder, PayloadIsLinearCombinationOfBlocks) {
+  CodingParams params{5, 24};
+  const Generation gen = Generation::synthetic(0, params, 11);
+  SourceEncoder encoder(gen, 1);
+  const std::vector<std::uint8_t> coefficients = {3, 0, 7, 1, 255};
+  const CodedPacket pkt = encoder.packet_with_coefficients(coefficients);
+  for (std::size_t byte = 0; byte < 24; ++byte) {
+    std::uint8_t expected = 0;
+    for (std::size_t block = 0; block < 5; ++block) {
+      expected = gf::add(
+          expected, gf::mul(coefficients[block], gen.block(block)[byte]));
+    }
+    EXPECT_EQ(pkt.payload[byte], expected) << "byte " << byte;
+  }
+}
+
+TEST(SourceEncoder, UnitCoefficientsReproduceBlocks) {
+  CodingParams params{4, 16};
+  const Generation gen = Generation::synthetic(2, params, 5);
+  SourceEncoder encoder(gen, 1);
+  for (std::size_t block = 0; block < 4; ++block) {
+    std::vector<std::uint8_t> unit(4, 0);
+    unit[block] = 1;
+    const CodedPacket pkt = encoder.packet_with_coefficients(unit);
+    EXPECT_TRUE(std::equal(pkt.payload.begin(), pkt.payload.end(),
+                           gen.block(block)));
+  }
+}
+
+TEST(SourceEncoder, RandomPacketsNeverAllZeroCoefficients) {
+  CodingParams params{3, 8};
+  const Generation gen = Generation::synthetic(0, params, 1);
+  SourceEncoder encoder(gen, 1);
+  Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    const CodedPacket pkt = encoder.next_packet(rng);
+    const bool nonzero = std::any_of(pkt.coefficients.begin(),
+                                     pkt.coefficients.end(),
+                                     [](std::uint8_t c) { return c != 0; });
+    EXPECT_TRUE(nonzero);
+  }
+}
+
+TEST(SourceEncoder, HeaderFieldsPopulated) {
+  CodingParams params{4, 8};
+  const Generation gen = Generation::synthetic(9, params, 3);
+  SourceEncoder encoder(gen, 0xDEAD);
+  Rng rng(1);
+  const CodedPacket pkt = encoder.next_packet(rng);
+  EXPECT_EQ(pkt.session_id, 0xDEADu);
+  EXPECT_EQ(pkt.generation_id, 9u);
+  EXPECT_EQ(pkt.generation_blocks, 4);
+  EXPECT_EQ(pkt.block_bytes, 8);
+  EXPECT_EQ(encoder.generation_id(), 9u);
+}
+
+}  // namespace
+}  // namespace omnc::coding

@@ -1,0 +1,69 @@
+#include "routing/etx.h"
+
+#include <gtest/gtest.h>
+
+#include "net/topology.h"
+
+namespace omnc::routing {
+namespace {
+
+net::Topology diamond() {
+  // 0 -> {1, 2} -> 3 with asymmetric qualities.
+  std::vector<std::vector<double>> p(4, std::vector<double>(4, 0.0));
+  p[0][1] = p[1][0] = 0.8;
+  p[0][2] = p[2][0] = 0.5;
+  p[1][3] = p[3][1] = 0.8;
+  p[2][3] = p[3][2] = 0.9;
+  return net::Topology::from_link_matrix(p);
+}
+
+TEST(Etx, LinkEtxIsInverseProbability) {
+  const net::Topology topo = diamond();
+  EXPECT_DOUBLE_EQ(link_etx(topo, 0, 1), 1.25);
+  EXPECT_DOUBLE_EQ(link_etx(topo, 2, 3), 1.0 / 0.9);
+  EXPECT_EQ(link_etx(topo, 0, 3), kUnreachable);
+}
+
+TEST(Etx, RoutePrefersLowerTotalEtx) {
+  const net::Topology topo = diamond();
+  // Via 1: 1.25 + 1.25 = 2.5; via 2: 2 + 1.11 = 3.11.
+  const auto route = etx_route(topo, 0, 3);
+  EXPECT_EQ(route, (std::vector<net::NodeId>{0, 1, 3}));
+  EXPECT_NEAR(route_etx(topo, route), 2.5, 1e-9);
+}
+
+TEST(Etx, HopCount) {
+  const net::Topology topo = diamond();
+  EXPECT_EQ(etx_hop_count(topo, 0, 3), 2);
+  EXPECT_EQ(etx_hop_count(topo, 0, 1), 1);
+}
+
+TEST(Etx, DisconnectedRoute) {
+  std::vector<std::vector<double>> p(3, std::vector<double>(3, 0.0));
+  p[0][1] = 0.9;
+  const net::Topology topo = net::Topology::from_link_matrix(p);
+  EXPECT_TRUE(etx_route(topo, 2, 0).empty());
+  EXPECT_EQ(etx_hop_count(topo, 2, 0), 0);
+}
+
+TEST(Etx, TreeDistancesDecreaseTowardTarget) {
+  const net::Topology topo = diamond();
+  const ShortestPathTree tree = etx_tree_to(topo, 3);
+  EXPECT_DOUBLE_EQ(tree.distance[3], 0.0);
+  EXPECT_GT(tree.distance[0], tree.distance[1]);
+  EXPECT_GT(tree.distance[0], tree.distance[2]);
+  // Asymmetric links use the forward direction probability.
+  EXPECT_NEAR(tree.distance[1], 1.25, 1e-9);
+}
+
+TEST(Etx, AsymmetricLinksUseDirectionalProbability) {
+  std::vector<std::vector<double>> p(2, std::vector<double>(2, 0.0));
+  p[0][1] = 0.5;
+  p[1][0] = 0.25;
+  const net::Topology topo = net::Topology::from_link_matrix(p);
+  EXPECT_DOUBLE_EQ(link_etx(topo, 0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(link_etx(topo, 1, 0), 4.0);
+}
+
+}  // namespace
+}  // namespace omnc::routing

@@ -1,0 +1,48 @@
+#include "coding/generation.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace omnc::coding {
+namespace {
+
+TEST(Generation, FromBytesZeroPads) {
+  CodingParams params{4, 8};
+  std::vector<std::uint8_t> data = {1, 2, 3, 4, 5};
+  const Generation gen = Generation::from_bytes(7, params, data);
+  EXPECT_EQ(gen.id(), 7u);
+  EXPECT_EQ(gen.bytes().size(), 32u);
+  EXPECT_EQ(gen.bytes()[0], 1);
+  EXPECT_EQ(gen.bytes()[4], 5);
+  for (std::size_t i = 5; i < 32; ++i) EXPECT_EQ(gen.bytes()[i], 0);
+}
+
+TEST(Generation, BlockAccessIsRowMajor) {
+  CodingParams params{3, 4};
+  std::vector<std::uint8_t> data(12);
+  for (std::size_t i = 0; i < 12; ++i) data[i] = static_cast<std::uint8_t>(i);
+  const Generation gen = Generation::from_bytes(0, params, data);
+  EXPECT_EQ(gen.block(0)[0], 0);
+  EXPECT_EQ(gen.block(1)[0], 4);
+  EXPECT_EQ(gen.block(2)[3], 11);
+}
+
+TEST(Generation, SyntheticIsDeterministicPerSeedAndId) {
+  CodingParams params{8, 64};
+  const Generation a = Generation::synthetic(3, params, 42);
+  const Generation b = Generation::synthetic(3, params, 42);
+  const Generation c = Generation::synthetic(4, params, 42);
+  const Generation d = Generation::synthetic(3, params, 43);
+  EXPECT_TRUE(std::equal(a.bytes().begin(), a.bytes().end(), b.bytes().begin()));
+  EXPECT_FALSE(std::equal(a.bytes().begin(), a.bytes().end(), c.bytes().begin()));
+  EXPECT_FALSE(std::equal(a.bytes().begin(), a.bytes().end(), d.bytes().begin()));
+}
+
+TEST(Generation, GenerationBytes) {
+  CodingParams params{40, 1024};
+  EXPECT_EQ(params.generation_bytes(), 40u * 1024u);
+}
+
+}  // namespace
+}  // namespace omnc::coding

@@ -1,0 +1,131 @@
+#include "galois/gf256.h"
+
+#include <gtest/gtest.h>
+
+namespace omnc::gf {
+namespace {
+
+TEST(Gf256, AddIsXor) {
+  EXPECT_EQ(add(0x53, 0xCA), 0x53 ^ 0xCA);
+  EXPECT_EQ(add(0xFF, 0xFF), 0);
+}
+
+TEST(Gf256, MulMatchesSlowReference) {
+  for (int a = 0; a < 256; ++a) {
+    for (int b = 0; b < 256; ++b) {
+      EXPECT_EQ(mul(static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b)),
+                mul_slow(static_cast<std::uint8_t>(a),
+                         static_cast<std::uint8_t>(b)));
+    }
+  }
+}
+
+TEST(Gf256, KnownAesProducts) {
+  // Classic AES examples over 0x11B.
+  EXPECT_EQ(mul(0x57, 0x83), 0xC1);
+  EXPECT_EQ(mul(0x57, 0x13), 0xFE);
+  EXPECT_EQ(mul(0x02, 0x80), 0x1B);
+}
+
+TEST(Gf256, MultiplicationCommutative) {
+  for (int a = 0; a < 256; a += 7) {
+    for (int b = 0; b < 256; b += 5) {
+      EXPECT_EQ(mul(static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b)),
+                mul(static_cast<std::uint8_t>(b), static_cast<std::uint8_t>(a)));
+    }
+  }
+}
+
+TEST(Gf256, MultiplicationAssociative) {
+  for (int a = 1; a < 256; a += 17) {
+    for (int b = 1; b < 256; b += 13) {
+      for (int c = 1; c < 256; c += 11) {
+        const auto ab = mul(static_cast<std::uint8_t>(a),
+                            static_cast<std::uint8_t>(b));
+        const auto bc = mul(static_cast<std::uint8_t>(b),
+                            static_cast<std::uint8_t>(c));
+        EXPECT_EQ(mul(ab, static_cast<std::uint8_t>(c)),
+                  mul(static_cast<std::uint8_t>(a), bc));
+      }
+    }
+  }
+}
+
+TEST(Gf256, DistributesOverAddition) {
+  for (int a = 0; a < 256; a += 9) {
+    for (int b = 0; b < 256; b += 7) {
+      for (int c = 0; c < 256; c += 13) {
+        const auto lhs = mul(static_cast<std::uint8_t>(a),
+                             add(static_cast<std::uint8_t>(b),
+                                 static_cast<std::uint8_t>(c)));
+        const auto rhs = add(mul(static_cast<std::uint8_t>(a),
+                                 static_cast<std::uint8_t>(b)),
+                             mul(static_cast<std::uint8_t>(a),
+                                 static_cast<std::uint8_t>(c)));
+        EXPECT_EQ(lhs, rhs);
+      }
+    }
+  }
+}
+
+TEST(Gf256, MultiplicativeIdentityAndZero) {
+  for (int a = 0; a < 256; ++a) {
+    EXPECT_EQ(mul(static_cast<std::uint8_t>(a), 1), a);
+    EXPECT_EQ(mul(static_cast<std::uint8_t>(a), 0), 0);
+  }
+}
+
+TEST(Gf256, InverseIsTwoSided) {
+  for (int a = 1; a < 256; ++a) {
+    const auto ia = inv(static_cast<std::uint8_t>(a));
+    EXPECT_EQ(mul(static_cast<std::uint8_t>(a), ia), 1) << "a=" << a;
+    EXPECT_EQ(mul(ia, static_cast<std::uint8_t>(a)), 1) << "a=" << a;
+  }
+  EXPECT_EQ(inv(0), 0);  // total function convention
+}
+
+TEST(Gf256, DivisionInvertsMultiplication) {
+  for (int a = 0; a < 256; a += 3) {
+    for (int b = 1; b < 256; b += 5) {
+      const auto product = mul(static_cast<std::uint8_t>(a),
+                               static_cast<std::uint8_t>(b));
+      EXPECT_EQ(div(product, static_cast<std::uint8_t>(b)), a);
+    }
+  }
+}
+
+TEST(Gf256, ExpLogRoundTrip) {
+  for (int a = 1; a < 256; ++a) {
+    EXPECT_EQ(exp_g(log_g(static_cast<std::uint8_t>(a))), a);
+  }
+}
+
+TEST(Gf256, GeneratorHasFullOrder) {
+  // 3 must generate all 255 nonzero elements.
+  std::uint8_t x = 1;
+  for (int i = 1; i < 255; ++i) {
+    x = mul(x, 3);
+    EXPECT_NE(x, 1) << "premature cycle at " << i;
+  }
+  EXPECT_EQ(mul(x, 3), 1);
+}
+
+TEST(Gf256, MulRowMatchesScalar) {
+  for (int c = 0; c < 256; c += 11) {
+    const std::uint8_t* row = mul_row(static_cast<std::uint8_t>(c));
+    for (int a = 0; a < 256; ++a) {
+      EXPECT_EQ(row[a],
+                mul(static_cast<std::uint8_t>(c), static_cast<std::uint8_t>(a)));
+    }
+  }
+}
+
+TEST(Gf256, XtimeMatchesMulByTwo) {
+  for (int a = 0; a < 256; ++a) {
+    EXPECT_EQ(xtime(static_cast<std::uint8_t>(a)),
+              mul(static_cast<std::uint8_t>(a), 2));
+  }
+}
+
+}  // namespace
+}  // namespace omnc::gf

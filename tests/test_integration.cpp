@@ -1,0 +1,120 @@
+// Full-pipeline integration tests: workload generation -> node selection ->
+// optimization -> all four protocols on the simulated testbed.
+#include <gtest/gtest.h>
+
+#include "experiments/runner.h"
+#include "experiments/workload.h"
+#include "opt/sunicast.h"
+
+namespace omnc::experiments {
+namespace {
+
+RunConfig fast_run_config() {
+  RunConfig config;
+  config.protocol.coding.generation_blocks = 16;
+  config.protocol.coding.block_bytes = 128;
+  config.protocol.mac.capacity_bytes_per_s = 2e4;
+  config.protocol.mac.slot_bytes = 12 + 16 + 128;
+  config.protocol.cbr_bytes_per_s = 1e4;
+  config.protocol.max_sim_seconds = 60.0;
+  config.solve_lp = true;
+  return config;
+}
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    WorkloadConfig wc;
+    wc.deployment.nodes = 200;
+    wc.sessions = 4;
+    wc.seed = 2024;
+    sessions_ = new std::vector<SessionSpec>(generate_workload(wc));
+    results_ = new std::vector<ComparisonResult>(
+        run_all(*sessions_, fast_run_config()));
+  }
+  static void TearDownTestSuite() {
+    delete sessions_;
+    delete results_;
+    sessions_ = nullptr;
+    results_ = nullptr;
+  }
+
+  static std::vector<SessionSpec>* sessions_;
+  static std::vector<ComparisonResult>* results_;
+};
+
+std::vector<SessionSpec>* IntegrationTest::sessions_ = nullptr;
+std::vector<ComparisonResult>* IntegrationTest::results_ = nullptr;
+
+TEST_F(IntegrationTest, AllProtocolsDeliverSomething) {
+  for (const auto& r : *results_) {
+    EXPECT_GT(r.etx.throughput_bytes_per_s, 0.0);
+    EXPECT_GT(r.omnc.throughput_per_generation, 0.0);
+    EXPECT_GT(r.more.throughput_per_generation, 0.0);
+    // oldMORE can legitimately deliver nothing on hostile sessions, but
+    // should not crash; its metrics must simply be populated.
+    EXPECT_GE(r.oldmore.throughput_per_generation, 0.0);
+  }
+}
+
+TEST_F(IntegrationTest, EmulatedThroughputBelowLpOptimum) {
+  // The paper: "the actual emulated throughput of OMNC tends to be lower
+  // than the optimized throughput computed by the sUnicast framework".
+  for (const auto& r : *results_) {
+    ASSERT_GT(r.lp_gamma, 0.0);
+    EXPECT_LT(r.omnc.throughput_per_generation, r.lp_gamma * 1.05);
+  }
+}
+
+TEST_F(IntegrationTest, OmncQueuesSmallerThanCreditProtocols) {
+  double omnc_total = 0.0;
+  double more_total = 0.0;
+  for (const auto& r : *results_) {
+    omnc_total += r.omnc.mean_queue;
+    more_total += r.more.mean_queue;
+  }
+  EXPECT_LT(omnc_total, more_total);
+}
+
+TEST_F(IntegrationTest, GainsArePositiveWhereEtxDelivered) {
+  for (const auto& r : *results_) {
+    if (r.etx.throughput_bytes_per_s > 0.0) {
+      EXPECT_GT(r.gain_omnc, 0.0);
+      EXPECT_GT(r.gain_more, 0.0);
+    }
+  }
+}
+
+TEST_F(IntegrationTest, RateControlConvergedEverywhere) {
+  for (const auto& r : *results_) {
+    EXPECT_TRUE(r.omnc.rc_converged);
+    EXPECT_GT(r.omnc.rc_iterations, 0);
+    EXPECT_GT(r.omnc.rc_messages, 0u);
+  }
+}
+
+TEST_F(IntegrationTest, SpecSummaryPreserved) {
+  ASSERT_EQ(results_->size(), sessions_->size());
+  for (std::size_t i = 0; i < results_->size(); ++i) {
+    EXPECT_EQ((*results_)[i].spec_summary.src, (*sessions_)[i].src);
+    EXPECT_EQ((*results_)[i].spec_summary.dst, (*sessions_)[i].dst);
+    EXPECT_EQ((*results_)[i].spec_summary.topology, nullptr);
+  }
+}
+
+TEST_F(IntegrationTest, ParallelRunnerMatchesSerial) {
+  // Same sessions through a thread pool must give identical results
+  // (per-session RNG streams are independent of scheduling).
+  ThreadPool pool(2);
+  const auto parallel = run_all(*sessions_, fast_run_config(), &pool);
+  ASSERT_EQ(parallel.size(), results_->size());
+  for (std::size_t i = 0; i < parallel.size(); ++i) {
+    EXPECT_DOUBLE_EQ(parallel[i].omnc.throughput_per_generation,
+                     (*results_)[i].omnc.throughput_per_generation);
+    EXPECT_DOUBLE_EQ(parallel[i].etx.throughput_bytes_per_s,
+                     (*results_)[i].etx.throughput_bytes_per_s);
+  }
+}
+
+}  // namespace
+}  // namespace omnc::experiments

@@ -1,0 +1,73 @@
+#include "routing/link_prober.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace omnc::routing {
+namespace {
+
+TEST(LinkProber, EstimatesMatchTruePropabilitiesWithinSamplingError) {
+  std::vector<std::vector<double>> p(3, std::vector<double>(3, 0.0));
+  p[0][1] = 0.7;
+  p[1][0] = 0.4;
+  p[1][2] = 0.9;
+  p[2][1] = 0.6;
+  const net::Topology topo = net::Topology::from_link_matrix(p);
+
+  ProbeConfig config;
+  config.probes_per_node = 600;
+  config.mac.capacity_bytes_per_s = 1e5;
+  config.mac.slot_bytes = 100;
+  config.mac.fading.enabled = false;  // estimate the stationary mean
+  const ProbeReport report =
+      measure_link_qualities(topo, {0, 1, 2}, config, Rng(3));
+
+  ASSERT_EQ(report.sent.size(), 3u);
+  for (int sent : report.sent) EXPECT_EQ(sent, 600);
+  EXPECT_NEAR(report.estimate[0][1], 0.7, 0.06);
+  EXPECT_NEAR(report.estimate[1][0], 0.4, 0.06);
+  EXPECT_NEAR(report.estimate[1][2], 0.9, 0.06);
+  EXPECT_NEAR(report.estimate[2][1], 0.6, 0.06);
+  EXPECT_DOUBLE_EQ(report.estimate[0][2], 0.0);  // no link
+  EXPECT_GT(report.duration_s, 0.0);
+}
+
+TEST(LinkProber, FadingAveragesOutOverLongCampaigns) {
+  std::vector<std::vector<double>> p(2, std::vector<double>(2, 0.0));
+  p[0][1] = 0.5;
+  p[1][0] = 0.5;
+  const net::Topology topo = net::Topology::from_link_matrix(p);
+  ProbeConfig config;
+  config.probes_per_node = 4000;
+  config.mac.capacity_bytes_per_s = 1e5;
+  config.mac.slot_bytes = 100;
+  config.mac.fading.enabled = true;
+  const ProbeReport report =
+      measure_link_qualities(topo, {0, 1}, config, Rng(9));
+  EXPECT_NEAR(report.estimate[0][1], 0.5, 0.08);
+}
+
+TEST(LinkProber, TopologyFromProbesPreservesStructure) {
+  std::vector<std::vector<double>> p(3, std::vector<double>(3, 0.0));
+  p[0][1] = 0.8;
+  p[1][0] = 0.8;
+  p[1][2] = 0.5;
+  p[2][1] = 0.5;
+  const net::Topology topo = net::Topology::from_link_matrix(p);
+  ProbeConfig config;
+  config.probes_per_node = 400;
+  config.mac.capacity_bytes_per_s = 1e5;
+  config.mac.slot_bytes = 100;
+  config.mac.fading.enabled = false;
+  const ProbeReport report =
+      measure_link_qualities(topo, {0, 1, 2}, config, Rng(5));
+  const net::Topology measured = topology_from_probes({0, 1, 2}, report, 3);
+  EXPECT_EQ(measured.node_count(), 3);
+  EXPECT_GT(measured.prob(0, 1), 0.6);
+  EXPECT_DOUBLE_EQ(measured.prob(0, 2), 0.0);
+  EXPECT_NEAR(measured.prob(1, 2), 0.5, 0.1);
+}
+
+}  // namespace
+}  // namespace omnc::routing

@@ -1,0 +1,145 @@
+#include "lp/simplex.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace omnc::lp {
+namespace {
+
+TEST(Simplex, BasicMaximization) {
+  // max 3x + 2y  s.t. x + y <= 4, x <= 2  ->  x = 2, y = 2, obj = 10.
+  Problem p;
+  p.objective = {3.0, 2.0};
+  p.add_le({1.0, 1.0}, 4.0);
+  p.add_le({1.0, 0.0}, 2.0);
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, Status::kOptimal);
+  EXPECT_NEAR(s.objective, 10.0, 1e-9);
+  EXPECT_NEAR(s.x[0], 2.0, 1e-9);
+  EXPECT_NEAR(s.x[1], 2.0, 1e-9);
+}
+
+TEST(Simplex, DetectsInfeasible) {
+  Problem p;
+  p.objective = {1.0};
+  p.add_le({1.0}, 1.0);
+  p.add_ge({1.0}, 2.0);
+  EXPECT_EQ(solve(p).status, Status::kInfeasible);
+}
+
+TEST(Simplex, DetectsUnbounded) {
+  Problem p;
+  p.objective = {1.0};
+  p.add_ge({1.0}, 1.0);
+  EXPECT_EQ(solve(p).status, Status::kUnbounded);
+}
+
+TEST(Simplex, EqualityConstraints) {
+  // max x + y  s.t. x + y = 3, x <= 1  ->  obj 3 with x <= 1.
+  Problem p;
+  p.objective = {1.0, 1.0};
+  p.add_eq({1.0, 1.0}, 3.0);
+  p.add_le({1.0, 0.0}, 1.0);
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, Status::kOptimal);
+  EXPECT_NEAR(s.objective, 3.0, 1e-9);
+  EXPECT_LE(s.x[0], 1.0 + 1e-9);
+}
+
+TEST(Simplex, NegativeRhsNormalized) {
+  // x - y >= -2  with  max -x - y is equivalent to x - y + 2 >= 0...
+  // Use: max y  s.t. -y >= -5  ->  y = 5.
+  Problem p;
+  p.objective = {1.0};
+  p.add_ge({-1.0}, -5.0);
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, Status::kOptimal);
+  EXPECT_NEAR(s.objective, 5.0, 1e-9);
+}
+
+TEST(Simplex, MinimizationViaNegatedObjective) {
+  // min x + 2y s.t. x + y >= 3, y >= 1  == max -(x + 2y).
+  Problem p;
+  p.objective = {-1.0, -2.0};
+  p.add_ge({1.0, 1.0}, 3.0);
+  p.add_ge({0.0, 1.0}, 1.0);
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, Status::kOptimal);
+  EXPECT_NEAR(s.objective, -4.0, 1e-9);  // x = 2, y = 1
+  EXPECT_NEAR(s.x[0], 2.0, 1e-9);
+  EXPECT_NEAR(s.x[1], 1.0, 1e-9);
+}
+
+TEST(Simplex, DegenerateProblemTerminates) {
+  // Multiple redundant constraints through the optimum (classic degeneracy).
+  Problem p;
+  p.objective = {1.0, 1.0};
+  p.add_le({1.0, 0.0}, 1.0);
+  p.add_le({0.0, 1.0}, 1.0);
+  p.add_le({1.0, 1.0}, 2.0);
+  p.add_le({2.0, 2.0}, 4.0);
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, Status::kOptimal);
+  EXPECT_NEAR(s.objective, 2.0, 1e-9);
+}
+
+TEST(Simplex, ZeroObjectiveIsFeasibilityCheck) {
+  Problem p;
+  p.objective = {0.0, 0.0};
+  p.add_eq({1.0, 1.0}, 2.0);
+  p.add_le({1.0, 0.0}, 1.5);
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, Status::kOptimal);
+  EXPECT_NEAR(s.objective, 0.0, 1e-9);
+  EXPECT_NEAR(s.x[0] + s.x[1], 2.0, 1e-9);
+}
+
+TEST(Simplex, SolutionSatisfiesAllConstraints) {
+  // Random LPs: verify feasibility of the returned solution.
+  Rng rng(3);
+  for (int trial = 0; trial < 25; ++trial) {
+    const int n = rng.uniform_int(2, 8);
+    const int m = rng.uniform_int(2, 10);
+    Problem p;
+    p.objective.resize(static_cast<std::size_t>(n));
+    for (auto& c : p.objective) c = rng.uniform(-2.0, 2.0);
+    for (int r = 0; r < m; ++r) {
+      std::vector<double> row(static_cast<std::size_t>(n));
+      for (auto& a : row) a = rng.uniform(0.0, 2.0);
+      p.add_le(std::move(row), rng.uniform(1.0, 10.0));
+    }
+    const Solution s = solve(p);
+    // All-le with nonnegative rhs: always feasible and bounded... bounded
+    // only if objective positive directions are covered; rows with zero
+    // coefficients could leave a variable unbounded.
+    if (s.status != Status::kOptimal) continue;
+    for (const auto& row : p.constraints) {
+      double lhs = 0.0;
+      for (int c = 0; c < n; ++c) {
+        lhs += row.coefficients[static_cast<std::size_t>(c)] *
+               s.x[static_cast<std::size_t>(c)];
+      }
+      EXPECT_LE(lhs, row.rhs + 1e-6);
+    }
+    for (double x : s.x) EXPECT_GE(x, -1e-9);
+  }
+}
+
+TEST(Simplex, TransportationProblem) {
+  // Two sources (supply 10, 20), two sinks (demand 15, 15), costs
+  // c = [[1,3],[2,1]]; min cost = 15*1 + ... optimum: x11=10, x21=5, x22=15
+  // cost = 10 + 10 + 15 = 35.
+  Problem p;
+  p.objective = {-1.0, -3.0, -2.0, -1.0};  // maximize negative cost
+  p.add_le({1.0, 1.0, 0.0, 0.0}, 10.0);   // supply 1
+  p.add_le({0.0, 0.0, 1.0, 1.0}, 20.0);   // supply 2
+  p.add_eq({1.0, 0.0, 1.0, 0.0}, 15.0);   // demand 1
+  p.add_eq({0.0, 1.0, 0.0, 1.0}, 15.0);   // demand 2
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, Status::kOptimal);
+  EXPECT_NEAR(s.objective, -35.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace omnc::lp

@@ -1,0 +1,361 @@
+#include "net/mac.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.h"
+#include "net/topology.h"
+#include "sim/simulator.h"
+
+namespace omnc::net {
+namespace {
+
+std::shared_ptr<const std::vector<std::uint8_t>> payload(std::size_t n = 4) {
+  return std::make_shared<const std::vector<std::uint8_t>>(
+      std::vector<std::uint8_t>(n, 0xAB));
+}
+
+Topology line_topology(double p = 1.0, int nodes = 3) {
+  std::vector<std::vector<double>> m(
+      static_cast<std::size_t>(nodes),
+      std::vector<double>(static_cast<std::size_t>(nodes), 0.0));
+  for (int i = 0; i + 1 < nodes; ++i) {
+    m[static_cast<std::size_t>(i)][static_cast<std::size_t>(i + 1)] = p;
+    m[static_cast<std::size_t>(i + 1)][static_cast<std::size_t>(i)] = p;
+  }
+  return Topology::from_link_matrix(m);
+}
+
+MacConfig ideal_config() {
+  MacConfig config;
+  config.capacity_bytes_per_s = 1000.0;
+  config.slot_bytes = 100;  // slot = 0.1 s
+  config.mode = MacMode::kIdealScheduling;
+  config.fading.enabled = false;
+  config.unicast_slot_cost = 1;
+  return config;
+}
+
+TEST(SlottedMac, SlotDuration) {
+  sim::Simulator sim;
+  const Topology topo = line_topology();
+  SlottedMac mac(sim, topo, {0, 1, 2}, ideal_config(), Rng(1));
+  EXPECT_DOUBLE_EQ(mac.slot_duration(), 0.1);
+}
+
+TEST(SlottedMac, SingleTransmitterUsesEverySlot) {
+  sim::Simulator sim;
+  const Topology topo = line_topology();
+  SlottedMac mac(sim, topo, {0, 1, 2}, ideal_config(), Rng(1));
+  int received = 0;
+  mac.set_receive_handler([&](NodeId rx, const Frame&) {
+    if (rx == 1) ++received;
+  });
+  mac.add_slot_hook([&](sim::Time) {
+    if (mac.queue_size(0) == 0) {
+      Frame frame;
+      frame.from = 0;
+      frame.to = kBroadcast;
+      frame.bytes = payload();
+      mac.enqueue(std::move(frame));
+    }
+  });
+  mac.start();
+  sim.run_until(10.0);  // 100 slots
+  mac.stop();
+  // Perfect link, no competition: node 1 receives ~every slot (first slot
+  // had no frame queued yet).
+  EXPECT_GE(received, 97);
+  EXPECT_LE(received, 100);
+}
+
+TEST(SlottedMac, AdjacentTransmittersShareChannel) {
+  sim::Simulator sim;
+  const Topology topo = line_topology();
+  SlottedMac mac(sim, topo, {0, 1, 2}, ideal_config(), Rng(2));
+  mac.add_slot_hook([&](sim::Time) {
+    for (NodeId n : {0, 1}) {
+      if (mac.queue_size(n) < 2) {
+        Frame frame;
+        frame.from = n;
+        frame.to = kBroadcast;
+        frame.bytes = payload();
+        mac.enqueue(frame);
+      }
+    }
+  });
+  mac.start();
+  sim.run_until(100.0);  // 1000 slots
+  mac.stop();
+  // 0 and 1 are linked: exactly one of them transmits per slot.
+  EXPECT_NEAR(static_cast<double>(mac.total_transmissions()), 1000.0, 10.0);
+  EXPECT_NEAR(static_cast<double>(mac.transmissions(0)), 500.0, 100.0);
+  EXPECT_NEAR(static_cast<double>(mac.transmissions(1)), 500.0, 100.0);
+}
+
+TEST(SlottedMac, LossRateMatchesLinkProbability) {
+  sim::Simulator sim;
+  const Topology topo = line_topology(0.4);
+  SlottedMac mac(sim, topo, {0, 1, 2}, ideal_config(), Rng(3));
+  int received = 0;
+  mac.set_receive_handler([&](NodeId rx, const Frame&) {
+    if (rx == 1) ++received;
+  });
+  mac.add_slot_hook([&](sim::Time) {
+    if (mac.queue_size(0) == 0) {
+      Frame frame;
+      frame.from = 0;
+      frame.to = kBroadcast;
+      frame.bytes = payload();
+      mac.enqueue(frame);
+    }
+  });
+  mac.start();
+  sim.run_until(500.0);  // 5000 slots
+  mac.stop();
+  const double rate =
+      static_cast<double>(received) / static_cast<double>(mac.transmissions(0));
+  EXPECT_NEAR(rate, 0.4, 0.03);
+}
+
+TEST(SlottedMac, FadingPreservesMeanReception) {
+  sim::Simulator sim;
+  const Topology topo = line_topology(0.5);
+  MacConfig config = ideal_config();
+  config.fading.enabled = true;
+  SlottedMac mac(sim, topo, {0, 1, 2}, config, Rng(4));
+  int received = 0;
+  mac.set_receive_handler([&](NodeId rx, const Frame&) {
+    if (rx == 1) ++received;
+  });
+  mac.add_slot_hook([&](sim::Time) {
+    if (mac.queue_size(0) == 0) {
+      Frame frame;
+      frame.from = 0;
+      frame.to = kBroadcast;
+      frame.bytes = payload();
+      mac.enqueue(frame);
+    }
+  });
+  mac.start();
+  sim.run_until(6000.0);  // 60000 slots: enough fade cycles to average out
+  mac.stop();
+  const double rate =
+      static_cast<double>(received) / static_cast<double>(mac.transmissions(0));
+  EXPECT_NEAR(rate, 0.5, 0.04);
+}
+
+TEST(SlottedMac, ReliableUnicastDeliversDespiteLoss) {
+  sim::Simulator sim;
+  const Topology topo = line_topology(0.5);
+  MacConfig config = ideal_config();
+  config.unicast_retry_limit = 0;  // retry forever
+  SlottedMac mac(sim, topo, {0, 1, 2}, config, Rng(5));
+  int received = 0;
+  mac.set_receive_handler([&](NodeId rx, const Frame&) {
+    if (rx == 1) ++received;
+  });
+  for (int i = 0; i < 20; ++i) {
+    Frame frame;
+    frame.from = 0;
+    frame.to = 1;
+    frame.reliable = true;
+    frame.bytes = payload();
+    ASSERT_TRUE(mac.enqueue(std::move(frame)));
+  }
+  mac.start();
+  sim.run_until(50.0);
+  mac.stop();
+  EXPECT_EQ(received, 20);
+  // ~2 attempts per delivery at p = 0.5.
+  EXPECT_GT(mac.transmissions(0), 28u);
+  EXPECT_EQ(mac.total_retry_failures(), 0u);
+}
+
+TEST(SlottedMac, RetryLimitDropsFrames) {
+  sim::Simulator sim;
+  const Topology topo = line_topology(0.01);  // nearly dead link
+  MacConfig config = ideal_config();
+  config.unicast_retry_limit = 3;
+  SlottedMac mac(sim, topo, {0, 1, 2}, config, Rng(6));
+  int received = 0;
+  mac.set_receive_handler([&](NodeId rx, const Frame&) {
+    if (rx == 1) ++received;
+  });
+  for (int i = 0; i < 10; ++i) {
+    Frame frame;
+    frame.from = 0;
+    frame.to = 1;
+    frame.reliable = true;
+    frame.bytes = payload();
+    mac.enqueue(std::move(frame));
+  }
+  mac.start();
+  sim.run_until(20.0);
+  mac.stop();
+  EXPECT_EQ(mac.queue_size(0), 0u);  // everything either delivered or dropped
+  EXPECT_GT(mac.total_retry_failures(), 5u);
+  EXPECT_LE(mac.transmissions(0), 30u);  // at most 3 attempts each
+}
+
+TEST(SlottedMac, UnicastSlotCostOccupiesAirtime) {
+  sim::Simulator sim;
+  const Topology topo = line_topology(1.0);
+  MacConfig config = ideal_config();
+  config.unicast_slot_cost = 2;
+  SlottedMac mac(sim, topo, {0, 1, 2}, config, Rng(7));
+  mac.add_slot_hook([&](sim::Time) {
+    if (mac.queue_size(0) < 2) {
+      Frame frame;
+      frame.from = 0;
+      frame.to = 1;
+      frame.reliable = true;
+      frame.bytes = payload();
+      mac.enqueue(frame);
+    }
+  });
+  mac.start();
+  sim.run_until(100.0);  // 1000 slots
+  mac.stop();
+  // Each attempt costs two slots: at most ~500 transmissions.
+  EXPECT_LE(mac.transmissions(0), 510u);
+  EXPECT_GE(mac.transmissions(0), 450u);
+}
+
+TEST(SlottedMac, HiddenTerminalCollisionKillsReception) {
+  // 0 and 2 cannot hear each other but both cover node 1.
+  sim::Simulator sim;
+  const Topology topo = line_topology(1.0);
+  SlottedMac mac(sim, topo, {0, 1, 2}, ideal_config(), Rng(8));
+  int received = 0;
+  mac.set_receive_handler([&](NodeId rx, const Frame&) {
+    if (rx == 1) ++received;
+  });
+  mac.add_slot_hook([&](sim::Time) {
+    for (NodeId n : {0, 2}) {
+      if (mac.queue_size(n) == 0) {
+        Frame frame;
+        frame.from = n;
+        frame.to = kBroadcast;
+        frame.bytes = payload();
+        mac.enqueue(frame);
+      }
+    }
+  });
+  mac.start();
+  sim.run_until(50.0);
+  mac.stop();
+  // Both backlogged and mutually inaudible: they transmit every slot and
+  // node 1 is permanently collided.
+  EXPECT_GT(mac.total_transmissions(), 900u);
+  EXPECT_EQ(received, 0);
+}
+
+TEST(SlottedMac, ProtectReceiversSerializesHiddenTerminals) {
+  sim::Simulator sim;
+  const Topology topo = line_topology(1.0);
+  MacConfig config = ideal_config();
+  config.protect_receivers = true;
+  SlottedMac mac(sim, topo, {0, 1, 2}, config, Rng(9));
+  int received = 0;
+  mac.set_receive_handler([&](NodeId rx, const Frame&) {
+    if (rx == 1) ++received;
+  });
+  mac.add_slot_hook([&](sim::Time) {
+    for (NodeId n : {0, 2}) {
+      if (mac.queue_size(n) == 0) {
+        Frame frame;
+        frame.from = n;
+        frame.to = kBroadcast;
+        frame.bytes = payload();
+        mac.enqueue(frame);
+      }
+    }
+  });
+  mac.start();
+  sim.run_until(50.0);
+  mac.stop();
+  // With receiver protection 0 and 2 alternate; node 1 hears everything.
+  EXPECT_GT(received, 450);
+}
+
+TEST(SlottedMac, QueueDropTail) {
+  sim::Simulator sim;
+  const Topology topo = line_topology(1.0);
+  MacConfig config = ideal_config();
+  config.max_queue = 5;
+  SlottedMac mac(sim, topo, {0, 1, 2}, config, Rng(10));
+  for (int i = 0; i < 10; ++i) {
+    Frame frame;
+    frame.from = 0;
+    frame.to = kBroadcast;
+    frame.bytes = payload();
+    mac.enqueue(std::move(frame));
+  }
+  EXPECT_EQ(mac.queue_size(0), 5u);
+  EXPECT_EQ(mac.total_drops(), 5u);
+}
+
+TEST(SlottedMac, PurgeQueueByPredicate) {
+  sim::Simulator sim;
+  const Topology topo = line_topology(1.0);
+  SlottedMac mac(sim, topo, {0, 1, 2}, ideal_config(), Rng(11));
+  for (int i = 0; i < 6; ++i) {
+    Frame frame;
+    frame.from = 0;
+    frame.to = kBroadcast;
+    frame.bytes = std::make_shared<const std::vector<std::uint8_t>>(
+        std::vector<std::uint8_t>{static_cast<std::uint8_t>(i)});
+    mac.enqueue(std::move(frame));
+  }
+  mac.purge_queue(0, [](const Frame& f) { return (*f.bytes)[0] % 2 == 0; });
+  EXPECT_EQ(mac.queue_size(0), 3u);
+}
+
+TEST(SlottedMac, QueueTimeAverageTracksBacklog) {
+  sim::Simulator sim;
+  const Topology topo = line_topology(1.0);
+  SlottedMac mac(sim, topo, {0, 1, 2}, ideal_config(), Rng(12));
+  // Enqueue 10 frames at once; they drain one per slot, so the time-averaged
+  // queue over the drain period is ~(9+8+...+0)/10 = 4.5.
+  for (int i = 0; i < 10; ++i) {
+    Frame frame;
+    frame.from = 0;
+    frame.to = kBroadcast;
+    frame.bytes = payload();
+    mac.enqueue(std::move(frame));
+  }
+  mac.start();
+  sim.run_until(1.05);  // ~10 slots
+  mac.stop();
+  EXPECT_NEAR(mac.queue_time_average(0), 4.5, 1.0);
+}
+
+TEST(SlottedMac, CsmaModeStillDelivers) {
+  sim::Simulator sim;
+  const Topology topo = line_topology(0.9);
+  MacConfig config = ideal_config();
+  config.mode = MacMode::kCsma;
+  SlottedMac mac(sim, topo, {0, 1, 2}, config, Rng(13));
+  int received = 0;
+  mac.set_receive_handler([&](NodeId rx, const Frame&) {
+    if (rx == 1) ++received;
+  });
+  mac.add_slot_hook([&](sim::Time) {
+    if (mac.queue_size(0) == 0) {
+      Frame frame;
+      frame.from = 0;
+      frame.to = kBroadcast;
+      frame.bytes = payload();
+      mac.enqueue(frame);
+    }
+  });
+  mac.start();
+  sim.run_until(100.0);
+  mac.stop();
+  EXPECT_GT(received, 500);  // single contender attempts every slot
+}
+
+}  // namespace
+}  // namespace omnc::net

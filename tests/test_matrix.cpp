@@ -1,0 +1,120 @@
+#include "galois/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "galois/gf256.h"
+
+namespace omnc::gf {
+namespace {
+
+TEST(Matrix, IdentityMultiplication) {
+  Rng rng(1);
+  const Matrix m = Matrix::random(8, 8, rng);
+  const Matrix id = Matrix::identity(8);
+  EXPECT_EQ(m.mul(id), m);
+  EXPECT_EQ(id.mul(m), m);
+}
+
+TEST(Matrix, MultiplicationMatchesScalarDefinition) {
+  Rng rng(2);
+  const Matrix a = Matrix::random(3, 4, rng);
+  const Matrix b = Matrix::random(4, 5, rng);
+  const Matrix c = a.mul(b);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t col = 0; col < 5; ++col) {
+      std::uint8_t expected = 0;
+      for (std::size_t k = 0; k < 4; ++k) {
+        expected = add(expected, mul(a.at(r, k), b.at(k, col)));
+      }
+      EXPECT_EQ(c.at(r, col), expected);
+    }
+  }
+}
+
+TEST(Matrix, MultiplicationAssociative) {
+  Rng rng(3);
+  const Matrix a = Matrix::random(4, 6, rng);
+  const Matrix b = Matrix::random(6, 5, rng);
+  const Matrix c = Matrix::random(5, 3, rng);
+  EXPECT_EQ(a.mul(b).mul(c), a.mul(b.mul(c)));
+}
+
+TEST(Matrix, RankOfIdentity) {
+  EXPECT_EQ(Matrix::identity(10).rank(), 10u);
+}
+
+TEST(Matrix, RankOfZeroMatrix) {
+  EXPECT_EQ(Matrix(5, 5).rank(), 0u);
+}
+
+TEST(Matrix, RankDropsWithDuplicateRow) {
+  Rng rng(4);
+  Matrix m = Matrix::random(4, 6, rng);
+  // Make row 3 = row 0 scaled.
+  for (std::size_t c = 0; c < 6; ++c) m.at(3, c) = mul(m.at(0, c), 0x17);
+  EXPECT_LE(m.rank(), 3u);
+}
+
+TEST(Matrix, RandomSquareMatricesAreUsuallyFullRank) {
+  Rng rng(5);
+  int full = 0;
+  for (int trial = 0; trial < 50; ++trial) {
+    if (Matrix::random(16, 16, rng).rank() == 16) ++full;
+  }
+  // P(singular) ~ 1/255 per trial; 50 trials should almost all be full rank.
+  EXPECT_GE(full, 47);
+}
+
+TEST(Matrix, RrefIsIdempotent) {
+  Rng rng(6);
+  Matrix m = Matrix::random(5, 8, rng);
+  m.reduce_to_rref();
+  Matrix again = m;
+  const std::size_t rank1 = again.rank();
+  again.reduce_to_rref();
+  EXPECT_EQ(again, m);
+  EXPECT_EQ(rank1, m.rank());
+}
+
+TEST(Matrix, RrefPivotStructure) {
+  Rng rng(7);
+  Matrix m = Matrix::random(6, 6, rng);
+  const std::size_t rank = m.reduce_to_rref();
+  ASSERT_EQ(rank, 6u);  // random square: full rank w.h.p.
+  // Full-rank square RREF is the identity.
+  EXPECT_EQ(m, Matrix::identity(6));
+}
+
+TEST(Matrix, InverseRoundTrip) {
+  Rng rng(8);
+  for (int trial = 0; trial < 10; ++trial) {
+    Matrix m = Matrix::random(12, 12, rng);
+    Matrix inverse;
+    if (!m.invert(&inverse)) continue;  // rare singular draw
+    EXPECT_EQ(m.mul(inverse), Matrix::identity(12));
+    EXPECT_EQ(inverse.mul(m), Matrix::identity(12));
+  }
+}
+
+TEST(Matrix, SingularMatrixInvertFails) {
+  Matrix m(3, 3);  // zero matrix
+  Matrix inverse;
+  EXPECT_FALSE(m.invert(&inverse));
+}
+
+TEST(Matrix, DecodingViaInverse) {
+  // B recovered as R^-1 * X with X = R * B — the paper's Sec. 3.1 equations.
+  Rng rng(9);
+  const Matrix blocks = Matrix::random(8, 32, rng);
+  Matrix coefficients = Matrix::random(8, 8, rng);
+  Matrix inverse;
+  while (!coefficients.invert(&inverse)) {
+    coefficients = Matrix::random(8, 8, rng);
+  }
+  const Matrix coded = coefficients.mul(blocks);
+  EXPECT_EQ(inverse.mul(coded), blocks);
+}
+
+}  // namespace
+}  // namespace omnc::gf

@@ -1,0 +1,121 @@
+#include "protocols/more.h"
+
+#include <gtest/gtest.h>
+
+#include "net/topology.h"
+#include "routing/node_selection.h"
+
+namespace omnc::protocols {
+namespace {
+
+TEST(MoreCredits, TwoHopChainAnalytic) {
+  // S -p1-> R -p2-> T.  z_S = 1 / (1 - (1-p1)(1-p_SR_to_T...)).
+  // With no S->T link: z_S = 1/p1 (a transmission "progresses" iff R hears).
+  // R must forward every packet it owns: L_R = z_S * p1 = 1, and
+  // z_R = 1 / p2.  TX_credit_R = z_R / (z_S * p1) = 1/p2.
+  const double p1 = 0.5;
+  const double p2 = 0.25;
+  std::vector<std::vector<double>> p(3, std::vector<double>(3, 0.0));
+  p[0][1] = p[1][0] = p1;
+  p[1][2] = p[2][1] = p2;
+  const net::Topology topo = net::Topology::from_link_matrix(p);
+  const routing::SessionGraph graph = routing::select_nodes(topo, 0, 2);
+  ASSERT_EQ(graph.size(), 3);
+
+  std::vector<double> z;
+  std::vector<double> credit;
+  compute_more_credits(graph, &z, &credit);
+
+  const int src = graph.source;
+  const int relay = 3 - graph.source - graph.destination;
+  EXPECT_NEAR(z[static_cast<std::size_t>(src)], 1.0 / p1, 1e-9);
+  EXPECT_NEAR(z[static_cast<std::size_t>(relay)], 1.0 / p2, 1e-9);
+  EXPECT_NEAR(credit[static_cast<std::size_t>(relay)], 1.0 / p2, 1e-9);
+}
+
+TEST(MoreCredits, DirectLinkReducesRelayLoad) {
+  // With an S->T shortcut, packets T overhears directly never burden R.
+  const double p_sr = 0.8;
+  const double p_rt = 0.8;
+  const double p_st = 0.3;
+  std::vector<std::vector<double>> p(3, std::vector<double>(3, 0.0));
+  p[0][1] = p[1][0] = p_sr;
+  p[1][2] = p[2][1] = p_rt;
+  p[0][2] = p[2][0] = p_st;
+  const net::Topology topo = net::Topology::from_link_matrix(p);
+  const routing::SessionGraph graph = routing::select_nodes(topo, 0, 2);
+  ASSERT_EQ(graph.size(), 3);
+
+  std::vector<double> z;
+  std::vector<double> credit;
+  compute_more_credits(graph, &z, &credit);
+
+  const int src = graph.source;
+  const int relay = 3 - graph.source - graph.destination;
+  // z_S: progress when either R or T hears.
+  const double z_src = 1.0 / (1.0 - (1.0 - p_sr) * (1.0 - p_st));
+  EXPECT_NEAR(z[static_cast<std::size_t>(src)], z_src, 1e-9);
+  // L_R: heard by R, missed by T.
+  const double load_r = z_src * p_sr * (1.0 - p_st);
+  EXPECT_NEAR(z[static_cast<std::size_t>(relay)], load_r / p_rt, 1e-9);
+  // Credit divides by all receptions from upstream (regardless of T).
+  EXPECT_NEAR(credit[static_cast<std::size_t>(relay)],
+              (load_r / p_rt) / (z_src * p_sr), 1e-9);
+}
+
+TEST(MoreCredits, BetterLinksNeedFewerTransmissions) {
+  for (double quality : {0.3, 0.6, 0.9}) {
+    std::vector<std::vector<double>> p(3, std::vector<double>(3, 0.0));
+    p[0][1] = p[1][0] = quality;
+    p[1][2] = p[2][1] = quality;
+    const net::Topology topo = net::Topology::from_link_matrix(p);
+    const routing::SessionGraph graph = routing::select_nodes(topo, 0, 2);
+    std::vector<double> z;
+    std::vector<double> credit;
+    compute_more_credits(graph, &z, &credit);
+    double total = 0.0;
+    for (double value : z) total += value;
+    EXPECT_NEAR(total, 2.0 / quality, 1e-9);
+  }
+}
+
+TEST(MoreCredits, DiamondCreditsPositiveForAllForwarders) {
+  std::vector<std::vector<double>> p(4, std::vector<double>(4, 0.0));
+  p[0][1] = p[1][0] = 0.8;
+  p[0][2] = p[2][0] = 0.6;
+  p[1][3] = p[3][1] = 0.7;
+  p[2][3] = p[3][2] = 0.9;
+  const net::Topology topo = net::Topology::from_link_matrix(p);
+  const routing::SessionGraph graph = routing::select_nodes(topo, 0, 3);
+  std::vector<double> z;
+  std::vector<double> credit;
+  compute_more_credits(graph, &z, &credit);
+  for (int v = 0; v < graph.size(); ++v) {
+    if (v == graph.destination) {
+      EXPECT_DOUBLE_EQ(z[static_cast<std::size_t>(v)], 0.0);
+      continue;
+    }
+    EXPECT_GT(z[static_cast<std::size_t>(v)], 0.0) << "node " << v;
+    if (v != graph.source) {
+      EXPECT_GT(credit[static_cast<std::size_t>(v)], 0.0) << "node " << v;
+    }
+  }
+}
+
+TEST(MoreCredits, SourceTransmitsAtLeastOncePerPacket) {
+  // z_src >= 1 always (a packet needs at least one transmission).
+  std::vector<std::vector<double>> p(4, std::vector<double>(4, 0.0));
+  p[0][1] = p[1][0] = 0.9;
+  p[0][2] = p[2][0] = 0.9;
+  p[1][3] = p[3][1] = 0.9;
+  p[2][3] = p[3][2] = 0.9;
+  const net::Topology topo = net::Topology::from_link_matrix(p);
+  const routing::SessionGraph graph = routing::select_nodes(topo, 0, 3);
+  std::vector<double> z;
+  std::vector<double> credit;
+  compute_more_credits(graph, &z, &credit);
+  EXPECT_GE(z[static_cast<std::size_t>(graph.source)], 1.0);
+}
+
+}  // namespace
+}  // namespace omnc::protocols

@@ -1,0 +1,153 @@
+#include "opt/multi_unicast.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "net/topology.h"
+#include "opt/sunicast.h"
+#include "protocols/multi_unicast.h"
+#include "routing/node_selection.h"
+
+namespace omnc::opt {
+namespace {
+
+/// Two parallel chains sharing the middle of the field:
+///   session A: 0 -> 1 -> 2,  session B: 3 -> 4 -> 5, with the relays 1 and
+///   4 within range of each other (they compete for the channel).
+net::Topology crossing_chains() {
+  std::vector<std::vector<double>> p(6, std::vector<double>(6, 0.0));
+  auto link = [&](int a, int b, double q) { p[a][b] = p[b][a] = q; };
+  link(0, 1, 0.8);
+  link(1, 2, 0.8);
+  link(3, 4, 0.8);
+  link(4, 5, 0.8);
+  link(1, 4, 0.3);  // coupling link: the sessions interfere
+  return net::Topology::from_link_matrix(p);
+}
+
+class MultiUnicastTest : public ::testing::Test {
+ protected:
+  MultiUnicastTest()
+      : topo_(crossing_chains()),
+        graph_a_(routing::select_nodes(topo_, 0, 2)),
+        graph_b_(routing::select_nodes(topo_, 3, 5)) {}
+
+  net::Topology topo_;
+  routing::SessionGraph graph_a_;
+  routing::SessionGraph graph_b_;
+};
+
+TEST_F(MultiUnicastTest, JointLpFeasibleAndFair) {
+  const auto solution =
+      solve_multi_sunicast(topo_, {&graph_a_, &graph_b_}, 1e4);
+  ASSERT_TRUE(solution.feasible);
+  EXPECT_GT(solution.min_gamma, 0.0);
+  ASSERT_EQ(solution.gamma.size(), 2u);
+  EXPECT_GE(solution.gamma[0], solution.min_gamma - 1e-6);
+  EXPECT_GE(solution.gamma[1], solution.min_gamma - 1e-6);
+  // The symmetric instance yields symmetric max-min throughputs.
+  EXPECT_NEAR(solution.gamma[0], solution.gamma[1], 1e-4 * solution.gamma[0]);
+}
+
+TEST_F(MultiUnicastTest, SharingHalvesSingleSessionThroughput) {
+  // Alone, each chain gets the single-session optimum; sharing the coupled
+  // channel must cost something but not everything.
+  const auto alone = solve_sunicast(graph_a_, 1e4);
+  const auto joint = solve_multi_sunicast(topo_, {&graph_a_, &graph_b_}, 1e4);
+  ASSERT_TRUE(alone.feasible && joint.feasible);
+  EXPECT_LT(joint.gamma[0], alone.gamma + 1e-6);
+  EXPECT_GT(joint.gamma[0], 0.3 * alone.gamma);
+}
+
+TEST_F(MultiUnicastTest, JointLpRespectsSharedConstraint) {
+  const auto solution =
+      solve_multi_sunicast(topo_, {&graph_a_, &graph_b_}, 1e4);
+  ASSERT_TRUE(solution.feasible);
+  EXPECT_LE(multi_broadcast_load_factor(topo_, {&graph_a_, &graph_b_},
+                                        solution.b, 1e4),
+            1.0 + 1e-6);
+}
+
+TEST_F(MultiUnicastTest, DistributedControllerConverges) {
+  RateControlParams params;
+  params.capacity = 1e4;
+  MultiSessionRateControl controller(topo_, {&graph_a_, &graph_b_}, params);
+  const auto result = controller.run();
+  EXPECT_TRUE(result.converged);
+  ASSERT_EQ(result.b.size(), 2u);
+  ASSERT_EQ(result.gamma.size(), 2u);
+  EXPECT_GT(result.gamma[0], 0.0);
+  EXPECT_GT(result.gamma[1], 0.0);
+}
+
+TEST_F(MultiUnicastTest, DistributedRatesNearJointLp) {
+  RateControlParams params;
+  params.capacity = 1e4;
+  MultiSessionRateControl controller(topo_, {&graph_a_, &graph_b_}, params);
+  auto result = controller.run();
+  multi_rescale_to_feasible(topo_, {&graph_a_, &graph_b_}, result.b, 1e4);
+  const auto lp = solve_multi_sunicast(topo_, {&graph_a_, &graph_b_}, 1e4);
+  ASSERT_TRUE(lp.feasible);
+  // Sources must be allocated comparable rates (proportional fairness vs
+  // max-min on a symmetric instance agree).
+  const double dist_src_a =
+      result.b[0][static_cast<std::size_t>(graph_a_.source)];
+  const double lp_src_a = lp.b[0][static_cast<std::size_t>(graph_a_.source)];
+  EXPECT_GT(dist_src_a, 0.3 * lp_src_a);
+  EXPECT_LT(dist_src_a, 3.0 * lp_src_a);
+}
+
+TEST_F(MultiUnicastTest, RescaleBringsLoadToOne) {
+  std::vector<std::vector<double>> rates = {
+      std::vector<double>(static_cast<std::size_t>(graph_a_.size()), 1e4),
+      std::vector<double>(static_cast<std::size_t>(graph_b_.size()), 1e4)};
+  const double factor = multi_rescale_to_feasible(
+      topo_, {&graph_a_, &graph_b_}, rates, 1e4);
+  EXPECT_LT(factor, 1.0);
+  EXPECT_NEAR(multi_broadcast_load_factor(topo_, {&graph_a_, &graph_b_},
+                                          rates, 1e4),
+              1.0, 1e-9);
+}
+
+TEST_F(MultiUnicastTest, EndToEndBothSessionsDecode) {
+  protocols::MultiUnicastConfig config;
+  config.protocol.coding.generation_blocks = 8;
+  config.protocol.coding.block_bytes = 64;
+  config.protocol.mac.capacity_bytes_per_s = 2e4;
+  config.protocol.mac.slot_bytes = 12 + 8 + 64;
+  config.protocol.mac.fading.enabled = false;
+  config.protocol.cbr_bytes_per_s = 1e4;
+  config.protocol.max_sim_seconds = 80.0;
+  config.protocol.seed = 5;
+  protocols::MultiUnicastOmnc runner(topo_, {&graph_a_, &graph_b_}, config);
+  const auto result = runner.run();
+  ASSERT_EQ(result.sessions.size(), 2u);
+  EXPECT_TRUE(result.rc_converged);
+  EXPECT_GT(result.sessions[0].generations_completed, 0);
+  EXPECT_GT(result.sessions[1].generations_completed, 0);
+  EXPECT_GT(result.min_throughput, 0.0);
+  EXPECT_GE(result.aggregate_throughput, 2.0 * result.min_throughput - 1e-9);
+}
+
+TEST_F(MultiUnicastTest, ThreeSessionsShareOneBottleneck) {
+  // Three sessions all relayed by the same middle node: the LP must split
+  // the bottleneck's capacity three ways.
+  std::vector<std::vector<double>> p(8, std::vector<double>(8, 0.0));
+  auto link = [&](int a, int b, double q) { p[a][b] = p[b][a] = q; };
+  // Sources 0,1,2 -> shared relay 3 -> destinations 4,5,6 (7 unused).
+  for (int src : {0, 1, 2}) link(src, 3, 0.9);
+  for (int dst : {4, 5, 6}) link(3, dst, 0.9);
+  const net::Topology topo = net::Topology::from_link_matrix(p);
+  const auto g0 = routing::select_nodes(topo, 0, 4);
+  const auto g1 = routing::select_nodes(topo, 1, 5);
+  const auto g2 = routing::select_nodes(topo, 2, 6);
+  ASSERT_EQ(g0.size(), 3);
+  const auto joint = solve_multi_sunicast(topo, {&g0, &g1, &g2}, 9e3);
+  const auto alone = solve_sunicast(g0, 9e3);
+  ASSERT_TRUE(joint.feasible && alone.feasible);
+  EXPECT_LT(joint.min_gamma, 0.45 * alone.gamma);
+  EXPECT_GT(joint.min_gamma, 0.2 * alone.gamma);
+}
+
+}  // namespace
+}  // namespace omnc::opt

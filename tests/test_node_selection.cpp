@@ -1,0 +1,139 @@
+#include "routing/node_selection.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "net/topology.h"
+#include "routing/etx.h"
+
+namespace omnc::routing {
+namespace {
+
+net::Topology diamond_with_stray() {
+  // 0 (src) -> {1, 2} -> 3 (dst); node 4 hangs off node 0, farther from dst.
+  std::vector<std::vector<double>> p(5, std::vector<double>(5, 0.0));
+  p[0][1] = p[1][0] = 0.8;
+  p[0][2] = p[2][0] = 0.6;
+  p[1][3] = p[3][1] = 0.7;
+  p[2][3] = p[3][2] = 0.9;
+  p[0][4] = p[4][0] = 0.9;
+  return net::Topology::from_link_matrix(p);
+}
+
+TEST(NodeSelection, SelectsOnlyCloserNodes) {
+  const net::Topology topo = diamond_with_stray();
+  const SessionGraph graph = select_nodes(topo, 0, 3);
+  EXPECT_EQ(graph.size(), 4);  // stray node 4 excluded
+  EXPECT_LT(graph.local_index(4), 0);
+  EXPECT_GE(graph.local_index(0), 0);
+  EXPECT_GE(graph.local_index(1), 0);
+  EXPECT_GE(graph.local_index(2), 0);
+  EXPECT_GE(graph.local_index(3), 0);
+  EXPECT_EQ(graph.node_id(graph.source), 0);
+  EXPECT_EQ(graph.node_id(graph.destination), 3);
+}
+
+TEST(NodeSelection, EdgesRunFromFartherToCloser) {
+  const net::Topology topo = diamond_with_stray();
+  const SessionGraph graph = select_nodes(topo, 0, 3);
+  EXPECT_EQ(graph.edges.size(), 4u);
+  for (const auto& edge : graph.edges) {
+    EXPECT_GT(graph.etx_to_dst[static_cast<std::size_t>(edge.from)],
+              graph.etx_to_dst[static_cast<std::size_t>(edge.to)]);
+    EXPECT_GT(edge.p, 0.0);
+  }
+}
+
+TEST(NodeSelection, TopologicalOrderStartsAtSourceEndsAtDestination) {
+  const net::Topology topo = diamond_with_stray();
+  const SessionGraph graph = select_nodes(topo, 0, 3);
+  const auto order = graph.topological_order();
+  EXPECT_EQ(order.front(), graph.source);
+  EXPECT_EQ(order.back(), graph.destination);
+}
+
+TEST(NodeSelection, DisconnectedPairYieldsEmptyGraph) {
+  std::vector<std::vector<double>> p(4, std::vector<double>(4, 0.0));
+  p[0][1] = p[1][0] = 0.9;
+  p[2][3] = p[3][2] = 0.9;
+  const net::Topology topo = net::Topology::from_link_matrix(p);
+  const SessionGraph graph = select_nodes(topo, 0, 3);
+  EXPECT_EQ(graph.size(), 0);
+}
+
+TEST(NodeSelection, PrunesDeadEndForwarders) {
+  // Node 4 is closer to dst than src but has no DAG path onward to dst
+  // (its only link back is to the source side).
+  std::vector<std::vector<double>> p(5, std::vector<double>(5, 0.0));
+  p[0][1] = p[1][0] = 0.6;
+  p[1][2] = p[2][1] = 0.6;   // 0 -> 1 -> 2 = dst
+  p[0][4] = p[4][0] = 0.95;  // 4 near the source only
+  const net::Topology topo = net::Topology::from_link_matrix(p);
+  const SessionGraph graph = select_nodes(topo, 0, 2);
+  EXPECT_LT(graph.local_index(4), 0);
+}
+
+TEST(NodeSelection, RangeNeighborsAreSymmetric) {
+  const net::Topology topo = diamond_with_stray();
+  const SessionGraph graph = select_nodes(topo, 0, 3);
+  for (int a = 0; a < graph.size(); ++a) {
+    for (int b : graph.range_neighbors[static_cast<std::size_t>(a)]) {
+      const auto& back = graph.range_neighbors[static_cast<std::size_t>(b)];
+      EXPECT_NE(std::find(back.begin(), back.end(), a), back.end());
+    }
+  }
+}
+
+TEST(NodeSelection, OutInEdgeIndexing) {
+  const net::Topology topo = diamond_with_stray();
+  const SessionGraph graph = select_nodes(topo, 0, 3);
+  const auto out = graph.out_edges_of(graph.source);
+  EXPECT_EQ(out.size(), 2u);  // to both relays
+  const auto in = graph.in_edges_of(graph.destination);
+  EXPECT_EQ(in.size(), 2u);  // from both relays
+  EXPECT_TRUE(graph.in_edges_of(graph.source).empty());
+  EXPECT_TRUE(graph.out_edges_of(graph.destination).empty());
+}
+
+TEST(NodeSelection, RandomTopologyInvariants) {
+  Rng rng(31);
+  net::DeploymentConfig config;
+  config.nodes = 120;
+  const net::Topology topo = net::Topology::random_deployment(config, rng);
+  int built = 0;
+  for (int trial = 0; trial < 60 && built < 10; ++trial) {
+    const net::NodeId src = rng.uniform_int(0, topo.node_count() - 1);
+    const net::NodeId dst = rng.uniform_int(0, topo.node_count() - 1);
+    if (src == dst) continue;
+    const SessionGraph graph = select_nodes(topo, src, dst);
+    if (graph.size() < 2) continue;
+    ++built;
+    // Source farthest, destination at zero distance.
+    for (int v = 0; v < graph.size(); ++v) {
+      if (v == graph.source) continue;
+      EXPECT_LT(graph.etx_to_dst[static_cast<std::size_t>(v)],
+                graph.etx_to_dst[static_cast<std::size_t>(graph.source)]);
+    }
+    EXPECT_DOUBLE_EQ(
+        graph.etx_to_dst[static_cast<std::size_t>(graph.destination)], 0.0);
+    // Every node reaches the destination in the DAG (guaranteed by pruning):
+    // walk greedily along any out-edge.
+    for (int v = 0; v < graph.size(); ++v) {
+      if (v == graph.destination) continue;
+      EXPECT_FALSE(graph.out_edges_of(v).empty());
+      EXPECT_TRUE(v == graph.source || !graph.in_edges_of(v).empty());
+    }
+  }
+  EXPECT_GE(built, 5);
+}
+
+TEST(NodeSelection, OverheadIsPositiveAndFinite) {
+  const net::Topology topo = diamond_with_stray();
+  const SessionGraph graph = select_nodes(topo, 0, 3);
+  const double overhead = selection_overhead_transmissions(topo, graph);
+  EXPECT_GT(overhead, 0.0);
+  EXPECT_LT(overhead, 100.0);
+}
+
+}  // namespace
+}  // namespace omnc::routing

@@ -1,0 +1,81 @@
+#include "common/options.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+namespace omnc {
+namespace {
+
+Options make_options(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return Options(static_cast<int>(args.size()),
+                 const_cast<char**>(args.data()));
+}
+
+TEST(Options, EqualsSyntax) {
+  auto opts = make_options({"--sessions=40", "--seed=0x10"});
+  EXPECT_EQ(opts.get_int("sessions", 0), 40);
+  EXPECT_EQ(opts.get_seed("seed", 0), 16u);
+}
+
+TEST(Options, SpaceSyntax) {
+  auto opts = make_options({"--name", "value", "--count", "7"});
+  EXPECT_EQ(opts.get("name", ""), "value");
+  EXPECT_EQ(opts.get_int("count", 0), 7);
+}
+
+TEST(Options, BareBooleanFlag) {
+  auto opts = make_options({"--paper", "--fast"});
+  EXPECT_TRUE(opts.get_bool("paper", false));
+  EXPECT_TRUE(opts.get_bool("fast", false));
+  EXPECT_FALSE(opts.get_bool("missing", false));
+  EXPECT_TRUE(opts.get_bool("missing", true));
+}
+
+TEST(Options, BooleanSpellings) {
+  auto opts = make_options({"--a=true", "--b=1", "--c=yes", "--d=off"});
+  EXPECT_TRUE(opts.get_bool("a", false));
+  EXPECT_TRUE(opts.get_bool("b", false));
+  EXPECT_TRUE(opts.get_bool("c", false));
+  EXPECT_FALSE(opts.get_bool("d", true));
+}
+
+TEST(Options, DoublesAndFallbacks) {
+  auto opts = make_options({"--rate=2.5"});
+  EXPECT_DOUBLE_EQ(opts.get_double("rate", 0.0), 2.5);
+  EXPECT_DOUBLE_EQ(opts.get_double("other", 1.25), 1.25);
+}
+
+TEST(Options, Positional) {
+  auto opts = make_options({"first", "--x=1", "second"});
+  ASSERT_EQ(opts.positional().size(), 2u);
+  EXPECT_EQ(opts.positional()[0], "first");
+  EXPECT_EQ(opts.positional()[1], "second");
+}
+
+TEST(Options, EnvironmentFallback) {
+  ::setenv("OMNC_TEST_ENV_KNOB", "123", 1);
+  auto opts = make_options({});
+  EXPECT_EQ(opts.get_int("test-env-knob", 0), 123);
+  ::unsetenv("OMNC_TEST_ENV_KNOB");
+}
+
+TEST(Options, ArgvBeatsEnvironment) {
+  ::setenv("OMNC_PRIO", "env", 1);
+  auto opts = make_options({"--prio=argv"});
+  EXPECT_EQ(opts.get("prio", ""), "argv");
+  ::unsetenv("OMNC_PRIO");
+}
+
+TEST(Options, UnusedTracking) {
+  auto opts = make_options({"--used=1", "--typo=2"});
+  EXPECT_EQ(opts.get_int("used", 0), 1);
+  const auto unused = opts.unused();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+}  // namespace
+}  // namespace omnc

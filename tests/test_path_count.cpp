@@ -1,0 +1,85 @@
+#include "routing/path_count.h"
+
+#include <gtest/gtest.h>
+
+#include "net/topology.h"
+
+namespace omnc::routing {
+namespace {
+
+SessionGraph diamond_graph() {
+  std::vector<std::vector<double>> p(4, std::vector<double>(4, 0.0));
+  p[0][1] = p[1][0] = 0.8;
+  p[0][2] = p[2][0] = 0.6;
+  p[1][3] = p[3][1] = 0.7;
+  p[2][3] = p[3][2] = 0.9;
+  const net::Topology topo = net::Topology::from_link_matrix(p);
+  return select_nodes(topo, 0, 3);
+}
+
+TEST(PathCount, DiamondHasTwoPaths) {
+  const SessionGraph graph = diamond_graph();
+  EXPECT_DOUBLE_EQ(count_paths(graph), 2.0);
+}
+
+TEST(PathCount, FilteringRemovesPaths) {
+  const SessionGraph graph = diamond_graph();
+  std::vector<bool> active(graph.edges.size(), true);
+  // Disable one destination-facing edge: one path remains.
+  for (std::size_t e = 0; e < graph.edges.size(); ++e) {
+    if (graph.edges[e].to == graph.destination) {
+      active[e] = false;
+      break;
+    }
+  }
+  EXPECT_DOUBLE_EQ(count_paths_filtered(graph, active), 1.0);
+}
+
+TEST(PathCount, NoActiveEdgesMeansNoPaths) {
+  const SessionGraph graph = diamond_graph();
+  std::vector<bool> active(graph.edges.size(), false);
+  EXPECT_DOUBLE_EQ(count_paths_filtered(graph, active), 0.0);
+  EXPECT_EQ(count_nodes_on_active_paths(graph, active), 0);
+}
+
+TEST(PathCount, NodesOnActivePaths) {
+  const SessionGraph graph = diamond_graph();
+  std::vector<bool> all(graph.edges.size(), true);
+  // Source + both relays (destination excluded by definition).
+  EXPECT_EQ(count_nodes_on_active_paths(graph, all), 3);
+}
+
+TEST(PathCount, LayeredGraphMultipliesPaths) {
+  // src -> {a, b} -> {c, d} -> dst, fully connected between layers:
+  // 2 * 2 = 4 paths... plus direct cross edges counted by DP.
+  std::vector<std::vector<double>> p(6, std::vector<double>(6, 0.0));
+  auto link = [&](int i, int j, double q) { p[i][j] = p[j][i] = q; };
+  // Distances to dst (node 5) must strictly decrease layer by layer.
+  link(0, 1, 0.5);
+  link(0, 2, 0.5);
+  link(1, 3, 0.6);
+  link(1, 4, 0.6);
+  link(2, 3, 0.6);
+  link(2, 4, 0.6);
+  link(3, 5, 0.9);
+  link(4, 5, 0.9);
+  const net::Topology topo = net::Topology::from_link_matrix(p);
+  const SessionGraph graph = select_nodes(topo, 0, 5);
+  ASSERT_EQ(graph.size(), 6);
+  EXPECT_DOUBLE_EQ(count_paths(graph), 4.0);
+}
+
+TEST(PathCount, ChainHasSinglePath) {
+  std::vector<std::vector<double>> p(4, std::vector<double>(4, 0.0));
+  p[0][1] = p[1][0] = 0.9;
+  p[1][2] = p[2][1] = 0.9;
+  p[2][3] = p[3][2] = 0.9;
+  const net::Topology topo = net::Topology::from_link_matrix(p);
+  const SessionGraph graph = select_nodes(topo, 0, 3);
+  EXPECT_DOUBLE_EQ(count_paths(graph), 1.0);
+  std::vector<bool> all(graph.edges.size(), true);
+  EXPECT_EQ(count_nodes_on_active_paths(graph, all), 3);
+}
+
+}  // namespace
+}  // namespace omnc::routing

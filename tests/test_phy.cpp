@@ -1,0 +1,65 @@
+#include "net/phy_model.h"
+
+#include <gtest/gtest.h>
+
+namespace omnc::net {
+namespace {
+
+TEST(UnitDiskPhy, StepFunction) {
+  UnitDiskPhy phy(100.0);
+  EXPECT_DOUBLE_EQ(phy.reception_probability(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(phy.reception_probability(100.0), 1.0);
+  EXPECT_DOUBLE_EQ(phy.reception_probability(100.01), 0.0);
+}
+
+TEST(TracePhy, UrbanMeshIsMonotoneNonIncreasing) {
+  const TracePhy phy = TracePhy::urban_mesh();
+  double last = 1.1;
+  for (double d = 0.0; d <= 500.0; d += 5.0) {
+    const double p = phy.reception_probability(d);
+    EXPECT_LE(p, last + 1e-12) << "d=" << d;
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    last = p;
+  }
+}
+
+TEST(TracePhy, RangeAtThresholdMatchesPaperDefinition) {
+  // The paper defines range as the distance where reception probability
+  // drops to 0.2; the default curve is normalized to 250 m.
+  const TracePhy phy = TracePhy::urban_mesh();
+  EXPECT_NEAR(phy.reception_probability(250.0), 0.2, 1e-9);
+  EXPECT_NEAR(phy.range_for_threshold(0.2), 250.0, 1.0);
+}
+
+TEST(TracePhy, InterpolatesBetweenControlPoints) {
+  TracePhy phy({{0.0, 1.0}, {100.0, 0.0}});
+  EXPECT_DOUBLE_EQ(phy.reception_probability(50.0), 0.5);
+  EXPECT_DOUBLE_EQ(phy.reception_probability(25.0), 0.75);
+}
+
+TEST(TracePhy, ClampsOutsideDomain) {
+  TracePhy phy({{10.0, 0.9}, {20.0, 0.1}});
+  EXPECT_DOUBLE_EQ(phy.reception_probability(0.0), 0.9);
+  EXPECT_DOUBLE_EQ(phy.reception_probability(1000.0), 0.1);
+}
+
+TEST(TracePhy, PowerFactorShortensEffectiveDistance) {
+  const TracePhy base = TracePhy::urban_mesh(1.0);
+  const TracePhy boosted = TracePhy::urban_mesh(2.0);
+  // Doubling power makes the link at d behave like one at d/2.
+  for (double d : {100.0, 200.0, 300.0}) {
+    EXPECT_DOUBLE_EQ(boosted.reception_probability(d),
+                     base.reception_probability(d / 2.0));
+    EXPECT_GE(boosted.reception_probability(d),
+              base.reception_probability(d));
+  }
+}
+
+TEST(PhyModel, RangeForThresholdBisection) {
+  UnitDiskPhy phy(42.0);
+  EXPECT_NEAR(phy.range_for_threshold(0.5), 42.0, 0.01);
+}
+
+}  // namespace
+}  // namespace omnc::net

@@ -1,0 +1,72 @@
+#include "experiments/probed.h"
+
+#include <gtest/gtest.h>
+
+#include "experiments/runner.h"
+
+namespace omnc::experiments {
+namespace {
+
+SessionSpec one_session() {
+  WorkloadConfig wc;
+  wc.deployment.nodes = 150;
+  wc.sessions = 1;
+  wc.min_hops = 3;
+  wc.max_hops = 7;
+  wc.seed = 77;
+  return generate_workload(wc).front();
+}
+
+TEST(ProbedSession, PreservesStructureAndApproximatesQualities) {
+  const SessionSpec spec = one_session();
+  ProbeModeConfig config;
+  config.probes_per_node = 400;
+  config.mac.fading.enabled = false;  // estimate the stationary mean
+  const ProbedSession probed = probe_session(spec, config);
+
+  ASSERT_EQ(probed.spec.graph.size(), spec.graph.size());
+  ASSERT_EQ(probed.spec.graph.edges.size(), spec.graph.edges.size());
+  EXPECT_GT(probed.probe_seconds, 0.0);
+  // Sampling error with 400 probes: sigma <= 0.025 per link; allow slack
+  // for MAC scheduling artifacts.
+  EXPECT_LT(probed.mean_abs_error, 0.08);
+  for (std::size_t e = 0; e < spec.graph.edges.size(); ++e) {
+    EXPECT_EQ(probed.spec.graph.edges[e].from, spec.graph.edges[e].from);
+    EXPECT_EQ(probed.spec.graph.edges[e].to, spec.graph.edges[e].to);
+    EXPECT_GT(probed.spec.graph.edges[e].p, 0.0);
+    EXPECT_LE(probed.spec.graph.edges[e].p, 1.0);
+  }
+}
+
+TEST(ProbedSession, ProtocolsRunOnMeasuredGraph) {
+  const SessionSpec spec = one_session();
+  ProbeModeConfig config;
+  config.probes_per_node = 150;
+  const ProbedSession probed = probe_session(spec, config);
+
+  RunConfig rc;
+  rc.protocol.coding.generation_blocks = 16;
+  rc.protocol.coding.block_bytes = 128;
+  rc.protocol.mac.slot_bytes = 12 + 16 + 128;
+  rc.protocol.max_sim_seconds = 60.0;
+  rc.run_oldmore = false;
+  const ComparisonResult result = run_comparison(probed.spec, rc);
+  EXPECT_GT(result.omnc.throughput_per_generation, 0.0);
+  EXPECT_TRUE(result.omnc.rc_converged);
+}
+
+TEST(ProbedSession, MoreProbesReduceError) {
+  const SessionSpec spec = one_session();
+  ProbeModeConfig coarse;
+  coarse.probes_per_node = 30;
+  coarse.mac.fading.enabled = false;
+  ProbeModeConfig fine;
+  fine.probes_per_node = 1000;
+  fine.mac.fading.enabled = false;
+  const double coarse_error = probe_session(spec, coarse).mean_abs_error;
+  const double fine_error = probe_session(spec, fine).mean_abs_error;
+  EXPECT_LT(fine_error, coarse_error);
+}
+
+}  // namespace
+}  // namespace omnc::experiments

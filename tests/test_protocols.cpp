@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "net/topology.h"
+#include "protocols/etx_routing.h"
+#include "protocols/more.h"
+#include "protocols/oldmore.h"
+#include "protocols/omnc.h"
+#include "routing/node_selection.h"
+
+namespace omnc::protocols {
+namespace {
+
+net::Topology diamond() {
+  std::vector<std::vector<double>> p(4, std::vector<double>(4, 0.0));
+  p[0][1] = p[1][0] = 0.8;
+  p[0][2] = p[2][0] = 0.6;
+  p[1][3] = p[3][1] = 0.7;
+  p[2][3] = p[3][2] = 0.9;
+  return net::Topology::from_link_matrix(p);
+}
+
+ProtocolConfig fast_config(std::uint64_t seed) {
+  ProtocolConfig config;
+  config.coding.generation_blocks = 8;
+  config.coding.block_bytes = 64;
+  config.mac.capacity_bytes_per_s = 2e4;
+  config.mac.slot_bytes = 12 + 8 + 64;
+  config.mac.fading.enabled = false;
+  config.cbr_bytes_per_s = 1e4;
+  config.max_sim_seconds = 60.0;
+  config.seed = seed;
+  return config;
+}
+
+TEST(Protocols, OmncDeliversGenerations) {
+  const net::Topology topo = diamond();
+  const routing::SessionGraph graph = routing::select_nodes(topo, 0, 3);
+  OmncProtocol omnc(topo, graph, fast_config(1), OmncConfig{});
+  const SessionResult result = omnc.run();
+  EXPECT_TRUE(result.connected);
+  EXPECT_GT(result.generations_completed, 3);
+  EXPECT_GT(result.throughput_bytes_per_s, 0.0);
+  EXPECT_GT(result.throughput_per_generation, 0.0);
+  EXPECT_GT(result.rc_iterations, 0);
+  EXPECT_GT(result.predicted_gamma, 0.0);
+  EXPECT_GT(result.transmissions, 0u);
+}
+
+TEST(Protocols, OmncRatesInstalledAndFeasible) {
+  const net::Topology topo = diamond();
+  const routing::SessionGraph graph = routing::select_nodes(topo, 0, 3);
+  OmncProtocol omnc(topo, graph, fast_config(2), OmncConfig{});
+  omnc.run();
+  const auto& rates = omnc.rates();
+  ASSERT_EQ(rates.size(), static_cast<std::size_t>(graph.size()));
+  for (double rate : rates) {
+    EXPECT_GE(rate, 0.0);
+    EXPECT_LE(rate, 2e4 + 1e-6);
+  }
+  EXPECT_GT(rates[static_cast<std::size_t>(graph.source)], 0.0);
+}
+
+TEST(Protocols, MoreDeliversGenerations) {
+  const net::Topology topo = diamond();
+  const routing::SessionGraph graph = routing::select_nodes(topo, 0, 3);
+  MoreProtocol more(topo, graph, fast_config(3), MoreConfig{});
+  const SessionResult result = more.run();
+  EXPECT_GT(result.generations_completed, 3);
+  EXPECT_GT(result.throughput_per_generation, 0.0);
+  // Credits computed for both relays.
+  for (int v = 0; v < graph.size(); ++v) {
+    if (v == graph.source || v == graph.destination) continue;
+    EXPECT_GT(more.tx_credit()[static_cast<std::size_t>(v)], 0.0);
+  }
+}
+
+TEST(Protocols, OldMoreDeliversGenerations) {
+  const net::Topology topo = diamond();
+  const routing::SessionGraph graph = routing::select_nodes(topo, 0, 3);
+  OldMoreProtocol oldmore(topo, graph, fast_config(4), OldMoreConfig{});
+  const SessionResult result = oldmore.run();
+  EXPECT_GT(result.generations_completed, 1);
+  EXPECT_GT(result.throughput_per_generation, 0.0);
+}
+
+TEST(Protocols, EtxRoutingDeliversAlongBestPath) {
+  const net::Topology topo = diamond();
+  EtxRoutingProtocol etx(topo, 0, 3, fast_config(5));
+  EXPECT_EQ(etx.route(), (std::vector<net::NodeId>{0, 1, 3}));
+  const SessionResult result = etx.run();
+  EXPECT_TRUE(result.connected);
+  EXPECT_GT(result.throughput_bytes_per_s, 0.0);
+  EXPECT_GT(result.transmissions, 0u);
+}
+
+TEST(Protocols, EtxRoutingDisconnectedReportsNotConnected) {
+  std::vector<std::vector<double>> p(4, std::vector<double>(4, 0.0));
+  p[0][1] = p[1][0] = 0.9;
+  const net::Topology topo = net::Topology::from_link_matrix(p);
+  EtxRoutingProtocol etx(topo, 0, 3, fast_config(6));
+  const SessionResult result = etx.run();
+  EXPECT_FALSE(result.connected);
+  EXPECT_DOUBLE_EQ(result.throughput_bytes_per_s, 0.0);
+}
+
+TEST(Protocols, ResultsAreDeterministicPerSeed) {
+  const net::Topology topo = diamond();
+  const routing::SessionGraph graph = routing::select_nodes(topo, 0, 3);
+  const SessionResult a =
+      OmncProtocol(topo, graph, fast_config(7), OmncConfig{}).run();
+  const SessionResult b =
+      OmncProtocol(topo, graph, fast_config(7), OmncConfig{}).run();
+  EXPECT_EQ(a.generations_completed, b.generations_completed);
+  EXPECT_DOUBLE_EQ(a.throughput_per_generation, b.throughput_per_generation);
+  EXPECT_EQ(a.transmissions, b.transmissions);
+}
+
+TEST(Protocols, DifferentSeedsProduceDifferentRuns) {
+  const net::Topology topo = diamond();
+  const routing::SessionGraph graph = routing::select_nodes(topo, 0, 3);
+  const SessionResult a =
+      OmncProtocol(topo, graph, fast_config(8), OmncConfig{}).run();
+  const SessionResult b =
+      OmncProtocol(topo, graph, fast_config(9), OmncConfig{}).run();
+  EXPECT_NE(a.transmissions, b.transmissions);
+}
+
+TEST(Protocols, UtilityRatiosWithinBounds) {
+  const net::Topology topo = diamond();
+  const routing::SessionGraph graph = routing::select_nodes(topo, 0, 3);
+  for (int seed = 10; seed < 13; ++seed) {
+    const SessionResult result =
+        OmncProtocol(topo, graph, fast_config(seed), OmncConfig{}).run();
+    EXPECT_GE(result.node_utility_ratio, 0.0);
+    EXPECT_LE(result.node_utility_ratio, 1.0);
+    EXPECT_GE(result.path_utility_ratio, 0.0);
+    EXPECT_LE(result.path_utility_ratio, 1.0);
+  }
+}
+
+TEST(Protocols, OmncQueuesStaySmallUnderIdealScheduling) {
+  // The headline Fig. 3 property: the rate vector satisfies the broadcast
+  // constraint (4), so under a scheduler that realizes that capacity region
+  // (ideal TDMA) queues stay around or below one packet.  (Under CSMA the
+  // contention overhead makes small residual queues possible; the Fig. 3
+  // bench measures that configuration.)
+  const net::Topology topo = diamond();
+  const routing::SessionGraph graph = routing::select_nodes(topo, 0, 3);
+  ProtocolConfig config = fast_config(14);
+  config.mac.mode = net::MacMode::kIdealScheduling;
+  const SessionResult result =
+      OmncProtocol(topo, graph, config, OmncConfig{}).run();
+  EXPECT_LT(result.mean_queue, 2.0);
+}
+
+TEST(Protocols, CbrLimitsGenerationAvailability) {
+  // With a very slow CBR the source is data-starved: few generations.
+  const net::Topology topo = diamond();
+  const routing::SessionGraph graph = routing::select_nodes(topo, 0, 3);
+  ProtocolConfig config = fast_config(15);
+  config.cbr_bytes_per_s = 100.0;  // one 512 B generation every ~5.1 s
+  const SessionResult result =
+      OmncProtocol(topo, graph, config, OmncConfig{}).run();
+  EXPECT_LE(result.generations_completed, 12);
+}
+
+TEST(Protocols, MaxGenerationsStopsSession) {
+  const net::Topology topo = diamond();
+  const routing::SessionGraph graph = routing::select_nodes(topo, 0, 3);
+  ProtocolConfig config = fast_config(16);
+  config.max_generations = 2;
+  const SessionResult result =
+      OmncProtocol(topo, graph, config, OmncConfig{}).run();
+  EXPECT_EQ(result.generations_completed, 2);
+}
+
+}  // namespace
+}  // namespace omnc::protocols

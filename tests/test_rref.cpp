@@ -1,0 +1,124 @@
+#include "coding/rref.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "galois/gf256.h"
+#include "galois/matrix.h"
+
+namespace omnc::coding {
+namespace {
+
+std::vector<std::uint8_t> row_of(std::initializer_list<int> values) {
+  std::vector<std::uint8_t> row;
+  for (int v : values) row.push_back(static_cast<std::uint8_t>(v));
+  return row;
+}
+
+TEST(Rref, AcceptsIndependentRejectsDependent) {
+  RrefAccumulator acc(3, 3);
+  EXPECT_TRUE(acc.insert(row_of({1, 0, 0})));
+  EXPECT_TRUE(acc.insert(row_of({0, 1, 0})));
+  EXPECT_FALSE(acc.insert(row_of({1, 1, 0})));  // in the span
+  EXPECT_EQ(acc.rank(), 2u);
+  EXPECT_TRUE(acc.insert(row_of({5, 7, 9})));
+  EXPECT_TRUE(acc.complete());
+}
+
+TEST(Rref, DuplicateRowRejected) {
+  RrefAccumulator acc(4, 4);
+  EXPECT_TRUE(acc.insert(row_of({2, 3, 4, 5})));
+  EXPECT_FALSE(acc.insert(row_of({2, 3, 4, 5})));
+  // A scalar multiple is also dependent.
+  std::vector<std::uint8_t> scaled(4);
+  const auto base = row_of({2, 3, 4, 5});
+  for (int i = 0; i < 4; ++i) scaled[i] = gf::mul(base[i], 0x3D);
+  EXPECT_FALSE(acc.insert(scaled));
+}
+
+TEST(Rref, ZeroRowRejected) {
+  RrefAccumulator acc(3, 3);
+  EXPECT_FALSE(acc.insert(row_of({0, 0, 0})));
+  EXPECT_EQ(acc.rank(), 0u);
+}
+
+TEST(Rref, MaintainsReducedForm) {
+  // After inserting enough rows, every basis row must have a unit pivot and
+  // zeros in every other pivot column.
+  Rng rng(3);
+  RrefAccumulator acc(8, 8);
+  while (!acc.complete()) {
+    std::vector<std::uint8_t> row(8);
+    for (auto& b : row) b = rng.next_byte();
+    acc.insert(std::move(row));
+  }
+  for (std::size_t pivot = 0; pivot < 8; ++pivot) {
+    const std::uint8_t* row = acc.row_for_pivot(pivot);
+    ASSERT_NE(row, nullptr);
+    for (std::size_t c = 0; c < 8; ++c) {
+      EXPECT_EQ(row[c], c == pivot ? 1 : 0);
+    }
+  }
+}
+
+TEST(Rref, PayloadFollowsRowOperations) {
+  // Rows carry [coefficients | payload]; when complete, the payload part for
+  // pivot i must equal the i-th original block.
+  Rng rng(4);
+  const gf::Matrix blocks = gf::Matrix::random(5, 13, rng);
+  RrefAccumulator acc(5, 5 + 13);
+  while (!acc.complete()) {
+    // Build a random combination with its payload.
+    std::vector<std::uint8_t> row(18, 0);
+    for (std::size_t b = 0; b < 5; ++b) {
+      const std::uint8_t c = rng.next_byte();
+      row[b] = c;
+      for (std::size_t k = 0; k < 13; ++k) {
+        row[5 + k] = gf::add(row[5 + k], gf::mul(c, blocks.at(b, k)));
+      }
+    }
+    acc.insert(std::move(row));
+  }
+  for (std::size_t b = 0; b < 5; ++b) {
+    const std::uint8_t* row = acc.row_for_pivot(b);
+    ASSERT_NE(row, nullptr);
+    for (std::size_t k = 0; k < 13; ++k) {
+      EXPECT_EQ(row[5 + k], blocks.at(b, k));
+    }
+  }
+}
+
+TEST(Rref, WouldBeInnovativeDoesNotMutate) {
+  RrefAccumulator acc(3, 3);
+  ASSERT_TRUE(acc.insert(row_of({1, 2, 3})));
+  const auto candidate = row_of({0, 5, 6});
+  EXPECT_TRUE(acc.would_be_innovative(candidate.data()));
+  EXPECT_EQ(acc.rank(), 1u);  // unchanged
+  const auto dependent = row_of({1, 2, 3});
+  EXPECT_FALSE(acc.would_be_innovative(dependent.data()));
+  EXPECT_EQ(acc.rank(), 1u);
+}
+
+TEST(Rref, ClearResetsState) {
+  RrefAccumulator acc(2, 2);
+  ASSERT_TRUE(acc.insert(row_of({1, 1})));
+  acc.clear();
+  EXPECT_EQ(acc.rank(), 0u);
+  EXPECT_EQ(acc.row_for_pivot(0), nullptr);
+  EXPECT_TRUE(acc.insert(row_of({1, 1})));  // accepted again after clear
+}
+
+TEST(Rref, RankNeverExceedsPivotColumns) {
+  Rng rng(9);
+  RrefAccumulator acc(4, 4);
+  for (int i = 0; i < 100; ++i) {
+    std::vector<std::uint8_t> row(4);
+    for (auto& b : row) b = rng.next_byte();
+    acc.insert(std::move(row));
+    EXPECT_LE(acc.rank(), 4u);
+  }
+  EXPECT_TRUE(acc.complete());
+}
+
+}  // namespace
+}  // namespace omnc::coding

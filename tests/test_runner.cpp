@@ -1,0 +1,97 @@
+#include "experiments/runner.h"
+
+#include <gtest/gtest.h>
+
+#include "experiments/workload.h"
+
+namespace omnc::experiments {
+namespace {
+
+SessionSpec quick_session() {
+  WorkloadConfig wc;
+  wc.deployment.nodes = 120;
+  wc.sessions = 1;
+  wc.min_hops = 3;
+  wc.max_hops = 6;
+  wc.seed = 909;
+  return generate_workload(wc).front();
+}
+
+RunConfig quick_config() {
+  RunConfig rc;
+  rc.protocol.coding.generation_blocks = 8;
+  rc.protocol.coding.block_bytes = 64;
+  rc.protocol.mac.slot_bytes = 12 + 8 + 64;
+  rc.protocol.max_sim_seconds = 40.0;
+  return rc;
+}
+
+TEST(Runner, DisabledProtocolsAreSkipped) {
+  const SessionSpec spec = quick_session();
+  RunConfig rc = quick_config();
+  rc.run_more = false;
+  rc.run_oldmore = false;
+  const ComparisonResult r = run_comparison(spec, rc);
+  EXPECT_GT(r.omnc.transmissions, 0u);
+  EXPECT_EQ(r.more.transmissions, 0u);
+  EXPECT_EQ(r.oldmore.transmissions, 0u);
+  EXPECT_DOUBLE_EQ(r.gain_more, 0.0);
+  EXPECT_DOUBLE_EQ(r.gain_oldmore, 0.0);
+}
+
+TEST(Runner, LpOnlyWhenRequested) {
+  const SessionSpec spec = quick_session();
+  RunConfig rc = quick_config();
+  EXPECT_DOUBLE_EQ(run_comparison(spec, rc).lp_gamma, 0.0);
+  rc.solve_lp = true;
+  EXPECT_GT(run_comparison(spec, rc).lp_gamma, 0.0);
+}
+
+TEST(Runner, GainUsesEtxBaseline) {
+  const SessionSpec spec = quick_session();
+  RunConfig rc = quick_config();
+  const ComparisonResult r = run_comparison(spec, rc);
+  if (r.etx.throughput_bytes_per_s > 0.0) {
+    EXPECT_NEAR(r.gain_omnc,
+                r.omnc.throughput_per_generation /
+                    r.etx.throughput_bytes_per_s,
+                1e-12);
+  }
+}
+
+TEST(Runner, WithoutEtxGainsAreZero) {
+  const SessionSpec spec = quick_session();
+  RunConfig rc = quick_config();
+  rc.run_etx = false;
+  const ComparisonResult r = run_comparison(spec, rc);
+  EXPECT_DOUBLE_EQ(r.gain_omnc, 0.0);
+  EXPECT_GT(r.omnc.throughput_per_generation, 0.0);
+}
+
+TEST(Runner, RunAllPreservesOrder) {
+  WorkloadConfig wc;
+  wc.deployment.nodes = 120;
+  wc.sessions = 3;
+  wc.min_hops = 3;
+  wc.max_hops = 6;
+  wc.seed = 911;
+  const auto sessions = generate_workload(wc);
+  RunConfig rc = quick_config();
+  rc.run_more = false;
+  rc.run_oldmore = false;
+  std::size_t calls = 0;
+  const auto results =
+      run_all(sessions, rc, nullptr,
+              [&](std::size_t done, std::size_t total) {
+                ++calls;
+                EXPECT_LE(done, total);
+              });
+  EXPECT_EQ(results.size(), 3u);
+  EXPECT_EQ(calls, 3u);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].spec_summary.src, sessions[i].src);
+  }
+}
+
+}  // namespace
+}  // namespace omnc::experiments

@@ -1,0 +1,124 @@
+#include "routing/shortest_path.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace omnc::routing {
+namespace {
+
+TEST(ShortestPath, DijkstraSimpleChain) {
+  // 0 -> 1 -> 2 with costs 1, 2; target 2.
+  std::vector<GraphEdge> edges = {{0, 1, 1.0}, {1, 2, 2.0}};
+  const ShortestPathTree tree = dijkstra_to_target(3, edges, 2);
+  EXPECT_DOUBLE_EQ(tree.distance[0], 3.0);
+  EXPECT_DOUBLE_EQ(tree.distance[1], 2.0);
+  EXPECT_DOUBLE_EQ(tree.distance[2], 0.0);
+  EXPECT_EQ(tree.next_hop[0], 1);
+  EXPECT_EQ(tree.next_hop[1], 2);
+  EXPECT_EQ(tree.next_hop[2], -1);
+}
+
+TEST(ShortestPath, PicksCheaperOfTwoRoutes) {
+  // 0 -> 2 direct cost 5; 0 -> 1 -> 2 cost 2 + 2 = 4.
+  std::vector<GraphEdge> edges = {{0, 2, 5.0}, {0, 1, 2.0}, {1, 2, 2.0}};
+  const ShortestPathTree tree = dijkstra_to_target(3, edges, 2);
+  EXPECT_DOUBLE_EQ(tree.distance[0], 4.0);
+  EXPECT_EQ(tree.next_hop[0], 1);
+}
+
+TEST(ShortestPath, UnreachableNodes) {
+  std::vector<GraphEdge> edges = {{0, 1, 1.0}};
+  const ShortestPathTree tree = dijkstra_to_target(3, edges, 1);
+  EXPECT_DOUBLE_EQ(tree.distance[0], 1.0);
+  EXPECT_EQ(tree.distance[2], kUnreachable);
+  EXPECT_EQ(tree.next_hop[2], -1);
+  EXPECT_TRUE(extract_path(tree, 2, 1).empty());
+}
+
+TEST(ShortestPath, ExtractPathWalksToTarget) {
+  std::vector<GraphEdge> edges = {{0, 1, 1.0}, {1, 2, 1.0}, {2, 3, 1.0}};
+  const ShortestPathTree tree = dijkstra_to_target(4, edges, 3);
+  const auto path = extract_path(tree, 0, 3);
+  EXPECT_EQ(path, (std::vector<int>{0, 1, 2, 3}));
+  const auto self = extract_path(tree, 3, 3);
+  EXPECT_EQ(self, (std::vector<int>{3}));
+}
+
+TEST(ShortestPath, ZeroCostEdgesHandled) {
+  std::vector<GraphEdge> edges = {{0, 1, 0.0}, {1, 2, 0.0}};
+  const ShortestPathTree tree = dijkstra_to_target(3, edges, 2);
+  EXPECT_DOUBLE_EQ(tree.distance[0], 0.0);
+  const auto path = extract_path(tree, 0, 2);
+  EXPECT_EQ(path.size(), 3u);
+}
+
+TEST(ShortestPath, BellmanFordMatchesDijkstraOnRandomGraphs) {
+  Rng rng(17);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int n = rng.uniform_int(4, 30);
+    std::vector<GraphEdge> edges;
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        if (i != j && rng.chance(0.3)) {
+          edges.push_back(GraphEdge{i, j, rng.uniform(0.1, 10.0)});
+        }
+      }
+    }
+    const int target = rng.uniform_int(0, n - 1);
+    const ShortestPathTree d = dijkstra_to_target(n, edges, target);
+    const ShortestPathTree bf = bellman_ford_to_target(n, edges, target);
+    for (int v = 0; v < n; ++v) {
+      if (d.distance[static_cast<std::size_t>(v)] == kUnreachable) {
+        EXPECT_EQ(bf.distance[static_cast<std::size_t>(v)], kUnreachable);
+      } else {
+        EXPECT_NEAR(bf.distance[static_cast<std::size_t>(v)],
+                    d.distance[static_cast<std::size_t>(v)], 1e-9);
+      }
+    }
+  }
+}
+
+TEST(ShortestPath, BellmanFordReportsRounds) {
+  // A chain of length k needs ~k relaxation rounds.
+  std::vector<GraphEdge> edges;
+  const int n = 10;
+  for (int i = 0; i + 1 < n; ++i) edges.push_back(GraphEdge{i, i + 1, 1.0});
+  const ShortestPathTree tree = bellman_ford_to_target(n, edges, n - 1);
+  EXPECT_GE(tree.rounds, 2);
+  EXPECT_LE(tree.rounds, n + 1);
+  EXPECT_DOUBLE_EQ(tree.distance[0], static_cast<double>(n - 1));
+}
+
+TEST(ShortestPath, BellmanFordPathIsConsistentWithDistances) {
+  Rng rng(23);
+  std::vector<GraphEdge> edges;
+  const int n = 15;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i != j && rng.chance(0.4)) {
+        edges.push_back(GraphEdge{i, j, rng.uniform(0.5, 3.0)});
+      }
+    }
+  }
+  const ShortestPathTree tree = bellman_ford_to_target(n, edges, 0);
+  for (int v = 1; v < n; ++v) {
+    if (tree.distance[static_cast<std::size_t>(v)] == kUnreachable) continue;
+    const auto path = extract_path(tree, v, 0);
+    double cost = 0.0;
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      double best = kUnreachable;
+      for (const auto& e : edges) {
+        if (e.from == path[i] && e.to == path[i + 1]) {
+          best = std::min(best, e.cost);
+        }
+      }
+      ASSERT_NE(best, kUnreachable);
+      cost += best;
+    }
+    EXPECT_NEAR(cost, tree.distance[static_cast<std::size_t>(v)], 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace omnc::routing

@@ -1,0 +1,128 @@
+#include "opt/sunicast.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "net/topology.h"
+#include "routing/node_selection.h"
+
+namespace omnc::opt {
+namespace {
+
+routing::SessionGraph diamond_graph() {
+  std::vector<std::vector<double>> p(4, std::vector<double>(4, 0.0));
+  p[0][1] = p[1][0] = 0.8;
+  p[0][2] = p[2][0] = 0.6;
+  p[1][3] = p[3][1] = 0.7;
+  p[2][3] = p[3][2] = 0.9;
+  const net::Topology topo = net::Topology::from_link_matrix(p);
+  return routing::select_nodes(topo, 0, 3);
+}
+
+routing::SessionGraph chain_graph(double p01, double p12) {
+  std::vector<std::vector<double>> p(3, std::vector<double>(3, 0.0));
+  p[0][1] = p[1][0] = p01;
+  p[1][2] = p[2][1] = p12;
+  const net::Topology topo = net::Topology::from_link_matrix(p);
+  return routing::select_nodes(topo, 0, 2);
+}
+
+TEST(SUnicast, ChainOptimumHandComputed) {
+  // Chain S -a-> R -b-> T, capacity C.  Everyone hears everyone (3 nodes in
+  // one neighborhood): receiver constraints force b_S + b_R <= C at both
+  // receivers.  gamma = min(b_S * a, b_R * b) is maximized by
+  // b_S * a = b_R * b with b_S + b_R = C:
+  //   b_S = C * b / (a + b), gamma = C * a * b / (a + b).
+  const double a = 0.8;
+  const double b = 0.5;
+  const double capacity = 1000.0;
+  const routing::SessionGraph graph = chain_graph(a, b);
+  ASSERT_EQ(graph.size(), 3);
+  const SUnicastSolution solution = solve_sunicast(graph, capacity);
+  ASSERT_TRUE(solution.feasible);
+  EXPECT_NEAR(solution.gamma, capacity * a * b / (a + b), 1e-6);
+}
+
+TEST(SUnicast, DiamondOptimumMatchesKnownValue) {
+  // Verified against the LP by hand-tuned balance (see scratch derivation):
+  // relays split the channel with the source; gamma* = 65333.3 at C = 1e5.
+  const routing::SessionGraph graph = diamond_graph();
+  const SUnicastSolution solution = solve_sunicast(graph, 1e5);
+  ASSERT_TRUE(solution.feasible);
+  EXPECT_NEAR(solution.gamma, 65333.33, 1.0);
+}
+
+TEST(SUnicast, SolutionSatisfiesBroadcastConstraint) {
+  const routing::SessionGraph graph = diamond_graph();
+  const double capacity = 2e4;
+  const SUnicastSolution solution = solve_sunicast(graph, capacity);
+  ASSERT_TRUE(solution.feasible);
+  EXPECT_LE(broadcast_load_factor(graph, solution.b, capacity), 1.0 + 1e-9);
+}
+
+TEST(SUnicast, SolutionSatisfiesLossConstraint) {
+  const routing::SessionGraph graph = diamond_graph();
+  const SUnicastSolution solution = solve_sunicast(graph, 1e4);
+  ASSERT_TRUE(solution.feasible);
+  for (std::size_t e = 0; e < graph.edges.size(); ++e) {
+    const auto& edge = graph.edges[e];
+    EXPECT_GE(solution.b[static_cast<std::size_t>(edge.from)] * edge.p,
+              solution.x[e] - 1e-6);
+  }
+}
+
+TEST(SUnicast, GammaScalesLinearlyWithCapacity) {
+  const routing::SessionGraph graph = diamond_graph();
+  const SUnicastSolution at1 = solve_sunicast(graph, 1e4);
+  const SUnicastSolution at2 = solve_sunicast(graph, 2e4);
+  ASSERT_TRUE(at1.feasible && at2.feasible);
+  EXPECT_NEAR(at2.gamma, 2.0 * at1.gamma, 1e-5 * at2.gamma);
+}
+
+TEST(SUnicast, BetterLinksNeverReduceThroughput) {
+  const routing::SessionGraph weak = chain_graph(0.4, 0.4);
+  const routing::SessionGraph strong = chain_graph(0.8, 0.8);
+  const SUnicastSolution sw = solve_sunicast(weak, 1e4);
+  const SUnicastSolution ss = solve_sunicast(strong, 1e4);
+  ASSERT_TRUE(sw.feasible && ss.feasible);
+  EXPECT_GT(ss.gamma, sw.gamma);
+}
+
+TEST(SUnicast, LoadFactorAndRescale) {
+  const routing::SessionGraph graph = diamond_graph();
+  std::vector<double> rates(static_cast<std::size_t>(graph.size()), 1e4);
+  const double load = broadcast_load_factor(graph, rates, 1e4);
+  EXPECT_GT(load, 1.0);  // everyone at full capacity is infeasible
+  std::vector<double> scaled = rates;
+  const double scale = rescale_to_feasible(graph, scaled, 1e4);
+  EXPECT_LT(scale, 1.0);
+  EXPECT_NEAR(broadcast_load_factor(graph, scaled, 1e4), 1.0, 1e-9);
+  // Already-feasible vectors are untouched.
+  std::vector<double> small(static_cast<std::size_t>(graph.size()), 1.0);
+  EXPECT_DOUBLE_EQ(rescale_to_feasible(graph, small, 1e4), 1.0);
+}
+
+TEST(SUnicast, RandomGraphsFeasibleAndBounded) {
+  Rng rng(5);
+  net::DeploymentConfig config;
+  config.nodes = 100;
+  const net::Topology topo = net::Topology::random_deployment(config, rng);
+  int solved = 0;
+  for (int trial = 0; trial < 40 && solved < 8; ++trial) {
+    const net::NodeId src = rng.uniform_int(0, 99);
+    const net::NodeId dst = rng.uniform_int(0, 99);
+    if (src == dst) continue;
+    const routing::SessionGraph graph = routing::select_nodes(topo, src, dst);
+    if (graph.size() < 3 || graph.edges.empty()) continue;
+    const SUnicastSolution solution = solve_sunicast(graph, 2e4);
+    if (!solution.feasible) continue;
+    ++solved;
+    EXPECT_GT(solution.gamma, 0.0);
+    EXPECT_LT(solution.gamma, 2e4);
+    EXPECT_LE(broadcast_load_factor(graph, solution.b, 2e4), 1.0 + 1e-6);
+  }
+  EXPECT_GE(solved, 5);
+}
+
+}  // namespace
+}  // namespace omnc::opt

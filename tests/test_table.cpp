@@ -1,0 +1,61 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+namespace omnc {
+namespace {
+
+TEST(TextTable, RendersAlignedRows) {
+  TextTable table({"proto", "gain"});
+  table.add_row({"OMNC", "2.45"});
+  table.add_row({"MORE", "1.67"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("proto"), std::string::npos);
+  EXPECT_NE(out.find("OMNC"), std::string::npos);
+  EXPECT_NE(out.find("2.45"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("|---"), std::string::npos);
+}
+
+TEST(TextTable, ShortRowsArePadded) {
+  TextTable table({"a", "b", "c"});
+  table.add_row({"only"});
+  const std::string out = table.render();
+  // Three columns rendered on every row: four pipes per line.
+  const auto first_newline = out.find('\n');
+  const std::string header = out.substr(0, first_newline);
+  EXPECT_EQ(std::count(header.begin(), header.end(), '|'), 4);
+}
+
+TEST(TextTable, FmtPrecision) {
+  EXPECT_EQ(TextTable::fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(TextTable::fmt(2.0, 0), "2");
+}
+
+TEST(CdfChart, ContainsLegendAndAxis) {
+  Cdf a({1.0, 2.0, 3.0});
+  Cdf b({2.0, 4.0});
+  const std::string chart = render_cdf_chart(
+      {{"omnc", &a}, {"more", &b}}, 0.0, 5.0, 40, 10);
+  EXPECT_NE(chart.find("legend"), std::string::npos);
+  EXPECT_NE(chart.find("omnc"), std::string::npos);
+  EXPECT_NE(chart.find("more"), std::string::npos);
+  EXPECT_NE(chart.find("1.00 |"), std::string::npos);
+}
+
+TEST(CdfChart, EmptySeriesDoesNotCrash) {
+  Cdf empty;
+  const std::string chart =
+      render_cdf_chart({{"empty", &empty}}, 0.0, 1.0, 20, 8);
+  EXPECT_FALSE(chart.empty());
+}
+
+TEST(CdfData, EmitsRequestedPointCount) {
+  Cdf a({0.0, 1.0});
+  const std::string data = render_cdf_data({{"x", &a}}, 0.0, 1.0, 5);
+  // Header plus 5 data rows.
+  EXPECT_EQ(std::count(data.begin(), data.end(), '\n'), 6);
+}
+
+}  // namespace
+}  // namespace omnc

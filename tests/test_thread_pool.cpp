@@ -1,0 +1,59 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace omnc {
+namespace {
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForEachCoversRange) {
+  ThreadPool pool(3);
+  std::vector<int> hit(257, 0);
+  pool.parallel_for_each(hit.size(), [&](std::size_t i) { hit[i] = 1; });
+  EXPECT_EQ(std::accumulate(hit.begin(), hit.end(), 0), 257);
+}
+
+TEST(ThreadPool, ParallelForEachRethrowsFirstError) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for_each(10,
+                             [](std::size_t i) {
+                               if (i == 3) throw std::runtime_error("boom");
+                             }),
+      std::runtime_error);
+  // The pool survives the failure and stays usable.
+  std::atomic<int> counter{0};
+  pool.parallel_for_each(5, [&](std::size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 5);
+}
+
+TEST(ThreadPool, SingleThreadPoolWorks) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.thread_count(), 1u);
+  std::atomic<int> counter{0};
+  pool.parallel_for_each(20, [&](std::size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not deadlock
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace omnc

@@ -1,0 +1,154 @@
+#include "net/topology.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace omnc::net {
+namespace {
+
+TEST(Topology, FromLinkMatrixBasics) {
+  std::vector<std::vector<double>> p = {
+      {0.0, 0.8, 0.0},
+      {0.7, 0.0, 0.5},
+      {0.0, 0.4, 0.0},
+  };
+  const Topology topo = Topology::from_link_matrix(p);
+  EXPECT_EQ(topo.node_count(), 3);
+  EXPECT_DOUBLE_EQ(topo.prob(0, 1), 0.8);
+  EXPECT_DOUBLE_EQ(topo.prob(1, 0), 0.7);
+  EXPECT_DOUBLE_EQ(topo.prob(0, 2), 0.0);
+  EXPECT_EQ(topo.neighbors(0), (std::vector<NodeId>{1}));
+  EXPECT_EQ(topo.neighbors(1), (std::vector<NodeId>{0, 2}));
+  EXPECT_TRUE(topo.in_range(1, 2));
+  EXPECT_FALSE(topo.in_range(0, 2));
+}
+
+TEST(Topology, LinkMatrixConflictsAreAudibilityBased) {
+  // 0-1 linked, 1-2 linked, 0-2 not: 0 and 2 conflict only through a common
+  // receiver, which is not part of the pairwise (audibility) conflict; the
+  // MAC resolves that case via collisions instead.
+  std::vector<std::vector<double>> p = {
+      {0.0, 0.8, 0.0},
+      {0.8, 0.0, 0.8},
+      {0.0, 0.8, 0.0},
+  };
+  const Topology topo = Topology::from_link_matrix(p);
+  EXPECT_TRUE(topo.conflicts(0, 1));
+  EXPECT_TRUE(topo.conflicts(1, 2));
+  EXPECT_TRUE(topo.conflicts(0, 2));  // common receiver 1
+  EXPECT_TRUE(topo.interferes(0, 1));
+  EXPECT_FALSE(topo.interferes(0, 2));
+}
+
+TEST(Topology, RandomDeploymentDensityCalibration) {
+  DeploymentConfig config;
+  config.nodes = 300;
+  config.density = 6.0;
+  Rng rng(7);
+  const Topology topo = Topology::random_deployment(config, rng);
+  EXPECT_EQ(topo.node_count(), 300);
+  // Expected ~5 neighbors; boundary effects shave some off.
+  EXPECT_GT(topo.mean_neighbor_count(), 3.5);
+  EXPECT_LT(topo.mean_neighbor_count(), 6.5);
+}
+
+TEST(Topology, LossyDeploymentMeanLinkQualityNearPaper) {
+  DeploymentConfig config;
+  Rng rng(42);
+  const Topology topo = Topology::random_deployment(config, rng);
+  // The paper's lossy operating point: mean reception probability ~0.58.
+  EXPECT_NEAR(topo.mean_link_probability(), 0.58, 0.05);
+}
+
+TEST(Topology, PowerBoostRaisesLinkQualityAndInterference) {
+  DeploymentConfig lossy;
+  DeploymentConfig strong;
+  strong.power_factor = 2.0;
+  Rng rng1(3);
+  Rng rng2(3);
+  const Topology a = Topology::random_deployment(lossy, rng1);
+  const Topology b = Topology::random_deployment(strong, rng2);
+  EXPECT_GT(b.mean_link_probability(), a.mean_link_probability() + 0.15);
+  EXPECT_GT(b.interference_range(), a.interference_range());
+  // Same node count and link structure (same seed, same positions).
+  EXPECT_EQ(a.link_count(), b.link_count());
+}
+
+TEST(Topology, LinksOnlyWithinRange) {
+  DeploymentConfig config;
+  config.nodes = 50;
+  Rng rng(11);
+  const Topology topo = Topology::random_deployment(config, rng);
+  for (NodeId i = 0; i < topo.node_count(); ++i) {
+    for (NodeId j : topo.neighbors(i)) {
+      EXPECT_LE(topo.distance(i, j), config.range_m + 1e-9);
+      EXPECT_GT(topo.prob(i, j), 0.0);
+    }
+  }
+}
+
+TEST(Topology, InterferenceSupersetOfLinks) {
+  DeploymentConfig config;
+  config.nodes = 60;
+  config.power_factor = 1.5;
+  Rng rng(13);
+  const Topology topo = Topology::random_deployment(config, rng);
+  for (NodeId i = 0; i < topo.node_count(); ++i) {
+    for (NodeId j : topo.neighbors(i)) {
+      EXPECT_TRUE(topo.interferes(i, j));
+    }
+    EXPECT_GE(topo.interference_neighbors(i).size(),
+              topo.neighbors(i).size());
+  }
+}
+
+TEST(Topology, DistanceIsSymmetricAndPositive) {
+  DeploymentConfig config;
+  config.nodes = 20;
+  Rng rng(5);
+  const Topology topo = Topology::random_deployment(config, rng);
+  for (NodeId i = 0; i < topo.node_count(); ++i) {
+    EXPECT_DOUBLE_EQ(topo.distance(i, i), 0.0);
+    for (NodeId j = 0; j < topo.node_count(); ++j) {
+      EXPECT_DOUBLE_EQ(topo.distance(i, j), topo.distance(j, i));
+    }
+  }
+}
+
+TEST(Topology, DeterministicForSeed) {
+  DeploymentConfig config;
+  config.nodes = 40;
+  Rng rng1(77);
+  Rng rng2(77);
+  const Topology a = Topology::random_deployment(config, rng1);
+  const Topology b = Topology::random_deployment(config, rng2);
+  EXPECT_EQ(a.link_count(), b.link_count());
+  for (NodeId i = 0; i < a.node_count(); ++i) {
+    for (NodeId j = 0; j < a.node_count(); ++j) {
+      EXPECT_DOUBLE_EQ(a.prob(i, j), b.prob(i, j));
+    }
+  }
+}
+
+TEST(Topology, ShadowingCreatesAsymmetricLinks) {
+  DeploymentConfig config;
+  config.nodes = 100;
+  Rng rng(21);
+  const Topology topo = Topology::random_deployment(config, rng);
+  int asymmetric = 0;
+  int links = 0;
+  for (NodeId i = 0; i < topo.node_count(); ++i) {
+    for (NodeId j : topo.neighbors(i)) {
+      if (i < j && topo.prob(j, i) > 0.0) {
+        ++links;
+        if (std::abs(topo.prob(i, j) - topo.prob(j, i)) > 0.01) ++asymmetric;
+      }
+    }
+  }
+  ASSERT_GT(links, 0);
+  EXPECT_GT(asymmetric, links / 2);  // per-direction jitter is independent
+}
+
+}  // namespace
+}  // namespace omnc::net

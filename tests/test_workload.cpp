@@ -1,0 +1,78 @@
+#include "experiments/workload.h"
+
+#include <gtest/gtest.h>
+
+#include "routing/etx.h"
+
+namespace omnc::experiments {
+namespace {
+
+WorkloadConfig small_config() {
+  WorkloadConfig config;
+  config.deployment.nodes = 150;
+  config.sessions = 12;
+  config.min_hops = 3;
+  config.max_hops = 8;
+  config.seed = 101;
+  return config;
+}
+
+TEST(Workload, GeneratesRequestedSessionCount) {
+  const auto sessions = generate_workload(small_config());
+  EXPECT_EQ(sessions.size(), 12u);
+}
+
+TEST(Workload, HopBoundsRespected) {
+  const auto sessions = generate_workload(small_config());
+  for (const auto& session : sessions) {
+    EXPECT_GE(session.hops, 3);
+    EXPECT_LE(session.hops, 8);
+    // The recorded hop count matches a fresh computation.
+    EXPECT_EQ(routing::etx_hop_count(*session.topology, session.src,
+                                     session.dst),
+              session.hops);
+  }
+}
+
+TEST(Workload, SessionGraphsAreValid) {
+  const auto sessions = generate_workload(small_config());
+  for (const auto& session : sessions) {
+    EXPECT_GE(session.graph.size(), 2);
+    EXPECT_FALSE(session.graph.edges.empty());
+    EXPECT_EQ(session.graph.node_id(session.graph.source), session.src);
+    EXPECT_EQ(session.graph.node_id(session.graph.destination), session.dst);
+  }
+}
+
+TEST(Workload, DeterministicForSeed) {
+  const auto a = generate_workload(small_config());
+  const auto b = generate_workload(small_config());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].src, b[i].src);
+    EXPECT_EQ(a[i].dst, b[i].dst);
+    EXPECT_EQ(a[i].seed, b[i].seed);
+  }
+}
+
+TEST(Workload, DistinctSeedsPerSession) {
+  const auto sessions = generate_workload(small_config());
+  for (std::size_t i = 0; i < sessions.size(); ++i) {
+    for (std::size_t j = i + 1; j < sessions.size(); ++j) {
+      EXPECT_NE(sessions[i].seed, sessions[j].seed);
+    }
+  }
+}
+
+TEST(Workload, MultipleTopologiesRoundRobin) {
+  WorkloadConfig config = small_config();
+  config.topologies = 3;
+  config.sessions = 9;
+  const auto sessions = generate_workload(config);
+  ASSERT_EQ(sessions.size(), 9u);
+  EXPECT_EQ(sessions[0].topology.get(), sessions[3].topology.get());
+  EXPECT_NE(sessions[0].topology.get(), sessions[1].topology.get());
+}
+
+}  // namespace
+}  // namespace omnc::experiments
