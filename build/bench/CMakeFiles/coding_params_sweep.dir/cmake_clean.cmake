@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coding_params_sweep.dir/coding_params_sweep.cpp.o"
+  "CMakeFiles/coding_params_sweep.dir/coding_params_sweep.cpp.o.d"
+  "coding_params_sweep"
+  "coding_params_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coding_params_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

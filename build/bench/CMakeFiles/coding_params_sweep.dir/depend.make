@@ -1,0 +1,2 @@
+# Empty dependencies file for coding_params_sweep.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coding_speed.dir/coding_speed.cpp.o"
+  "CMakeFiles/coding_speed.dir/coding_speed.cpp.o.d"
+  "coding_speed"
+  "coding_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coding_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

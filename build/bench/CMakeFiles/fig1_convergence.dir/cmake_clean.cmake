@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_convergence.dir/fig1_convergence.cpp.o"
+  "CMakeFiles/fig1_convergence.dir/fig1_convergence.cpp.o.d"
+  "fig1_convergence"
+  "fig1_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_throughput_gain.dir/fig2_throughput_gain.cpp.o"
+  "CMakeFiles/fig2_throughput_gain.dir/fig2_throughput_gain.cpp.o.d"
+  "fig2_throughput_gain"
+  "fig2_throughput_gain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_throughput_gain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_unicast_bench.dir/multi_unicast_bench.cpp.o"
+  "CMakeFiles/multi_unicast_bench.dir/multi_unicast_bench.cpp.o.d"
+  "multi_unicast_bench"
+  "multi_unicast_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_unicast_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probe_robustness.dir/probe_robustness.cpp.o"
+  "CMakeFiles/probe_robustness.dir/probe_robustness.cpp.o.d"
+  "probe_robustness"
+  "probe_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probe_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

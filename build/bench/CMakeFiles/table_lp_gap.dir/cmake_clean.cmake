@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_lp_gap.dir/table_lp_gap.cpp.o"
+  "CMakeFiles/table_lp_gap.dir/table_lp_gap.cpp.o.d"
+  "table_lp_gap"
+  "table_lp_gap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_lp_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diamond_relay.dir/diamond_relay.cpp.o"
+  "CMakeFiles/diamond_relay.dir/diamond_relay.cpp.o.d"
+  "diamond_relay"
+  "diamond_relay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diamond_relay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

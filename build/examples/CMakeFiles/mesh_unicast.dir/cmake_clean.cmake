@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mesh_unicast.dir/mesh_unicast.cpp.o"
+  "CMakeFiles/mesh_unicast.dir/mesh_unicast.cpp.o.d"
+  "mesh_unicast"
+  "mesh_unicast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mesh_unicast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_unicast.dir/multi_unicast.cpp.o"
+  "CMakeFiles/multi_unicast.dir/multi_unicast.cpp.o.d"
+  "multi_unicast"
+  "multi_unicast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_unicast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

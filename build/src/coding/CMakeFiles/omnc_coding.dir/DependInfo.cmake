@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coding/coded_packet.cpp" "src/coding/CMakeFiles/omnc_coding.dir/coded_packet.cpp.o" "gcc" "src/coding/CMakeFiles/omnc_coding.dir/coded_packet.cpp.o.d"
+  "/root/repo/src/coding/decoder.cpp" "src/coding/CMakeFiles/omnc_coding.dir/decoder.cpp.o" "gcc" "src/coding/CMakeFiles/omnc_coding.dir/decoder.cpp.o.d"
+  "/root/repo/src/coding/encoder.cpp" "src/coding/CMakeFiles/omnc_coding.dir/encoder.cpp.o" "gcc" "src/coding/CMakeFiles/omnc_coding.dir/encoder.cpp.o.d"
+  "/root/repo/src/coding/generation.cpp" "src/coding/CMakeFiles/omnc_coding.dir/generation.cpp.o" "gcc" "src/coding/CMakeFiles/omnc_coding.dir/generation.cpp.o.d"
+  "/root/repo/src/coding/recoder.cpp" "src/coding/CMakeFiles/omnc_coding.dir/recoder.cpp.o" "gcc" "src/coding/CMakeFiles/omnc_coding.dir/recoder.cpp.o.d"
+  "/root/repo/src/coding/rref.cpp" "src/coding/CMakeFiles/omnc_coding.dir/rref.cpp.o" "gcc" "src/coding/CMakeFiles/omnc_coding.dir/rref.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/galois/CMakeFiles/omnc_galois.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/omnc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

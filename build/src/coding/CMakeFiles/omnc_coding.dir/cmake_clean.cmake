@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omnc_coding.dir/coded_packet.cpp.o"
+  "CMakeFiles/omnc_coding.dir/coded_packet.cpp.o.d"
+  "CMakeFiles/omnc_coding.dir/decoder.cpp.o"
+  "CMakeFiles/omnc_coding.dir/decoder.cpp.o.d"
+  "CMakeFiles/omnc_coding.dir/encoder.cpp.o"
+  "CMakeFiles/omnc_coding.dir/encoder.cpp.o.d"
+  "CMakeFiles/omnc_coding.dir/generation.cpp.o"
+  "CMakeFiles/omnc_coding.dir/generation.cpp.o.d"
+  "CMakeFiles/omnc_coding.dir/recoder.cpp.o"
+  "CMakeFiles/omnc_coding.dir/recoder.cpp.o.d"
+  "CMakeFiles/omnc_coding.dir/rref.cpp.o"
+  "CMakeFiles/omnc_coding.dir/rref.cpp.o.d"
+  "libomnc_coding.a"
+  "libomnc_coding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omnc_coding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libomnc_coding.a"
+)

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omnc_common.dir/logging.cpp.o"
+  "CMakeFiles/omnc_common.dir/logging.cpp.o.d"
+  "CMakeFiles/omnc_common.dir/options.cpp.o"
+  "CMakeFiles/omnc_common.dir/options.cpp.o.d"
+  "CMakeFiles/omnc_common.dir/rng.cpp.o"
+  "CMakeFiles/omnc_common.dir/rng.cpp.o.d"
+  "CMakeFiles/omnc_common.dir/stats.cpp.o"
+  "CMakeFiles/omnc_common.dir/stats.cpp.o.d"
+  "CMakeFiles/omnc_common.dir/table.cpp.o"
+  "CMakeFiles/omnc_common.dir/table.cpp.o.d"
+  "CMakeFiles/omnc_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/omnc_common.dir/thread_pool.cpp.o.d"
+  "libomnc_common.a"
+  "libomnc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omnc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

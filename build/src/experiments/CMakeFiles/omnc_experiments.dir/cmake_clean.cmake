@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omnc_experiments.dir/probed.cpp.o"
+  "CMakeFiles/omnc_experiments.dir/probed.cpp.o.d"
+  "CMakeFiles/omnc_experiments.dir/runner.cpp.o"
+  "CMakeFiles/omnc_experiments.dir/runner.cpp.o.d"
+  "CMakeFiles/omnc_experiments.dir/workload.cpp.o"
+  "CMakeFiles/omnc_experiments.dir/workload.cpp.o.d"
+  "libomnc_experiments.a"
+  "libomnc_experiments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omnc_experiments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/galois/gf256.cpp" "src/galois/CMakeFiles/omnc_galois.dir/gf256.cpp.o" "gcc" "src/galois/CMakeFiles/omnc_galois.dir/gf256.cpp.o.d"
+  "/root/repo/src/galois/matrix.cpp" "src/galois/CMakeFiles/omnc_galois.dir/matrix.cpp.o" "gcc" "src/galois/CMakeFiles/omnc_galois.dir/matrix.cpp.o.d"
+  "/root/repo/src/galois/region.cpp" "src/galois/CMakeFiles/omnc_galois.dir/region.cpp.o" "gcc" "src/galois/CMakeFiles/omnc_galois.dir/region.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/omnc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

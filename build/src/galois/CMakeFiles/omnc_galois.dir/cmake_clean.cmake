@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omnc_galois.dir/gf256.cpp.o"
+  "CMakeFiles/omnc_galois.dir/gf256.cpp.o.d"
+  "CMakeFiles/omnc_galois.dir/matrix.cpp.o"
+  "CMakeFiles/omnc_galois.dir/matrix.cpp.o.d"
+  "CMakeFiles/omnc_galois.dir/region.cpp.o"
+  "CMakeFiles/omnc_galois.dir/region.cpp.o.d"
+  "libomnc_galois.a"
+  "libomnc_galois.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omnc_galois.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

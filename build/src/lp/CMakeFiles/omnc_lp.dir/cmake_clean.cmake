@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omnc_lp.dir/simplex.cpp.o"
+  "CMakeFiles/omnc_lp.dir/simplex.cpp.o.d"
+  "libomnc_lp.a"
+  "libomnc_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omnc_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omnc_net.dir/mac.cpp.o"
+  "CMakeFiles/omnc_net.dir/mac.cpp.o.d"
+  "CMakeFiles/omnc_net.dir/phy_model.cpp.o"
+  "CMakeFiles/omnc_net.dir/phy_model.cpp.o.d"
+  "CMakeFiles/omnc_net.dir/topology.cpp.o"
+  "CMakeFiles/omnc_net.dir/topology.cpp.o.d"
+  "libomnc_net.a"
+  "libomnc_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omnc_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

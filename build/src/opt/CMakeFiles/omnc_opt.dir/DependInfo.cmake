@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/multi_unicast.cpp" "src/opt/CMakeFiles/omnc_opt.dir/multi_unicast.cpp.o" "gcc" "src/opt/CMakeFiles/omnc_opt.dir/multi_unicast.cpp.o.d"
+  "/root/repo/src/opt/rate_control.cpp" "src/opt/CMakeFiles/omnc_opt.dir/rate_control.cpp.o" "gcc" "src/opt/CMakeFiles/omnc_opt.dir/rate_control.cpp.o.d"
+  "/root/repo/src/opt/sunicast.cpp" "src/opt/CMakeFiles/omnc_opt.dir/sunicast.cpp.o" "gcc" "src/opt/CMakeFiles/omnc_opt.dir/sunicast.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lp/CMakeFiles/omnc_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/omnc_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/omnc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/omnc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/omnc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omnc_opt.dir/multi_unicast.cpp.o"
+  "CMakeFiles/omnc_opt.dir/multi_unicast.cpp.o.d"
+  "CMakeFiles/omnc_opt.dir/rate_control.cpp.o"
+  "CMakeFiles/omnc_opt.dir/rate_control.cpp.o.d"
+  "CMakeFiles/omnc_opt.dir/sunicast.cpp.o"
+  "CMakeFiles/omnc_opt.dir/sunicast.cpp.o.d"
+  "libomnc_opt.a"
+  "libomnc_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omnc_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/protocols/coded_base.cpp" "src/protocols/CMakeFiles/omnc_protocols.dir/coded_base.cpp.o" "gcc" "src/protocols/CMakeFiles/omnc_protocols.dir/coded_base.cpp.o.d"
+  "/root/repo/src/protocols/etx_routing.cpp" "src/protocols/CMakeFiles/omnc_protocols.dir/etx_routing.cpp.o" "gcc" "src/protocols/CMakeFiles/omnc_protocols.dir/etx_routing.cpp.o.d"
+  "/root/repo/src/protocols/more.cpp" "src/protocols/CMakeFiles/omnc_protocols.dir/more.cpp.o" "gcc" "src/protocols/CMakeFiles/omnc_protocols.dir/more.cpp.o.d"
+  "/root/repo/src/protocols/multi_unicast.cpp" "src/protocols/CMakeFiles/omnc_protocols.dir/multi_unicast.cpp.o" "gcc" "src/protocols/CMakeFiles/omnc_protocols.dir/multi_unicast.cpp.o.d"
+  "/root/repo/src/protocols/oldmore.cpp" "src/protocols/CMakeFiles/omnc_protocols.dir/oldmore.cpp.o" "gcc" "src/protocols/CMakeFiles/omnc_protocols.dir/oldmore.cpp.o.d"
+  "/root/repo/src/protocols/omnc.cpp" "src/protocols/CMakeFiles/omnc_protocols.dir/omnc.cpp.o" "gcc" "src/protocols/CMakeFiles/omnc_protocols.dir/omnc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/coding/CMakeFiles/omnc_coding.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/omnc_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/omnc_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/omnc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/omnc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/omnc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/galois/CMakeFiles/omnc_galois.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/omnc_lp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omnc_protocols.dir/coded_base.cpp.o"
+  "CMakeFiles/omnc_protocols.dir/coded_base.cpp.o.d"
+  "CMakeFiles/omnc_protocols.dir/etx_routing.cpp.o"
+  "CMakeFiles/omnc_protocols.dir/etx_routing.cpp.o.d"
+  "CMakeFiles/omnc_protocols.dir/more.cpp.o"
+  "CMakeFiles/omnc_protocols.dir/more.cpp.o.d"
+  "CMakeFiles/omnc_protocols.dir/multi_unicast.cpp.o"
+  "CMakeFiles/omnc_protocols.dir/multi_unicast.cpp.o.d"
+  "CMakeFiles/omnc_protocols.dir/oldmore.cpp.o"
+  "CMakeFiles/omnc_protocols.dir/oldmore.cpp.o.d"
+  "CMakeFiles/omnc_protocols.dir/omnc.cpp.o"
+  "CMakeFiles/omnc_protocols.dir/omnc.cpp.o.d"
+  "libomnc_protocols.a"
+  "libomnc_protocols.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omnc_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/routing/etx.cpp" "src/routing/CMakeFiles/omnc_routing.dir/etx.cpp.o" "gcc" "src/routing/CMakeFiles/omnc_routing.dir/etx.cpp.o.d"
+  "/root/repo/src/routing/link_prober.cpp" "src/routing/CMakeFiles/omnc_routing.dir/link_prober.cpp.o" "gcc" "src/routing/CMakeFiles/omnc_routing.dir/link_prober.cpp.o.d"
+  "/root/repo/src/routing/node_selection.cpp" "src/routing/CMakeFiles/omnc_routing.dir/node_selection.cpp.o" "gcc" "src/routing/CMakeFiles/omnc_routing.dir/node_selection.cpp.o.d"
+  "/root/repo/src/routing/path_count.cpp" "src/routing/CMakeFiles/omnc_routing.dir/path_count.cpp.o" "gcc" "src/routing/CMakeFiles/omnc_routing.dir/path_count.cpp.o.d"
+  "/root/repo/src/routing/shortest_path.cpp" "src/routing/CMakeFiles/omnc_routing.dir/shortest_path.cpp.o" "gcc" "src/routing/CMakeFiles/omnc_routing.dir/shortest_path.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/omnc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/omnc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/omnc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omnc_routing.dir/etx.cpp.o"
+  "CMakeFiles/omnc_routing.dir/etx.cpp.o.d"
+  "CMakeFiles/omnc_routing.dir/link_prober.cpp.o"
+  "CMakeFiles/omnc_routing.dir/link_prober.cpp.o.d"
+  "CMakeFiles/omnc_routing.dir/node_selection.cpp.o"
+  "CMakeFiles/omnc_routing.dir/node_selection.cpp.o.d"
+  "CMakeFiles/omnc_routing.dir/path_count.cpp.o"
+  "CMakeFiles/omnc_routing.dir/path_count.cpp.o.d"
+  "CMakeFiles/omnc_routing.dir/shortest_path.cpp.o"
+  "CMakeFiles/omnc_routing.dir/shortest_path.cpp.o.d"
+  "libomnc_routing.a"
+  "libomnc_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omnc_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

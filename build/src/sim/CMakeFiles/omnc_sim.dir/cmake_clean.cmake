@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omnc_sim.dir/simulator.cpp.o"
+  "CMakeFiles/omnc_sim.dir/simulator.cpp.o.d"
+  "libomnc_sim.a"
+  "libomnc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omnc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

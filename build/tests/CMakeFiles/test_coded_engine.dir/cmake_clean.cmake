@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coded_engine.dir/test_coded_engine.cpp.o"
+  "CMakeFiles/test_coded_engine.dir/test_coded_engine.cpp.o.d"
+  "test_coded_engine"
+  "test_coded_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coded_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coded_packet.dir/test_coded_packet.cpp.o"
+  "CMakeFiles/test_coded_packet.dir/test_coded_packet.cpp.o.d"
+  "test_coded_packet"
+  "test_coded_packet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coded_packet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coding_roundtrip.dir/test_coding_roundtrip.cpp.o"
+  "CMakeFiles/test_coding_roundtrip.dir/test_coding_roundtrip.cpp.o.d"
+  "test_coding_roundtrip"
+  "test_coding_roundtrip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coding_roundtrip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

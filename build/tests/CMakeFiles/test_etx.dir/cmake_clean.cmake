@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_etx.dir/test_etx.cpp.o"
+  "CMakeFiles/test_etx.dir/test_etx.cpp.o.d"
+  "test_etx"
+  "test_etx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_etx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_generation.dir/test_generation.cpp.o"
+  "CMakeFiles/test_generation.dir/test_generation.cpp.o.d"
+  "test_generation"
+  "test_generation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_generation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_link_prober.dir/test_link_prober.cpp.o"
+  "CMakeFiles/test_link_prober.dir/test_link_prober.cpp.o.d"
+  "test_link_prober"
+  "test_link_prober.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_link_prober.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_more_credits.dir/test_more_credits.cpp.o"
+  "CMakeFiles/test_more_credits.dir/test_more_credits.cpp.o.d"
+  "test_more_credits"
+  "test_more_credits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_more_credits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multi_unicast.dir/test_multi_unicast.cpp.o"
+  "CMakeFiles/test_multi_unicast.dir/test_multi_unicast.cpp.o.d"
+  "test_multi_unicast"
+  "test_multi_unicast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multi_unicast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

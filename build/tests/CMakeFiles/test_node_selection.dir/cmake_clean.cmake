@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_node_selection.dir/test_node_selection.cpp.o"
+  "CMakeFiles/test_node_selection.dir/test_node_selection.cpp.o.d"
+  "test_node_selection"
+  "test_node_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_node_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_oldmore.dir/test_oldmore.cpp.o"
+  "CMakeFiles/test_oldmore.dir/test_oldmore.cpp.o.d"
+  "test_oldmore"
+  "test_oldmore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_oldmore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_path_count.dir/test_path_count.cpp.o"
+  "CMakeFiles/test_path_count.dir/test_path_count.cpp.o.d"
+  "test_path_count"
+  "test_path_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_path_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

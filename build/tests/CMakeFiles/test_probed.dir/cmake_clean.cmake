@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_probed.dir/test_probed.cpp.o"
+  "CMakeFiles/test_probed.dir/test_probed.cpp.o.d"
+  "test_probed"
+  "test_probed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_probed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

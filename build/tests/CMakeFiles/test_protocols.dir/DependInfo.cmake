@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_protocols.cpp" "tests/CMakeFiles/test_protocols.dir/test_protocols.cpp.o" "gcc" "tests/CMakeFiles/test_protocols.dir/test_protocols.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/experiments/CMakeFiles/omnc_experiments.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocols/CMakeFiles/omnc_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/omnc_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/omnc_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/omnc_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/omnc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/omnc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/coding/CMakeFiles/omnc_coding.dir/DependInfo.cmake"
+  "/root/repo/build/src/galois/CMakeFiles/omnc_galois.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/omnc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

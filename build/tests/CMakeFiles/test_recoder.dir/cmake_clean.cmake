@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_recoder.dir/test_recoder.cpp.o"
+  "CMakeFiles/test_recoder.dir/test_recoder.cpp.o.d"
+  "test_recoder"
+  "test_recoder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_recoder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

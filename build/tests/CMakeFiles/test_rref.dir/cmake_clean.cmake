@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rref.dir/test_rref.cpp.o"
+  "CMakeFiles/test_rref.dir/test_rref.cpp.o.d"
+  "test_rref"
+  "test_rref.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rref.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sunicast.dir/test_sunicast.cpp.o"
+  "CMakeFiles/test_sunicast.dir/test_sunicast.cpp.o.d"
+  "test_sunicast"
+  "test_sunicast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sunicast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

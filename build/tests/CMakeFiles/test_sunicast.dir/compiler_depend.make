@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_sunicast.
+# This may be replaced when dependencies are built.
