@@ -9,10 +9,13 @@
 //   --gen-blocks N      blocks per generation                 (default 40)
 //   --seed S            master seed                           (default 42)
 //   --paper             paper-scale run (300 sessions, 800 s)
+//   --json PATH         also write flat JSON result records to PATH
 #pragma once
 
 #include <cstdio>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "coding/coded_packet.h"
 #include "common/options.h"
@@ -21,6 +24,84 @@
 #include "experiments/workload.h"
 
 namespace omnc::bench {
+
+/// Machine-readable companion to the human-oriented tables: when the bench
+/// was given `--json <path>`, collects flat records and writes them out as a
+/// JSON array of {"name", "params", "metric", "value"} objects so sweeps can
+/// be diffed or plotted without scraping stdout.  With no path the writer is
+/// inert and record() is a no-op.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::string path) : path_(std::move(path)) {}
+  explicit JsonWriter(const Options& options)
+      : JsonWriter(options.get("json", "")) {}
+  ~JsonWriter() { flush(); }
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  bool enabled() const { return !path_.empty(); }
+
+  void record(std::string name, std::string params, std::string metric,
+              double value) {
+    if (!enabled()) return;
+    records_.push_back(
+        {std::move(name), std::move(params), std::move(metric), value});
+  }
+
+  /// Writes all records; called automatically from the destructor.
+  void flush() {
+    if (!enabled() || flushed_) return;
+    flushed_ = true;
+    std::FILE* out = std::fopen(path_.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "warning: cannot write JSON results to %s\n",
+                   path_.c_str());
+      return;
+    }
+    std::fputs("[\n", out);
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      const Record& r = records_[i];
+      std::fprintf(out,
+                   "  {\"name\": \"%s\", \"params\": \"%s\", "
+                   "\"metric\": \"%s\", \"value\": %.17g}%s\n",
+                   escape(r.name).c_str(), escape(r.params).c_str(),
+                   escape(r.metric).c_str(), r.value,
+                   i + 1 < records_.size() ? "," : "");
+    }
+    std::fputs("]\n", out);
+    std::fclose(out);
+    std::fprintf(stderr, "wrote %zu JSON records to %s\n", records_.size(),
+                 path_.c_str());
+  }
+
+ private:
+  struct Record {
+    std::string name;
+    std::string params;
+    std::string metric;
+    double value;
+  };
+
+  static std::string escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default: out += c;
+      }
+    }
+    return out;
+  }
+
+  std::string path_;
+  std::vector<Record> records_;
+  bool flushed_ = false;
+};
 
 struct BenchSetup {
   experiments::WorkloadConfig workload;
@@ -69,6 +150,17 @@ inline void print_setup(const BenchSetup& setup) {
       setup.run.protocol.mac.capacity_bytes_per_s,
       setup.run.protocol.cbr_bytes_per_s,
       static_cast<unsigned long long>(setup.workload.seed));
+}
+
+/// Canonical "params" string for JSON records derived from a BenchSetup.
+inline std::string setup_params(const BenchSetup& setup) {
+  char buffer[160];
+  std::snprintf(buffer, sizeof(buffer),
+                "nodes=%d;sessions=%d;sim_seconds=%.0f;seed=%llu",
+                setup.workload.deployment.nodes, setup.workload.sessions,
+                setup.run.protocol.max_sim_seconds,
+                static_cast<unsigned long long>(setup.workload.seed));
+  return buffer;
 }
 
 inline void print_progress(std::size_t done, std::size_t total) {

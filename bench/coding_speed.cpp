@@ -7,8 +7,10 @@
 // to narrow.
 #include <benchmark/benchmark.h>
 
+#include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "coding/decoder.h"
 #include "coding/encoder.h"
 #include "common/rng.h"
@@ -132,6 +134,61 @@ BENCHMARK(BM_DecodeScalarTable)->Args({40, 1024})->Args({16, 256});
 BENCHMARK(BM_DecodeSse2Loop)->Args({40, 1024})->Args({16, 256});
 BENCHMARK(BM_DecodeSsse3Shuffle)->Args({40, 1024})->Args({16, 256});
 
+/// Console reporter that additionally mirrors every finished run into the
+/// shared bench JSON writer (--json <path>), one record per metric.
+class JsonBridgeReporter final : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonBridgeReporter(bench::JsonWriter* writer) : writer_(writer) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      const std::string params = run.benchmark_name();
+      writer_->record("coding_speed", params, "real_time_ns",
+                      run.GetAdjustedRealTime());
+      writer_->record("coding_speed", params, "cpu_time_ns",
+                      run.GetAdjustedCPUTime());
+      const auto bytes = run.counters.find("bytes_per_second");
+      if (bytes != run.counters.end()) {
+        writer_->record("coding_speed", params, "bytes_per_second",
+                        static_cast<double>(bytes->second));
+      }
+    }
+  }
+
+ private:
+  bench::JsonWriter* writer_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// Hand-rolled BENCHMARK_MAIN(): peel off our --json flag before handing the
+// remaining argv to google-benchmark, then run with the bridging reporter.
+int main(int argc, char** argv) {
+  std::string json_path;
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+      continue;
+    }
+    if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  bench::JsonWriter writer(json_path);
+  JsonBridgeReporter reporter(&writer);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}

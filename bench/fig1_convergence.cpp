@@ -84,5 +84,23 @@ int main(int argc, char** argv) {
       "%d iterations with max rate %.0f B/s.\n",
       result.iterations,
       *std::max_element(result.b.begin(), result.b.end()));
+
+  bench::JsonWriter json(options);
+  if (json.enabled()) {
+    char params[64];
+    std::snprintf(params, sizeof(params), "capacity=%.0f", capacity);
+    json.record("fig1_convergence", params, "iterations", result.iterations);
+    json.record("fig1_convergence", params, "control_messages",
+                static_cast<double>(result.messages));
+    json.record("fig1_convergence", params, "gamma_distributed", result.gamma);
+    json.record("fig1_convergence", params, "gamma_lp", lp.gamma);
+    for (int id = 0; id < 4; ++id) {
+      const auto local = static_cast<std::size_t>(graph.local_index(id));
+      json.record("fig1_convergence", params,
+                  std::string("b_distributed_") + names[id], result.b[local]);
+      json.record("fig1_convergence", params,
+                  std::string("b_lp_") + names[id], lp.b[local]);
+    }
+  }
   return 0;
 }

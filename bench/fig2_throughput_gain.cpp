@@ -90,5 +90,33 @@ int main(int argc, char** argv) {
                  TextTable::fmt(lossy.oldmore.median(), 2), "<1",
                  TextTable::fmt(high.oldmore.mean(), 2)});
   std::printf("%s", table.render().c_str());
+
+  bench::JsonWriter json(options);
+  if (json.enabled()) {
+    const std::string base = bench::setup_params(setup);
+    const struct {
+      const char* panel;
+      const PanelResult* result;
+    } panels[] = {{"lossy", &lossy}, {"high_quality", &high}};
+    for (const auto& p : panels) {
+      const std::string params = base + ";panel=" + p.panel;
+      json.record("fig2_throughput_gain", params, "sessions_with_baseline",
+                  static_cast<double>(p.result->omnc.count()));
+      json.record("fig2_throughput_gain", params, "etx_mean_bytes_per_s",
+                  p.result->etx_abs.mean());
+      json.record("fig2_throughput_gain", params, "mean_gain_omnc",
+                  p.result->omnc.mean());
+      json.record("fig2_throughput_gain", params, "median_gain_omnc",
+                  p.result->omnc.median());
+      json.record("fig2_throughput_gain", params, "mean_gain_more",
+                  p.result->more.mean());
+      json.record("fig2_throughput_gain", params, "median_gain_more",
+                  p.result->more.median());
+      json.record("fig2_throughput_gain", params, "mean_gain_oldmore",
+                  p.result->oldmore.mean());
+      json.record("fig2_throughput_gain", params, "median_gain_oldmore",
+                  p.result->oldmore.median());
+    }
+  }
   return 0;
 }

@@ -4,6 +4,7 @@
 //   ./diamond_relay [--sim-seconds 120] [--seed 7]
 #include <cstdio>
 
+#include "coding/coded_packet.h"
 #include "common/options.h"
 #include "common/table.h"
 #include "net/topology.h"

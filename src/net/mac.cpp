@@ -114,6 +114,7 @@ bool SlottedMac::enqueue(Frame frame) {
   NodeState& state = states_[static_cast<std::size_t>(index_of(frame.from))];
   if (state.queue.size() >= config_.max_queue) {
     ++drops_;
+    if (observer_ != nullptr) observer_->on_drop(simulator_.now(), frame.from);
     return false;
   }
   OMNC_ASSERT(frame.bytes != nullptr);
@@ -240,6 +241,7 @@ void SlottedMac::run_slot() {
     NodeState& state = states_[tx_index];
     Frame& frame = state.queue.front();
     ++state.transmissions;
+    if (observer_ != nullptr) observer_->on_transmit(now, participants_[tx_index]);
     if (frame.to != kBroadcast && config_.unicast_slot_cost > 1) {
       state.cooldown = config_.unicast_slot_cost - 1;
     }
@@ -282,8 +284,12 @@ void SlottedMac::run_slot() {
   }
 
   // Sample queue sizes for the Fig. 3 metric.
-  for (NodeState& state : states_) {
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    NodeState& state = states_[i];
     state.queue_average.advance_to(now, static_cast<double>(state.queue.size()));
+    if (observer_ != nullptr) {
+      observer_->on_queue_sample(now, participants_[i], state.queue.size());
+    }
   }
 
   if (running_) {

@@ -111,6 +111,33 @@ struct MacConfig {
   bool protect_receivers = false;
 };
 
+/// Passive per-event observer of MAC activity.  Unlike the aggregate
+/// counters below, an observer sees every transmission, per-slot queue
+/// sample, and queue drop as it happens, which lets higher layers rebuild
+/// any statistic (time-averaged queues, per-node transmission counts)
+/// without the MAC accumulating it for them.
+class MacObserver {
+ public:
+  virtual ~MacObserver() = default;
+  /// `node` was admitted and sent the head of its queue this slot.
+  virtual void on_transmit(sim::Time now, NodeId node) {
+    (void)now;
+    (void)node;
+  }
+  /// End-of-slot queue length sample (the Fig. 3 signal).
+  virtual void on_queue_sample(sim::Time now, NodeId node,
+                               std::size_t queue_len) {
+    (void)now;
+    (void)node;
+    (void)queue_len;
+  }
+  /// A frame was rejected because `node`'s transmit queue was full.
+  virtual void on_drop(sim::Time now, NodeId node) {
+    (void)now;
+    (void)node;
+  }
+};
+
 class SlottedMac {
  public:
   /// rx receives `frame` (possibly overheard broadcast).
@@ -132,6 +159,8 @@ class SlottedMac {
 
   void set_receive_handler(ReceiveHandler handler);
   void add_slot_hook(SlotHook hook);
+  /// Installs a non-owning event observer (nullptr to detach).
+  void set_observer(MacObserver* observer) { observer_ = observer; }
 
   /// Appends a frame to `frame.from`'s transmit queue.  Returns false (and
   /// drops the frame) when the queue is full.
@@ -204,6 +233,7 @@ class SlottedMac {
   std::vector<double> effective_p_;
   ReceiveHandler receive_handler_;
   std::vector<SlotHook> slot_hooks_;
+  MacObserver* observer_ = nullptr;
 
   bool running_ = false;
   std::size_t deliveries_ = 0;

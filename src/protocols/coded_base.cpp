@@ -1,321 +1,43 @@
 #include "protocols/coded_base.h"
 
-#include <algorithm>
-
 #include "common/assert.h"
-#include "routing/etx.h"
-#include "routing/path_count.h"
+#include "protocols/metrics_bus.h"
+#include "protocols/session_engine.h"
 
 namespace omnc::protocols {
-namespace {
-
-/// Peeks the generation id out of a serialized coded packet without a full
-/// parse (bytes 4..7 of the header, big endian).
-std::uint32_t frame_generation_id(const std::vector<std::uint8_t>& wire) {
-  OMNC_ASSERT(wire.size() >= coding::CodedPacket::kHeaderBytes);
-  return (static_cast<std::uint32_t>(wire[4]) << 24) |
-         (static_cast<std::uint32_t>(wire[5]) << 16) |
-         (static_cast<std::uint32_t>(wire[6]) << 8) | wire[7];
-}
-
-}  // namespace
 
 CodedProtocolBase::CodedProtocolBase(const net::Topology& topology,
                                      const routing::SessionGraph& graph,
                                      const ProtocolConfig& config)
-    : topology_(topology),
-      graph_(graph),
-      config_(config),
-      rng_(config.seed) {
+    : topology_(topology), graph_(graph), config_(config) {
   OMNC_ASSERT(graph_.size() >= 2);
-  const std::size_t v = static_cast<std::size_t>(graph_.size());
-  edge_index_.assign(v * v, -1);
-  for (std::size_t e = 0; e < graph_.edges.size(); ++e) {
-    edge_index_[static_cast<std::size_t>(graph_.edges[e].from) * v +
-                static_cast<std::size_t>(graph_.edges[e].to)] =
-        static_cast<int>(e);
-  }
-  edge_innovative_.assign(graph_.edges.size(), 0);
-}
-
-bool CodedProtocolBase::can_send(int local) const {
-  if (local == graph_.source) return generation_active_;
-  if (local == graph_.destination) return false;
-  const auto& recoder = recoders_[static_cast<std::size_t>(local)];
-  return recoder != nullptr &&
-         recoder->generation_id() == current_generation_ &&
-         recoder->can_send();
 }
 
 std::size_t CodedProtocolBase::mac_queue_size(int local) const {
-  return mac_->queue_size(graph_.node_id(local));
+  OMNC_ASSERT(engine_ != nullptr);
+  return engine_->mac_queue_size(/*session=*/0, local);
 }
 
 SessionResult CodedProtocolBase::run() {
-  result_ = SessionResult{};
-  result_.connected = true;
+  SessionResult diagnostics;
+  diagnostics.connected = true;
+  prepare(diagnostics);
 
-  prepare(result_);
+  EngineConfig engine_config;
+  engine_config.protocol = config_;
+  engine_config.mac_rng_salt = 0x11;
+  SessionEngine engine(topology_,
+                       {{&graph_, this, /*data_seed=*/config_.seed}},
+                       engine_config);
+  SessionResultSink sink({&graph_}, config_.coding, topology_.node_count());
+  engine.bus().subscribe(&sink);
 
-  // ACK latency over the reverse min-ETX path: per hop, ETX retransmissions
-  // of one slot each.  The ACK itself is assumed not to consume data-channel
-  // slots (it is a short control packet on the reverse path).
-  {
-    const auto reverse_route = routing::etx_route(
-        topology_, graph_.node_id(graph_.destination),
-        graph_.node_id(graph_.source));
-    double etx_sum = 0.0;
-    if (reverse_route.size() >= 2) {
-      etx_sum = routing::route_etx(topology_, reverse_route);
-    } else {
-      // No reverse connectivity (possible with asymmetric link matrices):
-      // charge the forward path cost instead.
-      const auto forward_route =
-          routing::etx_route(topology_, graph_.node_id(graph_.source),
-                             graph_.node_id(graph_.destination));
-      OMNC_ASSERT(forward_route.size() >= 2);
-      etx_sum = routing::route_etx(topology_, forward_route);
-    }
-    ack_delay_s_ = etx_sum * (static_cast<double>(config_.mac.slot_bytes) /
-                              config_.mac.capacity_bytes_per_s);
-  }
+  engine_ = &engine;
+  engine.run();
+  engine_ = nullptr;
 
-  // MAC over the selected nodes.
-  std::vector<net::NodeId> participants;
-  participants.reserve(static_cast<std::size_t>(graph_.size()));
-  for (int i = 0; i < graph_.size(); ++i) participants.push_back(graph_.node_id(i));
-  mac_ = std::make_unique<net::SlottedMac>(simulator_, topology_, participants,
-                                           config_.mac, rng_.fork(0x11));
-
-  // Relay state for every non-source, non-destination node.
-  recoders_.clear();
-  recoders_.resize(static_cast<std::size_t>(graph_.size()));
-  for (int i = 0; i < graph_.size(); ++i) {
-    if (i == graph_.source || i == graph_.destination) continue;
-    recoders_[static_cast<std::size_t>(i)] = std::make_unique<coding::Recoder>(
-        config_.coding, /*session_id=*/0, current_generation_);
-  }
-  decoder_ = std::make_unique<coding::ProgressiveDecoder>(config_.coding,
-                                                          current_generation_);
-
-  mac_->set_receive_handler([this](net::NodeId rx, const net::Frame& frame) {
-    on_receive_frame(rx, frame);
-  });
-  mac_->add_slot_hook([this](sim::Time now) { on_slot(now); });
-  mac_->start();
-
-  simulator_.run_until(config_.max_sim_seconds);
-  mac_->stop();
-
-  finalize_metrics(result_);
-  return result_;
-}
-
-void CodedProtocolBase::start_generation_if_ready(sim::Time now) {
-  if (generation_active_) return;
-  if (result_.generations_completed >= config_.max_generations) return;
-  // CBR source: generation g exists once (g+1) * generation_bytes have
-  // arrived.
-  const double bytes_arrived = config_.cbr_bytes_per_s * now;
-  const double needed = static_cast<double>(current_generation_ + 1) *
-                        static_cast<double>(config_.coding.generation_bytes());
-  if (bytes_arrived + 1e-9 < needed) return;
-  source_generation_.emplace(coding::Generation::synthetic(
-      current_generation_, config_.coding, config_.seed));
-  encoder_.emplace(*source_generation_, /*session_id=*/0);
-  generation_active_ = true;
-  generation_start_time_ = now;
-  on_generation_start();
-}
-
-void CodedProtocolBase::on_slot(sim::Time now) {
-  start_generation_if_ready(now);
-  const double slot_seconds = mac_->slot_duration();
-  for (int local = 0; local < graph_.size(); ++local) {
-    if (local == graph_.destination) continue;
-    // Policies are only consulted while the node holds something to send, so
-    // credits/tokens are not consumed during forced idleness.
-    if (!can_send(local)) continue;
-    const int wanted = packets_to_enqueue(local, slot_seconds);
-    if (wanted <= 0) continue;
-    for (int k = 0; k < wanted; ++k) {
-      coding::CodedPacket packet =
-          (local == graph_.source)
-              ? encoder_->next_packet(rng_)
-              : recoders_[static_cast<std::size_t>(local)]->recode(rng_);
-      net::Frame frame;
-      frame.from = graph_.node_id(local);
-      frame.to = net::kBroadcast;
-      frame.bytes = std::make_shared<const std::vector<std::uint8_t>>(
-          packet.serialize());
-      if (!mac_->enqueue(std::move(frame))) {
-        ++result_.queue_drops;
-        break;  // queue full; no point stuffing more this slot
-      }
-    }
-  }
-}
-
-void CodedProtocolBase::on_receive_frame(net::NodeId rx,
-                                         const net::Frame& frame) {
-  const int rx_local = graph_.local_index(rx);
-  const int tx_local = graph_.local_index(frame.from);
-  OMNC_ASSERT(rx_local >= 0 && tx_local >= 0);
-  ++result_.packets_delivered;
-
-  const std::uint32_t frame_gen = frame_generation_id(*frame.bytes);
-
-  if (rx_local == graph_.destination) {
-    // The decoder may already sit one generation ahead of the in-flight ACK;
-    // packets of expired generations are ignored (the decoder's own id check
-    // rejects them too, this just skips the parse).
-    if (frame_gen != decoder_->generation_id()) return;
-  } else if (rx_local == graph_.source) {
-    return;  // the source ignores data packets
-  } else {
-    auto& recoder = recoders_[static_cast<std::size_t>(rx_local)];
-    // A packet with a higher generation id dictates discarding the expired
-    // generation (Sec. 4); with the ACK flush below this is a rare fallback.
-    if (frame_gen > recoder->generation_id()) {
-      flush_relay_to(rx_local, frame_gen);
-    }
-    if (frame_gen < recoder->generation_id()) return;  // stale
-  }
-
-  coding::CodedPacket packet;
-  const bool ok = coding::CodedPacket::parse(*frame.bytes, &packet);
-  OMNC_ASSERT_MSG(ok, "malformed frame on the air");
-
-  bool innovative = false;
-  if (rx_local == graph_.destination) {
-    innovative = decoder_->offer(packet);
-    if (innovative) {
-      const std::size_t v = static_cast<std::size_t>(graph_.size());
-      const int e = edge_index_[static_cast<std::size_t>(tx_local) * v +
-                                static_cast<std::size_t>(rx_local)];
-      if (e >= 0) ++edge_innovative_[static_cast<std::size_t>(e)];
-    }
-    on_reception(rx_local, tx_local, innovative);
-    if (decoder_->complete()) {
-      // End-to-end integrity: the progressively decoded generation must be
-      // byte-identical to what the source encoded.
-      const auto recovered = decoder_->recover();
-      OMNC_ASSERT(source_generation_.has_value());
-      OMNC_ASSERT_MSG(
-          std::equal(recovered.begin(), recovered.end(),
-                     source_generation_->bytes().begin()),
-          "decoded generation does not match the source data");
-      const double ack_time = simulator_.now() + ack_delay_s_;
-      // The destination moves on immediately; packets of the old generation
-      // are rejected by generation id from now on.
-      decoder_->reset(current_generation_ + 1);
-      simulator_.schedule_at(ack_time, [this, ack_time] { deliver_ack(ack_time); });
-    }
-    return;
-  }
-
-  auto& recoder = recoders_[static_cast<std::size_t>(rx_local)];
-  innovative = recoder->offer(packet);
-  if (innovative) {
-    const std::size_t v = static_cast<std::size_t>(graph_.size());
-    const int e = edge_index_[static_cast<std::size_t>(tx_local) * v +
-                              static_cast<std::size_t>(rx_local)];
-    if (e >= 0) ++edge_innovative_[static_cast<std::size_t>(e)];
-  }
-  on_reception(rx_local, tx_local, innovative);
-}
-
-void CodedProtocolBase::flush_relay_to(int local,
-                                       std::uint32_t generation_id) {
-  auto& recoder = recoders_[static_cast<std::size_t>(local)];
-  if (recoder == nullptr || recoder->generation_id() == generation_id) return;
-  recoder->reset(generation_id);
-  if (config_.flush_stale_frames) {
-    mac_->purge_queue(graph_.node_id(local),
-                      [generation_id](const net::Frame& frame) {
-                        return frame_generation_id(*frame.bytes) <
-                               generation_id;
-                      });
-  }
-  // Otherwise frames already handed to the MAC drain over the air and are
-  // ignored by every receiver — queued congestion costs channel time.
-}
-
-void CodedProtocolBase::deliver_ack(double ack_time) {
-  // Source: account the finished generation and advance.
-  OMNC_ASSERT(generation_active_);
-  const double elapsed = ack_time - generation_start_time_;
-  OMNC_ASSERT(elapsed > 0.0);
-  per_generation_throughput_.push_back(
-      static_cast<double>(config_.coding.generation_bytes()) / elapsed);
-  ++result_.generations_completed;
-  last_ack_time_ = ack_time;
-  generation_active_ = false;
-  ++current_generation_;
-  // The ACK is pseudo-broadcast on its way back: every node of the session
-  // learns the generation expired.  Relays drop buffered and queued packets
-  // of the old generation; the source drops its queued stale frames.
-  const std::uint32_t live = current_generation_;
-  for (int local = 0; local < graph_.size(); ++local) {
-    if (local == graph_.source || local == graph_.destination) continue;
-    flush_relay_to(local, live);
-  }
-  if (config_.flush_stale_frames) {
-    mac_->purge_queue(graph_.node_id(graph_.source),
-                      [live](const net::Frame& frame) {
-                        return frame_generation_id(*frame.bytes) < live;
-                      });
-  }
-  start_generation_if_ready(simulator_.now());
-  if (result_.generations_completed >= config_.max_generations) {
-    simulator_.stop();
-  }
-}
-
-void CodedProtocolBase::finalize_metrics(SessionResult& result) {
-  result.transmissions = mac_->total_transmissions();
-  result.queue_drops += mac_->total_drops();
-
-  if (!per_generation_throughput_.empty()) {
-    double sum = 0.0;
-    for (double value : per_generation_throughput_) sum += value;
-    result.throughput_per_generation =
-        sum / static_cast<double>(per_generation_throughput_.size());
-    result.throughput_bytes_per_s =
-        static_cast<double>(result.generations_completed) *
-        static_cast<double>(config_.coding.generation_bytes()) /
-        last_ack_time_;
-  }
-
-  // Fig. 3: mean over involved nodes of the per-node time-averaged queue.
-  double queue_sum = 0.0;
-  int involved = 0;
-  for (int local = 0; local < graph_.size(); ++local) {
-    const net::NodeId id = graph_.node_id(local);
-    if (mac_->transmissions(id) == 0) continue;
-    queue_sum += mac_->queue_time_average(id);
-    ++involved;
-  }
-  result.mean_queue = involved > 0 ? queue_sum / involved : 0.0;
-
-  // Fig. 4: node and path utility ratios.
-  int transmitters = 0;
-  int selectable = 0;
-  for (int local = 0; local < graph_.size(); ++local) {
-    if (local == graph_.destination) continue;
-    ++selectable;
-    if (mac_->transmissions(graph_.node_id(local)) > 0) ++transmitters;
-  }
-  result.node_utility_ratio =
-      selectable > 0 ? static_cast<double>(transmitters) / selectable : 0.0;
-
-  std::vector<bool> active(graph_.edges.size(), false);
-  for (std::size_t e = 0; e < graph_.edges.size(); ++e) {
-    active[e] = edge_innovative_[e] > 0;
-  }
-  const double available = routing::count_paths(graph_);
-  const double used = routing::count_paths_filtered(graph_, active);
-  result.path_utility_ratio = available > 0.0 ? used / available : 0.0;
+  edge_innovative_ = sink.edge_innovative(0);
+  return sink.assemble(0, diagnostics);
 }
 
 }  // namespace omnc::protocols

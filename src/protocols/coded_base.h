@@ -1,46 +1,31 @@
-// Shared engine for the three coded protocols (OMNC, MORE, oldMORE).
+// Thin single-session front end for the three coded protocols (OMNC, MORE,
+// oldMORE).
 //
-// The engine owns the full end-to-end machinery described in Sec. 3.1 and
-// Sec. 4 of the paper:
-//   * the source encodes a CBR-fed generation with random linear coding and
-//     broadcasts coded packets;
-//   * relays keep an innovation filter, buffer innovative packets, re-encode
-//     and rebroadcast;
-//   * the destination decodes progressively; a decoded generation triggers
-//     an uncoded ACK routed back over the reverse best (min-ETX) path, after
-//     which the source moves on;
-//   * relays flush expired generations when they hear a packet with a higher
-//     generation ID (and drop queued stale frames).
-//
-// Subclasses only decide *when nodes transmit*: OMNC and oldMORE install
-// token buckets fed by their rate vectors, MORE installs the credit
-// heuristic.  Everything else — coding, queueing, ACKs, metrics — is
-// identical across protocols, exactly like the paper's testbed setup
-// ("both protocols share the same encoding and decoding modules").
+// The heavy lifting lives in SessionEngine (slot loop, NodeRuntimes, ACK
+// routing) and the MetricsBus sinks (SessionResult reconstruction).  A
+// protocol subclass is just a TransmitPolicy plus a prepare() step that
+// computes its rates or credits before the simulation starts — exactly the
+// paper's framing: "both protocols share the same encoding and decoding
+// modules" and differ only in when nodes transmit.
 #pragma once
 
-#include <memory>
-#include <optional>
+#include <cstddef>
 #include <vector>
 
-#include "coding/decoder.h"
-#include "coding/encoder.h"
-#include "coding/recoder.h"
-#include "common/rng.h"
-#include "net/mac.h"
 #include "net/topology.h"
 #include "protocols/metrics.h"
+#include "protocols/transmit_policy.h"
 #include "routing/node_selection.h"
-#include "sim/simulator.h"
 
 namespace omnc::protocols {
 
-class CodedProtocolBase {
+class SessionEngine;
+
+class CodedProtocolBase : public TransmitPolicy {
  public:
   CodedProtocolBase(const net::Topology& topology,
                     const routing::SessionGraph& graph,
                     const ProtocolConfig& config);
-  virtual ~CodedProtocolBase() = default;
 
   /// Runs the whole session and returns its metrics.
   SessionResult run();
@@ -52,74 +37,28 @@ class CodedProtocolBase {
   }
 
  protected:
-  // --- subclass policy hooks -------------------------------------------
-
   /// Computes rates/credits before the simulation starts; may record
   /// diagnostics into `result`.
   virtual void prepare(SessionResult& result) = 0;
 
-  /// Number of packets `local` should hand to the MAC this slot (the engine
-  /// clamps relays with nothing innovative to send).  `slot_seconds` is the
-  /// slot length, for token refill.
-  virtual int packets_to_enqueue(int local, double slot_seconds) = 0;
-
-  /// Reception notification: rx_local received a packet last transmitted by
-  /// tx_local (tx is always farther from the destination on a DAG edge).
-  virtual void on_reception(int rx_local, int tx_local, bool innovative) {
-    (void)rx_local;
-    (void)tx_local;
-    (void)innovative;
-  }
-
-  /// Called whenever the source starts a new generation (reset bursts).
-  virtual void on_generation_start() {}
-
-  // --- engine state available to policies ------------------------------
+  // packets_to_enqueue / on_reception / on_generation_start come from
+  // TransmitPolicy; the engine calls them during run().
 
   const routing::SessionGraph& graph() const { return graph_; }
   const ProtocolConfig& config() const { return config_; }
   const net::Topology& topology() const { return topology_; }
 
-  /// True if `local` currently holds something transmittable.
-  bool can_send(int local) const;
+  /// Current MAC queue length of a session-local node; valid during run()
+  /// (source-backlog probes of the credit policies).
   std::size_t mac_queue_size(int local) const;
 
  private:
-  void on_slot(sim::Time now);
-  void on_receive_frame(net::NodeId rx, const net::Frame& frame);
-  void start_generation_if_ready(sim::Time now);
-  void deliver_ack(sim::Time ack_time);
-  void flush_relay_to(int local, std::uint32_t generation_id);
-  void finalize_metrics(SessionResult& result);
-
   const net::Topology& topology_;
   const routing::SessionGraph& graph_;
   ProtocolConfig config_;
 
-  sim::Simulator simulator_;
-  std::unique_ptr<net::SlottedMac> mac_;
-  Rng rng_;
-
-  // Coding state.
-  std::optional<coding::Generation> source_generation_;
-  std::optional<coding::SourceEncoder> encoder_;
-  std::vector<std::unique_ptr<coding::Recoder>> recoders_;  // per local node
-  std::unique_ptr<coding::ProgressiveDecoder> decoder_;
-
-  // Generation lifecycle.
-  std::uint32_t current_generation_ = 0;  // id the source is emitting
-  bool generation_active_ = false;
-  double generation_start_time_ = 0.0;
-  double ack_delay_s_ = 0.0;
-
-  // Metrics.
-  SessionResult result_;
+  SessionEngine* engine_ = nullptr;  // live only inside run()
   std::vector<std::size_t> edge_innovative_;
-  std::vector<double> per_generation_throughput_;
-  double last_ack_time_ = 0.0;
-
-  // Fast edge lookup: edge_index_[from * size + to] = edge id or -1.
-  std::vector<int> edge_index_;
 };
 
 }  // namespace omnc::protocols

@@ -1,0 +1,154 @@
+// Pluggable observability for the session engine.
+//
+// The engine does not accumulate metrics itself.  It emits typed events on a
+// MetricsBus — one per transmission, reception, end-of-slot queue sample,
+// generation ACK, stale-generation flush, and queue drop — and registered
+// TraceSinks reconstruct whatever statistic they need: SessionResultSink
+// rebuilds the full per-session SessionResult, QueueTimelineSink keeps the
+// per-node queue timelines behind Fig. 3, EdgeDeliverySink counts innovative
+// deliveries per session-graph edge for Fig. 4.  New instrumentation is a new
+// sink; the engine never changes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "coding/generation.h"
+#include "common/stats.h"
+#include "net/topology.h"
+#include "protocols/metrics.h"
+#include "routing/node_selection.h"
+
+namespace omnc::protocols {
+
+struct MetricEvent {
+  enum class Type : std::uint8_t {
+    kTx,             // a node transmitted the head of its MAC queue
+    kRx,             // a session frame reached a session node (any outcome)
+    kQueueSample,    // end-of-slot transmit-queue length of one node
+    kGenerationAck,  // a generation's ACK reached the source
+    kStaleFlush,     // a relay discarded an expired generation
+    kQueueDrop,      // a frame was rejected by a full MAC queue
+  };
+
+  Type type = Type::kTx;
+  double time = 0.0;           // virtual time the event occurred at
+  std::uint32_t session = 0;   // kRx / kGenerationAck / kStaleFlush
+  net::NodeId node = -1;       // acting node (tx, rx, sampled, flushing, …)
+  int tx_local = -1;           // kRx: sender's session-local index
+  int rx_local = -1;           // kRx: receiver's session-local index
+  int edge = -1;               // kRx: session-graph edge id when innovative
+  bool innovative = false;     // kRx: rank-increasing for the receiver
+  std::uint32_t generation = 0;  // kGenerationAck: completed id;
+                                 // kStaleFlush: id flushed *to*
+  double value = 0.0;  // kQueueSample: queue length; kGenerationAck: seconds
+                       // from generation start to ACK arrival
+};
+
+/// Receives every event emitted on the bus, in emission order.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void on_event(const MetricEvent& event) = 0;
+};
+
+/// Fan-out of engine events to registered sinks (non-owning, in
+/// subscription order).
+class MetricsBus {
+ public:
+  void subscribe(TraceSink* sink);
+
+  void emit(const MetricEvent& event) {
+    ++emitted_;
+    for (TraceSink* sink : sinks_) sink->on_event(event);
+  }
+
+  std::size_t sink_count() const { return sinks_.size(); }
+  std::size_t events_emitted() const { return emitted_; }
+
+ private:
+  std::vector<TraceSink*> sinks_;
+  std::size_t emitted_ = 0;
+};
+
+/// Rebuilds per-session SessionResults from the event stream.  assemble()
+/// writes the measured fields into a caller-provided base record, which lets
+/// policies keep their prepare-time diagnostics (rate-control iterations,
+/// predicted gamma) in the same struct.
+class SessionResultSink : public TraceSink {
+ public:
+  SessionResultSink(std::vector<const routing::SessionGraph*> graphs,
+                    const coding::CodingParams& coding, int topology_nodes);
+
+  void on_event(const MetricEvent& event) override;
+
+  SessionResult assemble(std::size_t session, SessionResult base = {}) const;
+
+  /// Innovative deliveries per session-graph edge (Fig. 4 raw counts).
+  const std::vector<std::size_t>& edge_innovative(std::size_t session) const {
+    return sessions_[session].edge_innovative;
+  }
+
+  /// Mean over *all* transmitting nodes (every session's participants) of
+  /// the per-node time-averaged queue — the shared-channel Fig. 3 metric the
+  /// multi-unicast runs report.
+  double shared_mean_queue() const;
+
+ private:
+  struct PerSession {
+    const routing::SessionGraph* graph = nullptr;
+    std::size_t packets_delivered = 0;
+    int generations_completed = 0;
+    double last_ack_time = 0.0;
+    std::vector<double> per_generation_throughput;
+    std::vector<std::size_t> edge_innovative;
+  };
+
+  std::vector<PerSession> sessions_;
+  coding::CodingParams coding_;
+  std::vector<std::size_t> node_transmissions_;  // by topology NodeId
+  std::vector<TimeAverage> node_queue_;          // by topology NodeId
+  std::size_t transmissions_ = 0;
+  std::size_t queue_drops_ = 0;
+};
+
+/// Full per-node queue timelines (every end-of-slot sample), for queue
+/// dynamics plots beyond the scalar Fig. 3 average.
+class QueueTimelineSink : public TraceSink {
+ public:
+  struct Sample {
+    double time = 0.0;
+    double queue = 0.0;
+  };
+
+  explicit QueueTimelineSink(int topology_nodes);
+
+  void on_event(const MetricEvent& event) override;
+
+  const std::vector<Sample>& timeline(net::NodeId node) const;
+  /// Time-weighted average of the node's sampled queue (the Fig. 3 scalar).
+  double time_average(net::NodeId node) const;
+
+ private:
+  std::vector<std::vector<Sample>> timelines_;  // by topology NodeId
+  std::vector<TimeAverage> averages_;
+};
+
+/// Innovative-delivery counts per session-graph edge (Fig. 4 raw data).
+class EdgeDeliverySink : public TraceSink {
+ public:
+  explicit EdgeDeliverySink(
+      std::vector<const routing::SessionGraph*> graphs);
+
+  void on_event(const MetricEvent& event) override;
+
+  const std::vector<std::size_t>& deliveries(std::size_t session) const {
+    return deliveries_[session];
+  }
+
+ private:
+  std::vector<std::vector<std::size_t>> deliveries_;
+};
+
+}  // namespace omnc::protocols

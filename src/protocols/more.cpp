@@ -89,40 +89,20 @@ MoreProtocol::MoreProtocol(const net::Topology& topology,
 
 void MoreProtocol::prepare(SessionResult& result) {
   compute_more_credits(graph(), &z_, &tx_credit_);
-  credit_.assign(static_cast<std::size_t>(graph().size()), 0.0);
+  credits_.emplace(graph(), tx_credit_, more_config_.source_backlog,
+                   more_config_.max_enqueue_per_slot,
+                   [this](int local) { return mac_queue_size(local); });
   (void)result;
 }
 
-void MoreProtocol::on_generation_start() {
-  std::fill(credit_.begin(), credit_.end(), 0.0);
-}
+void MoreProtocol::on_generation_start() { credits_->on_generation_start(); }
 
 void MoreProtocol::on_reception(int rx_local, int tx_local, bool innovative) {
-  (void)innovative;  // credit accrues on every upstream reception
-  if (rx_local == graph().source || rx_local == graph().destination) return;
-  // Upstream check: tx must be farther from the destination.
-  if (graph().etx_to_dst[static_cast<std::size_t>(tx_local)] <=
-      graph().etx_to_dst[static_cast<std::size_t>(rx_local)]) {
-    return;
-  }
-  credit_[static_cast<std::size_t>(rx_local)] +=
-      tx_credit_[static_cast<std::size_t>(rx_local)];
+  credits_->on_reception(rx_local, tx_local, innovative);
 }
 
 int MoreProtocol::packets_to_enqueue(int local, double slot_seconds) {
-  (void)slot_seconds;
-  if (local == graph().source) {
-    // Backlogged source: always contends for the medium.
-    const std::size_t queued = mac_queue_size(local);
-    if (queued >= more_config_.source_backlog) return 0;
-    return static_cast<int>(more_config_.source_backlog - queued);
-  }
-  const std::size_t i = static_cast<std::size_t>(local);
-  if (credit_[i] < 1.0) return 0;
-  const int send = std::min(static_cast<int>(credit_[i]),
-                            more_config_.max_enqueue_per_slot);
-  credit_[i] -= send;
-  return send;
+  return credits_->packets_to_enqueue(local, slot_seconds);
 }
 
 }  // namespace omnc::protocols

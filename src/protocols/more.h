@@ -20,6 +20,7 @@
 // — the congestion obliviousness the paper demonstrates in Fig. 3.
 #pragma once
 
+#include <optional>
 #include <vector>
 
 #include "protocols/coded_base.h"
@@ -54,7 +55,7 @@ class MoreProtocol final : public CodedProtocolBase {
   MoreConfig more_config_;
   std::vector<double> z_;
   std::vector<double> tx_credit_;
-  std::vector<double> credit_;
+  std::optional<CreditPolicy> credits_;
 };
 
 /// Computes (z, TX_credit) for a session graph; exposed for tests and the

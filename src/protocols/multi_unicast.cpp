@@ -1,38 +1,20 @@
 #include "protocols/multi_unicast.h"
 
 #include <algorithm>
-#include <set>
+#include <utility>
 
 #include "common/assert.h"
-#include "common/logging.h"
-#include "routing/etx.h"
+#include "protocols/metrics_bus.h"
+#include "protocols/session_engine.h"
+#include "protocols/transmit_policy.h"
 
 namespace omnc::protocols {
-namespace {
-
-std::uint32_t frame_session_id(const std::vector<std::uint8_t>& wire) {
-  OMNC_ASSERT(wire.size() >= coding::CodedPacket::kHeaderBytes);
-  return (static_cast<std::uint32_t>(wire[0]) << 24) |
-         (static_cast<std::uint32_t>(wire[1]) << 16) |
-         (static_cast<std::uint32_t>(wire[2]) << 8) | wire[3];
-}
-
-std::uint32_t frame_generation_id(const std::vector<std::uint8_t>& wire) {
-  return (static_cast<std::uint32_t>(wire[4]) << 24) |
-         (static_cast<std::uint32_t>(wire[5]) << 16) |
-         (static_cast<std::uint32_t>(wire[6]) << 8) | wire[7];
-}
-
-}  // namespace
 
 MultiUnicastOmnc::MultiUnicastOmnc(
     const net::Topology& topology,
     std::vector<const routing::SessionGraph*> graphs,
     const MultiUnicastConfig& config)
-    : topology_(topology),
-      graphs_(std::move(graphs)),
-      config_(config),
-      rng_(config.protocol.seed) {
+    : topology_(topology), graphs_(std::move(graphs)), config_(config) {
   OMNC_ASSERT(!graphs_.empty());
 }
 
@@ -48,76 +30,43 @@ MultiUnicastResult MultiUnicastOmnc::run() {
   result.rc_converged = rc.converged;
   result.rc_iterations = rc.iterations;
   rates_ = std::move(rc.b);
-  opt::multi_rescale_to_feasible(topology_, graphs_, rates_,
-                                 params.capacity);
+  opt::multi_rescale_to_feasible(topology_, graphs_, rates_, params.capacity);
 
-  // One MAC over the union of all session nodes.
-  std::set<net::NodeId> union_nodes;
-  for (const auto* graph : graphs_) {
-    union_nodes.insert(graph->nodes.begin(), graph->nodes.end());
-  }
-  std::vector<net::NodeId> participants(union_nodes.begin(),
-                                        union_nodes.end());
-  mac_ = std::make_unique<net::SlottedMac>(
-      simulator_, topology_, participants, config_.protocol.mac,
-      rng_.fork(0x31));
-
-  sessions_.clear();
-  sessions_.resize(k);
-  result.sessions.assign(k, SessionResult{});
+  // One engine (and one MAC) over all sessions; each gets its own token
+  // bucket fed by its rate vector.
+  std::vector<TokenBucketPolicy> policies;
+  policies.reserve(k);
   for (std::size_t s = 0; s < k; ++s) {
-    SessionState& session = sessions_[s];
-    session.graph = graphs_[s];
-    // Random initial token phases: mutually inaudible transmitters with
-    // identical rates would otherwise cross their send thresholds in the
-    // same slots forever and collide at every common receiver.
-    session.tokens.assign(static_cast<std::size_t>(session.graph->size()),
-                          0.0);
-    for (double& token : session.tokens) token = rng_.next_double();
-    session.recoders.resize(static_cast<std::size_t>(session.graph->size()));
-    for (int local = 0; local < session.graph->size(); ++local) {
-      if (local == session.graph->source ||
-          local == session.graph->destination) {
-        continue;
-      }
-      session.recoders[static_cast<std::size_t>(local)] =
-          std::make_unique<coding::Recoder>(config_.protocol.coding,
-                                            static_cast<std::uint32_t>(s), 0);
-    }
-    session.decoder = std::make_unique<coding::ProgressiveDecoder>(
-        config_.protocol.coding, 0);
-    const auto reverse = routing::etx_route(
-        topology_, session.graph->node_id(session.graph->destination),
-        session.graph->node_id(session.graph->source));
-    const double etx_sum =
-        reverse.size() >= 2 ? routing::route_etx(topology_, reverse) : 4.0;
-    session.ack_delay = etx_sum * mac_->slot_duration();
-    result.sessions[s].connected = true;
+    policies.emplace_back(rates_[s],
+                          static_cast<double>(config_.protocol.mac.slot_bytes),
+                          config_.token_burst_cap);
   }
+  std::vector<EngineSessionSpec> specs;
+  specs.reserve(k);
+  for (std::size_t s = 0; s < k; ++s) {
+    specs.push_back({graphs_[s], &policies[s],
+                     config_.protocol.seed ^ (s * 0x9e3779b9ULL)});
+  }
+  EngineConfig engine_config;
+  engine_config.protocol = config_.protocol;
+  engine_config.mac_rng_salt = 0x31;
+  SessionEngine engine(topology_, std::move(specs), engine_config);
+  // Random initial token phases: mutually inaudible transmitters with
+  // identical rates would otherwise cross their send thresholds in the same
+  // slots forever and collide at every common receiver.
+  for (auto& policy : policies) policy.randomize_phases(engine.rng());
 
-  mac_->set_receive_handler([this](net::NodeId rx, const net::Frame& frame) {
-    on_receive(rx, frame);
-  });
-  mac_->add_slot_hook([this](sim::Time now) { on_slot(now); });
-  mac_->start();
-  simulator_.run_until(config_.protocol.max_sim_seconds);
-  mac_->stop();
+  SessionResultSink sink(graphs_, config_.protocol.coding,
+                         topology_.node_count());
+  engine.bus().subscribe(&sink);
+  engine.run();
 
   // Metrics.
+  result.sessions.reserve(k);
   double min_throughput = -1.0;
   for (std::size_t s = 0; s < k; ++s) {
-    SessionState& session = sessions_[s];
-    SessionResult& out = result.sessions[s];
-    out.generations_completed = session.generations;
-    if (!session.per_generation_throughput.empty()) {
-      double sum = 0.0;
-      for (double v : session.per_generation_throughput) sum += v;
-      out.throughput_per_generation =
-          sum / session.per_generation_throughput.size();
-      out.throughput_bytes_per_s =
-          static_cast<double>(session.generations) *
-          config_.protocol.coding.generation_bytes() / session.last_ack;
-    }
+    result.sessions.push_back(sink.assemble(s));
+    const SessionResult& out = result.sessions.back();
     result.aggregate_throughput += out.throughput_per_generation;
     if (min_throughput < 0.0 ||
         out.throughput_per_generation < min_throughput) {
@@ -126,139 +75,11 @@ MultiUnicastResult MultiUnicastOmnc::run() {
   }
   result.min_throughput = std::max(0.0, min_throughput);
 
-  // Shared-channel queue metric (per involved node, across sessions).
-  double queue_sum = 0.0;
-  int involved = 0;
-  for (net::NodeId node : mac_->participants()) {
-    if (mac_->transmissions(node) == 0) continue;
-    queue_sum += mac_->queue_time_average(node);
-    ++involved;
-  }
-  const double mean_queue = involved > 0 ? queue_sum / involved : 0.0;
+  // Shared-channel queue metric (per involved node, across sessions): every
+  // session reports the same channel-wide value.
+  const double mean_queue = sink.shared_mean_queue();
   for (auto& out : result.sessions) out.mean_queue = mean_queue;
   return result;
-}
-
-void MultiUnicastOmnc::start_generation_if_ready(std::size_t s,
-                                                 sim::Time now) {
-  SessionState& session = sessions_[s];
-  if (session.active) return;
-  const double arrived = config_.protocol.cbr_bytes_per_s * now;
-  const double needed =
-      static_cast<double>(session.current_generation + 1) *
-      static_cast<double>(config_.protocol.coding.generation_bytes());
-  if (arrived + 1e-9 < needed) return;
-  session.generation.emplace(coding::Generation::synthetic(
-      session.current_generation, config_.protocol.coding,
-      config_.protocol.seed ^ (s * 0x9e3779b9ULL)));
-  session.encoder.emplace(*session.generation,
-                          static_cast<std::uint32_t>(s));
-  session.active = true;
-  session.generation_start = now;
-  OMNC_LOG_TRACE("session %zu: generation %u starts at t=%.2f", s,
-                 session.current_generation, now);
-}
-
-void MultiUnicastOmnc::on_slot(sim::Time now) {
-  const double slot_seconds = mac_->slot_duration();
-  for (std::size_t s = 0; s < sessions_.size(); ++s) {
-    start_generation_if_ready(s, now);
-    SessionState& session = sessions_[s];
-    const auto& graph = *session.graph;
-    for (int local = 0; local < graph.size(); ++local) {
-      if (local == graph.destination) continue;
-      const bool is_source = local == graph.source;
-      const auto& recoder = session.recoders[static_cast<std::size_t>(local)];
-      const bool can_send =
-          is_source ? session.active
-                    : (recoder != nullptr &&
-                       recoder->generation_id() == session.current_generation &&
-                       recoder->can_send());
-      if (!can_send) continue;
-      double& tokens = session.tokens[static_cast<std::size_t>(local)];
-      const double packets_per_s =
-          rates_[s][static_cast<std::size_t>(local)] /
-          static_cast<double>(config_.protocol.mac.slot_bytes);
-      tokens = std::min(tokens + packets_per_s * slot_seconds,
-                        config_.token_burst_cap);
-      if (tokens < 1.0) continue;
-      const int send = static_cast<int>(tokens);
-      tokens -= send;
-      for (int j = 0; j < send; ++j) {
-        coding::CodedPacket packet = is_source
-                                         ? session.encoder->next_packet(rng_)
-                                         : recoder->recode(rng_);
-        net::Frame frame;
-        frame.from = graph.node_id(local);
-        frame.to = net::kBroadcast;
-        frame.bytes = std::make_shared<const std::vector<std::uint8_t>>(
-            packet.serialize());
-        if (!mac_->enqueue(std::move(frame))) break;
-      }
-    }
-  }
-}
-
-void MultiUnicastOmnc::on_receive(net::NodeId rx, const net::Frame& frame) {
-  const std::uint32_t s = frame_session_id(*frame.bytes);
-  if (s >= sessions_.size()) return;
-  SessionState& session = sessions_[s];
-  const auto& graph = *session.graph;
-  const int rx_local = graph.local_index(rx);
-  if (rx_local < 0) return;  // overheard by a node outside this session
-
-  const std::uint32_t gen = frame_generation_id(*frame.bytes);
-  if (rx_local == graph.destination) {
-    if (gen != session.decoder->generation_id()) return;
-    coding::CodedPacket packet;
-    if (!coding::CodedPacket::parse(*frame.bytes, &packet)) return;
-    session.decoder->offer(packet);
-    if (session.decoder->complete()) {
-      const auto recovered = session.decoder->recover();
-      OMNC_ASSERT(session.generation.has_value());
-      OMNC_ASSERT_MSG(
-          std::equal(recovered.begin(), recovered.end(),
-                     session.generation->bytes().begin()),
-          "decoded generation does not match the source data");
-      const double ack_time = simulator_.now() + session.ack_delay;
-      session.decoder->reset(session.current_generation + 1);
-      simulator_.schedule_at(ack_time, [this, s, ack_time] {
-        deliver_ack(s, ack_time);
-      });
-    }
-    return;
-  }
-  if (rx_local == graph.source) return;
-
-  auto& recoder = session.recoders[static_cast<std::size_t>(rx_local)];
-  if (gen > recoder->generation_id()) recoder->reset(gen);
-  if (gen < recoder->generation_id()) return;
-  coding::CodedPacket packet;
-  if (!coding::CodedPacket::parse(*frame.bytes, &packet)) return;
-  recoder->offer(packet);
-}
-
-void MultiUnicastOmnc::deliver_ack(std::size_t s, double ack_time) {
-  SessionState& session = sessions_[s];
-  OMNC_ASSERT(session.active);
-  const double elapsed = ack_time - session.generation_start;
-  session.per_generation_throughput.push_back(
-      static_cast<double>(config_.protocol.coding.generation_bytes()) /
-      elapsed);
-  ++session.generations;
-  session.last_ack = ack_time;
-  OMNC_LOG_TRACE("session %zu: generation %u acked at t=%.2f", s,
-                 session.current_generation, ack_time);
-  session.active = false;
-  ++session.current_generation;
-  for (int local = 0; local < session.graph->size(); ++local) {
-    auto& recoder = session.recoders[static_cast<std::size_t>(local)];
-    if (recoder != nullptr &&
-        recoder->generation_id() < session.current_generation) {
-      recoder->reset(session.current_generation);
-    }
-  }
-  start_generation_if_ready(s, simulator_.now());
 }
 
 }  // namespace omnc::protocols

@@ -1,28 +1,21 @@
 // OMNC for concurrent unicast sessions — the multiple-unicast scenario the
 // paper's conclusion points to.
 //
-// K sessions share one channel (one MAC instance over the union of their
-// selected nodes).  Rates come from the joint distributed rate control
-// (opt/multi_unicast.h), which couples the sessions through shared
-// congestion prices; each node then runs independent per-session coding
-// state (re-encoders, decoders, token buckets), and frames carry the session
-// id so receivers dispatch to the right generation state.
+// K sessions share one channel (one SessionEngine, one MAC instance over the
+// union of their selected nodes).  Rates come from the joint distributed
+// rate control (opt/multi_unicast.h), which couples the sessions through
+// shared congestion prices; each session then runs an independent
+// TokenBucketPolicy and per-(session, node) NodeRuntimes inside the shared
+// engine, and frames carry the session id so receptions dispatch to the
+// right coding state.
 #pragma once
 
-#include <memory>
-#include <optional>
 #include <vector>
 
-#include "coding/decoder.h"
-#include "coding/encoder.h"
-#include "coding/recoder.h"
-#include "common/rng.h"
-#include "net/mac.h"
 #include "net/topology.h"
 #include "opt/multi_unicast.h"
 #include "protocols/metrics.h"
 #include "routing/node_selection.h"
-#include "sim/simulator.h"
 
 namespace omnc::protocols {
 
@@ -54,35 +47,9 @@ class MultiUnicastOmnc {
   const std::vector<std::vector<double>>& rates() const { return rates_; }
 
  private:
-  struct SessionState {
-    const routing::SessionGraph* graph = nullptr;
-    std::optional<coding::Generation> generation;
-    std::optional<coding::SourceEncoder> encoder;
-    std::vector<std::unique_ptr<coding::Recoder>> recoders;  // per local
-    std::unique_ptr<coding::ProgressiveDecoder> decoder;
-    std::vector<double> tokens;  // per local node
-    std::uint32_t current_generation = 0;
-    bool active = false;
-    double generation_start = 0.0;
-    double ack_delay = 0.0;
-    double last_ack = 0.0;
-    std::vector<double> per_generation_throughput;
-    int generations = 0;
-  };
-
-  void on_slot(sim::Time now);
-  void on_receive(net::NodeId rx, const net::Frame& frame);
-  void start_generation_if_ready(std::size_t s, sim::Time now);
-  void deliver_ack(std::size_t s, double ack_time);
-
   const net::Topology& topology_;
   std::vector<const routing::SessionGraph*> graphs_;
   MultiUnicastConfig config_;
-  Rng rng_;
-
-  sim::Simulator simulator_;
-  std::unique_ptr<net::SlottedMac> mac_;
-  std::vector<SessionState> sessions_;
   std::vector<std::vector<double>> rates_;
 };
 

@@ -1,0 +1,119 @@
+// Per-node, per-session coding runtime.
+//
+// A NodeRuntime owns everything one node keeps for one session, keyed by its
+// role in the session DAG:
+//   * source      — the CBR-gated current generation, its random linear
+//                   encoder, and the generation lifecycle counters;
+//   * relay       — the innovation-filtered recode buffer (Sec. 4, "Packet
+//                   and Queue Management") plus generation-expiry flushing;
+//   * destination — the progressive Gauss–Jordan decoder.
+//
+// The SessionEngine composes one NodeRuntime per (session, node) pair; in
+// the multi-unicast scenario a physical node therefore carries several
+// runtimes with different roles, one per session it participates in.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "coding/decoder.h"
+#include "coding/encoder.h"
+#include "coding/generation.h"
+#include "coding/recoder.h"
+#include "common/rng.h"
+
+namespace omnc::protocols {
+
+class NodeRuntime {
+ public:
+  enum class Role : std::uint8_t { kSource, kRelay, kDestination };
+
+  static NodeRuntime source(const coding::CodingParams& params,
+                            std::uint32_t session_id, std::uint64_t data_seed);
+  static NodeRuntime relay(const coding::CodingParams& params,
+                           std::uint32_t session_id);
+  static NodeRuntime destination(const coding::CodingParams& params);
+
+  Role role() const { return role_; }
+
+  /// The generation this node currently works on: the id the source is
+  /// emitting, the relay is buffering, or the destination is decoding.
+  std::uint32_t generation_id() const;
+
+  /// True if this node holds something transmittable.  `live_generation` is
+  /// the id the session's source is currently emitting; a relay stuck on an
+  /// older generation must stay silent.
+  bool can_send(std::uint32_t live_generation) const;
+
+  /// Emits one coded packet: a fresh random combination from the source
+  /// encoder or the relay's recode buffer.  Requires can_send().
+  coding::CodedPacket next_packet(Rng& rng) const;
+
+  struct ReceiveOutcome {
+    bool innovative = false;
+    /// Destination only: the decoder just reached full rank.
+    bool generation_complete = false;
+  };
+
+  /// Absorbs a packet of this node's current generation (relay or
+  /// destination).
+  ReceiveOutcome receive(const coding::CodedPacket& packet);
+
+  // --- source lifecycle --------------------------------------------------
+
+  /// CBR gate: starts generation g once g+1 generations' worth of bytes have
+  /// arrived, unless `max_generations` are already done.  Returns true when
+  /// a generation actually started.
+  bool maybe_start_generation(double now, double cbr_bytes_per_s,
+                              int max_generations);
+  /// ACK bookkeeping: retires the active generation and advances the emitted
+  /// id.
+  void complete_generation();
+
+  bool generation_active() const { return generation_active_; }
+  double generation_start_time() const { return generation_start_time_; }
+  int generations_completed() const { return generations_completed_; }
+  /// The plaintext of the active generation (end-to-end integrity checks).
+  const coding::Generation& generation() const;
+
+  // --- relay lifecycle ---------------------------------------------------
+
+  /// Discards the buffered generation and retargets `generation_id`.
+  /// Returns false (no-op) when already there.
+  bool flush_to(std::uint32_t generation_id);
+
+  // --- destination lifecycle --------------------------------------------
+
+  /// The recovered plaintext of the completed generation.
+  std::vector<std::uint8_t> recover() const;
+  /// Moves the decoder to the next generation; stale packets are rejected by
+  /// generation id from now on.
+  void advance_generation();
+
+  std::size_t rank() const;
+
+ private:
+  NodeRuntime(Role role, const coding::CodingParams& params,
+              std::uint32_t session_id, std::uint64_t data_seed);
+
+  Role role_;
+  coding::CodingParams params_;
+  std::uint32_t session_id_ = 0;
+  std::uint64_t data_seed_ = 0;
+
+  // Source state.
+  std::optional<coding::Generation> source_generation_;
+  std::optional<coding::SourceEncoder> encoder_;
+  std::uint32_t current_generation_ = 0;
+  bool generation_active_ = false;
+  double generation_start_time_ = 0.0;
+  int generations_completed_ = 0;
+
+  // Relay / destination state.
+  std::unique_ptr<coding::Recoder> recoder_;
+  std::unique_ptr<coding::ProgressiveDecoder> decoder_;
+};
+
+}  // namespace omnc::protocols

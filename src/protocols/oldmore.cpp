@@ -91,39 +91,23 @@ void OldMoreProtocol::prepare(SessionResult& result) {
           z_[static_cast<std::size_t>(j)] / receptions;
     }
   }
-  credit_.assign(v, 0.0);
+  credits_.emplace(graph(), tx_credit_, oldmore_config_.source_backlog,
+                   oldmore_config_.max_enqueue_per_slot,
+                   [this](int local) { return mac_queue_size(local); });
   result.predicted_gamma = config().cbr_bytes_per_s;  // what it assumes
 }
 
 void OldMoreProtocol::on_generation_start() {
-  std::fill(credit_.begin(), credit_.end(), 0.0);
+  credits_->on_generation_start();
 }
 
 void OldMoreProtocol::on_reception(int rx_local, int tx_local,
                                    bool innovative) {
-  (void)innovative;
-  if (rx_local == graph().source || rx_local == graph().destination) return;
-  if (graph().etx_to_dst[static_cast<std::size_t>(tx_local)] <=
-      graph().etx_to_dst[static_cast<std::size_t>(rx_local)]) {
-    return;
-  }
-  credit_[static_cast<std::size_t>(rx_local)] +=
-      tx_credit_[static_cast<std::size_t>(rx_local)];
+  credits_->on_reception(rx_local, tx_local, innovative);
 }
 
 int OldMoreProtocol::packets_to_enqueue(int local, double slot_seconds) {
-  (void)slot_seconds;
-  if (local == graph().source) {
-    const std::size_t queued = mac_queue_size(local);
-    if (queued >= oldmore_config_.source_backlog) return 0;
-    return static_cast<int>(oldmore_config_.source_backlog - queued);
-  }
-  const std::size_t i = static_cast<std::size_t>(local);
-  if (credit_[i] < 1.0) return 0;
-  const int send = std::min(static_cast<int>(credit_[i]),
-                            oldmore_config_.max_enqueue_per_slot);
-  credit_[i] -= send;
-  return send;
+  return credits_->packets_to_enqueue(local, slot_seconds);
 }
 
 }  // namespace omnc::protocols

@@ -19,6 +19,7 @@
 //     so the credits are oblivious to congestion.
 #pragma once
 
+#include <optional>
 #include <vector>
 
 #include "protocols/coded_base.h"
@@ -56,7 +57,7 @@ class OldMoreProtocol final : public CodedProtocolBase {
   OldMoreConfig oldmore_config_;
   std::vector<double> z_;
   std::vector<double> tx_credit_;
-  std::vector<double> credit_;
+  std::optional<CreditPolicy> credits_;
 };
 
 /// Solves the min-cost program at unit demand; returns per-node z (empty on

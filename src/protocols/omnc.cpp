@@ -1,7 +1,6 @@
 #include "protocols/omnc.h"
 
-#include <algorithm>
-#include <cmath>
+#include <utility>
 
 #include "common/assert.h"
 #include "opt/sunicast.h"
@@ -28,26 +27,14 @@ void OmncProtocol::prepare(SessionResult& result) {
 
   rates_ = std::move(rc.b);
   opt::rescale_to_feasible(graph(), rates_, params.capacity);
-  // Random initial phases de-synchronize equal-rate transmitters that
-  // cannot hear each other (see multi_unicast.cpp).
-  tokens_.assign(rates_.size(), 0.0);
+  bucket_.emplace(rates_, static_cast<double>(config().mac.slot_bytes),
+                  omnc_config_.token_burst_cap);
   Rng phase(config().seed ^ 0x70ca);
-  for (double& token : tokens_) token = phase.next_double();
+  bucket_->randomize_phases(phase);
 }
 
 int OmncProtocol::packets_to_enqueue(int local, double slot_seconds) {
-  const std::size_t i = static_cast<std::size_t>(local);
-  // Rates and the channel capacity are both measured in air bytes/s, so a
-  // token is one slot's worth of air (slot_bytes); using payload bytes here
-  // would overcommit the channel by the coding-header overhead.
-  const double packets_per_s =
-      rates_[i] / static_cast<double>(config().mac.slot_bytes);
-  tokens_[i] = std::min(tokens_[i] + packets_per_s * slot_seconds,
-                        omnc_config_.token_burst_cap);
-  if (tokens_[i] < 1.0) return 0;
-  const int send = static_cast<int>(tokens_[i]);
-  tokens_[i] -= send;
-  return send;
+  return bucket_->packets_to_enqueue(local, slot_seconds);
 }
 
 }  // namespace omnc::protocols

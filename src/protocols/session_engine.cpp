@@ -1,0 +1,373 @@
+#include "protocols/session_engine.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "common/assert.h"
+#include "common/logging.h"
+#include "routing/etx.h"
+
+namespace omnc::protocols {
+namespace {
+
+/// Peeks the session id out of a serialized coded packet without a full
+/// parse (bytes 0..3 of the header, big endian).
+std::uint32_t frame_session_id(const std::vector<std::uint8_t>& wire) {
+  OMNC_ASSERT(wire.size() >= coding::CodedPacket::kHeaderBytes);
+  return (static_cast<std::uint32_t>(wire[0]) << 24) |
+         (static_cast<std::uint32_t>(wire[1]) << 16) |
+         (static_cast<std::uint32_t>(wire[2]) << 8) | wire[3];
+}
+
+/// Same for the generation id (bytes 4..7).
+std::uint32_t frame_generation_id(const std::vector<std::uint8_t>& wire) {
+  OMNC_ASSERT(wire.size() >= coding::CodedPacket::kHeaderBytes);
+  return (static_cast<std::uint32_t>(wire[4]) << 24) |
+         (static_cast<std::uint32_t>(wire[5]) << 16) |
+         (static_cast<std::uint32_t>(wire[6]) << 8) | wire[7];
+}
+
+}  // namespace
+
+void SessionEngine::MacTap::on_transmit(sim::Time now, net::NodeId node) {
+  MetricEvent event;
+  event.type = MetricEvent::Type::kTx;
+  event.time = now;
+  event.node = node;
+  bus_->emit(event);
+}
+
+void SessionEngine::MacTap::on_queue_sample(sim::Time now, net::NodeId node,
+                                            std::size_t queue_len) {
+  MetricEvent event;
+  event.type = MetricEvent::Type::kQueueSample;
+  event.time = now;
+  event.node = node;
+  event.value = static_cast<double>(queue_len);
+  bus_->emit(event);
+}
+
+void SessionEngine::MacTap::on_drop(sim::Time now, net::NodeId node) {
+  MetricEvent event;
+  event.type = MetricEvent::Type::kQueueDrop;
+  event.time = now;
+  event.node = node;
+  bus_->emit(event);
+}
+
+SessionEngine::SessionEngine(const net::Topology& topology,
+                             std::vector<EngineSessionSpec> specs,
+                             const EngineConfig& config)
+    : topology_(topology),
+      config_(config),
+      rng_(config.protocol.seed),
+      mac_tap_(bus_) {
+  OMNC_ASSERT(!specs.empty());
+
+  // One MAC over the union of all session nodes, in first-seen order (for a
+  // single session this is the graph-local order, which the MAC's per-link
+  // fading initialization depends on).
+  std::vector<net::NodeId> participants;
+  std::vector<bool> seen(static_cast<std::size_t>(topology_.node_count()),
+                         false);
+  for (const EngineSessionSpec& spec : specs) {
+    OMNC_ASSERT(spec.graph != nullptr && spec.policy != nullptr);
+    OMNC_ASSERT(spec.graph->size() >= 2);
+    for (net::NodeId id : spec.graph->nodes) {
+      if (seen[static_cast<std::size_t>(id)]) continue;
+      seen[static_cast<std::size_t>(id)] = true;
+      participants.push_back(id);
+    }
+  }
+  mac_ = std::make_unique<net::SlottedMac>(simulator_, topology_, participants,
+                                           config_.protocol.mac,
+                                           rng_.fork(config_.mac_rng_salt));
+
+  sessions_.reserve(specs.size());
+  for (std::size_t s = 0; s < specs.size(); ++s) {
+    const EngineSessionSpec& spec = specs[s];
+    const routing::SessionGraph& graph = *spec.graph;
+    Session session;
+    session.graph = spec.graph;
+    session.policy = spec.policy;
+    session.runtimes.reserve(static_cast<std::size_t>(graph.size()));
+    for (int local = 0; local < graph.size(); ++local) {
+      if (local == graph.source) {
+        session.runtimes.push_back(NodeRuntime::source(
+            config_.protocol.coding, static_cast<std::uint32_t>(s),
+            spec.data_seed));
+      } else if (local == graph.destination) {
+        session.runtimes.push_back(
+            NodeRuntime::destination(config_.protocol.coding));
+      } else {
+        session.runtimes.push_back(NodeRuntime::relay(
+            config_.protocol.coding, static_cast<std::uint32_t>(s)));
+      }
+    }
+    const std::size_t v = static_cast<std::size_t>(graph.size());
+    session.edge_index.assign(v * v, -1);
+    for (std::size_t e = 0; e < graph.edges.size(); ++e) {
+      session.edge_index[static_cast<std::size_t>(graph.edges[e].from) * v +
+                         static_cast<std::size_t>(graph.edges[e].to)] =
+          static_cast<int>(e);
+    }
+    session.ack_delay_s = compute_ack_delay(graph);
+    sessions_.push_back(std::move(session));
+  }
+}
+
+double SessionEngine::compute_ack_delay(
+    const routing::SessionGraph& graph) const {
+  // ACK latency over the reverse min-ETX path: per hop, ETX retransmissions
+  // of one slot each.  The ACK itself is assumed not to consume data-channel
+  // slots (it is a short control packet on the reverse path).  With no
+  // reverse connectivity (possible with asymmetric link matrices) the
+  // forward path cost is charged instead; with neither, a flat 4-slot cost.
+  const auto reverse_route =
+      routing::etx_route(topology_, graph.node_id(graph.destination),
+                         graph.node_id(graph.source));
+  double etx_sum = 4.0;
+  if (reverse_route.size() >= 2) {
+    etx_sum = routing::route_etx(topology_, reverse_route);
+  } else {
+    const auto forward_route =
+        routing::etx_route(topology_, graph.node_id(graph.source),
+                           graph.node_id(graph.destination));
+    if (forward_route.size() >= 2) {
+      etx_sum = routing::route_etx(topology_, forward_route);
+    }
+  }
+  return etx_sum * (static_cast<double>(config_.protocol.mac.slot_bytes) /
+                    config_.protocol.mac.capacity_bytes_per_s);
+}
+
+std::size_t SessionEngine::mac_queue_size(std::size_t session,
+                                          int local) const {
+  return mac_->queue_size(sessions_[session].graph->node_id(local));
+}
+
+int SessionEngine::generations_completed(std::size_t session) const {
+  const Session& state = sessions_[session];
+  return state.runtimes[static_cast<std::size_t>(state.graph->source)]
+      .generations_completed();
+}
+
+void SessionEngine::run() {
+  mac_->set_receive_handler([this](net::NodeId rx, const net::Frame& frame) {
+    on_receive_frame(rx, frame);
+  });
+  mac_->add_slot_hook([this](sim::Time now) { on_slot(now); });
+  mac_->set_observer(&mac_tap_);
+  mac_->start();
+
+  simulator_.run_until(config_.protocol.max_sim_seconds);
+  mac_->stop();
+}
+
+void SessionEngine::maybe_start_generation(std::size_t session,
+                                           sim::Time now) {
+  Session& state = sessions_[session];
+  NodeRuntime& source =
+      state.runtimes[static_cast<std::size_t>(state.graph->source)];
+  if (source.maybe_start_generation(now, config_.protocol.cbr_bytes_per_s,
+                                    config_.protocol.max_generations)) {
+    OMNC_LOG_TRACE("session %zu: generation %u starts at t=%.2f", session,
+                   source.generation_id(), now);
+    state.policy->on_generation_start();
+  }
+}
+
+void SessionEngine::on_slot(sim::Time now) {
+  const double slot_seconds = mac_->slot_duration();
+  for (std::size_t s = 0; s < sessions_.size(); ++s) {
+    maybe_start_generation(s, now);
+    Session& state = sessions_[s];
+    const routing::SessionGraph& graph = *state.graph;
+    const std::uint32_t live =
+        state.runtimes[static_cast<std::size_t>(graph.source)]
+            .generation_id();
+    for (int local = 0; local < graph.size(); ++local) {
+      if (local == graph.destination) continue;
+      NodeRuntime& node = state.runtimes[static_cast<std::size_t>(local)];
+      // Policies are only consulted while the node holds something to send,
+      // so credits/tokens are not consumed during forced idleness.
+      if (!node.can_send(live)) continue;
+      const int wanted = state.policy->packets_to_enqueue(local, slot_seconds);
+      if (wanted <= 0) continue;
+      for (int k = 0; k < wanted; ++k) {
+        coding::CodedPacket packet = node.next_packet(rng_);
+        net::Frame frame;
+        frame.from = graph.node_id(local);
+        frame.to = net::kBroadcast;
+        frame.bytes = std::make_shared<const std::vector<std::uint8_t>>(
+            packet.serialize());
+        if (!mac_->enqueue(std::move(frame))) {
+          break;  // queue full (MacTap counted the drop); stop for this slot
+        }
+      }
+    }
+  }
+}
+
+void SessionEngine::emit_rx(std::size_t session, net::NodeId rx, int tx_local,
+                            int rx_local, int edge, bool innovative) {
+  MetricEvent event;
+  event.type = MetricEvent::Type::kRx;
+  event.time = simulator_.now();
+  event.session = static_cast<std::uint32_t>(session);
+  event.node = rx;
+  event.tx_local = tx_local;
+  event.rx_local = rx_local;
+  event.edge = edge;
+  event.innovative = innovative;
+  bus_.emit(event);
+}
+
+void SessionEngine::on_receive_frame(net::NodeId rx, const net::Frame& frame) {
+  const std::uint32_t s = frame_session_id(*frame.bytes);
+  if (s >= sessions_.size()) return;
+  Session& state = sessions_[s];
+  const routing::SessionGraph& graph = *state.graph;
+  const int rx_local = graph.local_index(rx);
+  if (rx_local < 0) return;  // overheard by a node outside this session
+  const int tx_local = graph.local_index(frame.from);
+  OMNC_ASSERT(tx_local >= 0);
+
+  const std::uint32_t frame_gen = frame_generation_id(*frame.bytes);
+  NodeRuntime& node = state.runtimes[static_cast<std::size_t>(rx_local)];
+
+  if (rx_local == graph.destination) {
+    // The decoder may already sit one generation ahead of the in-flight ACK;
+    // packets of expired generations are ignored (the decoder's own id check
+    // rejects them too, this just skips the parse).
+    if (frame_gen != node.generation_id()) {
+      emit_rx(s, rx, tx_local, rx_local, -1, false);
+      return;
+    }
+  } else if (rx_local == graph.source) {
+    emit_rx(s, rx, tx_local, rx_local, -1, false);
+    return;  // the source ignores data packets
+  } else {
+    // A packet with a higher generation id dictates discarding the expired
+    // generation (Sec. 4); with the ACK flush below this is a rare fallback.
+    if (frame_gen > node.generation_id()) {
+      flush_relay_to(s, rx_local, frame_gen);
+    }
+    if (frame_gen < node.generation_id()) {
+      emit_rx(s, rx, tx_local, rx_local, -1, false);
+      return;  // stale
+    }
+  }
+
+  coding::CodedPacket packet;
+  const bool ok = coding::CodedPacket::parse(*frame.bytes, &packet);
+  OMNC_ASSERT_MSG(ok, "malformed frame on the air");
+
+  const NodeRuntime::ReceiveOutcome outcome = node.receive(packet);
+  int edge = -1;
+  if (outcome.innovative) {
+    const std::size_t v = static_cast<std::size_t>(graph.size());
+    edge = state.edge_index[static_cast<std::size_t>(tx_local) * v +
+                            static_cast<std::size_t>(rx_local)];
+  }
+  emit_rx(s, rx, tx_local, rx_local, edge, outcome.innovative);
+  state.policy->on_reception(rx_local, tx_local, outcome.innovative);
+
+  if (rx_local == graph.destination && outcome.generation_complete) {
+    // End-to-end integrity: the progressively decoded generation must be
+    // byte-identical to what the source encoded.
+    const auto recovered = node.recover();
+    const NodeRuntime& source =
+        state.runtimes[static_cast<std::size_t>(graph.source)];
+    OMNC_ASSERT_MSG(
+        std::equal(recovered.begin(), recovered.end(),
+                   source.generation().bytes().begin()),
+        "decoded generation does not match the source data");
+    const double ack_time = simulator_.now() + state.ack_delay_s;
+    // The destination moves on immediately; packets of the old generation
+    // are rejected by generation id from now on.
+    node.advance_generation();
+    simulator_.schedule_at(ack_time,
+                           [this, s, ack_time] { deliver_ack(s, ack_time); });
+  }
+}
+
+void SessionEngine::flush_relay_to(std::size_t session, int local,
+                                   std::uint32_t generation_id) {
+  Session& state = sessions_[session];
+  if (!state.runtimes[static_cast<std::size_t>(local)].flush_to(
+          generation_id)) {
+    return;
+  }
+  MetricEvent event;
+  event.type = MetricEvent::Type::kStaleFlush;
+  event.time = simulator_.now();
+  event.session = static_cast<std::uint32_t>(session);
+  event.node = state.graph->node_id(local);
+  event.generation = generation_id;
+  bus_.emit(event);
+  if (config_.protocol.flush_stale_frames) {
+    const std::uint32_t s = static_cast<std::uint32_t>(session);
+    mac_->purge_queue(state.graph->node_id(local),
+                      [s, generation_id](const net::Frame& frame) {
+                        return frame_session_id(*frame.bytes) == s &&
+                               frame_generation_id(*frame.bytes) <
+                                   generation_id;
+                      });
+  }
+  // Otherwise frames already handed to the MAC drain over the air and are
+  // ignored by every receiver — queued congestion costs channel time.
+}
+
+void SessionEngine::deliver_ack(std::size_t session, double ack_time) {
+  Session& state = sessions_[session];
+  const routing::SessionGraph& graph = *state.graph;
+  NodeRuntime& source =
+      state.runtimes[static_cast<std::size_t>(graph.source)];
+  OMNC_ASSERT(source.generation_active());
+  const double elapsed = ack_time - source.generation_start_time();
+  OMNC_ASSERT(elapsed > 0.0);
+  const std::uint32_t completed = source.generation_id();
+  source.complete_generation();
+  OMNC_LOG_TRACE("session %zu: generation %u acked at t=%.2f", session,
+                 completed, ack_time);
+
+  MetricEvent event;
+  event.type = MetricEvent::Type::kGenerationAck;
+  event.time = ack_time;
+  event.session = static_cast<std::uint32_t>(session);
+  event.node = graph.node_id(graph.source);
+  event.generation = completed;
+  event.value = elapsed;
+  bus_.emit(event);
+
+  // The ACK is pseudo-broadcast on its way back: every node of the session
+  // learns the generation expired.  Relays drop buffered and queued packets
+  // of the old generation; the source drops its queued stale frames.
+  const std::uint32_t live = source.generation_id();
+  for (int local = 0; local < graph.size(); ++local) {
+    if (local == graph.source || local == graph.destination) continue;
+    flush_relay_to(session, local, live);
+  }
+  if (config_.protocol.flush_stale_frames) {
+    const std::uint32_t s = static_cast<std::uint32_t>(session);
+    mac_->purge_queue(graph.node_id(graph.source),
+                      [s, live](const net::Frame& frame) {
+                        return frame_session_id(*frame.bytes) == s &&
+                               frame_generation_id(*frame.bytes) < live;
+                      });
+  }
+  maybe_start_generation(session, simulator_.now());
+
+  bool all_done = true;
+  for (std::size_t other = 0; other < sessions_.size(); ++other) {
+    if (generations_completed(other) < config_.protocol.max_generations) {
+      all_done = false;
+      break;
+    }
+  }
+  if (all_done) simulator_.stop();
+}
+
+}  // namespace omnc::protocols

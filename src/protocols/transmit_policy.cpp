@@ -1,0 +1,81 @@
+#include "protocols/transmit_policy.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/assert.h"
+
+namespace omnc::protocols {
+
+TokenBucketPolicy::TokenBucketPolicy(std::vector<double> rates_bytes_per_s,
+                                     double slot_bytes, double burst_cap)
+    : rates_(std::move(rates_bytes_per_s)),
+      slot_bytes_(slot_bytes),
+      burst_cap_(burst_cap) {
+  OMNC_ASSERT(slot_bytes_ > 0.0);
+  tokens_.assign(rates_.size(), 0.0);
+}
+
+void TokenBucketPolicy::randomize_phases(Rng& rng) {
+  for (double& token : tokens_) token = rng.next_double();
+}
+
+int TokenBucketPolicy::packets_to_enqueue(int local, double slot_seconds) {
+  const std::size_t i = static_cast<std::size_t>(local);
+  const double packets_per_s = rates_[i] / slot_bytes_;
+  tokens_[i] =
+      std::min(tokens_[i] + packets_per_s * slot_seconds, burst_cap_);
+  if (tokens_[i] < 1.0) return 0;
+  const int send = static_cast<int>(tokens_[i]);
+  tokens_[i] -= send;
+  return send;
+}
+
+CreditPolicy::CreditPolicy(const routing::SessionGraph& graph,
+                           std::vector<double> tx_credit,
+                           std::size_t source_backlog,
+                           int max_enqueue_per_slot,
+                           std::function<std::size_t(int local)> queue_probe)
+    : graph_(graph),
+      tx_credit_(std::move(tx_credit)),
+      source_backlog_(source_backlog),
+      max_enqueue_per_slot_(max_enqueue_per_slot),
+      queue_probe_(std::move(queue_probe)) {
+  OMNC_ASSERT(tx_credit_.size() == static_cast<std::size_t>(graph_.size()));
+  OMNC_ASSERT(queue_probe_ != nullptr);
+  credit_.assign(tx_credit_.size(), 0.0);
+}
+
+int CreditPolicy::packets_to_enqueue(int local, double slot_seconds) {
+  (void)slot_seconds;
+  if (local == graph_.source) {
+    // Backlogged source: always contends for the medium.
+    const std::size_t queued = queue_probe_(local);
+    if (queued >= source_backlog_) return 0;
+    return static_cast<int>(source_backlog_ - queued);
+  }
+  const std::size_t i = static_cast<std::size_t>(local);
+  if (credit_[i] < 1.0) return 0;
+  const int send =
+      std::min(static_cast<int>(credit_[i]), max_enqueue_per_slot_);
+  credit_[i] -= send;
+  return send;
+}
+
+void CreditPolicy::on_reception(int rx_local, int tx_local, bool innovative) {
+  (void)innovative;  // credit accrues on every upstream reception
+  if (rx_local == graph_.source || rx_local == graph_.destination) return;
+  // Upstream check: tx must be farther from the destination.
+  if (graph_.etx_to_dst[static_cast<std::size_t>(tx_local)] <=
+      graph_.etx_to_dst[static_cast<std::size_t>(rx_local)]) {
+    return;
+  }
+  credit_[static_cast<std::size_t>(rx_local)] +=
+      tx_credit_[static_cast<std::size_t>(rx_local)];
+}
+
+void CreditPolicy::on_generation_start() {
+  std::fill(credit_.begin(), credit_.end(), 0.0);
+}
+
+}  // namespace omnc::protocols

@@ -1,0 +1,96 @@
+// Transmit policies — the only behavioural difference between the coded
+// protocols (paper Sec. 5: "both protocols share the same encoding and
+// decoding modules").  The SessionEngine consults its session's policy once
+// per slot per sendable node; the policy answers how many packets to hand to
+// the MAC and observes receptions / generation starts to update its state.
+//
+// Two concrete policies cover the paper's protocols:
+//   * TokenBucketPolicy — rate-driven (OMNC single- and multi-session): node
+//     i accumulates b_i / slot_bytes tokens per second and sends one packet
+//     per whole token, burst-capped;
+//   * CreditPolicy — the MORE/oldMORE credit machine: a forwarder earns
+//     TX_credit per packet heard from upstream and spends one credit per
+//     transmission, while the source simply keeps itself backlogged.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "routing/node_selection.h"
+
+namespace omnc::protocols {
+
+/// Decides when the nodes of one session transmit.  `local` is always a
+/// session-local node index of the policy's own session graph.
+class TransmitPolicy {
+ public:
+  virtual ~TransmitPolicy() = default;
+
+  /// Number of packets `local` should hand to the MAC this slot; only called
+  /// while the node holds something transmittable, so credits/tokens are not
+  /// consumed during forced idleness.  `slot_seconds` is the slot length,
+  /// for token refill.
+  virtual int packets_to_enqueue(int local, double slot_seconds) = 0;
+
+  /// Reception notification: rx_local received a packet last transmitted by
+  /// tx_local (tx is always farther from the destination on a DAG edge).
+  virtual void on_reception(int rx_local, int tx_local, bool innovative) {
+    (void)rx_local;
+    (void)tx_local;
+    (void)innovative;
+  }
+
+  /// Called whenever the source starts a new generation (reset bursts).
+  virtual void on_generation_start() {}
+};
+
+/// Rate-driven token bucket per node (OMNC).  Rates and the channel capacity
+/// are both measured in air bytes/s, so a token is one slot's worth of air
+/// (slot_bytes); using payload bytes would overcommit the channel by the
+/// coding-header overhead.
+class TokenBucketPolicy final : public TransmitPolicy {
+ public:
+  TokenBucketPolicy(std::vector<double> rates_bytes_per_s,
+                    double slot_bytes, double burst_cap);
+
+  /// Random initial phases de-synchronize equal-rate transmitters that
+  /// cannot hear each other: with identical rates they would otherwise cross
+  /// their send thresholds in the same slots forever and collide at every
+  /// common receiver.
+  void randomize_phases(Rng& rng);
+
+  int packets_to_enqueue(int local, double slot_seconds) override;
+
+ private:
+  std::vector<double> rates_;   // bytes/s per local node
+  std::vector<double> tokens_;  // packets
+  double slot_bytes_;
+  double burst_cap_;
+};
+
+/// The MORE credit machine; also drives oldMORE (with LP-derived credits).
+/// `queue_probe(local)` reports the node's current MAC queue length so the
+/// source can top its backlog up.
+class CreditPolicy final : public TransmitPolicy {
+ public:
+  CreditPolicy(const routing::SessionGraph& graph,
+               std::vector<double> tx_credit, std::size_t source_backlog,
+               int max_enqueue_per_slot,
+               std::function<std::size_t(int local)> queue_probe);
+
+  int packets_to_enqueue(int local, double slot_seconds) override;
+  void on_reception(int rx_local, int tx_local, bool innovative) override;
+  void on_generation_start() override;
+
+ private:
+  const routing::SessionGraph& graph_;
+  std::vector<double> tx_credit_;  // per local node
+  std::vector<double> credit_;     // per local node
+  std::size_t source_backlog_;
+  int max_enqueue_per_slot_;
+  std::function<std::size_t(int local)> queue_probe_;
+};
+
+}  // namespace omnc::protocols

@@ -1,0 +1,209 @@
+#include "protocols/metrics_bus.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "net/topology.h"
+#include "routing/node_selection.h"
+
+namespace omnc::protocols {
+namespace {
+
+net::Topology diamond() {
+  std::vector<std::vector<double>> p(4, std::vector<double>(4, 0.0));
+  p[0][1] = p[1][0] = 0.8;
+  p[0][2] = p[2][0] = 0.6;
+  p[1][3] = p[3][1] = 0.7;
+  p[2][3] = p[3][2] = 0.9;
+  return net::Topology::from_link_matrix(p);
+}
+
+/// Records every event it sees, tagged with the sink's name.
+class RecordingSink final : public TraceSink {
+ public:
+  RecordingSink(std::string name, std::vector<std::string>* log)
+      : name_(std::move(name)), log_(log) {}
+
+  void on_event(const MetricEvent& event) override {
+    events.push_back(event);
+    log_->push_back(name_);
+  }
+
+  std::vector<MetricEvent> events;
+
+ private:
+  std::string name_;
+  std::vector<std::string>* log_;
+};
+
+MetricEvent tx_event(double time, net::NodeId node) {
+  MetricEvent event;
+  event.type = MetricEvent::Type::kTx;
+  event.time = time;
+  event.node = node;
+  return event;
+}
+
+TEST(MetricsBus, FansOutInSubscriptionOrderAndCountsEvents) {
+  MetricsBus bus;
+  std::vector<std::string> log;
+  RecordingSink first("first", &log);
+  RecordingSink second("second", &log);
+  bus.subscribe(&first);
+  bus.subscribe(&second);
+  EXPECT_EQ(bus.sink_count(), 2u);
+  EXPECT_EQ(bus.events_emitted(), 0u);
+
+  bus.emit(tx_event(1.0, 0));
+  bus.emit(tx_event(2.0, 1));
+  bus.emit(tx_event(3.0, 2));
+
+  EXPECT_EQ(bus.events_emitted(), 3u);
+  ASSERT_EQ(first.events.size(), 3u);
+  ASSERT_EQ(second.events.size(), 3u);
+  // Every sink sees the events in emission order...
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(first.events[i].time, static_cast<double>(i + 1));
+    EXPECT_EQ(second.events[i].time, static_cast<double>(i + 1));
+  }
+  // ...and per event, sinks run in subscription order.
+  ASSERT_EQ(log.size(), 6u);
+  for (std::size_t i = 0; i < log.size(); i += 2) {
+    EXPECT_EQ(log[i], "first");
+    EXPECT_EQ(log[i + 1], "second");
+  }
+}
+
+TEST(MetricsBus, SessionResultSinkRebuildsResult) {
+  const net::Topology topo = diamond();
+  const routing::SessionGraph graph = routing::select_nodes(topo, 0, 3);
+  ASSERT_EQ(graph.size(), 4);
+
+  coding::CodingParams coding{8, 64};  // 512-byte generations
+  SessionResultSink sink({&graph}, coding, topo.node_count());
+  MetricsBus bus;
+  bus.subscribe(&sink);
+
+  // Two transmitters, one innovative delivery on edge 0, one stale
+  // reception, a queue-drop, one completed generation ACKed at t=2.
+  bus.emit(tx_event(0.5, graph.node_id(graph.source)));
+  bus.emit(tx_event(0.6, graph.node_id(graph.source)));
+  bus.emit(tx_event(0.7, graph.node_id(1)));
+
+  MetricEvent rx;
+  rx.type = MetricEvent::Type::kRx;
+  rx.time = 0.55;
+  rx.node = graph.node_id(1);
+  rx.tx_local = graph.source;
+  rx.rx_local = 1;
+  rx.edge = 0;
+  rx.innovative = true;
+  bus.emit(rx);
+  rx.innovative = false;
+  rx.edge = -1;
+  bus.emit(rx);
+
+  MetricEvent sample;
+  sample.type = MetricEvent::Type::kQueueSample;
+  sample.node = graph.node_id(graph.source);
+  sample.time = 1.0;
+  sample.value = 2.0;
+  bus.emit(sample);
+  sample.time = 3.0;
+  sample.value = 4.0;
+  bus.emit(sample);
+
+  MetricEvent drop;
+  drop.type = MetricEvent::Type::kQueueDrop;
+  drop.time = 1.5;
+  drop.node = graph.node_id(1);
+  bus.emit(drop);
+
+  MetricEvent ack;
+  ack.type = MetricEvent::Type::kGenerationAck;
+  ack.time = 2.0;
+  ack.node = graph.node_id(graph.source);
+  ack.generation = 0;
+  ack.value = 1.6;  // start-to-ACK seconds
+  bus.emit(ack);
+
+  const SessionResult result = sink.assemble(0);
+  EXPECT_TRUE(result.connected);
+  EXPECT_EQ(result.transmissions, 3u);
+  EXPECT_EQ(result.packets_delivered, 2u);
+  EXPECT_EQ(result.queue_drops, 1u);
+  EXPECT_EQ(result.generations_completed, 1);
+  EXPECT_DOUBLE_EQ(result.throughput_per_generation, 512.0 / 1.6);
+  EXPECT_DOUBLE_EQ(result.throughput_bytes_per_s, 512.0 / 2.0);
+  // The source's sampled queue averages 4.0 * (3 - 1) / (3 - 1) = 4.0 (the
+  // first sample only starts the clock); node 1 transmitted but never
+  // sampled, so the involved-node mean is (4.0 + 0.0) / 2.
+  EXPECT_DOUBLE_EQ(result.mean_queue, 2.0);
+  // 2 of 3 selectable nodes (source, relays 1 and 2) transmitted.
+  EXPECT_DOUBLE_EQ(result.node_utility_ratio, 2.0 / 3.0);
+  ASSERT_EQ(sink.edge_innovative(0).size(), graph.edges.size());
+  EXPECT_EQ(sink.edge_innovative(0)[0], 1u);
+
+  // Diagnostics from a prepare()-time base record survive assembly.
+  SessionResult base;
+  base.rc_iterations = 42;
+  base.predicted_gamma = 123.0;
+  const SessionResult merged = sink.assemble(0, base);
+  EXPECT_EQ(merged.rc_iterations, 42);
+  EXPECT_DOUBLE_EQ(merged.predicted_gamma, 123.0);
+  EXPECT_EQ(merged.transmissions, 3u);
+}
+
+TEST(MetricsBus, QueueTimelineAndEdgeDeliverySinks) {
+  const net::Topology topo = diamond();
+  const routing::SessionGraph graph = routing::select_nodes(topo, 0, 3);
+
+  QueueTimelineSink timeline(topo.node_count());
+  EdgeDeliverySink edges({&graph});
+  MetricsBus bus;
+  bus.subscribe(&timeline);
+  bus.subscribe(&edges);
+
+  MetricEvent sample;
+  sample.type = MetricEvent::Type::kQueueSample;
+  sample.node = 1;
+  sample.time = 1.0;
+  sample.value = 0.0;
+  bus.emit(sample);
+  sample.time = 2.0;
+  sample.value = 6.0;
+  bus.emit(sample);
+  sample.time = 4.0;
+  sample.value = 0.0;
+  bus.emit(sample);
+
+  ASSERT_EQ(timeline.timeline(1).size(), 3u);
+  EXPECT_EQ(timeline.timeline(1)[1].time, 2.0);
+  EXPECT_EQ(timeline.timeline(1)[1].queue, 6.0);
+  // Piecewise-constant time average over [1, 4]: each sample is weighted
+  // over the interval preceding it, (6*(2-1) + 0*(4-2)) / 3.
+  EXPECT_DOUBLE_EQ(timeline.time_average(1), 2.0);
+  EXPECT_TRUE(timeline.timeline(0).empty());
+
+  MetricEvent rx;
+  rx.type = MetricEvent::Type::kRx;
+  rx.node = graph.node_id(1);
+  rx.edge = 2;
+  rx.innovative = true;
+  bus.emit(rx);
+  bus.emit(rx);
+  rx.innovative = false;  // non-innovative receptions don't count
+  bus.emit(rx);
+  rx.innovative = true;
+  rx.edge = -1;  // off-DAG reception doesn't count
+  bus.emit(rx);
+
+  ASSERT_EQ(edges.deliveries(0).size(), graph.edges.size());
+  EXPECT_EQ(edges.deliveries(0)[2], 2u);
+  EXPECT_EQ(edges.deliveries(0)[0], 0u);
+}
+
+}  // namespace
+}  // namespace omnc::protocols

@@ -1,0 +1,125 @@
+// Fixed-seed regression pins for the SessionEngine refactor.
+//
+// The expected values below were captured from the pre-refactor monolithic
+// CodedProtocolBase/MultiUnicastOmnc engines (printed with %.17g, i.e. exact
+// doubles) on the diamond topology.  The decomposed engine — NodeRuntime +
+// SessionEngine + TransmitPolicy + MetricsBus sinks — must reproduce every
+// SessionResult field byte-for-byte: the refactor moved code, not behavior.
+// EXPECT_EQ on doubles is deliberate; any drift in RNG consumption order,
+// metric summation order, or event sequencing fails loudly here.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/topology.h"
+#include "protocols/more.h"
+#include "protocols/oldmore.h"
+#include "protocols/omnc.h"
+#include "routing/node_selection.h"
+
+namespace omnc::protocols {
+namespace {
+
+net::Topology diamond() {
+  std::vector<std::vector<double>> p(4, std::vector<double>(4, 0.0));
+  p[0][1] = p[1][0] = 0.8;
+  p[0][2] = p[2][0] = 0.6;
+  p[1][3] = p[3][1] = 0.7;
+  p[2][3] = p[3][2] = 0.9;
+  return net::Topology::from_link_matrix(p);
+}
+
+ProtocolConfig pin_config(std::uint64_t seed) {
+  ProtocolConfig config;
+  config.coding.generation_blocks = 8;
+  config.coding.block_bytes = 64;
+  config.mac.capacity_bytes_per_s = 2e4;
+  config.mac.slot_bytes = 12 + 8 + 64;
+  config.mac.fading.enabled = false;
+  config.cbr_bytes_per_s = 1e4;
+  config.max_sim_seconds = 60.0;
+  config.seed = seed;
+  return config;
+}
+
+struct Pin {
+  int generations_completed;
+  double throughput_bytes_per_s;
+  double throughput_per_generation;
+  double mean_queue;
+  double node_utility_ratio;
+  double path_utility_ratio;
+  std::size_t transmissions;
+  std::size_t packets_delivered;
+  std::size_t queue_drops;
+  std::vector<std::size_t> edge_innovative;
+};
+
+void expect_pinned(const SessionResult& result,
+                   const std::vector<std::size_t>& edges, const Pin& pin) {
+  EXPECT_TRUE(result.connected);
+  EXPECT_EQ(result.generations_completed, pin.generations_completed);
+  EXPECT_EQ(result.throughput_bytes_per_s, pin.throughput_bytes_per_s);
+  EXPECT_EQ(result.throughput_per_generation, pin.throughput_per_generation);
+  EXPECT_EQ(result.mean_queue, pin.mean_queue);
+  EXPECT_EQ(result.node_utility_ratio, pin.node_utility_ratio);
+  EXPECT_EQ(result.path_utility_ratio, pin.path_utility_ratio);
+  EXPECT_EQ(result.transmissions, pin.transmissions);
+  EXPECT_EQ(result.packets_delivered, pin.packets_delivered);
+  EXPECT_EQ(result.queue_drops, pin.queue_drops);
+  EXPECT_EQ(edges, pin.edge_innovative);
+}
+
+TEST(SessionRegression, OmncMatchesPreRefactorEngine) {
+  const net::Topology topo = diamond();
+  const routing::SessionGraph graph = routing::select_nodes(topo, 0, 3);
+  OmncProtocol protocol(topo, graph, pin_config(42), OmncConfig{});
+  const SessionResult result = protocol.run();
+  expect_pinned(result, protocol.edge_innovative_deliveries(),
+                Pin{281, 2403.7618927090502, 2526.8628226247683,
+                    3.6995006067395515, 1.0, 1.0, 16586, 14668, 0,
+                    {2037, 1730, 1125, 1131}});
+  EXPECT_TRUE(result.rc_converged);
+}
+
+TEST(SessionRegression, MoreMatchesPreRefactorEngine) {
+  const net::Topology topo = diamond();
+  const routing::SessionGraph graph = routing::select_nodes(topo, 0, 3);
+  MoreProtocol protocol(topo, graph, pin_config(42), MoreConfig{});
+  const SessionResult result = protocol.run();
+  expect_pinned(result, protocol.edge_innovative_deliveries(),
+                Pin{447, 3816.5468075800859, 3982.7605504722169,
+                    0.71681601792214045, 1.0, 1.0, 15157, 16154, 0,
+                    {3564, 3372, 1192, 2385}});
+}
+
+TEST(SessionRegression, OldMoreMatchesPreRefactorEngine) {
+  const net::Topology topo = diamond();
+  const routing::SessionGraph graph = routing::select_nodes(topo, 0, 3);
+  OldMoreProtocol protocol(topo, graph, pin_config(42), OldMoreConfig{});
+  const SessionResult result = protocol.run();
+  expect_pinned(result, protocol.edge_innovative_deliveries(),
+                Pin{389, 3322.9640863682839, 3429.6190558918943,
+                    1.5091360963315086, 0.66666666666666663, 0.5, 14147,
+                    15807, 0,
+                    {3115, 3078, 3115, 0}});
+}
+
+TEST(SessionRegression, MoreWithFadingAndStaleFlushMatches) {
+  // Exercises the Gilbert-Elliott fading path and the flush_stale_frames
+  // purge predicates, which consume RNG and mutate MAC queues differently.
+  const net::Topology topo = diamond();
+  const routing::SessionGraph graph = routing::select_nodes(topo, 0, 3);
+  ProtocolConfig config = pin_config(7);
+  config.mac.fading.enabled = true;
+  config.flush_stale_frames = true;
+  MoreProtocol protocol(topo, graph, config, MoreConfig{});
+  const SessionResult result = protocol.run();
+  expect_pinned(result, protocol.edge_innovative_deliveries(),
+                Pin{461, 3942.9848190615912, 4335.4600305428585,
+                    0.74876318491551974, 1.0, 1.0, 15155, 15588, 0,
+                    {3597, 2951, 1510, 2184}});
+}
+
+}  // namespace
+}  // namespace omnc::protocols

@@ -103,5 +103,58 @@ TEST(Simulator, PendingCount) {
   EXPECT_EQ(sim.pending(), 1u);
 }
 
+TEST(Simulator, CancelAfterFireIsNoOp) {
+  Simulator sim;
+  int fired = 0;
+  const EventId a = sim.schedule_at(1.0, [&] { ++fired; });
+  sim.schedule_at(2.0, [&] { ++fired; });
+  EXPECT_TRUE(sim.run_until(1.5));
+  EXPECT_EQ(fired, 1);
+  // `a` already fired; cancelling it must not tombstone the live event.
+  sim.cancel(a);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.events_processed(), 2u);
+}
+
+TEST(Simulator, RunUntilLeavesLaterEventsPending) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(1.0, [&] { ++fired; });
+  sim.schedule_at(4.0, [&] { ++fired; });
+  sim.schedule_at(5.0, [&] { ++fired; });
+  EXPECT_TRUE(sim.run_until(2.5));
+  // The clock sits at exactly t even though the queue is non-empty.
+  EXPECT_EQ(sim.now(), 2.5);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.pending(), 2u);
+  // A second run_until picks up exactly where the first stopped.
+  EXPECT_TRUE(sim.run_until(4.0));
+  EXPECT_EQ(sim.now(), 4.0);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.pending(), 1u);
+}
+
+TEST(Simulator, PendingConsistentAcrossLazyCancellation) {
+  Simulator sim;
+  int fired = 0;
+  const EventId a = sim.schedule_at(1.0, [&] { ++fired; });
+  const EventId b = sim.schedule_at(2.0, [&] { ++fired; });
+  sim.schedule_at(3.0, [&] { ++fired; });
+  EXPECT_EQ(sim.pending(), 3u);
+  // Cancelled events stay in the heap as tombstones; pending() must net
+  // them out, including after a repeated cancel of the same id.
+  sim.cancel(a);
+  sim.cancel(a);
+  EXPECT_EQ(sim.pending(), 2u);
+  sim.cancel(b);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.events_processed(), 1u);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
 }  // namespace
 }  // namespace omnc::sim
