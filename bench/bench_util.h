@@ -10,9 +10,14 @@
 //   --seed S            master seed                           (default 42)
 //   --paper             paper-scale run (300 sessions, 800 s)
 //   --json PATH         also write flat JSON result records to PATH
+//   --trace PATH        record a full JSONL event trace (tools/trace_inspect
+//                       replays it offline); implies --metrics
+//   --metrics           enable the wall-clock metrics registry and print its
+//                       summary table at exit
 #pragma once
 
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -22,6 +27,8 @@
 #include "experiments/paper.h"
 #include "experiments/runner.h"
 #include "experiments/workload.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 
 namespace omnc::bench {
 
@@ -161,6 +168,52 @@ inline std::string setup_params(const BenchSetup& setup) {
                 setup.run.protocol.max_sim_seconds,
                 static_cast<unsigned long long>(setup.workload.seed));
   return buffer;
+}
+
+/// Observability wiring shared by the benches: `--trace PATH` opens a
+/// TraceRecorder (runs wired through RunConfig::trace or explicit begin_run
+/// serialize into it), and `--trace` or `--metrics` switches the wall-clock
+/// registry on.  finish_obs() snapshots the registry into the trace and
+/// prints the summary table when requested.
+struct ObsSetup {
+  std::unique_ptr<obs::TraceRecorder> recorder;
+  bool metrics = false;
+};
+
+inline ObsSetup parse_obs(const Options& options, const std::string& tool,
+                          const std::string& params, std::uint64_t seed) {
+  ObsSetup obs;
+  obs.metrics = options.get_bool("metrics", false);
+  const std::string trace_path = options.get("trace", "");
+  if (!trace_path.empty()) {
+    obs.recorder =
+        std::make_unique<obs::TraceRecorder>(trace_path, tool, params, seed);
+    if (!obs.recorder->ok()) {
+      std::fprintf(stderr, "warning: cannot write trace to %s\n",
+                   trace_path.c_str());
+      obs.recorder.reset();
+    }
+  }
+  if (obs.metrics || obs.recorder != nullptr) {
+    obs::MetricsRegistry::set_enabled(true);
+  }
+  return obs;
+}
+
+inline ObsSetup parse_obs(const Options& options, const std::string& tool,
+                          const BenchSetup& setup) {
+  return parse_obs(options, tool, setup_params(setup), setup.workload.seed);
+}
+
+inline void finish_obs(ObsSetup& obs) {
+  if (obs.recorder != nullptr) {
+    obs.recorder->record_registry();
+    std::fprintf(stderr, "wrote trace to %s\n", obs.recorder->path().c_str());
+  }
+  if (obs.metrics) {
+    std::printf("\n== metrics registry ==\n%s",
+                obs::MetricsRegistry::global().summary().c_str());
+  }
 }
 
 inline void print_progress(std::size_t done, std::size_t total) {

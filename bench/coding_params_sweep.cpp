@@ -22,6 +22,8 @@ int main(int argc, char** argv) {
   const Options options(argc, argv);
   bench::BenchSetup base = bench::parse_setup(options);
   if (!options.has("sessions")) base.workload.sessions = 16;
+  bench::ObsSetup obs = bench::parse_obs(options, "coding_params_sweep", base);
+  base.run.trace = obs.recorder.get();
   std::printf("== OMNC throughput vs coding geometry ==\n");
   bench::print_setup(base);
 
@@ -72,5 +74,6 @@ int main(int argc, char** argv) {
       "generations buy little once ramps are amortized, smaller ones cycle\n"
       "the ACK machinery too often; fatter blocks cut coefficient overhead\n"
       "at the cost of per-packet latency.\n");
+  bench::finish_obs(obs);
   return 0;
 }

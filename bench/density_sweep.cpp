@@ -17,6 +17,8 @@ int main(int argc, char** argv) {
   const Options options(argc, argv);
   bench::BenchSetup base = bench::parse_setup(options);
   if (!options.has("sessions")) base.workload.sessions = 16;
+  bench::ObsSetup obs = bench::parse_obs(options, "density_sweep", base);
+  base.run.trace = obs.recorder.get();
   std::printf("== throughput gain vs deployment density ==\n");
   bench::print_setup(base);
 
@@ -53,5 +55,6 @@ int main(int argc, char** argv) {
       "forwarders to exploit but also denser interference; OMNC's gain is\n"
       "expected to hold or grow with density while single-path ETX gains\n"
       "nothing from the extra nodes.\n");
+  bench::finish_obs(obs);
   return 0;
 }

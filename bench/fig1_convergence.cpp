@@ -23,6 +23,10 @@ int main(int argc, char** argv) {
   const Options options(argc, argv);
   const double capacity = options.get_double(
       "capacity", experiments::paper::kFig1CapacityBytesPerSecond);
+  char obs_params[64];
+  std::snprintf(obs_params, sizeof(obs_params), "capacity=%.0f", capacity);
+  bench::ObsSetup obs =
+      bench::parse_obs(options, "fig1_convergence", obs_params, /*seed=*/0);
 
   std::printf("== Fig. 1: convergence of the distributed rate control ==\n");
   std::printf("# sample topology: S -> {u, v} -> T diamond with an S -> T\n");
@@ -85,6 +89,27 @@ int main(int argc, char** argv) {
       result.iterations,
       *std::max_element(result.b.begin(), result.b.end()));
 
+  if (obs.recorder != nullptr) {
+    // Serialize the full convergence curve: one opt_iter record per
+    // iteration plus the run's diagnostics (trace_inspect --convergence
+    // replots the curve; --verify cross-checks iterations and gamma).
+    obs::RunContext ctx;
+    ctx.protocol = "rate_control";
+    ctx.topology_nodes = topo.node_count();
+    ctx.capacity_bytes_per_s = capacity;
+    const int run = obs.recorder->begin_run(ctx, {&graph});
+    for (std::size_t t = 0; t < trace.gamma.size(); ++t) {
+      obs.recorder->record_opt_iteration(run, static_cast<int>(t),
+                                         trace.gamma[t], trace.b[t]);
+    }
+    protocols::SessionResult rc_record;
+    rc_record.rc_iterations = result.iterations;
+    rc_record.rc_converged = result.converged;
+    rc_record.rc_messages = result.messages;
+    rc_record.predicted_gamma = result.gamma;
+    obs.recorder->end_run(run, {rc_record}, {});
+  }
+
   bench::JsonWriter json(options);
   if (json.enabled()) {
     char params[64];
@@ -102,5 +127,6 @@ int main(int argc, char** argv) {
                   std::string("b_lp_") + names[id], lp.b[local]);
     }
   }
+  bench::finish_obs(obs);
   return 0;
 }

@@ -65,6 +65,9 @@ void print_panel(const char* title, const PanelResult& panel, double x_max) {
 int main(int argc, char** argv) {
   const Options options(argc, argv);
   bench::BenchSetup setup = bench::parse_setup(options);
+  bench::ObsSetup obs =
+      bench::parse_obs(options, "fig2_throughput_gain", setup);
+  setup.run.trace = obs.recorder.get();
   const double high_power =
       options.get_double("high-power-factor", 1.6);
 
@@ -118,5 +121,6 @@ int main(int argc, char** argv) {
                   p.result->oldmore.median());
     }
   }
+  bench::finish_obs(obs);
   return 0;
 }

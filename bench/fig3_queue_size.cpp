@@ -17,6 +17,8 @@ using namespace omnc::experiments;
 int main(int argc, char** argv) {
   const Options options(argc, argv);
   bench::BenchSetup setup = bench::parse_setup(options);
+  bench::ObsSetup obs = bench::parse_obs(options, "fig3_queue_size", setup);
+  setup.run.trace = obs.recorder.get();
   std::printf("== Fig. 3: time-averaged queue size ==\n");
   bench::print_setup(setup);
 
@@ -61,5 +63,6 @@ int main(int argc, char** argv) {
       "(rate control matches the channel), the credit protocols queue an\n"
       "order of magnitude more.  measured MORE/OMNC queue ratio: %.1fx\n",
       more.mean() / std::max(omnc.mean(), 1e-9));
+  bench::finish_obs(obs);
   return 0;
 }

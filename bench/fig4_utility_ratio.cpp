@@ -17,6 +17,8 @@ using namespace omnc::experiments;
 int main(int argc, char** argv) {
   const Options options(argc, argv);
   bench::BenchSetup setup = bench::parse_setup(options);
+  bench::ObsSetup obs = bench::parse_obs(options, "fig4_utility_ratio", setup);
+  setup.run.trace = obs.recorder.get();
   std::printf("== Fig. 4: node and path utility ratios ==\n");
   bench::print_setup(setup);
 
@@ -72,5 +74,6 @@ int main(int argc, char** argv) {
       "\nshape check: oldMORE's min-cost pruning keeps its utility well\n"
       "below OMNC/MORE; measured node-utility gap OMNC - oldMORE = %.2f\n",
       node_omnc.mean() - node_old.mean());
+  bench::finish_obs(obs);
   return 0;
 }

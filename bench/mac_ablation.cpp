@@ -24,6 +24,8 @@ int main(int argc, char** argv) {
   const Options options(argc, argv);
   bench::BenchSetup base = bench::parse_setup(options);
   if (!options.has("sessions")) base.workload.sessions = 24;
+  bench::ObsSetup obs = bench::parse_obs(options, "mac_ablation", base);
+  base.run.trace = obs.recorder.get();
   std::printf("== MAC/PHY model ablation (throughput gains vs ETX) ==\n");
   bench::print_setup(base);
 
@@ -81,5 +83,6 @@ int main(int argc, char** argv) {
       "> MORE > oldMORE) need the realistic unicast costs and bursty losses\n"
       "of real 802.11 meshes; each idealization above moves the baseline\n"
       "closer to (or past) the coded protocols.  See EXPERIMENTS.md.\n");
+  bench::finish_obs(obs);
   return 0;
 }

@@ -4,6 +4,7 @@
 // running alone, quantifying the cost of sharing and the fairness of the
 // allocation.
 #include <cstdio>
+#include <optional>
 #include <vector>
 
 #include "bench_util.h"
@@ -25,6 +26,8 @@ int main(int argc, char** argv) {
   const int batches = static_cast<int>(options.get_int(
       "batches", options.get_bool("paper", false) ? 30 : 10));
   setup.workload.sessions = k * batches;
+  bench::ObsSetup obs =
+      bench::parse_obs(options, "multi_unicast_bench", setup);
 
   std::printf("== multiple-unicast extension: %d concurrent sessions ==\n",
               k);
@@ -51,8 +54,28 @@ int main(int argc, char** argv) {
     protocols::MultiUnicastConfig config;
     config.protocol = setup.run.protocol;
     config.protocol.seed = specs[static_cast<std::size_t>(batch * k)].seed;
+    int trace_run = -1;
+    std::optional<obs::RunSink> trace_sink;
+    if (obs.recorder != nullptr) {
+      obs::RunContext ctx;
+      ctx.protocol = "multi_omnc";
+      ctx.seed = config.protocol.seed;
+      ctx.topology_nodes = topology.node_count();
+      ctx.generation_blocks = config.protocol.coding.generation_blocks;
+      ctx.block_bytes = config.protocol.coding.block_bytes;
+      ctx.capacity_bytes_per_s = config.protocol.mac.capacity_bytes_per_s;
+      ctx.cbr_bytes_per_s = config.protocol.cbr_bytes_per_s;
+      ctx.sim_seconds = config.protocol.max_sim_seconds;
+      ctx.shared_queue = true;  // every session reports the channel-wide mean
+      trace_run = obs.recorder->begin_run(ctx, graphs);
+      trace_sink.emplace(obs.recorder.get(), trace_run);
+      config.trace_sink = trace_sink->sink_or_null();
+    }
     protocols::MultiUnicastOmnc runner(topology, graphs, config);
     const auto joint = runner.run();
+    if (obs.recorder != nullptr) {
+      obs.recorder->end_run(trace_run, joint.sessions, joint.edge_innovative);
+    }
     joint_min.add(joint.min_throughput);
     joint_aggregate.add(joint.aggregate_throughput);
     rc_iters.add(joint.rc_iterations);
@@ -105,5 +128,6 @@ int main(int argc, char** argv) {
       "\nshape check: the shared congestion prices split the channel — the\n"
       "aggregate stays within the single-session ballpark while no session\n"
       "starves (the paper's Sec. 6 multiple-unicast extension).\n");
+  bench::finish_obs(obs);
   return 0;
 }

@@ -20,6 +20,8 @@ int main(int argc, char** argv) {
   const Options options(argc, argv);
   bench::BenchSetup setup = bench::parse_setup(options);
   if (!options.has("sessions")) setup.workload.sessions = 24;
+  bench::ObsSetup obs = bench::parse_obs(options, "probe_robustness", setup);
+  setup.run.trace = obs.recorder.get();
   const int probes = static_cast<int>(options.get_int("probes", 200));
 
   std::printf("== planning on measured vs oracle link qualities ==\n");
@@ -34,9 +36,20 @@ int main(int argc, char** argv) {
 
   OnlineStats oracle_omnc, probed_omnc, oracle_more, probed_more;
   OnlineStats probe_error, probe_seconds;
-  for (const auto& spec : sessions) {
+  for (std::size_t i = 0; i < sessions.size(); ++i) {
+    const auto& spec = sessions[i];
     const ComparisonResult oracle = run_comparison(spec, setup.run);
     const ProbedSession probed = probe_session(spec, probe_config);
+    if (obs.recorder != nullptr) {
+      // Per-link estimates: the probed graph keeps the oracle graph's edge
+      // order, so zipping the two yields (true p, estimated p) pairs.
+      for (std::size_t e = 0; e < spec.graph.edges.size(); ++e) {
+        const auto& truth = spec.graph.edges[e];
+        const auto& estimate = probed.spec.graph.edges[e];
+        obs.recorder->record_probe(static_cast<int>(i), static_cast<int>(e),
+                                   truth.from, truth.to, truth.p, estimate.p);
+      }
+    }
     const ComparisonResult measured =
         run_comparison(probed.spec, setup.run);
     if (oracle.etx.throughput_bytes_per_s <= 0.0) continue;
@@ -65,5 +78,6 @@ int main(int argc, char** argv) {
   std::printf(
       "shape check: rate control planned on estimates keeps OMNC within a\n"
       "few percent of the oracle plan — link probing (Sec. 4) is adequate.\n");
+  bench::finish_obs(obs);
   return 0;
 }

@@ -44,6 +44,8 @@ GapResult run_point(bench::BenchSetup setup, double power_factor) {
 int main(int argc, char** argv) {
   const Options options(argc, argv);
   bench::BenchSetup setup = bench::parse_setup(options);
+  bench::ObsSetup obs = bench::parse_obs(options, "table_lp_gap", setup);
+  setup.run.trace = obs.recorder.get();
   std::printf("== emulated vs optimized (sUnicast LP) throughput ==\n");
   bench::print_setup(setup);
 
@@ -66,5 +68,6 @@ int main(int argc, char** argv) {
       "propagation of innovative flows).  measured gap widening: %.2f -> "
       "%.2f\n",
       1.0 - lossy.ratio.mean(), 1.0 - high.ratio.mean());
+  bench::finish_obs(obs);
   return 0;
 }

@@ -1,6 +1,7 @@
 #include "coding/decoder.h"
 
 #include "common/assert.h"
+#include "obs/registry.h"
 
 namespace omnc::coding {
 
@@ -13,6 +14,7 @@ ProgressiveDecoder::ProgressiveDecoder(const CodingParams& params,
                 params.block_bytes) {}
 
 bool ProgressiveDecoder::offer(const CodedPacket& packet) {
+  OMNC_SCOPED_TIMER("coding/decode");
   if (packet.generation_id != generation_id_) return false;
   if (!packet.dimensions_match(params_)) return false;
   ++packets_seen_;

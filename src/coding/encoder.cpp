@@ -2,6 +2,7 @@
 
 #include "common/assert.h"
 #include "galois/region.h"
+#include "obs/registry.h"
 
 namespace omnc::coding {
 
@@ -10,6 +11,7 @@ SourceEncoder::SourceEncoder(const Generation& generation,
     : generation_(&generation), session_id_(session_id) {}
 
 CodedPacket SourceEncoder::next_packet(Rng& rng) const {
+  OMNC_SCOPED_TIMER("coding/encode");
   const auto n = generation_->params().generation_blocks;
   std::vector<std::uint8_t> coefficients(n);
   // All-zero coefficient vectors are useless; retry (probability 256^-n).

@@ -2,6 +2,7 @@
 
 #include "common/assert.h"
 #include "galois/region.h"
+#include "obs/registry.h"
 
 namespace omnc::coding {
 
@@ -21,6 +22,7 @@ bool Recoder::offer(const CodedPacket& packet) {
 }
 
 CodedPacket Recoder::recode(Rng& rng) const {
+  OMNC_SCOPED_TIMER("coding/recode");
   OMNC_ASSERT_MSG(can_send(), "recode() with an empty buffer");
   CodedPacket out;
   out.session_id = session_id_;

@@ -5,6 +5,7 @@
 #include "common/assert.h"
 #include "galois/gf256.h"
 #include "galois/region.h"
+#include "obs/registry.h"
 
 namespace omnc::coding {
 
@@ -17,6 +18,7 @@ RrefAccumulator::RrefAccumulator(std::size_t pivot_cols, std::size_t row_bytes)
 }
 
 bool RrefAccumulator::insert(std::vector<std::uint8_t> row) {
+  OMNC_SCOPED_TIMER("coding/rref_insert");
   OMNC_ASSERT(row.size() == row_bytes_);
   // Forward elimination against the existing basis.
   for (const BasisRow& basis : rows_) {

@@ -1,7 +1,11 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <chrono>
+#include <cstdarg>
 #include <cstdio>
+#include <ctime>
+#include <mutex>
 
 namespace omnc {
 namespace {
@@ -28,12 +32,31 @@ LogLevel log_level() { return g_level.load(); }
 
 void log_message(LogLevel level, const char* fmt, ...) {
   if (level < g_level.load(std::memory_order_relaxed)) return;
-  std::fprintf(stderr, "[%s] ", level_name(level));
+
+  // Wall-clock timestamp, millisecond resolution.
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t seconds = std::chrono::system_clock::to_time_t(now);
+  const auto millis = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          now.time_since_epoch())
+                          .count() %
+                      1000;
+  std::tm tm{};
+  localtime_r(&seconds, &tm);
+
+  // Format the whole line into one buffer and emit it with a single stdio
+  // call under a lock: run_all's thread-pool workers log concurrently and
+  // piecewise fprintf would interleave their fragments.
+  char body[1024];
   va_list args;
   va_start(args, fmt);
-  std::vfprintf(stderr, fmt, args);
+  std::vsnprintf(body, sizeof(body), fmt, args);
   va_end(args);
-  std::fputc('\n', stderr);
+
+  static std::mutex log_mutex;
+  const std::lock_guard<std::mutex> lock(log_mutex);
+  std::fprintf(stderr, "[%02d:%02d:%02d.%03d %s] %s\n", tm.tm_hour, tm.tm_min,
+               tm.tm_sec, static_cast<int>(millis), level_name(level), body);
+  std::fflush(stderr);
 }
 
 }  // namespace omnc

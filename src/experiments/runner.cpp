@@ -19,6 +19,43 @@ double safe_gain(const protocols::SessionResult& coded,
   return coded.throughput_per_generation / baseline.throughput_bytes_per_s;
 }
 
+obs::RunContext run_context(const char* protocol, const SessionSpec& spec,
+                            const protocols::ProtocolConfig& config) {
+  obs::RunContext context;
+  context.protocol = protocol;
+  context.seed = config.seed;
+  context.topology_nodes = spec.topology->node_count();
+  context.generation_blocks = config.coding.generation_blocks;
+  context.block_bytes = config.coding.block_bytes;
+  context.capacity_bytes_per_s = config.mac.capacity_bytes_per_s;
+  context.cbr_bytes_per_s = config.cbr_bytes_per_s;
+  context.sim_seconds = config.max_sim_seconds;
+  return context;
+}
+
+/// Frames one coded-protocol run in the trace: begin_run before, the event
+/// stream during, opt iterations and the assembled result after.
+template <typename Protocol>
+protocols::SessionResult traced_run(
+    Protocol& protocol, const char* name, const SessionSpec& spec,
+    const protocols::ProtocolConfig& config, obs::TraceRecorder* trace,
+    const opt::IterationTrace* iterations = nullptr) {
+  if (trace == nullptr) return protocol.run();
+  const int run = trace->begin_run(run_context(name, spec, config),
+                                   {&spec.graph});
+  obs::RunSink sink(trace, run);
+  protocol.set_trace_sink(sink.sink_or_null());
+  protocols::SessionResult result = protocol.run();
+  if (iterations != nullptr) {
+    for (std::size_t t = 0; t < iterations->gamma.size(); ++t) {
+      trace->record_opt_iteration(run, static_cast<int>(t),
+                                  iterations->gamma[t], iterations->b[t]);
+    }
+  }
+  trace->end_run(run, {result}, {protocol.edge_innovative_deliveries()});
+  return result;
+}
+
 }  // namespace
 
 ComparisonResult run_comparison(const SessionSpec& spec,
@@ -35,13 +72,22 @@ ComparisonResult run_comparison(const SessionSpec& spec,
     protocols::EtxRoutingProtocol etx(*spec.topology, spec.src, spec.dst,
                                       base);
     out.etx = etx.run();
+    if (config.trace != nullptr) {
+      // The uncoded baseline has no engine/bus; record its result only so
+      // the trace still carries every per-session throughput.
+      const int run =
+          config.trace->begin_run(run_context("etx", spec, base), {});
+      config.trace->end_run(run, {out.etx}, {});
+    }
   }
   if (config.run_omnc) {
     protocols::ProtocolConfig pc = base;
     pc.seed = spec.seed ^ 0x01;
-    protocols::OmncProtocol omnc(*spec.topology, spec.graph, pc,
-                                 protocols::OmncConfig{});
-    out.omnc = omnc.run();
+    protocols::OmncConfig oc;
+    opt::IterationTrace iterations;
+    if (config.trace != nullptr) oc.iteration_trace = &iterations;
+    protocols::OmncProtocol omnc(*spec.topology, spec.graph, pc, oc);
+    out.omnc = traced_run(omnc, "omnc", spec, pc, config.trace, &iterations);
     out.gain_omnc = safe_gain(out.omnc, out.etx);
   }
   if (config.run_more) {
@@ -49,7 +95,7 @@ ComparisonResult run_comparison(const SessionSpec& spec,
     pc.seed = spec.seed ^ 0x02;
     protocols::MoreProtocol more(*spec.topology, spec.graph, pc,
                                  protocols::MoreConfig{});
-    out.more = more.run();
+    out.more = traced_run(more, "more", spec, pc, config.trace);
     out.gain_more = safe_gain(out.more, out.etx);
   }
   if (config.run_oldmore) {
@@ -57,7 +103,7 @@ ComparisonResult run_comparison(const SessionSpec& spec,
     pc.seed = spec.seed ^ 0x03;
     protocols::OldMoreProtocol oldmore(*spec.topology, spec.graph, pc,
                                        protocols::OldMoreConfig{});
-    out.oldmore = oldmore.run();
+    out.oldmore = traced_run(oldmore, "oldmore", spec, pc, config.trace);
     out.gain_oldmore = safe_gain(out.oldmore, out.etx);
   }
   if (config.solve_lp) {

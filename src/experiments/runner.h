@@ -7,6 +7,7 @@
 
 #include "common/thread_pool.h"
 #include "experiments/workload.h"
+#include "obs/trace.h"
 #include "protocols/metrics.h"
 
 namespace omnc::experiments {
@@ -19,6 +20,11 @@ struct RunConfig {
   bool run_etx = true;
   /// Also solve the centralized sUnicast LP (for the LP-gap table).
   bool solve_lp = false;
+  /// When set, every protocol run becomes a traced run: its full event
+  /// stream, OMNC's rate-control iterations, and the assembled results are
+  /// serialized (non-owning; thread-safe, so run_all may share one recorder
+  /// across workers).  Tracing never perturbs the simulation.
+  obs::TraceRecorder* trace = nullptr;
 };
 
 struct ComparisonResult {

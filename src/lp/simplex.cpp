@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/assert.h"
+#include "obs/registry.h"
 
 namespace omnc::lp {
 namespace {
@@ -26,6 +27,7 @@ class Tableau {
   std::size_t cols() const { return cols_; }
 
   void pivot(std::size_t pivot_row, std::size_t pivot_col) {
+    OMNC_SCOPED_TIMER("lp/simplex_pivot");
     const double pivot_value = at(pivot_row, pivot_col);
     OMNC_ASSERT(std::abs(pivot_value) > kEps);
     const double inverse = 1.0 / pivot_value;

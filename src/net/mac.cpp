@@ -196,14 +196,6 @@ void SlottedMac::run_slot() {
     std::vector<std::uint8_t> is_backlogged(n, 0);
     for (std::size_t i : backlogged) is_backlogged[i] = 1;
     for (std::size_t candidate : backlogged) {
-      bool channel_busy = false;
-      for (std::size_t phantom : phantoms) {
-        if (conflict_[candidate * n + phantom] != 0) {
-          channel_busy = true;
-          break;
-        }
-      }
-      if (channel_busy) continue;
       std::size_t contenders = 1;
       for (std::size_t other = 0; other < n; ++other) {
         if (other != candidate && is_backlogged[other] &&
@@ -211,9 +203,28 @@ void SlottedMac::run_slot() {
           ++contenders;
         }
       }
+      bool channel_busy = false;
+      for (std::size_t phantom : phantoms) {
+        if (conflict_[candidate * n + phantom] != 0) {
+          channel_busy = true;
+          break;
+        }
+      }
+      if (channel_busy) {
+        if (observer_ != nullptr) {
+          observer_->on_contention(now, participants_[candidate],
+                                   static_cast<int>(contenders), false);
+        }
+        continue;
+      }
       const double attempt = std::min(
           1.0, config_.csma_persistence / static_cast<double>(contenders));
-      if (rng_.chance(attempt)) {
+      const bool fired = rng_.chance(attempt);
+      if (observer_ != nullptr) {
+        observer_->on_contention(now, participants_[candidate],
+                                 static_cast<int>(contenders), fired);
+      }
+      if (fired) {
         admitted.push_back(candidate);
         transmitting[candidate] = 1;
       }
@@ -250,7 +261,10 @@ void SlottedMac::run_slot() {
       const int rx_index = node_to_index_[static_cast<std::size_t>(rx)];
       if (rx_index < 0) return false;  // not in this session
       if (transmitting[static_cast<std::size_t>(rx_index)]) return false;
-      if (covered[static_cast<std::size_t>(rx_index)] >= 2) return false;
+      if (covered[static_cast<std::size_t>(rx_index)] >= 2) {
+        if (observer_ != nullptr) observer_->on_collision(now, rx);
+        return false;
+      }
       return rng_.chance(
           effective_p_[tx_index * n + static_cast<std::size_t>(rx_index)]);
     };

@@ -136,6 +136,23 @@ class MacObserver {
     (void)now;
     (void)node;
   }
+  /// CSMA backoff outcome for a backlogged node whose channel was idle:
+  /// it drew its persistence coin against `contenders` audible competitors
+  /// (itself included) and either fired (`attempted`) or held off.  Nodes
+  /// deferring to a busy channel report attempted = false as well.
+  virtual void on_contention(sim::Time now, NodeId node, int contenders,
+                             bool attempted) {
+    (void)now;
+    (void)node;
+    (void)contenders;
+    (void)attempted;
+  }
+  /// `rx` was covered by two or more concurrent transmitters and lost an
+  /// incoming frame to the hidden-terminal collision.
+  virtual void on_collision(sim::Time now, NodeId rx) {
+    (void)now;
+    (void)rx;
+  }
 };
 
 class SlottedMac {

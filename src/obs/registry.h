@@ -1,0 +1,186 @@
+// Process-wide metrics registry: named counters, gauges, and wall-clock
+// timers with fixed power-of-two latency buckets.
+//
+// Hot paths register an instrument once (a function-local static reference)
+// and then touch it with relaxed atomics, so instrumentation is safe from
+// thread_pool workers without locks.  The whole registry sits behind a
+// single global enabled flag: when profiling is off (the default), a
+// ScopedTimer costs one relaxed atomic load and never reads the clock, which
+// keeps the encode/recode/decode/RREF/simplex probes out of the fixed-seed
+// regression's way — they observe wall time only, never simulation state.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace omnc::obs {
+
+/// Monotonic event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written value (e.g. a configuration knob or a final level).
+class Gauge {
+ public:
+  void set(double value) {
+    bits_.store(bit_cast_to_u64(value), std::memory_order_relaxed);
+  }
+  double value() const {
+    return bit_cast_to_double(bits_.load(std::memory_order_relaxed));
+  }
+  void reset() { set(0.0); }
+
+ private:
+  static std::uint64_t bit_cast_to_u64(double d) {
+    std::uint64_t u;
+    static_assert(sizeof(u) == sizeof(d));
+    __builtin_memcpy(&u, &d, sizeof(u));
+    return u;
+  }
+  static double bit_cast_to_double(std::uint64_t u) {
+    double d;
+    __builtin_memcpy(&d, &u, sizeof(d));
+    return d;
+  }
+  std::atomic<std::uint64_t> bits_{0};
+};
+
+/// Wall-clock duration accumulator: count / total / min / max plus a fixed
+/// histogram whose bucket b counts samples in [2^b, 2^{b+1}) nanoseconds
+/// (bucket 0 also absorbs sub-nanosecond readings).
+class Timer {
+ public:
+  static constexpr std::size_t kBuckets = 40;  // up to ~18 minutes
+
+  void record_ns(std::uint64_t ns);
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::uint64_t total_ns() const {
+    return total_ns_.load(std::memory_order_relaxed);
+  }
+  /// 0 when no samples were recorded.
+  std::uint64_t min_ns() const;
+  std::uint64_t max_ns() const {
+    return max_ns_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t bucket(std::size_t b) const {
+    return buckets_[b].load(std::memory_order_relaxed);
+  }
+  /// Approximate quantile from the log2 buckets (geometric bucket midpoint);
+  /// q in [0, 1].  0 when empty.
+  double quantile_ns(double q) const;
+
+  void reset();
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> total_ns_{0};
+  std::atomic<std::uint64_t> min_ns_{~0ull};
+  std::atomic<std::uint64_t> max_ns_{0};
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+};
+
+/// One registry row, flattened for summaries and trace snapshots.
+struct MetricRow {
+  std::string name;
+  std::string kind;  // "counter" | "gauge" | "timer"
+  std::uint64_t count = 0;     // counter value / timer sample count
+  double value = 0.0;          // gauge value / timer total seconds
+  std::uint64_t min_ns = 0;    // timers only
+  std::uint64_t max_ns = 0;
+  double p50_ns = 0.0;
+  double p99_ns = 0.0;
+  std::vector<std::uint64_t> buckets;  // timers only
+};
+
+class MetricsRegistry {
+ public:
+  /// The process-wide registry the OMNC_SCOPED_TIMER probes report to.
+  static MetricsRegistry& global();
+
+  /// Gates every ScopedTimer in the process; off by default.
+  static void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  static bool enabled() { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Finds or creates an instrument.  Returned references stay valid for the
+  /// registry's lifetime, so hot paths may cache them in statics.  A name
+  /// identifies exactly one instrument; asking for it as a different kind
+  /// aborts.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Timer& timer(const std::string& name);
+
+  /// Flattened snapshot, sorted by name.
+  std::vector<MetricRow> rows() const;
+
+  /// Human-readable summary table (common/table.h) of every instrument.
+  std::string summary() const;
+
+  /// Zeroes every instrument; registrations (and cached references) survive.
+  void reset();
+
+  std::size_t size() const;
+
+ private:
+  struct Impl;
+  MetricsRegistry();
+  ~MetricsRegistry();
+
+  static std::atomic<bool> enabled_;
+  Impl* impl_;
+};
+
+/// RAII wall-clock probe.  Construction with the registry disabled skips the
+/// clock entirely.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Timer& timer)
+      : timer_(MetricsRegistry::enabled() ? &timer : nullptr) {
+    if (timer_ != nullptr) start_ = now_ns();
+  }
+  ~ScopedTimer() {
+    if (timer_ != nullptr) timer_->record_ns(now_ns() - start_);
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  static std::uint64_t now_ns() {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
+  Timer* timer_;
+  std::uint64_t start_ = 0;
+};
+
+}  // namespace omnc::obs
+
+// Drops a wall-clock probe on the enclosing scope.  Registration runs once
+// (thread-safe function-local static); afterwards each pass costs one
+// relaxed load when profiling is disabled.
+#define OMNC_OBS_CONCAT_INNER(a, b) a##b
+#define OMNC_OBS_CONCAT(a, b) OMNC_OBS_CONCAT_INNER(a, b)
+#define OMNC_SCOPED_TIMER(name)                                            \
+  static ::omnc::obs::Timer& OMNC_OBS_CONCAT(omnc_obs_timer_, __LINE__) =  \
+      ::omnc::obs::MetricsRegistry::global().timer(name);                  \
+  ::omnc::obs::ScopedTimer OMNC_OBS_CONCAT(omnc_obs_scope_, __LINE__)(     \
+      OMNC_OBS_CONCAT(omnc_obs_timer_, __LINE__))

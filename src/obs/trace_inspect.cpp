@@ -1,0 +1,202 @@
+#include "obs/trace_inspect.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace omnc::obs {
+namespace {
+
+/// Fields assemble() never writes come from the recorded result, so a
+/// replayed record differs from the ground truth only where the event
+/// stream disagrees.
+protocols::SessionResult diagnostics_base(const protocols::SessionResult& r) {
+  protocols::SessionResult base;
+  base.rc_iterations = r.rc_iterations;
+  base.rc_converged = r.rc_converged;
+  base.rc_messages = r.rc_messages;
+  base.predicted_gamma = r.predicted_gamma;
+  return base;
+}
+
+void check(VerifyReport* report, int run, std::size_t session,
+           const char* field, double recorded, double replayed) {
+  ++report->comparisons;
+  const bool equal = recorded == replayed ||
+                     (std::isnan(recorded) && std::isnan(replayed));
+  if (equal) return;
+  report->ok = false;
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "run %d session %zu: %s recorded %.17g != replayed %.17g", run,
+                session, field, recorded, replayed);
+  report->mismatches.push_back(buf);
+}
+
+}  // namespace
+
+ReplayedRun replay_run(const RecordedRun& run) {
+  ReplayedRun out;
+  if (run.graphs.empty()) return out;
+
+  std::vector<const routing::SessionGraph*> graphs;
+  graphs.reserve(run.graphs.size());
+  for (const auto& graph : run.graphs) graphs.push_back(&graph);
+
+  coding::CodingParams coding;
+  coding.generation_blocks =
+      static_cast<std::uint16_t>(run.context.generation_blocks);
+  coding.block_bytes = static_cast<std::uint16_t>(run.context.block_bytes);
+
+  protocols::SessionResultSink results(graphs, coding,
+                                       run.context.topology_nodes);
+  protocols::QueueTimelineSink queues(run.context.topology_nodes);
+  protocols::EdgeDeliverySink edges(graphs);
+
+  for (const protocols::MetricEvent& event : run.events) {
+    results.on_event(event);
+    queues.on_event(event);
+    edges.on_event(event);
+  }
+  out.events_replayed = run.events.size();
+
+  out.sessions.resize(run.graphs.size());
+  for (std::size_t s = 0; s < run.graphs.size(); ++s) {
+    ReplayedSession& session = out.sessions[s];
+    const protocols::SessionResult base =
+        s < run.results.size() ? diagnostics_base(run.results[s])
+                               : protocols::SessionResult{};
+    session.result = results.assemble(s, base);
+    session.edge_deliveries = edges.deliveries(s);
+  }
+  for (const protocols::MetricEvent& event : run.events) {
+    if (event.type != protocols::MetricEvent::Type::kGenerationAck) continue;
+    if (event.session < out.sessions.size()) {
+      out.sessions[event.session].ack_latencies.push_back(event.value);
+    }
+  }
+
+  out.shared_mean_queue = results.shared_mean_queue();
+  if (run.context.shared_queue) {
+    // Multi-unicast reports the channel-wide average for every session.
+    for (auto& session : out.sessions) {
+      session.result.mean_queue = out.shared_mean_queue;
+    }
+  }
+
+  out.queue_timelines.resize(
+      static_cast<std::size_t>(run.context.topology_nodes));
+  out.queue_time_average.resize(
+      static_cast<std::size_t>(run.context.topology_nodes));
+  for (int node = 0; node < run.context.topology_nodes; ++node) {
+    out.queue_timelines[static_cast<std::size_t>(node)] =
+        queues.timeline(node);
+    out.queue_time_average[static_cast<std::size_t>(node)] =
+        queues.time_average(node);
+  }
+  return out;
+}
+
+namespace {
+
+void verify_replay(const RecordedRun& run, VerifyReport* out) {
+  VerifyReport& report = *out;
+  const ReplayedRun replay = replay_run(run);
+  for (std::size_t s = 0; s < run.results.size(); ++s) {
+    if (s >= replay.sessions.size()) {
+      report.ok = false;
+      report.mismatches.push_back("recorded more sessions than graphs");
+      break;
+    }
+    const protocols::SessionResult& recorded = run.results[s];
+    const protocols::SessionResult& replayed = replay.sessions[s].result;
+    const int id = run.id;
+    check(&report, id, s, "throughput", recorded.throughput_bytes_per_s,
+          replayed.throughput_bytes_per_s);
+    check(&report, id, s, "throughput_per_generation",
+          recorded.throughput_per_generation,
+          replayed.throughput_per_generation);
+    check(&report, id, s, "generations",
+          recorded.generations_completed, replayed.generations_completed);
+    check(&report, id, s, "mean_queue", recorded.mean_queue,
+          replayed.mean_queue);
+    check(&report, id, s, "node_utility_ratio", recorded.node_utility_ratio,
+          replayed.node_utility_ratio);
+    check(&report, id, s, "path_utility_ratio", recorded.path_utility_ratio,
+          replayed.path_utility_ratio);
+    check(&report, id, s, "transmissions",
+          static_cast<double>(recorded.transmissions),
+          static_cast<double>(replayed.transmissions));
+    check(&report, id, s, "packets_delivered",
+          static_cast<double>(recorded.packets_delivered),
+          static_cast<double>(replayed.packets_delivered));
+    check(&report, id, s, "queue_drops",
+          static_cast<double>(recorded.queue_drops),
+          static_cast<double>(replayed.queue_drops));
+
+    // Fig. 4 raw counts, from both the recorded array and the independent
+    // EdgeDeliverySink replay.  Runs that recorded no edge counts (e.g. a
+    // pure rate-control run) skip this comparison.
+    if (s < run.edge_innovative.size() && !run.edge_innovative[s].empty()) {
+      const auto& recorded_edges = run.edge_innovative[s];
+      const auto& replayed_edges = replay.sessions[s].edge_deliveries;
+      ++report.comparisons;
+      if (recorded_edges != replayed_edges) {
+        report.ok = false;
+        char buf[96];
+        std::snprintf(buf, sizeof(buf),
+                      "run %d session %zu: edge delivery counts differ",
+                      run.id, s);
+        report.mismatches.push_back(buf);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+VerifyReport verify_run(const RecordedRun& run) {
+  VerifyReport report;
+  if (!run.completed) return report;  // no ground truth to compare against
+
+  // Replay-based checks need the graphs; result-only runs (the uncoded ETX
+  // baseline records no event stream) skip them.
+  if (!run.graphs.empty()) verify_replay(run, &report);
+
+  // Optimizer iterations recorded alongside the run must agree with the
+  // diagnostics baked into the result record.
+  if (!run.opt_gamma.empty() && !run.results.empty()) {
+    const protocols::SessionResult& r = run.results.front();
+    check(&report, run.id, 0, "rc_iterations",
+          static_cast<double>(r.rc_iterations),
+          static_cast<double>(run.opt_gamma.size()));
+    check(&report, run.id, 0, "predicted_gamma", r.predicted_gamma,
+          run.opt_gamma.back());
+  }
+  return report;
+}
+
+VerifyReport verify_trace(const Trace& trace) {
+  VerifyReport merged;
+  for (const RecordedRun& run : trace.runs) {
+    VerifyReport report = verify_run(run);
+    merged.comparisons += report.comparisons;
+    if (!report.ok) merged.ok = false;
+    merged.mismatches.insert(merged.mismatches.end(),
+                             report.mismatches.begin(),
+                             report.mismatches.end());
+  }
+  return merged;
+}
+
+double percentile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double rank = q / 100.0 * static_cast<double>(values.size());
+  auto index = static_cast<std::size_t>(std::ceil(rank));
+  if (index > 0) --index;
+  if (index >= values.size()) index = values.size() - 1;
+  return values[index];
+}
+
+}  // namespace omnc::obs

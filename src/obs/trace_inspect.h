@@ -1,0 +1,66 @@
+// Offline replay of a recorded trace through the live metric sinks.
+//
+// replay_run() feeds a RecordedRun's event stream to fresh
+// SessionResultSink / QueueTimelineSink / EdgeDeliverySink instances built
+// from the reconstructed session graphs — the same code the live run used —
+// and returns the statistics they assemble: per-session SessionResults,
+// queue timelines and time averages, per-edge innovative-delivery counts,
+// and generation ACK latencies.  verify_run() compares every replayed
+// number with the ground truth the recorder captured at run end, with exact
+// double equality: a %.17g round trip is lossless, so any difference means
+// the trace or the sinks diverged.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "obs/trace_reader.h"
+#include "protocols/metrics.h"
+#include "protocols/metrics_bus.h"
+
+namespace omnc::obs {
+
+/// Everything the sinks reconstruct for one session of a replayed run.
+struct ReplayedSession {
+  protocols::SessionResult result;
+  std::vector<std::size_t> edge_deliveries;  // EdgeDeliverySink counts
+  std::vector<double> ack_latencies;         // seconds, in completion order
+};
+
+struct ReplayedRun {
+  std::vector<ReplayedSession> sessions;
+  /// Per topology node: every end-of-slot queue sample and its time average
+  /// (QueueTimelineSink).
+  std::vector<std::vector<protocols::QueueTimelineSink::Sample>>
+      queue_timelines;
+  std::vector<double> queue_time_average;
+  /// Channel-wide mean queue over all transmitting nodes (the multi-unicast
+  /// Fig. 3 scalar).
+  double shared_mean_queue = 0.0;
+  std::size_t events_replayed = 0;
+};
+
+/// Replays the run's event stream through fresh sinks.  Prepare-time
+/// diagnostics (rate-control fields), which no event carries, are seeded
+/// from the recorded results so assembled records are directly comparable.
+ReplayedRun replay_run(const RecordedRun& run);
+
+struct VerifyReport {
+  bool ok = true;
+  std::size_t comparisons = 0;
+  std::vector<std::string> mismatches;
+};
+
+/// Replays `run` and compares against its recorded run_end ground truth
+/// (exact equality).  Runs without an event stream (e.g. the uncoded ETX
+/// baseline) or without a run_end record verify vacuously.
+VerifyReport verify_run(const RecordedRun& run);
+
+/// verify_run over every run; reports are merged.
+VerifyReport verify_trace(const Trace& trace);
+
+/// Nearest-rank percentile; q in [0, 100].  0 on empty input.
+double percentile(std::vector<double> values, double q);
+
+}  // namespace omnc::obs

@@ -26,11 +26,13 @@ SessionResult CodedProtocolBase::run() {
   EngineConfig engine_config;
   engine_config.protocol = config_;
   engine_config.mac_rng_salt = 0x11;
+  engine_config.detail_events = trace_sink_ != nullptr;
   SessionEngine engine(topology_,
                        {{&graph_, this, /*data_seed=*/config_.seed}},
                        engine_config);
   SessionResultSink sink({&graph_}, config_.coding, topology_.node_count());
   engine.bus().subscribe(&sink);
+  engine.bus().subscribe(trace_sink_);  // nullptr is ignored
 
   engine_ = &engine;
   engine.run();

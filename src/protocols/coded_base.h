@@ -20,6 +20,7 @@
 namespace omnc::protocols {
 
 class SessionEngine;
+class TraceSink;
 
 class CodedProtocolBase : public TransmitPolicy {
  public:
@@ -29,6 +30,13 @@ class CodedProtocolBase : public TransmitPolicy {
 
   /// Runs the whole session and returns its metrics.
   SessionResult run();
+
+  /// Subscribes `sink` (e.g. an obs::RunSink) to the engine's bus for the
+  /// next run() and switches the engine's detail event families on.  Purely
+  /// observational: a traced run consumes exactly the same RNG stream and
+  /// produces byte-identical results.  nullptr (the default) turns tracing
+  /// back off.
+  void set_trace_sink(TraceSink* sink) { trace_sink_ = sink; }
 
   /// Innovative deliveries per session-graph edge (for the path-utility
   /// metric); valid after run().
@@ -58,6 +66,7 @@ class CodedProtocolBase : public TransmitPolicy {
   ProtocolConfig config_;
 
   SessionEngine* engine_ = nullptr;  // live only inside run()
+  TraceSink* trace_sink_ = nullptr;  // non-owning; optional
   std::vector<std::size_t> edge_innovative_;
 };
 

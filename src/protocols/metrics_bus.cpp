@@ -1,5 +1,6 @@
 #include "protocols/metrics_bus.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/assert.h"
@@ -8,8 +9,12 @@
 namespace omnc::protocols {
 
 void MetricsBus::subscribe(TraceSink* sink) {
-  OMNC_ASSERT(sink != nullptr);
+  if (sink == nullptr) return;
   sinks_.push_back(sink);
+}
+
+void MetricsBus::unsubscribe(TraceSink* sink) {
+  sinks_.erase(std::remove(sinks_.begin(), sinks_.end(), sink), sinks_.end());
 }
 
 SessionResultSink::SessionResultSink(
@@ -59,6 +64,9 @@ void SessionResultSink::on_event(const MetricEvent& event) {
     case MetricEvent::Type::kQueueDrop:
       ++queue_drops_;
       break;
+    case MetricEvent::Type::kMacContention:
+    case MetricEvent::Type::kMacCollision:
+      break;  // trace-only detail; no SessionResult field derives from them
   }
 }
 
@@ -136,6 +144,12 @@ QueueTimelineSink::QueueTimelineSink(int topology_nodes) {
 
 void QueueTimelineSink::on_event(const MetricEvent& event) {
   if (event.type != MetricEvent::Type::kQueueSample) return;
+  // Samples for nodes outside the topology range (a replayed trace from a
+  // different deployment, a buggy emitter) are dropped rather than indexed.
+  if (event.node < 0 ||
+      static_cast<std::size_t>(event.node) >= timelines_.size()) {
+    return;
+  }
   const std::size_t id = static_cast<std::size_t>(event.node);
   timelines_[id].push_back({event.time, event.value});
   averages_[id].advance_to(event.time, event.value);
@@ -162,7 +176,12 @@ EdgeDeliverySink::EdgeDeliverySink(
 void EdgeDeliverySink::on_event(const MetricEvent& event) {
   if (event.type != MetricEvent::Type::kRx) return;
   if (!event.innovative || event.edge < 0) return;
-  ++deliveries_[event.session][static_cast<std::size_t>(event.edge)];
+  // Unknown sessions or edge ids beyond the session graph (empty graphs
+  // included) are ignored instead of indexed out of range.
+  if (event.session >= deliveries_.size()) return;
+  auto& edges = deliveries_[event.session];
+  if (static_cast<std::size_t>(event.edge) >= edges.size()) return;
+  ++edges[static_cast<std::size_t>(event.edge)];
 }
 
 }  // namespace omnc::protocols

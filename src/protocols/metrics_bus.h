@@ -30,6 +30,12 @@ struct MetricEvent {
     kGenerationAck,  // a generation's ACK reached the source
     kStaleFlush,     // a relay discarded an expired generation
     kQueueDrop,      // a frame was rejected by a full MAC queue
+    // Detail families (emitted only when EngineConfig::detail_events is on,
+    // i.e. a trace is being recorded; the aggregate sinks ignore them):
+    kMacContention,  // CSMA backoff outcome: value = audible contenders,
+                     // innovative = the node fired its attempt this slot
+    kMacCollision,   // hidden-terminal loss: node (the receiver) was covered
+                     // by two or more concurrent transmitters
   };
 
   Type type = Type::kTx;
@@ -57,7 +63,13 @@ class TraceSink {
 /// subscription order).
 class MetricsBus {
  public:
+  /// Registers a sink; a nullptr is ignored, which lets optional
+  /// instrumentation (e.g. a trace recorder) wire through nullable pointers
+  /// without call-site branching.
   void subscribe(TraceSink* sink);
+  /// Removes every registration of `sink`; needed when a sink's lifetime
+  /// ends before the engine's (runner reuse).  Unknown sinks are a no-op.
+  void unsubscribe(TraceSink* sink);
 
   void emit(const MetricEvent& event) {
     ++emitted_;

@@ -50,6 +50,7 @@ MultiUnicastResult MultiUnicastOmnc::run() {
   EngineConfig engine_config;
   engine_config.protocol = config_.protocol;
   engine_config.mac_rng_salt = 0x31;
+  engine_config.detail_events = config_.trace_sink != nullptr;
   SessionEngine engine(topology_, std::move(specs), engine_config);
   // Random initial token phases: mutually inaudible transmitters with
   // identical rates would otherwise cross their send thresholds in the same
@@ -59,13 +60,16 @@ MultiUnicastResult MultiUnicastOmnc::run() {
   SessionResultSink sink(graphs_, config_.protocol.coding,
                          topology_.node_count());
   engine.bus().subscribe(&sink);
+  engine.bus().subscribe(config_.trace_sink);  // nullptr is ignored
   engine.run();
 
   // Metrics.
   result.sessions.reserve(k);
+  result.edge_innovative.reserve(k);
   double min_throughput = -1.0;
   for (std::size_t s = 0; s < k; ++s) {
     result.sessions.push_back(sink.assemble(s));
+    result.edge_innovative.push_back(sink.edge_innovative(s));
     const SessionResult& out = result.sessions.back();
     result.aggregate_throughput += out.throughput_per_generation;
     if (min_throughput < 0.0 ||

@@ -19,15 +19,22 @@
 
 namespace omnc::protocols {
 
+class TraceSink;
+
 struct MultiUnicastConfig {
   ProtocolConfig protocol;             // shared coding / MAC / CBR settings
   opt::RateControlParams rate_control;
   double token_burst_cap = 2.0;
+  /// Optional trace sink subscribed to the shared engine's bus; non-null
+  /// also switches the detail event families on.  Purely observational.
+  TraceSink* trace_sink = nullptr;
 };
 
 struct MultiUnicastResult {
   /// Per-session metrics (same fields as single-session runs).
   std::vector<SessionResult> sessions;
+  /// Innovative deliveries per session-graph edge, per session.
+  std::vector<std::vector<std::size_t>> edge_innovative;
   /// Sum and minimum of the per-session per-generation throughputs.
   double aggregate_throughput = 0.0;
   double min_throughput = 0.0;

@@ -18,7 +18,7 @@ void OmncProtocol::prepare(SessionResult& result) {
   opt::RateControlParams params = omnc_config_.rate_control;
   params.capacity = config().mac.capacity_bytes_per_s;
   opt::DistributedRateControl controller(graph(), params);
-  opt::RateControlResult rc = controller.run();
+  opt::RateControlResult rc = controller.run(omnc_config_.iteration_trace);
 
   result.rc_iterations = rc.iterations;
   result.rc_converged = rc.converged;

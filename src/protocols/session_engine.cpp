@@ -6,6 +6,7 @@
 
 #include "common/assert.h"
 #include "common/logging.h"
+#include "obs/registry.h"
 #include "routing/etx.h"
 
 namespace omnc::protocols {
@@ -56,13 +57,34 @@ void SessionEngine::MacTap::on_drop(sim::Time now, net::NodeId node) {
   bus_->emit(event);
 }
 
+void SessionEngine::MacTap::on_contention(sim::Time now, net::NodeId node,
+                                          int contenders, bool attempted) {
+  if (!detail_) return;
+  MetricEvent event;
+  event.type = MetricEvent::Type::kMacContention;
+  event.time = now;
+  event.node = node;
+  event.value = static_cast<double>(contenders);
+  event.innovative = attempted;
+  bus_->emit(event);
+}
+
+void SessionEngine::MacTap::on_collision(sim::Time now, net::NodeId rx) {
+  if (!detail_) return;
+  MetricEvent event;
+  event.type = MetricEvent::Type::kMacCollision;
+  event.time = now;
+  event.node = rx;
+  bus_->emit(event);
+}
+
 SessionEngine::SessionEngine(const net::Topology& topology,
                              std::vector<EngineSessionSpec> specs,
                              const EngineConfig& config)
     : topology_(topology),
       config_(config),
       rng_(config.protocol.seed),
-      mac_tap_(bus_) {
+      mac_tap_(bus_, config.detail_events) {
   OMNC_ASSERT(!specs.empty());
 
   // One MAC over the union of all session nodes, in first-seen order (for a
@@ -179,6 +201,7 @@ void SessionEngine::maybe_start_generation(std::size_t session,
 }
 
 void SessionEngine::on_slot(sim::Time now) {
+  OMNC_SCOPED_TIMER("engine/slot");
   const double slot_seconds = mac_->slot_duration();
   for (std::size_t s = 0; s < sessions_.size(); ++s) {
     maybe_start_generation(s, now);

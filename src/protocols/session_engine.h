@@ -50,6 +50,11 @@ struct EngineConfig {
   /// Stream id the MAC's RNG is forked under; distinct per scenario family
   /// so single- and multi-session runs draw independent channel streams.
   std::uint64_t mac_rng_salt = 0x11;
+  /// Also emit the high-volume detail event families (kMacContention,
+  /// kMacCollision) on the bus.  Off by default so untraced runs pay nothing
+  /// beyond the aggregate events; purely observational either way — the
+  /// simulation consumes no RNG and takes no branch on it.
+  bool detail_events = false;
 };
 
 class SessionEngine {
@@ -91,14 +96,18 @@ class SessionEngine {
   /// Forwards MAC activity onto the bus.
   class MacTap final : public net::MacObserver {
    public:
-    explicit MacTap(MetricsBus& bus) : bus_(&bus) {}
+    MacTap(MetricsBus& bus, bool detail) : bus_(&bus), detail_(detail) {}
     void on_transmit(sim::Time now, net::NodeId node) override;
     void on_queue_sample(sim::Time now, net::NodeId node,
                          std::size_t queue_len) override;
     void on_drop(sim::Time now, net::NodeId node) override;
+    void on_contention(sim::Time now, net::NodeId node, int contenders,
+                       bool attempted) override;
+    void on_collision(sim::Time now, net::NodeId rx) override;
 
    private:
     MetricsBus* bus_;
+    bool detail_;  // forward contention/collision detail events
   };
 
   void on_slot(sim::Time now);

@@ -205,5 +205,109 @@ TEST(MetricsBus, QueueTimelineAndEdgeDeliverySinks) {
   EXPECT_EQ(edges.deliveries(0)[0], 0u);
 }
 
+TEST(MetricsBus, SubscribeRejectsNullptrAndUnsubscribeRemoves) {
+  MetricsBus bus;
+  bus.subscribe(nullptr);  // ignored: optional instrumentation wires nullptr
+  EXPECT_EQ(bus.sink_count(), 0u);
+  bus.emit(tx_event(1.0, 0));  // must not dereference anything
+  EXPECT_EQ(bus.events_emitted(), 1u);
+
+  std::vector<std::string> log;
+  RecordingSink first("first", &log);
+  RecordingSink second("second", &log);
+  bus.subscribe(&first);
+  bus.subscribe(&second);
+  bus.unsubscribe(&first);
+  EXPECT_EQ(bus.sink_count(), 1u);
+  bus.emit(tx_event(2.0, 1));
+  EXPECT_TRUE(first.events.empty());
+  ASSERT_EQ(second.events.size(), 1u);
+
+  bus.unsubscribe(&first);  // unknown sink: no-op
+  EXPECT_EQ(bus.sink_count(), 1u);
+}
+
+TEST(MetricsBus, SinksIgnoreOutOfRangeNodes) {
+  const net::Topology topo = diamond();
+  const routing::SessionGraph graph = routing::select_nodes(topo, 0, 3);
+
+  QueueTimelineSink timeline(topo.node_count());
+  MetricEvent sample;
+  sample.type = MetricEvent::Type::kQueueSample;
+  sample.time = 1.0;
+  sample.value = 3.0;
+  sample.node = topo.node_count();  // one past the end
+  timeline.on_event(sample);
+  sample.node = -1;
+  timeline.on_event(sample);
+  for (int node = 0; node < topo.node_count(); ++node) {
+    EXPECT_TRUE(timeline.timeline(node).empty());
+  }
+
+  EdgeDeliverySink edges({&graph});
+  MetricEvent rx;
+  rx.type = MetricEvent::Type::kRx;
+  rx.innovative = true;
+  rx.session = 7;  // unknown session
+  rx.edge = 0;
+  edges.on_event(rx);
+  rx.session = 0;
+  rx.edge = static_cast<int>(graph.edges.size());  // edge beyond the graph
+  edges.on_event(rx);
+  for (std::size_t e = 0; e < graph.edges.size(); ++e) {
+    EXPECT_EQ(edges.deliveries(0)[e], 0u);
+  }
+}
+
+TEST(MetricsBus, EdgeDeliverySinkHandlesEmptyGraphList) {
+  EdgeDeliverySink edges({});
+  MetricEvent rx;
+  rx.type = MetricEvent::Type::kRx;
+  rx.innovative = true;
+  rx.edge = 0;
+  edges.on_event(rx);  // nothing to index; must not crash
+}
+
+TEST(MetricsBus, AssembleWithZeroGenerationsYieldsZeroRates) {
+  const net::Topology topo = diamond();
+  const routing::SessionGraph graph = routing::select_nodes(topo, 0, 3);
+  coding::CodingParams coding{8, 64};
+  SessionResultSink sink({&graph}, coding, topo.node_count());
+
+  // A couple of transmissions but no completed generation: every rate stays
+  // a finite zero (no division by a zero ACK time).
+  sink.on_event(tx_event(0.5, graph.node_id(graph.source)));
+  const SessionResult result = sink.assemble(0);
+  EXPECT_TRUE(result.connected);
+  EXPECT_EQ(result.generations_completed, 0);
+  EXPECT_EQ(result.throughput_bytes_per_s, 0.0);
+  EXPECT_EQ(result.throughput_per_generation, 0.0);
+  EXPECT_EQ(result.transmissions, 1u);
+  EXPECT_EQ(result.path_utility_ratio, 0.0);
+  EXPECT_EQ(sink.shared_mean_queue(), 0.0);
+}
+
+TEST(MetricsBus, DetailEventsAreIgnoredByAggregateSinks) {
+  const net::Topology topo = diamond();
+  const routing::SessionGraph graph = routing::select_nodes(topo, 0, 3);
+  coding::CodingParams coding{8, 64};
+  SessionResultSink sink({&graph}, coding, topo.node_count());
+
+  MetricEvent contention;
+  contention.type = MetricEvent::Type::kMacContention;
+  contention.node = graph.node_id(graph.source);
+  contention.value = 2.0;
+  sink.on_event(contention);
+  MetricEvent collision;
+  collision.type = MetricEvent::Type::kMacCollision;
+  collision.node = graph.node_id(1);
+  sink.on_event(collision);
+
+  const SessionResult result = sink.assemble(0);
+  EXPECT_EQ(result.transmissions, 0u);
+  EXPECT_EQ(result.packets_delivered, 0u);
+  EXPECT_EQ(result.queue_drops, 0u);
+}
+
 }  // namespace
 }  // namespace omnc::protocols

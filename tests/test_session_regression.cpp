@@ -9,9 +9,12 @@
 // metric summation order, or event sequencing fails loudly here.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <string>
 #include <vector>
 
 #include "net/topology.h"
+#include "obs/trace.h"
 #include "protocols/more.h"
 #include "protocols/oldmore.h"
 #include "protocols/omnc.h"
@@ -80,6 +83,36 @@ TEST(SessionRegression, OmncMatchesPreRefactorEngine) {
                     3.6995006067395515, 1.0, 1.0, 16586, 14668, 0,
                     {2037, 1730, 1125, 1131}});
   EXPECT_TRUE(result.rc_converged);
+}
+
+TEST(SessionRegression, OmncWithTracingAttachedMatchesTheSamePins) {
+  // Observation must not perturb the simulation: the same run with a trace
+  // recorder subscribed (which also switches on the detail event families)
+  // reproduces the exact pins of the untraced run above.
+  const net::Topology topo = diamond();
+  const routing::SessionGraph graph = routing::select_nodes(topo, 0, 3);
+  const std::string path = testing::TempDir() + "regression_trace.jsonl";
+  {
+    obs::TraceRecorder recorder(path, "test_session_regression", "", 42);
+    ASSERT_TRUE(recorder.ok());
+    obs::RunContext ctx;
+    ctx.protocol = "omnc";
+    ctx.seed = 42;
+    ctx.topology_nodes = topo.node_count();
+    ctx.generation_blocks = 8;
+    ctx.block_bytes = 64;
+    const int run = recorder.begin_run(ctx, {&graph});
+    obs::RunSink sink(&recorder, run);
+    OmncProtocol protocol(topo, graph, pin_config(42), OmncConfig{});
+    protocol.set_trace_sink(sink.sink_or_null());
+    const SessionResult result = protocol.run();
+    recorder.end_run(run, {result}, {protocol.edge_innovative_deliveries()});
+    expect_pinned(result, protocol.edge_innovative_deliveries(),
+                  Pin{281, 2403.7618927090502, 2526.8628226247683,
+                      3.6995006067395515, 1.0, 1.0, 16586, 14668, 0,
+                      {2037, 1730, 1125, 1131}});
+  }
+  std::remove(path.c_str());
 }
 
 TEST(SessionRegression, MoreMatchesPreRefactorEngine) {

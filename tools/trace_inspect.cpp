@@ -1,0 +1,306 @@
+// Offline trace inspector: replays a JSONL trace (bench --trace PATH)
+// through the live metric sinks and reports what the run looked like.
+//
+// Usage: trace_inspect <trace.jsonl> [--summary] [--queues] [--edges]
+//                      [--latency] [--convergence] [--probes] [--registry]
+//                      [--verify] [--check-json PATH] [--run N]
+//
+//   --summary       per-run result table (default when nothing is selected)
+//   --queues        per-node queue timelines rebuilt by QueueTimelineSink
+//   --edges         per-edge innovative-delivery counts (Fig. 4 raw data)
+//   --latency       generation ACK latency percentiles per session
+//   --convergence   rate-control gamma-bar vs iteration (Fig. 1 curve)
+//   --probes        link-prober estimates vs true reception probabilities
+//   --registry      wall-clock metrics snapshot recorded in the trace
+//   --verify        replay every run and compare each reconstructed metric
+//                   with the recorded ground truth (exact double equality);
+//                   exit code 1 on any mismatch
+//   --check-json    cross-check a bench's --json output against the trace
+//   --run N         restrict the report to one run id
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/options.h"
+#include "common/table.h"
+#include "obs/trace_inspect.h"
+#include "obs/trace_reader.h"
+
+using namespace omnc;
+
+namespace {
+
+bool run_selected(const Options& options, const obs::RecordedRun& run) {
+  return !options.has("run") ||
+         options.get_int("run", -1) == static_cast<long>(run.id);
+}
+
+void print_summary(const obs::Trace& trace, const Options& options) {
+  std::printf("trace: tool=%s build=%s schema=%d params=\"%s\"\n",
+              trace.tool.c_str(), trace.build.c_str(), trace.schema,
+              trace.params.c_str());
+  std::printf("%zu runs, %zu probe samples, %zu registry rows\n\n",
+              trace.runs.size(), trace.probes.size(), trace.registry.size());
+  TextTable table({"run", "protocol", "sessions", "events", "gens",
+                   "thr B/s", "thr/gen B/s", "mean queue", "tx"});
+  for (const auto& run : trace.runs) {
+    if (!run_selected(options, run)) continue;
+    for (std::size_t s = 0; s < run.results.size(); ++s) {
+      const auto& r = run.results[s];
+      table.add_row(
+          {std::to_string(run.id) +
+               (run.results.size() > 1 ? "." + std::to_string(s) : ""),
+           run.context.protocol, std::to_string(run.results.size()),
+           std::to_string(run.events.size()),
+           std::to_string(r.generations_completed),
+           TextTable::fmt(r.throughput_bytes_per_s, 1),
+           TextTable::fmt(r.throughput_per_generation, 1),
+           TextTable::fmt(r.mean_queue, 3),
+           std::to_string(r.transmissions)});
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+}
+
+void print_queues(const obs::Trace& trace, const Options& options) {
+  for (const auto& run : trace.runs) {
+    if (!run_selected(options, run) || run.graphs.empty()) continue;
+    const obs::ReplayedRun replay = obs::replay_run(run);
+    std::printf("-- run %d (%s): queue time averages --\n", run.id,
+                run.context.protocol.c_str());
+    TextTable table({"node", "samples", "time avg", "max"});
+    for (std::size_t node = 0; node < replay.queue_timelines.size(); ++node) {
+      const auto& timeline = replay.queue_timelines[node];
+      if (timeline.empty()) continue;
+      double max_queue = 0.0;
+      for (const auto& sample : timeline) {
+        max_queue = std::max(max_queue, sample.queue);
+      }
+      table.add_row({std::to_string(node), std::to_string(timeline.size()),
+                     TextTable::fmt(replay.queue_time_average[node], 3),
+                     TextTable::fmt(max_queue, 0)});
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf("channel-wide mean over transmitting nodes: %.6f\n\n",
+                replay.shared_mean_queue);
+  }
+}
+
+void print_edges(const obs::Trace& trace, const Options& options) {
+  for (const auto& run : trace.runs) {
+    if (!run_selected(options, run) || run.graphs.empty()) continue;
+    const obs::ReplayedRun replay = obs::replay_run(run);
+    std::printf("-- run %d (%s): innovative deliveries per edge --\n", run.id,
+                run.context.protocol.c_str());
+    TextTable table({"session", "edge", "from->to", "p", "deliveries"});
+    for (std::size_t s = 0; s < replay.sessions.size(); ++s) {
+      const auto& graph = run.graphs[s];
+      const auto& deliveries = replay.sessions[s].edge_deliveries;
+      for (std::size_t e = 0; e < deliveries.size(); ++e) {
+        const auto& edge = graph.edges[e];
+        table.add_row({std::to_string(s), std::to_string(e),
+                       std::to_string(edge.from) + "->" +
+                           std::to_string(edge.to),
+                       TextTable::fmt(edge.p, 2),
+                       std::to_string(deliveries[e])});
+      }
+    }
+    std::printf("%s\n", table.render().c_str());
+  }
+}
+
+void print_latency(const obs::Trace& trace, const Options& options) {
+  std::printf("-- generation ACK latency (seconds) --\n");
+  TextTable table({"run", "protocol", "session", "gens", "p50", "p90", "p99",
+                   "max"});
+  for (const auto& run : trace.runs) {
+    if (!run_selected(options, run) || run.graphs.empty()) continue;
+    const obs::ReplayedRun replay = obs::replay_run(run);
+    for (std::size_t s = 0; s < replay.sessions.size(); ++s) {
+      const auto& latencies = replay.sessions[s].ack_latencies;
+      if (latencies.empty()) continue;
+      table.add_row(
+          {std::to_string(run.id), run.context.protocol, std::to_string(s),
+           std::to_string(latencies.size()),
+           TextTable::fmt(obs::percentile(latencies, 50.0), 3),
+           TextTable::fmt(obs::percentile(latencies, 90.0), 3),
+           TextTable::fmt(obs::percentile(latencies, 99.0), 3),
+           TextTable::fmt(*std::max_element(latencies.begin(),
+                                            latencies.end()),
+                          3)});
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+}
+
+void print_convergence(const obs::Trace& trace, const Options& options) {
+  for (const auto& run : trace.runs) {
+    if (!run_selected(options, run) || run.opt_gamma.empty()) continue;
+    std::printf("-- run %d (%s): rate-control convergence --\n", run.id,
+                run.context.protocol.c_str());
+    TextTable table({"iter", "gamma", "mean b"});
+    const int total = static_cast<int>(run.opt_gamma.size());
+    for (int t = 0; t < total; t += (t < 10 ? 1 : (t < 50 ? 5 : 25))) {
+      const auto& b = run.opt_b[static_cast<std::size_t>(t)];
+      double mean_b = 0.0;
+      for (double value : b) mean_b += value;
+      if (!b.empty()) mean_b /= static_cast<double>(b.size());
+      table.add_row({std::to_string(t + 1),
+                     TextTable::fmt(run.opt_gamma[static_cast<std::size_t>(t)], 1),
+                     TextTable::fmt(mean_b, 1)});
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf("final gamma after %d iterations: %.17g\n\n", total,
+                run.opt_gamma.back());
+  }
+}
+
+void print_probes(const obs::Trace& trace) {
+  if (trace.probes.empty()) {
+    std::printf("no probe records in trace\n");
+    return;
+  }
+  double abs_error = 0.0;
+  TextTable table({"session", "edge", "from->to", "p true", "p est", "error"});
+  for (const auto& probe : trace.probes) {
+    abs_error += std::abs(probe.p_estimate - probe.p_true);
+    table.add_row({std::to_string(probe.session), std::to_string(probe.edge),
+                   std::to_string(probe.from) + "->" +
+                       std::to_string(probe.to),
+                   TextTable::fmt(probe.p_true, 3),
+                   TextTable::fmt(probe.p_estimate, 3),
+                   TextTable::fmt(probe.p_estimate - probe.p_true, 3)});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("mean |p_hat - p| over %zu probed links: %.4f\n\n",
+              trace.probes.size(),
+              abs_error / static_cast<double>(trace.probes.size()));
+}
+
+void print_registry(const obs::Trace& trace) {
+  if (trace.registry.empty()) {
+    std::printf("no registry snapshot in trace\n");
+    return;
+  }
+  TextTable table({"metric", "kind", "count", "value", "p50 ns", "p99 ns"});
+  for (const auto& row : trace.registry) {
+    table.add_row({row.name, row.kind, std::to_string(row.count),
+                   TextTable::fmt(row.value, 6), TextTable::fmt(row.p50_ns, 0),
+                   TextTable::fmt(row.p99_ns, 0)});
+  }
+  std::printf("%s\n", table.render().c_str());
+}
+
+int verify(const obs::Trace& trace) {
+  const obs::VerifyReport report = obs::verify_trace(trace);
+  for (const auto& mismatch : report.mismatches) {
+    std::fprintf(stderr, "MISMATCH: %s\n", mismatch.c_str());
+  }
+  std::printf("verify: %zu comparisons over %zu runs — %s\n",
+              report.comparisons, trace.runs.size(),
+              report.ok ? "all exact" : "FAILED");
+  return report.ok ? 0 : 1;
+}
+
+/// Cross-checks a bench's --json records against the trace.  Understood
+/// metrics: fig1's "iterations" (opt_iter record count) and
+/// "gamma_distributed" (last recorded gamma) — the CI round-trip gate.
+int check_json(const obs::Trace& trace, const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  if (file == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::string text;
+  char buffer[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    text.append(buffer, n);
+  }
+  std::fclose(file);
+
+  // Find the rate-control run the fig1 records describe.
+  const obs::RecordedRun* rc_run = nullptr;
+  for (const auto& run : trace.runs) {
+    if (!run.opt_gamma.empty()) rc_run = &run;
+  }
+
+  int checked = 0;
+  int failed = 0;
+  auto check_metric = [&](const char* metric, double expected) {
+    const std::string needle = std::string("\"metric\": \"") + metric + "\"";
+    const std::size_t at = text.find(needle);
+    if (at == std::string::npos) return;
+    const std::size_t value_at = text.find("\"value\":", at);
+    if (value_at == std::string::npos) return;
+    const double value = std::strtod(text.c_str() + value_at + 8, nullptr);
+    ++checked;
+    if (value != expected) {
+      ++failed;
+      std::fprintf(stderr,
+                   "MISMATCH: json %s = %.17g but trace says %.17g\n", metric,
+                   value, expected);
+    }
+  };
+  if (rc_run != nullptr) {
+    check_metric("iterations", static_cast<double>(rc_run->opt_gamma.size()));
+    check_metric("gamma_distributed", rc_run->opt_gamma.back());
+  }
+  std::printf("check-json: %d metrics checked against the trace — %s\n",
+              checked, failed == 0 ? "all exact" : "FAILED");
+  if (checked == 0) {
+    std::fprintf(stderr, "check-json: nothing to compare (no opt_iter "
+                         "records or no known metrics in %s)\n",
+                 path.c_str());
+    return 1;
+  }
+  return failed == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options options(argc, argv);
+  if (options.positional().empty()) {
+    std::fprintf(stderr, "usage: trace_inspect <trace.jsonl> [--summary] "
+                         "[--queues] [--edges] [--latency] [--convergence] "
+                         "[--probes] [--registry] [--verify] "
+                         "[--check-json PATH] [--run N]\n");
+    return 2;
+  }
+
+  obs::Trace trace;
+  std::string error;
+  if (!obs::read_trace(options.positional().front(), &trace, &error)) {
+    std::fprintf(stderr, "error reading trace: %s\n", error.c_str());
+    return 2;
+  }
+
+  const bool any_section =
+      options.get_bool("summary", false) || options.get_bool("queues", false) ||
+      options.get_bool("edges", false) || options.get_bool("latency", false) ||
+      options.get_bool("convergence", false) ||
+      options.get_bool("probes", false) ||
+      options.get_bool("registry", false) || options.get_bool("verify", false) ||
+      options.has("check-json");
+
+  if (!any_section || options.get_bool("summary", false)) {
+    print_summary(trace, options);
+  }
+  if (options.get_bool("queues", false)) print_queues(trace, options);
+  if (options.get_bool("edges", false)) print_edges(trace, options);
+  if (options.get_bool("latency", false)) print_latency(trace, options);
+  if (options.get_bool("convergence", false)) print_convergence(trace, options);
+  if (options.get_bool("probes", false)) print_probes(trace);
+  if (options.get_bool("registry", false)) print_registry(trace);
+
+  int status = 0;
+  if (options.get_bool("verify", false)) status |= verify(trace);
+  if (options.has("check-json")) {
+    status |= check_json(trace, options.get("check-json", ""));
+  }
+  return status;
+}
