@@ -18,28 +18,30 @@ bool ProgressiveDecoder::offer(const CodedPacket& packet) {
   if (packet.generation_id != generation_id_) return false;
   if (!packet.dimensions_match(params_)) return false;
   ++packets_seen_;
-  std::vector<std::uint8_t> row;
-  row.reserve(rref_.row_bytes());
-  row.insert(row.end(), packet.coefficients.begin(), packet.coefficients.end());
-  row.insert(row.end(), packet.payload.begin(), packet.payload.end());
-  return rref_.insert(std::move(row));
+  // No row assembly: coefficients and payload go straight into the split
+  // arenas, and a non-innovative packet's payload is never even read.
+  return rref_.insert(packet.coefficients.data(), packet.payload.data());
 }
 
 const std::uint8_t* ProgressiveDecoder::decoded_block(std::size_t index) const {
   OMNC_ASSERT(index < params_.generation_blocks);
-  const std::uint8_t* row = rref_.row_for_pivot(index);
-  if (row == nullptr) return nullptr;
+  const std::uint8_t* coeffs = rref_.coefficients_for_pivot(index);
+  if (coeffs == nullptr) return nullptr;
   // The block is decoded when its row's coefficient part is the unit vector:
-  // pivot normalized to 1 and every other coefficient zero.
+  // pivot normalized to 1 and every other coefficient zero.  Only then is
+  // the deferred payload elimination for this row worth running.
   for (std::size_t c = 0; c < params_.generation_blocks; ++c) {
     const std::uint8_t expected = (c == index) ? 1 : 0;
-    if (row[c] != expected) return nullptr;
+    if (coeffs[c] != expected) return nullptr;
   }
-  return row + params_.generation_blocks;
+  return rref_.payload_for_pivot(index);
 }
 
 std::vector<std::uint8_t> ProgressiveDecoder::recover() const {
   OMNC_ASSERT_MSG(complete(), "recover() before the generation is decodable");
+  // One blocked pass beats decoded_block's row-at-a-time materialization
+  // when the whole generation is being read anyway.
+  rref_.materialize_payloads();
   std::vector<std::uint8_t> out;
   out.reserve(params_.generation_bytes());
   for (std::size_t b = 0; b < params_.generation_blocks; ++b) {

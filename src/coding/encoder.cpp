@@ -36,11 +36,14 @@ CodedPacket SourceEncoder::packet_with_coefficients(
   pkt.block_bytes = params.block_bytes;
   pkt.coefficients = coefficients;
   pkt.payload.assign(params.block_bytes, 0);
+  // Fused fold over the generation's blocks: 2-4 source rows per pass over
+  // the payload instead of one destination read/write per block.
+  std::vector<const std::uint8_t*> blocks(coefficients.size());
   for (std::size_t i = 0; i < coefficients.size(); ++i) {
-    if (coefficients[i] == 0) continue;
-    gf::region_axpy(pkt.payload.data(), generation_->block(i),
-                    coefficients[i], params.block_bytes);
+    blocks[i] = generation_->block(i);
   }
+  gf::region_axpy_many(pkt.payload.data(), blocks.data(), coefficients.data(),
+                       coefficients.size(), params.block_bytes);
   return pkt;
 }
 

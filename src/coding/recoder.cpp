@@ -16,7 +16,8 @@ Recoder::Recoder(const CodingParams& params, std::uint32_t session_id,
 bool Recoder::offer(const CodedPacket& packet) {
   if (packet.generation_id != generation_id_) return false;
   if (!packet.dimensions_match(params_)) return false;
-  if (!filter_.insert(packet.coefficients)) return false;
+  // Coefficient-only filter: no payload arena, no row copy.
+  if (!filter_.insert(packet.coefficients.data(), nullptr)) return false;
   buffer_.push_back(packet);
   return true;
 }
@@ -41,13 +42,19 @@ CodedPacket Recoder::recode(Rng& rng) const {
       nonzero |= (m != 0);
     }
   }
+  // Fold the combination through the fused kernels: 2-4 buffered packets per
+  // destination pass instead of re-reading the output row for each source.
+  std::vector<const std::uint8_t*> coeff_srcs(buffer_.size());
+  std::vector<const std::uint8_t*> payload_srcs(buffer_.size());
   for (std::size_t k = 0; k < buffer_.size(); ++k) {
-    if (multipliers[k] == 0) continue;
-    gf::region_axpy(out.coefficients.data(), buffer_[k].coefficients.data(),
-                    multipliers[k], out.coefficients.size());
-    gf::region_axpy(out.payload.data(), buffer_[k].payload.data(),
-                    multipliers[k], out.payload.size());
+    coeff_srcs[k] = buffer_[k].coefficients.data();
+    payload_srcs[k] = buffer_[k].payload.data();
   }
+  gf::region_axpy_many(out.coefficients.data(), coeff_srcs.data(),
+                       multipliers.data(), buffer_.size(),
+                       out.coefficients.size());
+  gf::region_axpy_many(out.payload.data(), payload_srcs.data(),
+                       multipliers.data(), buffer_.size(), out.payload.size());
   return out;
 }
 

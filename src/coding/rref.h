@@ -2,12 +2,34 @@
 // the destination's progressive Gauss–Jordan decoder and the relays'
 // innovation filter (Sec. 4, "Progressive decoding").
 //
-// Rows are byte vectors whose first `pivot_cols` entries are coding
-// coefficients; the remainder (if any) is payload that undergoes the same row
-// operations.  Inserting a row reduces it against the current basis: a
-// linearly dependent row reduces to all-zero coefficients and is rejected,
-// an innovative row is normalized, back-substituted into the existing rows,
-// and joins the basis.
+// A row is `pivot_cols` coding coefficients optionally followed by payload
+// bytes.  Only the coefficient block is kept in reduced form eagerly: every
+// insert forward-eliminates, normalizes, and back-substitutes coefficients,
+// so rank/innovation decisions are always exact.  Payloads are stored raw in
+// a flat arena, exactly as received, and the accumulator instead maintains a
+// transform row per basis row — the GF(256) combination of raw payloads that
+// the eliminated payload *would* be.  The expensive payload-width
+// back-substitution is deferred until a decoded payload is actually read
+// (payload_for_pivot / the decoder's decoded_block / recover), where it runs
+// as one batched elimination through the fused region_axpy2/4 kernels.
+//
+// Why this wins: rejecting a non-innovative row touches coefficients only
+// (never the payload), insert cost drops from O(rank * row_bytes) to
+// O(rank * pivot_cols) bytes, and the one-time materialization pass streams
+// 2-4 source rows per destination pass instead of re-reading the destination
+// for every axpy.  Decoded bytes are bit-identical to the eager scheme — GF
+// arithmetic is exact and the decoded blocks are unique.
+//
+// Storage is two contiguous arenas plus a lazily filled materialization
+// cache; no per-row std::vector.  The basis arena packs each row as
+// [coefficients | transform] so one fused axpy drives both during
+// elimination; the payload arena holds raw payloads in insertion order.
+// Because the basis is kept in reduced form, each stored row has zeros in
+// every other row's pivot column, so the forward-elimination factors are
+// order-independent — the whole sweep is gathered up front and batched
+// through region_axpy_many (4, then 2, sources per destination pass).
+// Not thread-safe: the mutable scratch and cache assume one caller at a
+// time, which matches the per-node simulation model.
 #pragma once
 
 #include <cstddef>
@@ -19,42 +41,84 @@ namespace omnc::coding {
 class RrefAccumulator {
  public:
   /// pivot_cols: number of coefficient columns (pivots only arise there).
-  /// row_bytes: full row length, >= pivot_cols.
+  /// row_bytes: full row length, >= pivot_cols; the difference is payload.
   RrefAccumulator(std::size_t pivot_cols, std::size_t row_bytes);
 
   std::size_t pivot_cols() const { return pivot_cols_; }
-  std::size_t row_bytes() const { return row_bytes_; }
-  std::size_t rank() const { return rows_.size(); }
-  bool complete() const { return rank() == pivot_cols_; }
+  std::size_t row_bytes() const { return pivot_cols_ + payload_bytes_; }
+  std::size_t payload_bytes() const { return payload_bytes_; }
+  std::size_t rank() const { return rank_; }
+  bool complete() const { return rank_ == pivot_cols_; }
 
-  /// Reduces `row` (length row_bytes) in place against the basis.  Returns
-  /// true and takes ownership of the (now normalized) row if it is
-  /// innovative; returns false if it reduced to zero.
-  bool insert(std::vector<std::uint8_t> row);
+  /// Reduces the row [coefficients | payload] against the basis.  Returns
+  /// true if it is innovative (the row joins the basis; the payload is
+  /// copied into the raw arena untouched); false if it reduced to zero — in
+  /// that case the payload is never even read.  `payload` may be nullptr
+  /// when payload_bytes() == 0 (the coefficient-only innovation filter).
+  bool insert(const std::uint8_t* coefficients, const std::uint8_t* payload);
 
-  /// Checks innovation without mutating the accumulator: reduces a scratch
-  /// copy of just the coefficient part.
+  /// Convenience overload over a packed [coefficients | payload] row of
+  /// row_bytes() bytes.
+  bool insert(const std::vector<std::uint8_t>& row);
+
+  /// Checks innovation without mutating the basis: reduces a scratch copy of
+  /// just the coefficient part (no allocation; reuses a member buffer).
   bool would_be_innovative(const std::uint8_t* coefficients) const;
 
-  /// Basis row whose pivot is `pivot` column, or nullptr if absent.
-  const std::uint8_t* row_for_pivot(std::size_t pivot) const;
+  /// Coefficient block (pivot_cols bytes, reduced form) of the basis row
+  /// whose pivot is `pivot`, or nullptr if absent.
+  const std::uint8_t* coefficients_for_pivot(std::size_t pivot) const;
 
-  /// Rows in pivot order.
-  const std::vector<std::vector<std::uint8_t>>& rows() const { return data_; }
+  /// Eliminated payload (payload_bytes bytes) of that basis row, or nullptr
+  /// if the row is absent or payload_bytes() == 0.  Materializes the row on
+  /// demand (cached until a later insert touches the row); logically const.
+  const std::uint8_t* payload_for_pivot(std::size_t pivot) const;
+
+  /// Materializes every stale row in one source-blocked pass: the raw
+  /// payloads are walked in groups of up to four that stay cache-hot across
+  /// all destination rows, instead of streaming the whole raw arena once per
+  /// row.  Bulk readers (the decoder's recover) call this before reading;
+  /// results are identical to per-row materialization.  Logically const.
+  void materialize_payloads() const;
 
   void clear();
 
  private:
   struct BasisRow {
     std::size_t pivot;
-    std::size_t index;  // into data_
+    std::size_t index;  // row slot in the arenas, in insertion order
   };
 
+  /// A basis-arena row: pivot_cols coefficient bytes, then (when payloads
+  /// are tracked) pivot_cols transform bytes.
+  std::uint8_t* basis_row(std::size_t index) {
+    return basis_.data() + index * stride_;
+  }
+  const std::uint8_t* basis_row(std::size_t index) const {
+    return basis_.data() + index * stride_;
+  }
+  const std::uint8_t* raw_row(std::size_t index) const {
+    return raw_.data() + index * payload_bytes_;
+  }
+
+  /// Runs the deferred payload elimination for one basis row.
+  const std::uint8_t* materialize(std::size_t index) const;
+
   std::size_t pivot_cols_;
-  std::size_t row_bytes_;
-  std::vector<BasisRow> rows_;                 // sorted by pivot
-  std::vector<std::vector<std::uint8_t>> data_;
-  std::vector<int> pivot_to_row_;              // pivot -> index into rows_, -1
+  std::size_t payload_bytes_;
+  std::size_t stride_;             // bytes per basis-arena row
+  std::size_t rank_ = 0;
+  std::vector<BasisRow> rows_;     // sorted by pivot
+  std::vector<int> pivot_to_row_;  // pivot -> arena row slot, -1 when absent
+  std::vector<std::uint8_t> basis_;  // rank x stride, coefficients reduced
+  std::vector<std::uint8_t> raw_;    // rank x payload_bytes, as received
+  mutable std::vector<std::uint8_t> cache_;        // rank x payload_bytes
+  mutable std::vector<std::uint8_t> cache_valid_;  // per row slot, 0/1
+  mutable std::vector<std::uint8_t> scratch_;      // one basis-arena row
+  mutable std::vector<const std::uint8_t*> elim_srcs_;   // batched sweep srcs
+  mutable std::vector<std::uint8_t> elim_factors_;       // batched sweep factors
+  mutable std::vector<std::uint8_t*> elim_dsts_;         // back-subst targets
+  mutable std::vector<const std::uint8_t*> src_ptrs_;    // raw-row pointers
 };
 
 }  // namespace omnc::coding

@@ -17,18 +17,22 @@ namespace {
 
 // ---------------------------------------------------------------------------
 // Scalar lookup-table backend (the baseline the paper compares against).
+// The c==0 / c==1 fast paths mirror the SIMD backends so the scalar
+// reference is not pessimized into table walks for trivial constants.
 // ---------------------------------------------------------------------------
 
 void scalar_mul(std::uint8_t* dst, const std::uint8_t* src, std::uint8_t c,
                 std::size_t n) {
+  if (c == 0) {
+    std::memset(dst, 0, n);
+    return;
+  }
+  if (c == 1) {
+    if (dst != src) std::memmove(dst, src, n);
+    return;
+  }
   const std::uint8_t* row = mul_row(c);
   for (std::size_t i = 0; i < n; ++i) dst[i] = row[src[i]];
-}
-
-void scalar_axpy(std::uint8_t* dst, const std::uint8_t* src, std::uint8_t c,
-                 std::size_t n) {
-  const std::uint8_t* row = mul_row(c);
-  for (std::size_t i = 0; i < n; ++i) dst[i] ^= row[src[i]];
 }
 
 void scalar_xor(std::uint8_t* dst, const std::uint8_t* src, std::size_t n) {
@@ -43,6 +47,45 @@ void scalar_xor(std::uint8_t* dst, const std::uint8_t* src, std::size_t n) {
     std::memcpy(dst + i, &a, 8);
   }
   for (; i < n; ++i) dst[i] ^= src[i];
+}
+
+void scalar_axpy(std::uint8_t* dst, const std::uint8_t* src, std::uint8_t c,
+                 std::size_t n) {
+  if (c == 0) return;
+  if (c == 1) {
+    scalar_xor(dst, src, n);
+    return;
+  }
+  const std::uint8_t* row = mul_row(c);
+  for (std::size_t i = 0; i < n; ++i) dst[i] ^= row[src[i]];
+}
+
+// Fused folds: one pass over dst regardless of the source count.  Zero
+// constants resolve through mul_row(0) (the all-zero row), so the kernels
+// stay total; the dispatch wrappers strip zeros before getting here when it
+// matters for speed.
+
+void scalar_axpy2(std::uint8_t* dst, const std::uint8_t* src0, std::uint8_t c0,
+                  const std::uint8_t* src1, std::uint8_t c1, std::size_t n) {
+  const std::uint8_t* r0 = mul_row(c0);
+  const std::uint8_t* r1 = mul_row(c1);
+  for (std::size_t i = 0; i < n; ++i) {
+    dst[i] = static_cast<std::uint8_t>(dst[i] ^ r0[src0[i]] ^ r1[src1[i]]);
+  }
+}
+
+void scalar_axpy4(std::uint8_t* dst, const std::uint8_t* src0, std::uint8_t c0,
+                  const std::uint8_t* src1, std::uint8_t c1,
+                  const std::uint8_t* src2, std::uint8_t c2,
+                  const std::uint8_t* src3, std::uint8_t c3, std::size_t n) {
+  const std::uint8_t* r0 = mul_row(c0);
+  const std::uint8_t* r1 = mul_row(c1);
+  const std::uint8_t* r2 = mul_row(c2);
+  const std::uint8_t* r3 = mul_row(c3);
+  for (std::size_t i = 0; i < n; ++i) {
+    dst[i] = static_cast<std::uint8_t>(dst[i] ^ r0[src0[i]] ^ r1[src1[i]] ^
+                                       r2[src2[i]] ^ r3[src3[i]]);
+  }
 }
 
 #ifdef OMNC_X86
@@ -176,23 +219,98 @@ __attribute__((target("sse2"))) void sse2_xor(std::uint8_t* dst,
   for (; i < n; ++i) dst[i] ^= src[i];
 }
 
+__attribute__((target("sse2"))) void sse2_axpy2(std::uint8_t* dst,
+                                                const std::uint8_t* src0,
+                                                std::uint8_t c0,
+                                                const std::uint8_t* src1,
+                                                std::uint8_t c1,
+                                                std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i v0 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src0 + i));
+    const __m128i v1 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src1 + i));
+    const __m128i p =
+        _mm_xor_si128(sse2_mul_const(v0, c0), sse2_mul_const(v1, c1));
+    const __m128i d = _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), _mm_xor_si128(d, p));
+  }
+  if (i < n) scalar_axpy2(dst + i, src0 + i, c0, src1 + i, c1, n - i);
+}
+
+__attribute__((target("sse2"))) void sse2_axpy4(
+    std::uint8_t* dst, const std::uint8_t* src0, std::uint8_t c0,
+    const std::uint8_t* src1, std::uint8_t c1, const std::uint8_t* src2,
+    std::uint8_t c2, const std::uint8_t* src3, std::uint8_t c3,
+    std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i v0 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src0 + i));
+    const __m128i v1 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src1 + i));
+    const __m128i v2 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src2 + i));
+    const __m128i v3 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src3 + i));
+    const __m128i p01 =
+        _mm_xor_si128(sse2_mul_const(v0, c0), sse2_mul_const(v1, c1));
+    const __m128i p23 =
+        _mm_xor_si128(sse2_mul_const(v2, c2), sse2_mul_const(v3, c3));
+    const __m128i d = _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                     _mm_xor_si128(d, _mm_xor_si128(p01, p23)));
+  }
+  if (i < n) {
+    scalar_axpy4(dst + i, src0 + i, c0, src1 + i, c1, src2 + i, c2, src3 + i,
+                 c3, n - i);
+  }
+}
+
 // ---------------------------------------------------------------------------
 // SSSE3 backend: split the byte into nibbles and resolve each through a
 // 16-entry PSHUFB table derived from the full multiplication table.
+//
+// All 256 lo/hi table pairs are precomputed once (8 KiB, cache-resident for
+// hot constants): loading a constant's tables is two aligned loads instead
+// of 32 scalar lookups, which matters enormously for the short coefficient
+// rows the RREF elimination sweeps through.
 // ---------------------------------------------------------------------------
 
-__attribute__((target("ssse3"))) void ssse3_tables(std::uint8_t c,
-                                                   __m128i* lo_table,
-                                                   __m128i* hi_table) {
-  alignas(16) std::uint8_t lo[16];
-  alignas(16) std::uint8_t hi[16];
-  const std::uint8_t* row = mul_row(c);
-  for (int i = 0; i < 16; ++i) {
-    lo[i] = row[i];
-    hi[i] = row[i << 4];
+struct NibbleTables {
+  alignas(64) std::uint8_t lo[256][16];
+  alignas(64) std::uint8_t hi[256][16];
+  NibbleTables() {
+    for (int c = 0; c < 256; ++c) {
+      const std::uint8_t* row = mul_row(static_cast<std::uint8_t>(c));
+      for (int i = 0; i < 16; ++i) {
+        lo[c][i] = row[i];
+        hi[c][i] = row[i << 4];
+      }
+    }
   }
-  *lo_table = _mm_load_si128(reinterpret_cast<const __m128i*>(lo));
-  *hi_table = _mm_load_si128(reinterpret_cast<const __m128i*>(hi));
+};
+
+const NibbleTables& nibble_tables() {
+  static const NibbleTables tables;
+  return tables;
+}
+
+__attribute__((target("ssse3"))) inline void ssse3_tables(std::uint8_t c,
+                                                          __m128i* lo_table,
+                                                          __m128i* hi_table) {
+  const NibbleTables& t = nibble_tables();
+  *lo_table = _mm_load_si128(reinterpret_cast<const __m128i*>(t.lo[c]));
+  *hi_table = _mm_load_si128(reinterpret_cast<const __m128i*>(t.hi[c]));
+}
+
+__attribute__((target("ssse3"))) inline __m128i ssse3_product(
+    __m128i v, __m128i lo_table, __m128i hi_table, __m128i mask) {
+  const __m128i lo = _mm_and_si128(v, mask);
+  const __m128i hi = _mm_and_si128(_mm_srli_epi64(v, 4), mask);
+  return _mm_xor_si128(_mm_shuffle_epi8(lo_table, lo),
+                       _mm_shuffle_epi8(hi_table, hi));
 }
 
 __attribute__((target("ssse3"))) void ssse3_mul(std::uint8_t* dst,
@@ -213,11 +331,8 @@ __attribute__((target("ssse3"))) void ssse3_mul(std::uint8_t* dst,
   std::size_t i = 0;
   for (; i + 16 <= n; i += 16) {
     const __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
-    const __m128i lo = _mm_and_si128(v, mask);
-    const __m128i hi = _mm_and_si128(_mm_srli_epi64(v, 4), mask);
-    const __m128i product = _mm_xor_si128(_mm_shuffle_epi8(lo_table, lo),
-                                          _mm_shuffle_epi8(hi_table, hi));
-    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), product);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                     ssse3_product(v, lo_table, hi_table, mask));
   }
   if (i < n) scalar_mul(dst + i, src + i, c, n - i);
 }
@@ -239,23 +354,500 @@ __attribute__((target("ssse3"))) void ssse3_axpy(std::uint8_t* dst,
   for (; i + 16 <= n; i += 16) {
     const __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
     const __m128i d = _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
-    const __m128i lo = _mm_and_si128(v, mask);
-    const __m128i hi = _mm_and_si128(_mm_srli_epi64(v, 4), mask);
-    const __m128i product = _mm_xor_si128(_mm_shuffle_epi8(lo_table, lo),
-                                          _mm_shuffle_epi8(hi_table, hi));
-    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
-                     _mm_xor_si128(d, product));
+    _mm_storeu_si128(
+        reinterpret_cast<__m128i*>(dst + i),
+        _mm_xor_si128(d, ssse3_product(v, lo_table, hi_table, mask)));
   }
   if (i < n) scalar_axpy(dst + i, src + i, c, n - i);
 }
 
+__attribute__((target("ssse3"))) void ssse3_axpy2(std::uint8_t* dst,
+                                                  const std::uint8_t* src0,
+                                                  std::uint8_t c0,
+                                                  const std::uint8_t* src1,
+                                                  std::uint8_t c1,
+                                                  std::size_t n) {
+  __m128i lo0;
+  __m128i hi0;
+  __m128i lo1;
+  __m128i hi1;
+  ssse3_tables(c0, &lo0, &hi0);
+  ssse3_tables(c1, &lo1, &hi1);
+  const __m128i mask = _mm_set1_epi8(0x0f);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i v0 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src0 + i));
+    const __m128i v1 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src1 + i));
+    const __m128i p = _mm_xor_si128(ssse3_product(v0, lo0, hi0, mask),
+                                    ssse3_product(v1, lo1, hi1, mask));
+    const __m128i d = _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), _mm_xor_si128(d, p));
+  }
+  if (i < n) scalar_axpy2(dst + i, src0 + i, c0, src1 + i, c1, n - i);
+}
+
+__attribute__((target("ssse3"))) void ssse3_axpy4(
+    std::uint8_t* dst, const std::uint8_t* src0, std::uint8_t c0,
+    const std::uint8_t* src1, std::uint8_t c1, const std::uint8_t* src2,
+    std::uint8_t c2, const std::uint8_t* src3, std::uint8_t c3,
+    std::size_t n) {
+  __m128i lo0, hi0, lo1, hi1, lo2, hi2, lo3, hi3;
+  ssse3_tables(c0, &lo0, &hi0);
+  ssse3_tables(c1, &lo1, &hi1);
+  ssse3_tables(c2, &lo2, &hi2);
+  ssse3_tables(c3, &lo3, &hi3);
+  const __m128i mask = _mm_set1_epi8(0x0f);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i v0 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src0 + i));
+    const __m128i v1 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src1 + i));
+    const __m128i v2 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src2 + i));
+    const __m128i v3 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src3 + i));
+    const __m128i p01 = _mm_xor_si128(ssse3_product(v0, lo0, hi0, mask),
+                                      ssse3_product(v1, lo1, hi1, mask));
+    const __m128i p23 = _mm_xor_si128(ssse3_product(v2, lo2, hi2, mask),
+                                      ssse3_product(v3, lo3, hi3, mask));
+    const __m128i d = _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                     _mm_xor_si128(d, _mm_xor_si128(p01, p23)));
+  }
+  if (i < n) {
+    scalar_axpy4(dst + i, src0 + i, c0, src1 + i, c1, src2 + i, c2, src3 + i,
+                 c3, n - i);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 backend: the SSSE3 nibble scheme widened to 32-byte registers.  Each
+// 16-entry table is broadcast into both 128-bit lanes; VPSHUFB shuffles
+// within lanes, which is exactly what the nibble lookup needs.
+// ---------------------------------------------------------------------------
+
+__attribute__((target("avx2"))) inline void avx2_tables(std::uint8_t c,
+                                                        __m256i* lo_table,
+                                                        __m256i* hi_table) {
+  const NibbleTables& t = nibble_tables();
+  *lo_table = _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(t.lo[c])));
+  *hi_table = _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(t.hi[c])));
+}
+
+__attribute__((target("avx2"))) inline __m256i avx2_product(__m256i v,
+                                                            __m256i lo_table,
+                                                            __m256i hi_table,
+                                                            __m256i mask) {
+  const __m256i lo = _mm256_and_si256(v, mask);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi64(v, 4), mask);
+  return _mm256_xor_si256(_mm256_shuffle_epi8(lo_table, lo),
+                          _mm256_shuffle_epi8(hi_table, hi));
+}
+
+__attribute__((target("avx2"))) void avx2_mul(std::uint8_t* dst,
+                                              const std::uint8_t* src,
+                                              std::uint8_t c, std::size_t n) {
+  if (c == 0) {
+    std::memset(dst, 0, n);
+    return;
+  }
+  if (c == 1) {
+    if (dst != src) std::memmove(dst, src, n);
+    return;
+  }
+  __m256i lo_table;
+  __m256i hi_table;
+  avx2_tables(c, &lo_table, &hi_table);
+  const __m256i mask = _mm256_set1_epi8(0x0f);
+  std::size_t i = 0;
+  for (; i + 64 <= n; i += 64) {
+    const __m256i v0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i v1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i + 32));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        avx2_product(v0, lo_table, hi_table, mask));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i + 32),
+                        avx2_product(v1, lo_table, hi_table, mask));
+  }
+  for (; i + 32 <= n; i += 32) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        avx2_product(v, lo_table, hi_table, mask));
+  }
+  if (i < n) ssse3_mul(dst + i, src + i, c, n - i);
+}
+
+__attribute__((target("avx2"))) void avx2_axpy(std::uint8_t* dst,
+                                               const std::uint8_t* src,
+                                               std::uint8_t c, std::size_t n) {
+  if (c == 0) return;
+  if (c == 1) {
+    region_xor(dst, src, n);
+    return;
+  }
+  __m256i lo_table;
+  __m256i hi_table;
+  avx2_tables(c, &lo_table, &hi_table);
+  const __m256i mask = _mm256_set1_epi8(0x0f);
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(dst + i),
+        _mm256_xor_si256(d, avx2_product(v, lo_table, hi_table, mask)));
+  }
+  if (i < n) ssse3_axpy(dst + i, src + i, c, n - i);
+}
+
+__attribute__((target("avx2"))) void avx2_axpy2(std::uint8_t* dst,
+                                                const std::uint8_t* src0,
+                                                std::uint8_t c0,
+                                                const std::uint8_t* src1,
+                                                std::uint8_t c1,
+                                                std::size_t n) {
+  __m256i lo0;
+  __m256i hi0;
+  __m256i lo1;
+  __m256i hi1;
+  avx2_tables(c0, &lo0, &hi0);
+  avx2_tables(c1, &lo1, &hi1);
+  const __m256i mask = _mm256_set1_epi8(0x0f);
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i v0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src0 + i));
+    const __m256i v1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src1 + i));
+    const __m256i p = _mm256_xor_si256(avx2_product(v0, lo0, hi0, mask),
+                                       avx2_product(v1, lo1, hi1, mask));
+    const __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_xor_si256(d, p));
+  }
+  if (i < n) ssse3_axpy2(dst + i, src0 + i, c0, src1 + i, c1, n - i);
+}
+
+__attribute__((target("avx2"))) void avx2_axpy4(
+    std::uint8_t* dst, const std::uint8_t* src0, std::uint8_t c0,
+    const std::uint8_t* src1, std::uint8_t c1, const std::uint8_t* src2,
+    std::uint8_t c2, const std::uint8_t* src3, std::uint8_t c3,
+    std::size_t n) {
+  __m256i lo0, hi0, lo1, hi1, lo2, hi2, lo3, hi3;
+  avx2_tables(c0, &lo0, &hi0);
+  avx2_tables(c1, &lo1, &hi1);
+  avx2_tables(c2, &lo2, &hi2);
+  avx2_tables(c3, &lo3, &hi3);
+  const __m256i mask = _mm256_set1_epi8(0x0f);
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i v0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src0 + i));
+    const __m256i v1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src1 + i));
+    const __m256i v2 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src2 + i));
+    const __m256i v3 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src3 + i));
+    const __m256i p01 = _mm256_xor_si256(avx2_product(v0, lo0, hi0, mask),
+                                         avx2_product(v1, lo1, hi1, mask));
+    const __m256i p23 = _mm256_xor_si256(avx2_product(v2, lo2, hi2, mask),
+                                         avx2_product(v3, lo3, hi3, mask));
+    const __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_xor_si256(d, _mm256_xor_si256(p01, p23)));
+  }
+  if (i < n) {
+    ssse3_axpy4(dst + i, src0 + i, c0, src1 + i, c1, src2 + i, c2, src3 + i,
+                c3, n - i);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// GFNI backend: GF2P8MULB multiplies byte vectors in GF(2^8) modulo the AES
+// polynomial x^8+x^4+x^3+x+1 (0x11B) — exactly this codebase's field — so a
+// constant multiply is a single instruction against the broadcast constant.
+// (GF2P8AFFINEQB could express the same constant multiply as an 8x8 bit
+// matrix; MULB needs no matrix setup and has the same throughput here.)
+// We use the VEX-256 forms, so the backend requires GFNI and AVX2.
+// ---------------------------------------------------------------------------
+
+__attribute__((target("gfni,avx2"))) void gfni_mul(std::uint8_t* dst,
+                                                   const std::uint8_t* src,
+                                                   std::uint8_t c,
+                                                   std::size_t n) {
+  if (c == 0) {
+    std::memset(dst, 0, n);
+    return;
+  }
+  if (c == 1) {
+    if (dst != src) std::memmove(dst, src, n);
+    return;
+  }
+  const __m256i cv = _mm256_set1_epi8(static_cast<char>(c));
+  std::size_t i = 0;
+  for (; i + 64 <= n; i += 64) {
+    const __m256i v0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i v1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i + 32));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_gf2p8mul_epi8(v0, cv));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i + 32),
+                        _mm256_gf2p8mul_epi8(v1, cv));
+  }
+  for (; i + 32 <= n; i += 32) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_gf2p8mul_epi8(v, cv));
+  }
+  for (; i + 16 <= n; i += 16) {
+    const __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                     _mm_gf2p8mul_epi8(v, _mm256_castsi256_si128(cv)));
+  }
+  if (i < n) scalar_mul(dst + i, src + i, c, n - i);
+}
+
+__attribute__((target("gfni,avx2"))) void gfni_axpy(std::uint8_t* dst,
+                                                    const std::uint8_t* src,
+                                                    std::uint8_t c,
+                                                    std::size_t n) {
+  if (c == 0) return;
+  if (c == 1) {
+    region_xor(dst, src, n);
+    return;
+  }
+  const __m256i cv = _mm256_set1_epi8(static_cast<char>(c));
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_xor_si256(d, _mm256_gf2p8mul_epi8(v, cv)));
+  }
+  for (; i + 16 <= n; i += 16) {
+    const __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    const __m128i d = _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    _mm_storeu_si128(
+        reinterpret_cast<__m128i*>(dst + i),
+        _mm_xor_si128(d, _mm_gf2p8mul_epi8(v, _mm256_castsi256_si128(cv))));
+  }
+  if (i < n) scalar_axpy(dst + i, src + i, c, n - i);
+}
+
+__attribute__((target("gfni,avx2"))) void gfni_axpy2(std::uint8_t* dst,
+                                                     const std::uint8_t* src0,
+                                                     std::uint8_t c0,
+                                                     const std::uint8_t* src1,
+                                                     std::uint8_t c1,
+                                                     std::size_t n) {
+  const __m256i cv0 = _mm256_set1_epi8(static_cast<char>(c0));
+  const __m256i cv1 = _mm256_set1_epi8(static_cast<char>(c1));
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i v0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src0 + i));
+    const __m256i v1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src1 + i));
+    const __m256i p = _mm256_xor_si256(_mm256_gf2p8mul_epi8(v0, cv0),
+                                       _mm256_gf2p8mul_epi8(v1, cv1));
+    const __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_xor_si256(d, p));
+  }
+  if (i < n) scalar_axpy2(dst + i, src0 + i, c0, src1 + i, c1, n - i);
+}
+
+__attribute__((target("gfni,avx2"))) void gfni_axpy4(
+    std::uint8_t* dst, const std::uint8_t* src0, std::uint8_t c0,
+    const std::uint8_t* src1, std::uint8_t c1, const std::uint8_t* src2,
+    std::uint8_t c2, const std::uint8_t* src3, std::uint8_t c3,
+    std::size_t n) {
+  const __m256i cv0 = _mm256_set1_epi8(static_cast<char>(c0));
+  const __m256i cv1 = _mm256_set1_epi8(static_cast<char>(c1));
+  const __m256i cv2 = _mm256_set1_epi8(static_cast<char>(c2));
+  const __m256i cv3 = _mm256_set1_epi8(static_cast<char>(c3));
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i v0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src0 + i));
+    const __m256i v1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src1 + i));
+    const __m256i v2 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src2 + i));
+    const __m256i v3 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src3 + i));
+    const __m256i p01 = _mm256_xor_si256(_mm256_gf2p8mul_epi8(v0, cv0),
+                                         _mm256_gf2p8mul_epi8(v1, cv1));
+    const __m256i p23 = _mm256_xor_si256(_mm256_gf2p8mul_epi8(v2, cv2),
+                                         _mm256_gf2p8mul_epi8(v3, cv3));
+    const __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_xor_si256(d, _mm256_xor_si256(p01, p23)));
+  }
+  if (i < n) {
+    scalar_axpy4(dst + i, src0 + i, c0, src1 + i, c1, src2 + i, c2, src3 + i,
+                 c3, n - i);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scatter kernels: one source into many destinations, the back-substitution
+// shape.  The source chunk — and for the shuffle backends its nibble split —
+// is computed once per register width and reused across every destination,
+// so the per-destination inner loop is just table loads, shuffles, and the
+// read-modify-write.  A zero coefficient multiplies through the all-zero
+// table row and degenerates to a no-op, so callers need not filter.
+// ---------------------------------------------------------------------------
+
+__attribute__((target("ssse3"))) void ssse3_axpy_scatter(
+    std::uint8_t* const* dsts, const std::uint8_t* coeffs, std::size_t count,
+    const std::uint8_t* src, std::size_t n) {
+  const NibbleTables& t = nibble_tables();
+  const __m128i mask = _mm_set1_epi8(0x0f);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    const __m128i vlo = _mm_and_si128(v, mask);
+    const __m128i vhi = _mm_and_si128(_mm_srli_epi64(v, 4), mask);
+    for (std::size_t r = 0; r < count; ++r) {
+      const __m128i lo =
+          _mm_load_si128(reinterpret_cast<const __m128i*>(t.lo[coeffs[r]]));
+      const __m128i hi =
+          _mm_load_si128(reinterpret_cast<const __m128i*>(t.hi[coeffs[r]]));
+      const __m128i p = _mm_xor_si128(_mm_shuffle_epi8(lo, vlo),
+                                      _mm_shuffle_epi8(hi, vhi));
+      std::uint8_t* d = dsts[r] + i;
+      _mm_storeu_si128(
+          reinterpret_cast<__m128i*>(d),
+          _mm_xor_si128(_mm_loadu_si128(reinterpret_cast<const __m128i*>(d)),
+                        p));
+    }
+  }
+  if (i < n) {
+    for (std::size_t r = 0; r < count; ++r) {
+      scalar_axpy(dsts[r] + i, src + i, coeffs[r], n - i);
+    }
+  }
+}
+
+__attribute__((target("avx2"))) void avx2_axpy_scatter(
+    std::uint8_t* const* dsts, const std::uint8_t* coeffs, std::size_t count,
+    const std::uint8_t* src, std::size_t n) {
+  const NibbleTables& t = nibble_tables();
+  const __m256i mask = _mm256_set1_epi8(0x0f);
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i vlo = _mm256_and_si256(v, mask);
+    const __m256i vhi = _mm256_and_si256(_mm256_srli_epi64(v, 4), mask);
+    for (std::size_t r = 0; r < count; ++r) {
+      const __m256i lo = _mm256_broadcastsi128_si256(
+          _mm_load_si128(reinterpret_cast<const __m128i*>(t.lo[coeffs[r]])));
+      const __m256i hi = _mm256_broadcastsi128_si256(
+          _mm_load_si128(reinterpret_cast<const __m128i*>(t.hi[coeffs[r]])));
+      const __m256i p = _mm256_xor_si256(_mm256_shuffle_epi8(lo, vlo),
+                                         _mm256_shuffle_epi8(hi, vhi));
+      std::uint8_t* d = dsts[r] + i;
+      _mm256_storeu_si256(
+          reinterpret_cast<__m256i*>(d),
+          _mm256_xor_si256(
+              _mm256_loadu_si256(reinterpret_cast<const __m256i*>(d)), p));
+    }
+  }
+  if (i < n) {
+    for (std::size_t r = 0; r < count; ++r) {
+      ssse3_axpy(dsts[r] + i, src + i, coeffs[r], n - i);
+    }
+  }
+}
+
+__attribute__((target("gfni,avx2"))) void gfni_axpy_scatter(
+    std::uint8_t* const* dsts, const std::uint8_t* coeffs, std::size_t count,
+    const std::uint8_t* src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    for (std::size_t r = 0; r < count; ++r) {
+      const __m256i cv = _mm256_set1_epi8(static_cast<char>(coeffs[r]));
+      std::uint8_t* d = dsts[r] + i;
+      _mm256_storeu_si256(
+          reinterpret_cast<__m256i*>(d),
+          _mm256_xor_si256(
+              _mm256_loadu_si256(reinterpret_cast<const __m256i*>(d)),
+              _mm256_gf2p8mul_epi8(v, cv)));
+    }
+  }
+  if (i < n) {
+    for (std::size_t r = 0; r < count; ++r) {
+      scalar_axpy(dsts[r] + i, src + i, coeffs[r], n - i);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CPU feature detection: CPUID leaf 1 (SSSE3, OSXSAVE, AVX), leaf 7
+// subleaf 0 (AVX2, GFNI), plus XGETBV to confirm the OS actually saves and
+// restores the YMM state — AVX2/GFNI dispatch is unsafe without it.
+// ---------------------------------------------------------------------------
+
+#if defined(__x86_64__)
+void cpuid_count(unsigned leaf, unsigned subleaf, unsigned* a, unsigned* b,
+                 unsigned* c, unsigned* d) {
+  __asm__ volatile("cpuid"
+                   : "=a"(*a), "=b"(*b), "=c"(*c), "=d"(*d)
+                   : "a"(leaf), "c"(subleaf));
+}
+
+bool os_saves_ymm() {
+  unsigned a, b, c, d;
+  cpuid_count(1, 0, &a, &b, &c, &d);
+  if (!(c & (1u << 27))) return false;  // OSXSAVE
+  if (!(c & (1u << 28))) return false;  // AVX
+  unsigned xcr0_lo, xcr0_hi;
+  __asm__ volatile("xgetbv" : "=a"(xcr0_lo), "=d"(xcr0_hi) : "c"(0));
+  return (xcr0_lo & 0x6) == 0x6;  // XMM and YMM state enabled
+}
+#endif
+
 bool cpu_has(const char* feature) {
 #if defined(__x86_64__)
   if (std::strcmp(feature, "sse2") == 0) return true;  // baseline on x86-64
-  unsigned eax = 1, ebx = 0, ecx = 0, edx = 0;
-  __asm__ volatile("cpuid"
-                   : "+a"(eax), "=b"(ebx), "+c"(ecx), "=d"(edx));
-  if (std::strcmp(feature, "ssse3") == 0) return (ecx & (1u << 9)) != 0;
+  unsigned a, b, c, d;
+  cpuid_count(0, 0, &a, &b, &c, &d);
+  const unsigned max_leaf = a;
+  if (std::strcmp(feature, "ssse3") == 0) {
+    cpuid_count(1, 0, &a, &b, &c, &d);
+    return (c & (1u << 9)) != 0;
+  }
+  if (max_leaf < 7) return false;
+  cpuid_count(7, 0, &a, &b, &c, &d);
+  if (std::strcmp(feature, "avx2") == 0) {
+    return (b & (1u << 5)) != 0 && os_saves_ymm();
+  }
+  if (std::strcmp(feature, "gfni") == 0) {
+    // We only emit the VEX-256 GFNI forms, so AVX2 must be usable too.
+    return (c & (1u << 8)) != 0 && (b & (1u << 5)) != 0 && os_saves_ymm();
+  }
   return false;
 #else
   (void)feature;
@@ -273,7 +865,15 @@ Backend detect_default_backend() {
     if (std::strcmp(env, "ssse3") == 0 && cpu_has("ssse3")) {
       return Backend::kSsse3;
     }
+    if (std::strcmp(env, "avx2") == 0 && cpu_has("avx2")) {
+      return Backend::kAvx2;
+    }
+    if (std::strcmp(env, "gfni") == 0 && cpu_has("gfni")) {
+      return Backend::kGfni;
+    }
   }
+  if (cpu_has("gfni")) return Backend::kGfni;
+  if (cpu_has("avx2")) return Backend::kAvx2;
   if (cpu_has("ssse3")) return Backend::kSsse3;
   return Backend::kSse2;
 #else
@@ -289,16 +889,17 @@ bool backend_supported(Backend backend) {
   switch (backend) {
     case Backend::kScalarTable:
       return true;
+#ifdef OMNC_X86
     case Backend::kSse2:
-#ifdef OMNC_X86
       return cpu_has("sse2");
-#else
-      return false;
-#endif
     case Backend::kSsse3:
-#ifdef OMNC_X86
       return cpu_has("ssse3");
+    case Backend::kAvx2:
+      return cpu_has("avx2");
+    case Backend::kGfni:
+      return cpu_has("gfni");
 #else
+    default:
       return false;
 #endif
   }
@@ -317,6 +918,8 @@ const char* backend_name(Backend backend) {
     case Backend::kScalarTable: return "scalar-table";
     case Backend::kSse2: return "sse2-loop";
     case Backend::kSsse3: return "ssse3-shuffle";
+    case Backend::kAvx2: return "avx2-shuffle";
+    case Backend::kGfni: return "gfni-mulb";
   }
   return "?";
 }
@@ -341,6 +944,61 @@ void region_axpy(std::uint8_t* dst, const std::uint8_t* src, std::uint8_t c,
   region_axpy_backend(active_backend(), dst, src, c, n);
 }
 
+void region_axpy2(std::uint8_t* dst, const std::uint8_t* src0, std::uint8_t c0,
+                  const std::uint8_t* src1, std::uint8_t c1, std::size_t n) {
+  region_axpy2_backend(active_backend(), dst, src0, c0, src1, c1, n);
+}
+
+void region_axpy4(std::uint8_t* dst, const std::uint8_t* src0, std::uint8_t c0,
+                  const std::uint8_t* src1, std::uint8_t c1,
+                  const std::uint8_t* src2, std::uint8_t c2,
+                  const std::uint8_t* src3, std::uint8_t c3, std::size_t n) {
+  region_axpy4_backend(active_backend(), dst, src0, c0, src1, c1, src2, c2,
+                       src3, c3, n);
+}
+
+void region_axpy_many(std::uint8_t* dst, const std::uint8_t* const* srcs,
+                      const std::uint8_t* coeffs, std::size_t count,
+                      std::size_t n) {
+  const Backend backend = active_backend();
+  const std::uint8_t* pending_src[4];
+  std::uint8_t pending_c[4];
+  std::size_t pending = 0;
+  for (std::size_t k = 0; k < count; ++k) {
+    if (coeffs[k] == 0) continue;
+    pending_src[pending] = srcs[k];
+    pending_c[pending] = coeffs[k];
+    if (++pending == 4) {
+      region_axpy4_backend(backend, dst, pending_src[0], pending_c[0],
+                           pending_src[1], pending_c[1], pending_src[2],
+                           pending_c[2], pending_src[3], pending_c[3], n);
+      pending = 0;
+    }
+  }
+  switch (pending) {
+    case 3:
+      region_axpy2_backend(backend, dst, pending_src[0], pending_c[0],
+                           pending_src[1], pending_c[1], n);
+      region_axpy_backend(backend, dst, pending_src[2], pending_c[2], n);
+      break;
+    case 2:
+      region_axpy2_backend(backend, dst, pending_src[0], pending_c[0],
+                           pending_src[1], pending_c[1], n);
+      break;
+    case 1:
+      region_axpy_backend(backend, dst, pending_src[0], pending_c[0], n);
+      break;
+    default:
+      break;
+  }
+}
+
+void region_axpy_scatter(std::uint8_t* const* dsts, const std::uint8_t* coeffs,
+                         std::size_t count, const std::uint8_t* src,
+                         std::size_t n) {
+  region_axpy_scatter_backend(active_backend(), dsts, coeffs, count, src, n);
+}
+
 void region_mul_backend(Backend backend, std::uint8_t* dst,
                         const std::uint8_t* src, std::uint8_t c,
                         std::size_t n) {
@@ -354,6 +1012,12 @@ void region_mul_backend(Backend backend, std::uint8_t* dst,
       return;
     case Backend::kSsse3:
       ssse3_mul(dst, src, c, n);
+      return;
+    case Backend::kAvx2:
+      avx2_mul(dst, src, c, n);
+      return;
+    case Backend::kGfni:
+      gfni_mul(dst, src, c, n);
       return;
 #else
     default:
@@ -377,11 +1041,102 @@ void region_axpy_backend(Backend backend, std::uint8_t* dst,
     case Backend::kSsse3:
       ssse3_axpy(dst, src, c, n);
       return;
+    case Backend::kAvx2:
+      avx2_axpy(dst, src, c, n);
+      return;
+    case Backend::kGfni:
+      gfni_axpy(dst, src, c, n);
+      return;
 #else
     default:
       scalar_axpy(dst, src, c, n);
       return;
 #endif
+  }
+}
+
+void region_axpy2_backend(Backend backend, std::uint8_t* dst,
+                          const std::uint8_t* src0, std::uint8_t c0,
+                          const std::uint8_t* src1, std::uint8_t c1,
+                          std::size_t n) {
+  switch (backend) {
+    case Backend::kScalarTable:
+      scalar_axpy2(dst, src0, c0, src1, c1, n);
+      return;
+#ifdef OMNC_X86
+    case Backend::kSse2:
+      sse2_axpy2(dst, src0, c0, src1, c1, n);
+      return;
+    case Backend::kSsse3:
+      ssse3_axpy2(dst, src0, c0, src1, c1, n);
+      return;
+    case Backend::kAvx2:
+      avx2_axpy2(dst, src0, c0, src1, c1, n);
+      return;
+    case Backend::kGfni:
+      gfni_axpy2(dst, src0, c0, src1, c1, n);
+      return;
+#else
+    default:
+      scalar_axpy2(dst, src0, c0, src1, c1, n);
+      return;
+#endif
+  }
+}
+
+void region_axpy4_backend(Backend backend, std::uint8_t* dst,
+                          const std::uint8_t* src0, std::uint8_t c0,
+                          const std::uint8_t* src1, std::uint8_t c1,
+                          const std::uint8_t* src2, std::uint8_t c2,
+                          const std::uint8_t* src3, std::uint8_t c3,
+                          std::size_t n) {
+  switch (backend) {
+    case Backend::kScalarTable:
+      scalar_axpy4(dst, src0, c0, src1, c1, src2, c2, src3, c3, n);
+      return;
+#ifdef OMNC_X86
+    case Backend::kSse2:
+      sse2_axpy4(dst, src0, c0, src1, c1, src2, c2, src3, c3, n);
+      return;
+    case Backend::kSsse3:
+      ssse3_axpy4(dst, src0, c0, src1, c1, src2, c2, src3, c3, n);
+      return;
+    case Backend::kAvx2:
+      avx2_axpy4(dst, src0, c0, src1, c1, src2, c2, src3, c3, n);
+      return;
+    case Backend::kGfni:
+      gfni_axpy4(dst, src0, c0, src1, c1, src2, c2, src3, c3, n);
+      return;
+#else
+    default:
+      scalar_axpy4(dst, src0, c0, src1, c1, src2, c2, src3, c3, n);
+      return;
+#endif
+  }
+}
+
+void region_axpy_scatter_backend(Backend backend, std::uint8_t* const* dsts,
+                                 const std::uint8_t* coeffs, std::size_t count,
+                                 const std::uint8_t* src, std::size_t n) {
+  switch (backend) {
+#ifdef OMNC_X86
+    case Backend::kSsse3:
+      ssse3_axpy_scatter(dsts, coeffs, count, src, n);
+      return;
+    case Backend::kAvx2:
+      avx2_axpy_scatter(dsts, coeffs, count, src, n);
+      return;
+    case Backend::kGfni:
+      gfni_axpy_scatter(dsts, coeffs, count, src, n);
+      return;
+#endif
+    default:
+      // Scalar and SSE2 gain nothing from hoisting the source, so the
+      // scatter form is just the per-destination loop.
+      for (std::size_t r = 0; r < count; ++r) {
+        region_axpy_backend(backend, dsts[r], src, coeffs[r], n);
+      }
+      return;
   }
 }
 

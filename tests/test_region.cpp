@@ -11,6 +11,10 @@
 namespace omnc::gf {
 namespace {
 
+constexpr Backend kAllBackends[] = {Backend::kScalarTable, Backend::kSse2,
+                                    Backend::kSsse3, Backend::kAvx2,
+                                    Backend::kGfni};
+
 std::vector<std::uint8_t> random_bytes(std::size_t n, Rng& rng) {
   std::vector<std::uint8_t> v(n);
   for (auto& b : v) b = rng.next_byte();
@@ -18,9 +22,10 @@ std::vector<std::uint8_t> random_bytes(std::size_t n, Rng& rng) {
 }
 
 std::vector<Backend> supported_backends() {
-  std::vector<Backend> backends{Backend::kScalarTable};
-  if (backend_supported(Backend::kSse2)) backends.push_back(Backend::kSse2);
-  if (backend_supported(Backend::kSsse3)) backends.push_back(Backend::kSsse3);
+  std::vector<Backend> backends;
+  for (Backend backend : kAllBackends) {
+    if (backend_supported(backend)) backends.push_back(backend);
+  }
   return backends;
 }
 
@@ -74,12 +79,154 @@ TEST_P(RegionBackendTest, MulInPlace) {
   }
 }
 
+// The ragged lengths hit: empty, sub-register, one-off-register boundaries
+// for 16- and 32-byte kernels, and a large region with a tail.
 INSTANTIATE_TEST_SUITE_P(
     SizesAndBackends, RegionBackendTest,
-    ::testing::Combine(::testing::Values(Backend::kScalarTable, Backend::kSse2,
-                                         Backend::kSsse3),
-                       ::testing::Values<std::size_t>(0, 1, 15, 16, 17, 64,
-                                                      255, 1024, 1031)));
+    ::testing::Combine(::testing::ValuesIn(kAllBackends),
+                       ::testing::Values<std::size_t>(0, 1, 15, 16, 17, 31, 32,
+                                                      33, 64, 255, 1024, 1031,
+                                                      4096 + 7)));
+
+// ---------------------------------------------------------------------------
+// Backend-equivalence property test: every supported backend, over random
+// constants and ragged lengths, cross-checked byte-for-byte against the
+// bitwise mul_slow reference — including the fused region_axpy2/4 kernels
+// and deliberately misaligned source/destination offsets.
+// ---------------------------------------------------------------------------
+
+class RegionPropertyTest : public ::testing::TestWithParam<Backend> {};
+
+TEST_P(RegionPropertyTest, KernelsMatchMulSlowOnRaggedMisalignedRegions) {
+  const Backend backend = GetParam();
+  if (!backend_supported(backend)) GTEST_SKIP();
+  Rng rng(20240801);
+  const std::size_t sizes[] = {0, 1, 15, 16, 17, 31, 32, 33, 4096 + 7};
+  for (const std::size_t size : sizes) {
+    for (int trial = 0; trial < 4; ++trial) {
+      // Offsets 0..3 knock every buffer off SIMD alignment in different ways.
+      const std::size_t dst_off = static_cast<std::size_t>(trial);
+      const std::size_t src_off = static_cast<std::size_t>(3 - trial);
+      const std::size_t span = size + 4;
+      auto dst_buf = random_bytes(span, rng);
+      auto s0_buf = random_bytes(span, rng);
+      auto s1_buf = random_bytes(span, rng);
+      auto s2_buf = random_bytes(span, rng);
+      auto s3_buf = random_bytes(span, rng);
+      std::uint8_t c[4];
+      for (auto& v : c) v = rng.next_byte();
+      std::uint8_t* dst = dst_buf.data() + dst_off;
+      const std::uint8_t* s0 = s0_buf.data() + src_off;
+      const std::uint8_t* s1 = s1_buf.data() + src_off;
+      const std::uint8_t* s2 = s2_buf.data() + src_off;
+      const std::uint8_t* s3 = s3_buf.data() + src_off;
+
+      // mul
+      {
+        auto out = dst_buf;
+        region_mul_backend(backend, out.data() + dst_off, s0, c[0], size);
+        for (std::size_t i = 0; i < size; ++i) {
+          ASSERT_EQ(out[dst_off + i], mul_slow(c[0], s0[i]))
+              << backend_name(backend) << " mul size=" << size;
+        }
+      }
+      // axpy
+      {
+        auto out = dst_buf;
+        region_axpy_backend(backend, out.data() + dst_off, s0, c[0], size);
+        for (std::size_t i = 0; i < size; ++i) {
+          ASSERT_EQ(out[dst_off + i],
+                    static_cast<std::uint8_t>(dst[i] ^ mul_slow(c[0], s0[i])))
+              << backend_name(backend) << " axpy size=" << size;
+        }
+      }
+      // axpy2 (also with a zero and a one constant in the mix)
+      for (const std::uint8_t c1 :
+           {c[1], static_cast<std::uint8_t>(0), static_cast<std::uint8_t>(1)}) {
+        auto out = dst_buf;
+        region_axpy2_backend(backend, out.data() + dst_off, s0, c[0], s1, c1,
+                             size);
+        for (std::size_t i = 0; i < size; ++i) {
+          ASSERT_EQ(out[dst_off + i],
+                    static_cast<std::uint8_t>(dst[i] ^ mul_slow(c[0], s0[i]) ^
+                                              mul_slow(c1, s1[i])))
+              << backend_name(backend) << " axpy2 size=" << size;
+        }
+      }
+      // axpy_scatter: one source into three misaligned destinations, with a
+      // zero and a one in the coefficient mix
+      {
+        auto d0 = dst_buf;
+        auto d1 = s1_buf;
+        auto d2 = s2_buf;
+        std::uint8_t* scatter_dsts[3] = {d0.data() + dst_off,
+                                         d1.data() + dst_off,
+                                         d2.data() + dst_off};
+        const std::uint8_t scatter_cs[3] = {c[1], 0, 1};
+        region_axpy_scatter_backend(backend, scatter_dsts, scatter_cs, 3, s0,
+                                    size);
+        for (std::size_t i = 0; i < size; ++i) {
+          ASSERT_EQ(d0[dst_off + i],
+                    static_cast<std::uint8_t>(dst_buf[dst_off + i] ^
+                                              mul_slow(c[1], s0[i])))
+              << backend_name(backend) << " scatter size=" << size;
+          ASSERT_EQ(d1[dst_off + i], s1_buf[dst_off + i])
+              << backend_name(backend) << " scatter c=0 size=" << size;
+          ASSERT_EQ(d2[dst_off + i],
+                    static_cast<std::uint8_t>(s2_buf[dst_off + i] ^ s0[i]))
+              << backend_name(backend) << " scatter c=1 size=" << size;
+        }
+      }
+      // axpy4
+      {
+        auto out = dst_buf;
+        region_axpy4_backend(backend, out.data() + dst_off, s0, c[0], s1, c[1],
+                             s2, c[2], s3, c[3], size);
+        for (std::size_t i = 0; i < size; ++i) {
+          ASSERT_EQ(out[dst_off + i],
+                    static_cast<std::uint8_t>(
+                        dst[i] ^ mul_slow(c[0], s0[i]) ^ mul_slow(c[1], s1[i]) ^
+                        mul_slow(c[2], s2[i]) ^ mul_slow(c[3], s3[i])))
+              << backend_name(backend) << " axpy4 size=" << size;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, RegionPropertyTest,
+                         ::testing::ValuesIn(kAllBackends));
+
+TEST(Region, AxpyManyMatchesPerSourceAxpy) {
+  Rng rng(77);
+  const Backend original = active_backend();
+  for (Backend backend : supported_backends()) {
+    set_backend(backend);
+    for (const std::size_t count : {0u, 1u, 2u, 3u, 4u, 5u, 9u, 16u}) {
+      const std::size_t n = 257;
+      std::vector<std::vector<std::uint8_t>> sources;
+      std::vector<const std::uint8_t*> ptrs;
+      std::vector<std::uint8_t> coeffs;
+      for (std::size_t k = 0; k < count; ++k) {
+        sources.push_back(random_bytes(n, rng));
+        ptrs.push_back(sources.back().data());
+        // Sprinkle zero coefficients to exercise the skip path.
+        coeffs.push_back(k % 3 == 0 ? 0 : rng.next_byte());
+      }
+      const auto base = random_bytes(n, rng);
+      auto fused = base;
+      region_axpy_many(fused.data(), ptrs.data(), coeffs.data(), count, n);
+      auto reference = base;
+      for (std::size_t k = 0; k < count; ++k) {
+        region_axpy_backend(Backend::kScalarTable, reference.data(), ptrs[k],
+                            coeffs[k], n);
+      }
+      EXPECT_EQ(fused, reference)
+          << backend_name(backend) << " count=" << count;
+    }
+  }
+  set_backend(original);
+}
 
 TEST(Region, XorIsAddition) {
   Rng rng(5);
@@ -144,8 +291,19 @@ TEST(Region, ActiveBackendSwitching) {
 }
 
 TEST(Region, BackendNamesAreDistinct) {
-  EXPECT_STRNE(backend_name(Backend::kScalarTable), backend_name(Backend::kSse2));
-  EXPECT_STRNE(backend_name(Backend::kSse2), backend_name(Backend::kSsse3));
+  for (Backend a : kAllBackends) {
+    for (Backend b : kAllBackends) {
+      if (a == b) continue;
+      EXPECT_STRNE(backend_name(a), backend_name(b));
+    }
+  }
+}
+
+TEST(Region, UnsupportedBackendsStillResolveNames) {
+  // Dispatch metadata must be total even for backends this CPU lacks.
+  for (Backend backend : kAllBackends) {
+    EXPECT_STRNE(backend_name(backend), "?");
+  }
 }
 
 }  // namespace
