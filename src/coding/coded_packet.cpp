@@ -48,11 +48,15 @@ bool CodedPacket::parse(std::span<const std::uint8_t> wire, CodedPacket* out) {
   pkt.generation_id = get_u32(wire.data() + 4);
   pkt.generation_blocks = get_u16(wire.data() + 8);
   pkt.block_bytes = get_u16(wire.data() + 10);
+  // Reject degenerate geometry before any arithmetic with the
+  // attacker-controlled length fields.  The sum below cannot overflow —
+  // both fields are u16, widened to size_t — but hostile headers should
+  // fail on their own terms, not on a downstream size comparison.
+  if (pkt.generation_blocks == 0 || pkt.block_bytes == 0) return false;
   const std::size_t expected = kHeaderBytes +
                                static_cast<std::size_t>(pkt.generation_blocks) +
                                pkt.block_bytes;
   if (wire.size() != expected) return false;
-  if (pkt.generation_blocks == 0 || pkt.block_bytes == 0) return false;
   const std::uint8_t* body = wire.data() + kHeaderBytes;
   pkt.coefficients.assign(body, body + pkt.generation_blocks);
   pkt.payload.assign(body + pkt.generation_blocks,

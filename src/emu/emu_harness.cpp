@@ -1,0 +1,201 @@
+#include "emu/emu_harness.h"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <utility>
+
+#include "common/assert.h"
+
+namespace omnc::emu {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Serializes metric events from node threads and the transport observer
+/// into one sink, stamping transport events with virtual time.
+class EventTap final : public TransportObserver {
+ public:
+  EventTap(const routing::SessionGraph& graph,
+           std::function<void(const protocols::MetricEvent&)> sink,
+           std::uint32_t session_id)
+      : graph_(graph), sink_(std::move(sink)), session_id_(session_id) {}
+
+  void start(Clock::time_point origin, double speedup) {
+    origin_ = origin;
+    speedup_ = speedup;
+  }
+
+  /// Thread-safe forwarding for EmuNode events (already carry their time).
+  void forward(const protocols::MetricEvent& event) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (sink_) sink_(event);
+  }
+
+  void on_send(int from, std::size_t bytes) override {
+    emit(protocols::MetricEvent::Type::kEmuSend, from, -1, bytes);
+  }
+  void on_drop(int from, int to, std::size_t bytes) override {
+    emit(protocols::MetricEvent::Type::kEmuDrop, from, to, bytes);
+  }
+  void on_deliver(int from, int to, std::size_t bytes) override {
+    emit(protocols::MetricEvent::Type::kEmuDeliver, from, to, bytes);
+  }
+
+ private:
+  double virtual_now() const {
+    return std::chrono::duration<double>(Clock::now() - origin_).count() *
+           speedup_;
+  }
+
+  void emit(protocols::MetricEvent::Type type, int from, int to,
+            std::size_t bytes) {
+    protocols::MetricEvent event;
+    event.type = type;
+    event.time = virtual_now();
+    event.session = session_id_;
+    // The acting node: the receiver for drop/deliver, the sender for send.
+    const int acting = to >= 0 ? to : from;
+    if (acting >= 0 && acting < graph_.size()) {
+      event.node = graph_.node_id(acting);
+    }
+    event.tx_local = from;
+    event.rx_local = to;
+    event.value = static_cast<double>(bytes);
+    forward(event);
+  }
+
+  const routing::SessionGraph& graph_;
+  std::function<void(const protocols::MetricEvent&)> sink_;
+  std::uint32_t session_id_;
+  Clock::time_point origin_{};
+  double speedup_ = 1.0;
+  std::mutex mutex_;
+};
+
+}  // namespace
+
+EmuHarness::EmuHarness(const routing::SessionGraph& graph,
+                       Transport& transport, const EmuConfig& config)
+    : graph_(graph), transport_(transport), config_(config) {
+  OMNC_ASSERT(transport_.nodes() == graph_.size());
+  for (int local = 0; local < graph_.size(); ++local) {
+    nodes_.push_back(
+        std::make_unique<EmuNode>(graph_, local, transport_, config_.node));
+  }
+}
+
+void EmuHarness::install_rates(const std::vector<double>& rates_bytes_per_s) {
+  OMNC_ASSERT(rates_bytes_per_s.size() == nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    nodes_[i]->install_rate(rates_bytes_per_s[i]);
+  }
+}
+
+void EmuHarness::install_price_table(std::vector<double> rates_bytes_per_s,
+                                     std::vector<double> lambda,
+                                     std::vector<double> beta,
+                                     int iterations) {
+  nodes_[static_cast<std::size_t>(graph_.source)]->set_price_table(
+      std::move(rates_bytes_per_s), std::move(lambda), std::move(beta),
+      iterations);
+}
+
+void EmuHarness::set_metric_sink(
+    std::function<void(const protocols::MetricEvent&)> sink) {
+  sink_ = std::move(sink);
+}
+
+EmuRunResult EmuHarness::run() {
+  EventTap tap(graph_, sink_, config_.node.session_id);
+  if (sink_) {
+    transport_.set_observer(&tap);
+    for (auto& node : nodes_) {
+      node->set_metric_sink(
+          [&tap](const protocols::MetricEvent& event) { tap.forward(event); });
+    }
+  }
+
+  const Clock::time_point origin = Clock::now();
+  tap.start(origin, config_.speedup);
+  std::atomic<bool> stop{false};
+  const auto virtual_now = [&] {
+    return std::chrono::duration<double>(Clock::now() - origin).count() *
+           config_.speedup;
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(nodes_.size());
+  for (auto& node : nodes_) {
+    threads.emplace_back([&, raw = node.get()] {
+      const auto sleep = std::chrono::microseconds(config_.poll_sleep_us);
+      while (!stop.load(std::memory_order_relaxed)) {
+        raw->step(virtual_now());
+        std::this_thread::sleep_for(sleep);
+      }
+      // One final drain so late frames still reach the node's counters.
+      raw->step(virtual_now());
+    });
+  }
+
+  EmuNode& source = *nodes_[static_cast<std::size_t>(graph_.source)];
+  const auto deadline =
+      origin + std::chrono::duration_cast<Clock::duration>(
+                   std::chrono::duration<double>(config_.wall_timeout_s));
+  bool completed = false;
+  while (Clock::now() < deadline) {
+    if (source.completed_generations() >= config_.node.max_generations) {
+      completed = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& thread : threads) thread.join();
+  const double virtual_elapsed = virtual_now();
+  transport_.set_observer(nullptr);
+
+  EmuRunResult result;
+  result.completed = completed;
+  result.virtual_elapsed = virtual_elapsed;
+  result.transport = transport_.stats();
+
+  const EmuNode::Stats& src = source.stats();
+  result.generations_completed = src.generations_completed;
+  result.last_ack_time = src.last_ack_time;
+  result.ack_latencies = src.ack_latencies;
+  if (!src.ack_latencies.empty()) {
+    double sum = 0.0;
+    for (const double latency : src.ack_latencies) sum += latency;
+    result.mean_ack_latency = sum / static_cast<double>(src.ack_latencies.size());
+  }
+  if (src.last_ack_time > 0.0) {
+    result.goodput_bytes_per_s =
+        static_cast<double>(src.generations_completed) *
+        static_cast<double>(config_.node.coding.generation_bytes()) /
+        src.last_ack_time;
+  }
+
+  result.data_ok = true;
+  std::set<std::pair<std::uint16_t, std::uint16_t>> seen_reports;
+  for (const auto& node : nodes_) {
+    const EmuNode::Stats& stats = node->stats();
+    if (!stats.data_ok) result.data_ok = false;
+    result.parse_errors += stats.parse_errors;
+    result.data_packets_sent += stats.data_packets_sent;
+    for (const wire::ProbeReport& report : stats.probe_reports) {
+      if (seen_reports
+              .insert({report.reporter_local, report.probed_local})
+              .second) {
+        result.probe_reports.push_back(report);
+      }
+    }
+  }
+  // A run that decoded nothing has no data to vouch for.
+  if (result.generations_completed == 0) result.data_ok = false;
+  return result;
+}
+
+}  // namespace omnc::emu

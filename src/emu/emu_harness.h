@@ -1,0 +1,89 @@
+// Runs one OMNC session as a fleet of threads exchanging serialized frames.
+//
+// Every session node gets its own EmuNode and its own thread; the only
+// shared state is the Transport (and an optional, internally serialized
+// metric sink).  Virtual time is wall time times `speedup`, shared by all
+// nodes through one steady_clock origin, so a 60-virtual-second session
+// finishes in a few wall seconds.  The run stops when the source has
+// retired `max_generations` generations or the wall timeout expires.
+//
+// Determinism caveat (DESIGN.md §10): coding coefficients and loopback
+// losses are seed-deterministic, but *timing* — and therefore exact packet
+// counts and goodput — varies with OS scheduling.  Cross-checks against the
+// slot simulator use tolerances, while decoded-data integrity is exact.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "emu/emu_node.h"
+#include "emu/transport.h"
+#include "protocols/metrics_bus.h"
+#include "routing/node_selection.h"
+#include "wire/frame.h"
+
+namespace omnc::emu {
+
+struct EmuConfig {
+  EmuNodeConfig node;
+
+  /// Virtual seconds per wall second.
+  double speedup = 20.0;
+
+  /// Wall-clock budget; a run that has not finished by then is cut off and
+  /// reported with completed = false.
+  double wall_timeout_s = 60.0;
+
+  /// Wall-clock sleep between node scheduling rounds.
+  int poll_sleep_us = 200;
+};
+
+struct EmuRunResult {
+  bool completed = false;  // the source retired max_generations
+  bool data_ok = false;    // every decoded generation matched the source
+  int generations_completed = 0;
+  double goodput_bytes_per_s = 0.0;  // decoded bytes / last ACK (session s)
+  double last_ack_time = 0.0;        // session seconds
+  double mean_ack_latency = 0.0;     // session seconds
+  std::vector<double> ack_latencies;
+  std::size_t parse_errors = 0;      // summed over nodes
+  std::size_t data_packets_sent = 0;
+  double virtual_elapsed = 0.0;      // virtual seconds the run took
+  TransportStats transport;
+  std::vector<wire::ProbeReport> probe_reports;  // deduped (reporter, probed)
+};
+
+class EmuHarness {
+ public:
+  /// `transport.nodes()` must equal `graph.size()`.
+  EmuHarness(const routing::SessionGraph& graph, Transport& transport,
+             const EmuConfig& config);
+
+  /// Installs one transmit rate per local node directly (oracle mode).
+  void install_rates(const std::vector<double>& rates_bytes_per_s);
+
+  /// Hands the rate-control outcome to the source for in-band price
+  /// flooding (distributed mode); see EmuNode::set_price_table.
+  void install_price_table(std::vector<double> rates_bytes_per_s,
+                           std::vector<double> lambda,
+                           std::vector<double> beta, int iterations);
+
+  /// Observes protocol + transport events (kGenerationAck, kEmu*).  The
+  /// harness serializes calls; the sink itself need not be thread-safe.
+  /// Events carry virtual time.
+  void set_metric_sink(std::function<void(const protocols::MetricEvent&)> sink);
+
+  /// Blocks until the session finishes or times out.
+  EmuRunResult run();
+
+  EmuNode& node(int local) { return *nodes_[static_cast<std::size_t>(local)]; }
+
+ private:
+  const routing::SessionGraph& graph_;
+  Transport& transport_;
+  EmuConfig config_;
+  std::vector<std::unique_ptr<EmuNode>> nodes_;
+  std::function<void(const protocols::MetricEvent&)> sink_;
+};
+
+}  // namespace omnc::emu

@@ -1,0 +1,364 @@
+#include "emu/emu_node.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "coding/generation.h"
+#include "common/assert.h"
+
+namespace omnc::emu {
+namespace {
+
+protocols::NodeRuntime make_runtime(const routing::SessionGraph& graph,
+                                    int local, const EmuNodeConfig& config) {
+  if (local == graph.source) {
+    return protocols::NodeRuntime::source(config.coding, config.session_id,
+                                          config.data_seed);
+  }
+  if (local == graph.destination) {
+    return protocols::NodeRuntime::destination(config.coding);
+  }
+  return protocols::NodeRuntime::relay(config.coding, config.session_id);
+}
+
+}  // namespace
+
+EmuNode::EmuNode(const routing::SessionGraph& graph, int local,
+                 Transport& transport, const EmuNodeConfig& config)
+    : graph_(graph),
+      local_(local),
+      transport_(transport),
+      config_(config),
+      runtime_(make_runtime(graph, local, config)),
+      rng_(Rng(config.rng_seed).fork(7000 + static_cast<std::uint64_t>(local))),
+      packet_air_bytes_(static_cast<double>(coding::CodedPacket::kHeaderBytes +
+                                            config.coding.generation_blocks +
+                                            config.coding.block_bytes)) {
+  OMNC_ASSERT(local_ >= 0 && local_ < graph_.size());
+  const std::size_t n = static_cast<std::size_t>(graph_.size());
+  forwarded_acks_.resize(n);
+  last_price_forward_.assign(n, -std::numeric_limits<double>::infinity());
+  forwarded_price_iter_.assign(n, 0);
+  beacons_heard_.assign(n, 0);
+}
+
+void EmuNode::install_rate(double rate_bytes_per_s) {
+  rate_bytes_per_s_ = std::max(0.0, rate_bytes_per_s);
+  stats_.rate_installed = true;
+}
+
+void EmuNode::set_price_table(std::vector<double> rates_bytes_per_s,
+                              std::vector<double> lambda,
+                              std::vector<double> beta, int iterations) {
+  OMNC_ASSERT(runtime_.role() == protocols::NodeRuntime::Role::kSource);
+  OMNC_ASSERT(rates_bytes_per_s.size() ==
+              static_cast<std::size_t>(graph_.size()));
+  OMNC_ASSERT(lambda.size() == graph_.edges.size());
+  OMNC_ASSERT(beta.size() == static_cast<std::size_t>(graph_.size()));
+  is_price_origin_ = true;
+  price_frames_.clear();
+  const auto iteration = static_cast<std::uint32_t>(std::max(1, iterations));
+  for (int node = 0; node < graph_.size(); ++node) {
+    wire::PriceUpdate price;
+    price.node_local = static_cast<std::uint16_t>(node);
+    price.iteration = iteration;
+    price.beta = beta[static_cast<std::size_t>(node)];
+    price.rate_bytes_per_s = rates_bytes_per_s[static_cast<std::size_t>(node)];
+    for (const int edge : graph_.out_edges_of(node)) {
+      price.lambdas.push_back(wire::PriceUpdate::Lambda{
+          static_cast<std::uint16_t>(
+              graph_.edges[static_cast<std::size_t>(edge)].to),
+          lambda[static_cast<std::size_t>(edge)]});
+    }
+    price_frames_.push_back(
+        wire::make_price(config_.session_id, std::move(price)));
+  }
+  install_rate(rates_bytes_per_s[static_cast<std::size_t>(local_)]);
+}
+
+void EmuNode::set_metric_sink(
+    std::function<void(const protocols::MetricEvent&)> sink) {
+  sink_ = std::move(sink);
+}
+
+void EmuNode::broadcast(const wire::Frame& frame) {
+  const std::vector<std::uint8_t> bytes = frame.serialize();
+  transport_.send(local_, bytes);
+}
+
+void EmuNode::step(double now) {
+  transport_.poll(local_, [&](int from, std::span<const std::uint8_t> bytes) {
+    on_frame(now, from, bytes);
+  });
+  if (config_.probe_window_s > 0.0) run_probe(now);
+  switch (runtime_.role()) {
+    case protocols::NodeRuntime::Role::kSource:
+      run_source(now);
+      break;
+    case protocols::NodeRuntime::Role::kDestination:
+      run_destination(now);
+      break;
+    case protocols::NodeRuntime::Role::kRelay:
+      break;
+  }
+  pace(now);
+}
+
+void EmuNode::run_probe(double now) {
+  const double window = config_.probe_window_s;
+  const int count = std::max(1, config_.probe_beacons);
+  const double interval = window / static_cast<double>(count);
+  while (beacons_sent_ < count &&
+         now >= static_cast<double>(beacons_sent_) * interval) {
+    wire::ProbeBeacon beacon;
+    beacon.origin_local = static_cast<std::uint16_t>(local_);
+    beacon.sequence = static_cast<std::uint32_t>(beacons_sent_);
+    broadcast(wire::make_beacon(config_.session_id, beacon));
+    ++beacons_sent_;
+  }
+  if (!reports_sent_ && now >= window) {
+    for (int origin = 0; origin < graph_.size(); ++origin) {
+      if (origin == local_) continue;
+      wire::ProbeReport report;
+      report.reporter_local = static_cast<std::uint16_t>(local_);
+      report.probed_local = static_cast<std::uint16_t>(origin);
+      report.beacons_heard = beacons_heard_[static_cast<std::size_t>(origin)];
+      report.window = static_cast<std::uint32_t>(count);
+      stats_.probe_reports.push_back(report);
+      broadcast(wire::make_report(config_.session_id, report));
+    }
+    reports_sent_ = true;
+  }
+}
+
+void EmuNode::run_source(double now) {
+  if (is_price_origin_) flood_prices(now);
+  const double st = session_time(now);
+  if (st < 0.0) return;
+  if (!runtime_.generation_active()) {
+    runtime_.maybe_start_generation(st, config_.cbr_bytes_per_s,
+                                    config_.max_generations);
+  }
+}
+
+void EmuNode::flood_prices(double now) {
+  if (price_flooded_once_ && now - last_price_flood_ < config_.price_repeat_s) {
+    return;
+  }
+  for (const wire::Frame& frame : price_frames_) broadcast(frame);
+  price_flooded_once_ = true;
+  last_price_flood_ = now;
+}
+
+void EmuNode::run_destination(double now) {
+  if (!have_ack_ || source_moved_on_) return;
+  if (ack_resends_ >= config_.ack_repeat_limit) return;
+  if (now - last_ack_send_ < config_.ack_repeat_s) return;
+  ++last_ack_.ack_seq;
+  ++ack_resends_;
+  send_ack(now);
+}
+
+void EmuNode::send_ack(double now) {
+  broadcast(wire::make_ack(config_.session_id, last_ack_));
+  last_ack_send_ = now;
+}
+
+void EmuNode::pace(double now) {
+  if (!pace_started_) {
+    last_pace_time_ = now;
+    pace_started_ = true;
+    return;
+  }
+  const double dt = std::max(0.0, now - last_pace_time_);
+  last_pace_time_ = now;
+  if (rate_bytes_per_s_ <= 0.0) return;
+  tokens_ = std::min(config_.burst_packets * packet_air_bytes_,
+                     tokens_ + rate_bytes_per_s_ * dt);
+  if (runtime_.role() == protocols::NodeRuntime::Role::kDestination) return;
+  if (session_time(now) < 0.0) return;
+  const std::uint32_t live =
+      runtime_.role() == protocols::NodeRuntime::Role::kSource
+          ? runtime_.generation_id()
+          : live_generation_;
+  while (tokens_ >= packet_air_bytes_ && runtime_.can_send(live)) {
+    broadcast(wire::make_coded_data(runtime_.next_packet(rng_)));
+    tokens_ -= packet_air_bytes_;
+    ++stats_.data_packets_sent;
+  }
+}
+
+void EmuNode::on_frame(double now, int from,
+                       std::span<const std::uint8_t> bytes) {
+  (void)from;
+  ++stats_.frames_received;
+  wire::Frame frame;
+  if (!wire::Frame::parse(bytes, &frame)) {
+    ++stats_.parse_errors;
+    if (sink_) {
+      protocols::MetricEvent event;
+      event.type = protocols::MetricEvent::Type::kEmuParseError;
+      event.time = now;
+      event.session = config_.session_id;
+      event.node = graph_.node_id(local_);
+      event.rx_local = local_;
+      event.value = static_cast<double>(bytes.size());
+      sink_(event);
+    }
+    return;
+  }
+  if (frame.session_id != config_.session_id) {
+    ++stats_.foreign_session_frames;
+    return;
+  }
+  switch (frame.type) {
+    case wire::FrameType::kCodedData:
+      handle_data(now, frame.packet);
+      break;
+    case wire::FrameType::kGenerationAck:
+      handle_ack(now, frame.ack);
+      break;
+    case wire::FrameType::kProbeBeacon:
+      if (frame.beacon.origin_local < beacons_heard_.size()) {
+        ++beacons_heard_[frame.beacon.origin_local];
+      }
+      break;
+    case wire::FrameType::kProbeReport:
+      stats_.probe_reports.push_back(frame.report);
+      break;
+    case wire::FrameType::kPriceUpdate:
+      handle_price(now, frame.price);
+      break;
+  }
+}
+
+void EmuNode::handle_data(double now, const coding::CodedPacket& packet) {
+  const std::uint32_t gen = packet.generation_id;
+  switch (runtime_.role()) {
+    case protocols::NodeRuntime::Role::kSource:
+      break;  // echo of the session's own traffic
+    case protocols::NodeRuntime::Role::kRelay: {
+      live_generation_ = std::max(live_generation_, gen);
+      if (gen > runtime_.generation_id()) {
+        runtime_.flush_to(gen);
+      }
+      if (gen == runtime_.generation_id()) {
+        const auto outcome = runtime_.receive(packet);
+        if (outcome.innovative) ++stats_.innovative_received;
+      }
+      break;
+    }
+    case protocols::NodeRuntime::Role::kDestination: {
+      if (have_ack_ && gen > last_ack_.generation_id) {
+        // Fresh-generation data means the source heard our ACK; stop
+        // repeating it.
+        source_moved_on_ = true;
+      }
+      if (gen != runtime_.generation_id()) break;  // stale (already decoded)
+      const auto outcome = runtime_.receive(packet);
+      if (outcome.innovative) ++stats_.innovative_received;
+      if (!outcome.generation_complete) break;
+      // Decode finished: verify the plaintext against the source's
+      // deterministic payload, then start the ACK flood.
+      const std::vector<std::uint8_t> recovered = runtime_.recover();
+      const coding::Generation expected = coding::Generation::synthetic(
+          gen, config_.coding, config_.data_seed);
+      const std::span<const std::uint8_t> want = expected.bytes();
+      if (recovered.size() != want.size() ||
+          !std::equal(recovered.begin(), recovered.end(), want.begin())) {
+        stats_.data_ok = false;
+      }
+      ++stats_.generations_completed;
+      completed_.store(stats_.generations_completed,
+                       std::memory_order_relaxed);
+      runtime_.advance_generation();
+      last_ack_ = wire::GenerationAck{gen,
+                                      static_cast<std::uint16_t>(local_), 0};
+      have_ack_ = true;
+      source_moved_on_ = false;
+      ack_resends_ = 0;
+      send_ack(now);
+      break;
+    }
+  }
+}
+
+void EmuNode::handle_ack(double now, const wire::GenerationAck& ack) {
+  switch (runtime_.role()) {
+    case protocols::NodeRuntime::Role::kSource: {
+      if (!runtime_.generation_active() ||
+          ack.generation_id != runtime_.generation_id()) {
+        break;  // duplicate of an already-retired generation
+      }
+      const double latency =
+          session_time(now) - runtime_.generation_start_time();
+      runtime_.complete_generation();
+      stats_.ack_latencies.push_back(latency);
+      stats_.last_ack_time = session_time(now);
+      ++stats_.generations_completed;
+      completed_.store(stats_.generations_completed,
+                       std::memory_order_relaxed);
+      if (sink_) {
+        protocols::MetricEvent event;
+        event.type = protocols::MetricEvent::Type::kGenerationAck;
+        event.time = session_time(now);
+        event.session = config_.session_id;
+        event.node = graph_.node_id(local_);
+        event.generation = ack.generation_id;
+        event.value = latency;
+        sink_(event);
+      }
+      break;
+    }
+    case protocols::NodeRuntime::Role::kRelay: {
+      // The ACK retires generation `id`; retarget the buffer and stay quiet
+      // until data of the next generation arrives.
+      live_generation_ = std::max(live_generation_, ack.generation_id + 1);
+      if (ack.generation_id >= runtime_.generation_id()) {
+        runtime_.flush_to(ack.generation_id + 1);
+      }
+      // Flood forwarding with (generation, seq) dedup per origin.
+      if (ack.origin_local < forwarded_acks_.size()) {
+        AckKey& key = forwarded_acks_[ack.origin_local];
+        const bool newer =
+            !key.seen || ack.generation_id > key.generation ||
+            (ack.generation_id == key.generation && ack.ack_seq > key.seq);
+        if (newer) {
+          key = AckKey{ack.generation_id, ack.ack_seq, true};
+          broadcast(wire::make_ack(config_.session_id, ack));
+        }
+      }
+      break;
+    }
+    case protocols::NodeRuntime::Role::kDestination:
+      break;  // its own flood, reflected back
+  }
+  (void)now;
+}
+
+void EmuNode::handle_price(double now, const wire::PriceUpdate& price) {
+  if (is_price_origin_) return;  // the source originates, never re-installs
+  if (price.node_local == static_cast<std::uint16_t>(local_) &&
+      (!stats_.rate_installed ||
+       price.iteration >= installed_price_iteration_)) {
+    installed_price_iteration_ = price.iteration;
+    install_rate(price.rate_bytes_per_s);
+  }
+  // Re-flood: once per new iteration, and at most once per
+  // price_forward_min_gap_s per advertised node otherwise (so repeated
+  // source floods still propagate to nodes the first wave missed).
+  const std::size_t index = price.node_local;
+  if (index >= last_price_forward_.size()) return;
+  const bool new_iteration = price.iteration > forwarded_price_iter_[index];
+  const bool gap_elapsed =
+      now - last_price_forward_[index] >= config_.price_forward_min_gap_s;
+  if (new_iteration || gap_elapsed) {
+    forwarded_price_iter_[index] = price.iteration;
+    last_price_forward_[index] = now;
+    wire::PriceUpdate copy = price;
+    broadcast(wire::make_price(config_.session_id, std::move(copy)));
+  }
+}
+
+}  // namespace omnc::emu

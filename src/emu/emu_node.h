@@ -1,0 +1,197 @@
+// One emulated network node: today's NodeRuntime behind a wall-clock pacing
+// loop, speaking only serialized wire frames through a Transport.
+//
+// The slot simulator advances all nodes in lockstep and hands packets around
+// as C++ objects; an EmuNode instead runs on its own thread, observes a
+// monotonically increasing *virtual clock* (wall time x speedup, provided by
+// the harness), and reacts to whatever bytes its transport delivers.  The
+// protocol state machine is the very same NodeRuntime the simulator uses —
+// the point of the emulation runtime is that nothing protocol-level changes
+// when the process boundary appears.
+//
+// Control plane (everything except coded data) is event-driven and unpaced:
+//   * ACK flooding — the destination broadcasts a GenerationAck on decode
+//     and repeats it (ack_seq increments) until it hears data of a newer
+//     generation; relays re-broadcast each unseen (generation, seq) once.
+//     This replaces the simulator's out-of-band "ACK reaches the source at
+//     the end of the slot" shortcut with an in-band, loss-tolerant flood.
+//   * Price flooding — the source periodically floods one PriceUpdate per
+//     session node (λ/β duals + recovered rate b̄_i from the sUnicast
+//     decomposition); nodes install their own rate on receipt, and relays
+//     re-flood with a per-node rate limit.
+//   * Link probing (optional) — during [0, probe_window_s) every node
+//     broadcasts evenly spaced beacons, then reports p̂ = heard/window per
+//     origin.
+// Data plane: coded packets are paced by a token bucket charged in air
+// bytes (CodedPacket header + n + m), the same accounting as the
+// simulator's slot_bytes, so rates mean the same thing in both worlds.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "emu/transport.h"
+#include "protocols/metrics_bus.h"
+#include "protocols/node_runtime.h"
+#include "routing/node_selection.h"
+#include "wire/frame.h"
+
+namespace omnc::emu {
+
+struct EmuNodeConfig {
+  coding::CodingParams coding;
+  std::uint32_t session_id = 1;
+  std::uint64_t data_seed = 1;  // shared: destination re-derives source data
+  std::uint64_t rng_seed = 1;   // coding-coefficient RNG (forked per node)
+
+  double cbr_bytes_per_s = 1e4;
+  int max_generations = 8;
+  double burst_packets = 8.0;  // token-bucket burst cap, in packets
+
+  // Virtual time (seconds) when the data phase opens; the CBR gate and all
+  // reported latencies/throughputs run on "session time" = now - data_start,
+  // which keeps them comparable with the slot simulator's t = 0 start.
+  double data_start_s = 0.5;
+
+  // ACK flood tuning (virtual seconds).
+  double ack_repeat_s = 0.05;
+  int ack_repeat_limit = 400;
+
+  // Price flood tuning (virtual seconds).  The forward gap sits just under
+  // the reflood period so each periodic reflood propagates once — a smaller
+  // gap lets forwarded copies re-trigger each other into a control storm.
+  double price_repeat_s = 0.5;
+  double price_forward_min_gap_s = 0.45;
+
+  // Link-probe phase: 0 disables.  Beacons are evenly spaced in
+  // [0, probe_window_s); reports go out once the window closes.
+  double probe_window_s = 0.0;
+  int probe_beacons = 50;
+};
+
+class EmuNode {
+ public:
+  EmuNode(const routing::SessionGraph& graph, int local, Transport& transport,
+          const EmuNodeConfig& config);
+
+  protocols::NodeRuntime::Role role() const { return runtime_.role(); }
+  int local() const { return local_; }
+
+  /// Directly installs this node's transmit rate (air bytes/s).  Tests and
+  /// "oracle" runs use this; distributed runs install via price frames.
+  void install_rate(double rate_bytes_per_s);
+
+  /// Source only: the rate-control outcome to flood.  `rates_bytes_per_s`
+  /// is per local node (already rescaled to feasibility), `lambda` per
+  /// graph edge, `beta` per node — both in the rate controller's normalized
+  /// units.  The source installs its own rate immediately.
+  void set_price_table(std::vector<double> rates_bytes_per_s,
+                       std::vector<double> lambda, std::vector<double> beta,
+                       int iterations);
+
+  /// Thread-safe event hook (the harness serializes).  Receives
+  /// kGenerationAck (at the source, value = session-time latency) and
+  /// kEmuParseError events.
+  void set_metric_sink(std::function<void(const protocols::MetricEvent&)> sink);
+
+  /// One scheduling round at virtual time `now`: drains the transport, runs
+  /// the control-plane timers, and paces data transmissions.  Must be
+  /// called from a single thread with non-decreasing `now`.
+  void step(double now);
+
+  /// Generations the source has retired; readable from any thread while the
+  /// node is running (the harness's stop condition).
+  int completed_generations() const {
+    return completed_.load(std::memory_order_relaxed);
+  }
+
+  struct Stats {
+    int generations_completed = 0;
+    double last_ack_time = 0.0;            // session seconds (source)
+    std::vector<double> ack_latencies;     // session seconds (source)
+    std::size_t frames_received = 0;
+    std::size_t parse_errors = 0;
+    std::size_t foreign_session_frames = 0;
+    std::size_t data_packets_sent = 0;
+    std::size_t innovative_received = 0;
+    bool rate_installed = false;
+    /// Destination: every decoded generation matched the synthetic source
+    /// payload byte-for-byte.  Stays true on nodes that decode nothing.
+    bool data_ok = true;
+    std::vector<wire::ProbeReport> probe_reports;  // own + received
+  };
+
+  /// Snapshot of the node's counters; call only after the node's thread has
+  /// stopped (the harness joins before reading).
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void on_frame(double now, int from, std::span<const std::uint8_t> bytes);
+  void handle_data(double now, const coding::CodedPacket& packet);
+  void handle_ack(double now, const wire::GenerationAck& ack);
+  void handle_price(double now, const wire::PriceUpdate& price);
+  void run_probe(double now);
+  void run_source(double now);
+  void run_destination(double now);
+  void pace(double now);
+  void broadcast(const wire::Frame& frame);
+  void send_ack(double now);
+  void flood_prices(double now);
+  double session_time(double now) const { return now - config_.data_start_s; }
+
+  const routing::SessionGraph& graph_;
+  int local_;
+  Transport& transport_;
+  EmuNodeConfig config_;
+  protocols::NodeRuntime runtime_;
+  Rng rng_;
+  double packet_air_bytes_;
+
+  std::function<void(const protocols::MetricEvent&)> sink_;
+
+  // Pacing.
+  double rate_bytes_per_s_ = 0.0;
+  double tokens_ = 0.0;
+  double last_pace_time_ = 0.0;
+  bool pace_started_ = false;
+
+  // Relay view of the live generation (max id seen in data/ACK traffic).
+  std::uint32_t live_generation_ = 0;
+
+  // Destination ACK retransmission state.
+  bool have_ack_ = false;
+  wire::GenerationAck last_ack_;
+  double last_ack_send_ = 0.0;
+  int ack_resends_ = 0;
+  bool source_moved_on_ = false;
+
+  // Flood dedup: per origin, the newest (generation, ack_seq) forwarded.
+  struct AckKey {
+    std::uint32_t generation = 0;
+    std::uint32_t seq = 0;
+    bool seen = false;
+  };
+  std::vector<AckKey> forwarded_acks_;  // by origin_local
+
+  // Price state.
+  bool is_price_origin_ = false;
+  std::vector<wire::Frame> price_frames_;  // one per local node (source)
+  double last_price_flood_ = 0.0;
+  bool price_flooded_once_ = false;
+  std::uint32_t installed_price_iteration_ = 0;
+  std::vector<double> last_price_forward_;   // by node_local; -inf = never
+  std::vector<std::uint32_t> forwarded_price_iter_;
+
+  // Probe state.
+  int beacons_sent_ = 0;
+  bool reports_sent_ = false;
+  std::vector<std::uint32_t> beacons_heard_;  // by origin_local
+
+  std::atomic<int> completed_{0};
+  Stats stats_;
+};
+
+}  // namespace omnc::emu

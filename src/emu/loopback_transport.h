@@ -1,0 +1,83 @@
+// In-memory broadcast channel with per-link Bernoulli loss and delay.
+//
+// Each directed link (i, j) carries its own reception probability and its
+// own forked RNG stream, so the loss pattern a link applies to its sender's
+// k-th broadcast is a pure function of (seed, i, j, k) — independent of how
+// the node threads interleave.  That is what makes loopback emulation runs
+// reproducible under a seed even though they execute on wall-clock threads
+// (the *timing* still varies with scheduling; see DESIGN.md §10).
+#pragma once
+
+#include <chrono>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "emu/transport.h"
+#include "net/phy_model.h"
+#include "net/topology.h"
+#include "routing/node_selection.h"
+
+namespace omnc::emu {
+
+struct LoopbackConfig {
+  std::uint64_t seed = 1;
+
+  /// Fixed one-way propagation/processing delay, in wall-clock seconds.
+  double delay_s = 0.0;
+
+  /// Per-receiver inbox bound; a full inbox drops the incoming copy (the
+  /// emulated analogue of a full MAC queue).
+  std::size_t max_inbox = 4096;
+};
+
+/// Builds the n*n row-major link matrix (probability of j hearing i at
+/// [i*n+j]) from a session graph's directed edges, symmetrized — the DAG
+/// points downstream but the radio is reciprocal, and the ACK/price floods
+/// need the upstream direction.  Pairs with no DAG edge are 0.
+std::vector<double> link_matrix_from_graph(const routing::SessionGraph& graph);
+
+/// Builds the link matrix for the graph's nodes from the full topology's
+/// reception probabilities (the general, possibly asymmetric case).
+std::vector<double> link_matrix_from_topology(
+    const net::Topology& topology, const routing::SessionGraph& graph);
+
+/// Builds the link matrix from node positions and a PHY model, exactly as
+/// the slot simulator's topology construction does: p(i->j) =
+/// phy.reception_probability(distance(i, j)).
+std::vector<double> link_matrix_from_phy(
+    const std::vector<std::pair<double, double>>& positions_m,
+    const net::PhyModel& phy);
+
+class LoopbackTransport final : public Transport {
+ public:
+  /// `link_p` is the n*n row-major matrix of one-way reception
+  /// probabilities; the diagonal is ignored (nodes do not hear themselves).
+  LoopbackTransport(int nodes, std::vector<double> link_p,
+                    LoopbackConfig config = {});
+
+  int nodes() const override { return n_; }
+  void send(int from, std::span<const std::uint8_t> frame) override;
+  std::size_t poll(int to, const Handler& handler) override;
+  TransportStats stats() const override;
+
+ private:
+  struct Delivery {
+    int from = 0;
+    std::chrono::steady_clock::time_point due;
+    std::vector<std::uint8_t> bytes;
+  };
+
+  int n_;
+  std::vector<double> link_p_;  // n*n row-major
+  LoopbackConfig config_;
+  std::vector<Rng> link_rng_;   // one stream per directed link
+
+  mutable std::mutex mutex_;
+  std::vector<std::deque<Delivery>> inbox_;  // per receiver
+  TransportStats stats_;
+};
+
+}  // namespace omnc::emu

@@ -1,0 +1,70 @@
+// Transport seam of the Drift-substitute emulation runtime.
+//
+// The slot simulator calls protocol methods in-process; the emulation layer
+// instead moves *serialized wire frames* (src/wire) between nodes through a
+// Transport.  A Transport is a broadcast channel: send(from, bytes) offers
+// one frame to every other node, and each copy independently survives or
+// dies (Bernoulli loss on the loopback backend, real socket behaviour on
+// UDP).  Receivers drain their inbox with poll(); the transport never
+// interprets frame contents.
+//
+// Threading contract: send(i, ...) and poll(i, ...) are called only from
+// node i's thread, but different nodes call concurrently; implementations
+// must be safe under that interleaving.  Observer callbacks may fire on any
+// node's thread — observers serialize internally.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+
+namespace omnc::emu {
+
+/// Channel-level counters, aggregated over all nodes.
+struct TransportStats {
+  std::size_t frames_sent = 0;       // broadcasts offered to the channel
+  std::size_t bytes_sent = 0;        // serialized bytes of those broadcasts
+  std::size_t copies_dropped = 0;    // per-receiver copies lost in transit
+  std::size_t copies_delivered = 0;  // per-receiver copies handed to poll()
+};
+
+/// Taps every channel event; used to route transport activity into the obs
+/// layer (trace families emu_send / emu_drop / emu_deliver).  Callbacks may
+/// arrive concurrently from different node threads.
+class TransportObserver {
+ public:
+  virtual ~TransportObserver() = default;
+  virtual void on_send(int from, std::size_t bytes) = 0;
+  virtual void on_drop(int from, int to, std::size_t bytes) = 0;
+  virtual void on_deliver(int from, int to, std::size_t bytes) = 0;
+};
+
+class Transport {
+ public:
+  /// Receives one delivered frame; `from` is the sender's node index.
+  using Handler =
+      std::function<void(int from, std::span<const std::uint8_t> bytes)>;
+
+  virtual ~Transport() = default;
+
+  virtual int nodes() const = 0;
+
+  /// Broadcasts one serialized frame from node `from` to every other node.
+  virtual void send(int from, std::span<const std::uint8_t> frame) = 0;
+
+  /// Delivers every frame currently due for node `to`, in arrival order.
+  /// Returns the number delivered.  The handler may call send() (frame
+  /// forwarding) — implementations must not hold locks across it.
+  virtual std::size_t poll(int to, const Handler& handler) = 0;
+
+  virtual TransportStats stats() const = 0;
+
+  /// `observer` must outlive the transport (or be reset to nullptr first).
+  void set_observer(TransportObserver* observer) { observer_ = observer; }
+
+ protected:
+  TransportObserver* observer_ = nullptr;
+};
+
+}  // namespace omnc::emu

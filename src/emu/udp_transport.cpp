@@ -1,0 +1,138 @@
+#include "emu/udp_transport.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <stdexcept>
+
+#include "common/assert.h"
+#include "wire/frame.h"
+
+namespace omnc::emu {
+namespace {
+
+sockaddr_in loopback_addr(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return addr;
+}
+
+}  // namespace
+
+UdpTransport::UdpTransport(int nodes, UdpConfig config)
+    : n_(nodes), config_(config) {
+  OMNC_ASSERT(n_ > 0);
+  fds_.resize(static_cast<std::size_t>(n_), -1);
+  ports_.resize(static_cast<std::size_t>(n_), 0);
+  for (int i = 0; i < n_; ++i) {
+    const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+    if (fd < 0) throw std::runtime_error("UdpTransport: socket() failed");
+    fds_[static_cast<std::size_t>(i)] = fd;
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+      throw std::runtime_error("UdpTransport: O_NONBLOCK failed");
+    }
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &config_.recv_buffer_bytes,
+                 sizeof(config_.recv_buffer_bytes));
+    sockaddr_in addr = loopback_addr(0);  // ephemeral: the kernel picks
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+        0) {
+      throw std::runtime_error("UdpTransport: bind(127.0.0.1:0) failed");
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+      throw std::runtime_error("UdpTransport: getsockname failed");
+    }
+    ports_[static_cast<std::size_t>(i)] = ntohs(bound.sin_port);
+    port_to_node_[ports_[static_cast<std::size_t>(i)]] = i;
+  }
+}
+
+UdpTransport::~UdpTransport() {
+  for (const int fd : fds_) {
+    if (fd >= 0) ::close(fd);
+  }
+}
+
+std::uint16_t UdpTransport::port_of(int node) const {
+  OMNC_ASSERT(node >= 0 && node < n_);
+  return ports_[static_cast<std::size_t>(node)];
+}
+
+void UdpTransport::send(int from, std::span<const std::uint8_t> frame) {
+  OMNC_ASSERT(from >= 0 && from < n_);
+  frames_sent_.fetch_add(1, std::memory_order_relaxed);
+  bytes_sent_.fetch_add(frame.size(), std::memory_order_relaxed);
+  if (observer_ != nullptr) observer_->on_send(from, frame.size());
+  const int fd = fds_[static_cast<std::size_t>(from)];
+  for (int to = 0; to < n_; ++to) {
+    if (to == from) continue;
+    const sockaddr_in addr =
+        loopback_addr(ports_[static_cast<std::size_t>(to)]);
+    const ssize_t sent =
+        ::sendto(fd, frame.data(), frame.size(), 0,
+                 reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+    if (sent < 0 || static_cast<std::size_t>(sent) != frame.size()) {
+      // EWOULDBLOCK / ENOBUFS on a saturated loopback: the copy is lost,
+      // which is the same contract a lossy channel gives the protocol.
+      copies_dropped_.fetch_add(1, std::memory_order_relaxed);
+      if (observer_ != nullptr) observer_->on_drop(from, to, frame.size());
+    }
+  }
+}
+
+std::size_t UdpTransport::poll(int to, const Handler& handler) {
+  OMNC_ASSERT(to >= 0 && to < n_);
+  const int fd = fds_[static_cast<std::size_t>(to)];
+  // One datagram = one frame; wire::kMaxFrameBytes bounds the sender side,
+  // but a UDP datagram cannot exceed 64 KiB anyway.
+  std::vector<std::uint8_t> buffer(65536);
+  std::size_t delivered = 0;
+  for (;;) {
+    sockaddr_in src{};
+    socklen_t len = sizeof(src);
+    const ssize_t got =
+        ::recvfrom(fd, buffer.data(), buffer.size(), 0,
+                   reinterpret_cast<sockaddr*>(&src), &len);
+    if (got < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) break;
+      break;  // unexpected socket error: stop draining, keep running
+    }
+    const auto it = port_to_node_.find(ntohs(src.sin_port));
+    if (it == port_to_node_.end()) {
+      // A stray datagram from outside the harness; drop it.
+      copies_dropped_.fetch_add(1, std::memory_order_relaxed);
+      if (observer_ != nullptr) {
+        observer_->on_drop(-1, to, static_cast<std::size_t>(got));
+      }
+      continue;
+    }
+    copies_delivered_.fetch_add(1, std::memory_order_relaxed);
+    if (observer_ != nullptr) {
+      observer_->on_deliver(it->second, to, static_cast<std::size_t>(got));
+    }
+    ++delivered;
+    handler(it->second,
+            std::span<const std::uint8_t>(buffer.data(),
+                                          static_cast<std::size_t>(got)));
+  }
+  return delivered;
+}
+
+TransportStats UdpTransport::stats() const {
+  TransportStats stats;
+  stats.frames_sent = frames_sent_.load(std::memory_order_relaxed);
+  stats.bytes_sent = bytes_sent_.load(std::memory_order_relaxed);
+  stats.copies_dropped = copies_dropped_.load(std::memory_order_relaxed);
+  stats.copies_delivered = copies_delivered_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace omnc::emu

@@ -1,0 +1,59 @@
+// Real-socket transport: every node owns a non-blocking UDP socket bound to
+// an ephemeral port on 127.0.0.1, and a broadcast is one sendto() per peer.
+//
+// Ephemeral ports (bind to port 0, read the assignment back) keep parallel
+// test runs from colliding — `ctest -j` safe by construction.  Senders are
+// identified by their bound source port, so receivers need no framing beyond
+// the wire header itself.  Loss on loopback is rare but real (socket-buffer
+// overflow); overflow shows up as a drop, exactly like a full inbox on the
+// loopback transport.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "emu/transport.h"
+
+namespace omnc::emu {
+
+struct UdpConfig {
+  /// SO_RCVBUF request per socket; loopback bursts of coded packets
+  /// overflow the default on some kernels.
+  int recv_buffer_bytes = 1 << 20;
+};
+
+class UdpTransport final : public Transport {
+ public:
+  /// Opens one bound socket per node; throws std::runtime_error when the
+  /// loopback sockets cannot be created (no such environment is expected in
+  /// CI, but the failure must be clean).
+  explicit UdpTransport(int nodes, UdpConfig config = {});
+  ~UdpTransport() override;
+
+  UdpTransport(const UdpTransport&) = delete;
+  UdpTransport& operator=(const UdpTransport&) = delete;
+
+  int nodes() const override { return n_; }
+  void send(int from, std::span<const std::uint8_t> frame) override;
+  std::size_t poll(int to, const Handler& handler) override;
+  TransportStats stats() const override;
+
+  /// The ephemeral port node `node` is bound to (diagnostics / tests).
+  std::uint16_t port_of(int node) const;
+
+ private:
+  int n_;
+  UdpConfig config_;
+  std::vector<int> fds_;
+  std::vector<std::uint16_t> ports_;
+  std::unordered_map<std::uint16_t, int> port_to_node_;
+
+  std::atomic<std::size_t> frames_sent_{0};
+  std::atomic<std::size_t> bytes_sent_{0};
+  std::atomic<std::size_t> copies_dropped_{0};
+  std::atomic<std::size_t> copies_delivered_{0};
+};
+
+}  // namespace omnc::emu

@@ -78,6 +78,10 @@ const char* event_kind(protocols::MetricEvent::Type type) {
     case Type::kQueueDrop: return "drop";
     case Type::kMacContention: return "cont";
     case Type::kMacCollision: return "coll";
+    case Type::kEmuSend: return "esend";
+    case Type::kEmuDrop: return "edrop";
+    case Type::kEmuDeliver: return "edeliver";
+    case Type::kEmuParseError: return "eperr";
   }
   return "?";
 }

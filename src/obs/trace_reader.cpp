@@ -230,6 +230,10 @@ protocols::MetricEvent::Type event_type_of(const std::string& kind,
   if (kind == "drop") return Type::kQueueDrop;
   if (kind == "cont") return Type::kMacContention;
   if (kind == "coll") return Type::kMacCollision;
+  if (kind == "esend") return Type::kEmuSend;
+  if (kind == "edrop") return Type::kEmuDrop;
+  if (kind == "edeliver") return Type::kEmuDeliver;
+  if (kind == "eperr") return Type::kEmuParseError;
   *known = false;
   return Type::kTx;
 }

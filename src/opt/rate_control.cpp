@@ -175,6 +175,11 @@ RateControlResult DistributedRateControl::run(IterationTrace* trace) {
   for (double& value : result.b) value *= unit;
   result.x = std::move(x_avg);
   for (double& value : result.x) value *= unit;
+  // The final duals, in the same normalized units the iteration ran in.
+  // They price *normalized* rates, so rescaling them by `unit` would be
+  // wrong; consumers (e.g. wire::PriceUpdate) ship them as-is.
+  result.lambda = std::move(lambda);
+  result.beta = std::move(beta);
   return result;
 }
 

@@ -68,6 +68,12 @@ struct RateControlResult {
   double gamma = 0.0;              // recovered throughput estimate
   std::vector<double> b;           // recovered broadcast rates per node
   std::vector<double> x;           // recovered information rates per edge
+  /// Final dual state, in the normalized (capacity-relative) units of the
+  /// iteration: the link prices lambda_ij per edge (graph.edges order) and
+  /// the congestion prices beta_i per node.  These are what a distributed
+  /// deployment floods to its neighbors (wire::PriceUpdate).
+  std::vector<double> lambda;
+  std::vector<double> beta;
   /// Application-layer control messages that the distributed execution would
   /// exchange (rate+price notifications and Bellman-Ford updates).
   std::size_t messages = 0;

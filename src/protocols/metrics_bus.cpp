@@ -67,6 +67,11 @@ void SessionResultSink::on_event(const MetricEvent& event) {
     case MetricEvent::Type::kMacContention:
     case MetricEvent::Type::kMacCollision:
       break;  // trace-only detail; no SessionResult field derives from them
+    case MetricEvent::Type::kEmuSend:
+    case MetricEvent::Type::kEmuDrop:
+    case MetricEvent::Type::kEmuDeliver:
+    case MetricEvent::Type::kEmuParseError:
+      break;  // emulation transport detail; aggregated by trace_inspect
   }
 }
 

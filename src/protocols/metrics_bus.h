@@ -36,6 +36,12 @@ struct MetricEvent {
                      // innovative = the node fired its attempt this slot
     kMacCollision,   // hidden-terminal loss: node (the receiver) was covered
                      // by two or more concurrent transmitters
+    // Transport families, emitted by the emulation runtime (src/emu) only;
+    // the aggregate sinks ignore them:
+    kEmuSend,        // a node broadcast one wire frame; value = frame bytes
+    kEmuDrop,        // one per-receiver copy was lost in transit
+    kEmuDeliver,     // one copy reached a receiver's poll(); value = bytes
+    kEmuParseError,  // a received buffer failed wire::Frame::parse
   };
 
   Type type = Type::kTx;

@@ -1,0 +1,282 @@
+#include "wire/frame.h"
+
+#include <cstring>
+
+#include "common/assert.h"
+
+namespace omnc::wire {
+namespace {
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    out.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+void put_double(std::vector<std::uint8_t>& out, double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u64(out, bits);
+}
+
+std::uint16_t get_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>((p[0] << 8) | p[1]);
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  return (static_cast<std::uint32_t>(p[0]) << 24) |
+         (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) | p[3];
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | p[i];
+  return v;
+}
+
+double get_double(const std::uint8_t* p) {
+  const std::uint64_t bits = get_u64(p);
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+bool valid_type(std::uint8_t raw) {
+  return raw >= static_cast<std::uint8_t>(FrameType::kCodedData) &&
+         raw <= static_cast<std::uint8_t>(FrameType::kPriceUpdate);
+}
+
+/// Serializes just the body of `frame` (everything after the header).
+std::vector<std::uint8_t> serialize_body(const Frame& frame) {
+  std::vector<std::uint8_t> body;
+  switch (frame.type) {
+    case FrameType::kCodedData:
+      body = frame.packet.serialize();
+      break;
+    case FrameType::kGenerationAck:
+      body.reserve(GenerationAck::kBytes);
+      put_u32(body, frame.ack.generation_id);
+      put_u16(body, frame.ack.origin_local);
+      put_u32(body, frame.ack.ack_seq);
+      break;
+    case FrameType::kProbeBeacon:
+      body.reserve(ProbeBeacon::kBytes);
+      put_u16(body, frame.beacon.origin_local);
+      put_u32(body, frame.beacon.sequence);
+      break;
+    case FrameType::kProbeReport:
+      body.reserve(ProbeReport::kBytes);
+      put_u16(body, frame.report.reporter_local);
+      put_u16(body, frame.report.probed_local);
+      put_u32(body, frame.report.beacons_heard);
+      put_u32(body, frame.report.window);
+      break;
+    case FrameType::kPriceUpdate: {
+      const PriceUpdate& price = frame.price;
+      OMNC_ASSERT(price.lambdas.size() <= 0xffff);
+      body.reserve(PriceUpdate::kFixedBytes +
+                   PriceUpdate::kLambdaBytes * price.lambdas.size());
+      put_u16(body, price.node_local);
+      put_u32(body, price.iteration);
+      put_double(body, price.beta);
+      put_double(body, price.rate_bytes_per_s);
+      put_u16(body, static_cast<std::uint16_t>(price.lambdas.size()));
+      for (const PriceUpdate::Lambda& entry : price.lambdas) {
+        put_u16(body, entry.to_local);
+        put_double(body, entry.lambda);
+      }
+      break;
+    }
+  }
+  return body;
+}
+
+/// Parses the body of one frame type; `body` is exactly the payload (the
+/// header's length field already matched the buffer).  Returns false when
+/// the payload size disagrees with the type's layout.
+bool parse_body(FrameType type, std::uint32_t session_id,
+                std::span<const std::uint8_t> body, Frame* out) {
+  switch (type) {
+    case FrameType::kCodedData: {
+      if (!coding::CodedPacket::parse(body, &out->packet)) return false;
+      // The embedded packet header repeats the session id; a frame whose
+      // two copies disagree was corrupted or forged.
+      return out->packet.session_id == session_id;
+    }
+    case FrameType::kGenerationAck:
+      if (body.size() != GenerationAck::kBytes) return false;
+      out->ack.generation_id = get_u32(body.data());
+      out->ack.origin_local = get_u16(body.data() + 4);
+      out->ack.ack_seq = get_u32(body.data() + 6);
+      return true;
+    case FrameType::kProbeBeacon:
+      if (body.size() != ProbeBeacon::kBytes) return false;
+      out->beacon.origin_local = get_u16(body.data());
+      out->beacon.sequence = get_u32(body.data() + 2);
+      return true;
+    case FrameType::kProbeReport:
+      if (body.size() != ProbeReport::kBytes) return false;
+      out->report.reporter_local = get_u16(body.data());
+      out->report.probed_local = get_u16(body.data() + 2);
+      out->report.beacons_heard = get_u32(body.data() + 4);
+      out->report.window = get_u32(body.data() + 8);
+      return true;
+    case FrameType::kPriceUpdate: {
+      if (body.size() < PriceUpdate::kFixedBytes) return false;
+      PriceUpdate price;
+      price.node_local = get_u16(body.data());
+      price.iteration = get_u32(body.data() + 2);
+      price.beta = get_double(body.data() + 6);
+      price.rate_bytes_per_s = get_double(body.data() + 14);
+      const std::size_t count = get_u16(body.data() + 22);
+      // All size arithmetic in std::size_t: count <= 0xffff and the
+      // per-entry size is constant, so the product cannot overflow; the
+      // exact-size check then pins the claimed count to the actual payload.
+      const std::size_t expected =
+          PriceUpdate::kFixedBytes + PriceUpdate::kLambdaBytes * count;
+      if (body.size() != expected) return false;
+      price.lambdas.resize(count);
+      const std::uint8_t* p = body.data() + PriceUpdate::kFixedBytes;
+      for (std::size_t i = 0; i < count; ++i) {
+        price.lambdas[i].to_local = get_u16(p);
+        price.lambdas[i].lambda = get_double(p + 2);
+        p += PriceUpdate::kLambdaBytes;
+      }
+      out->price = std::move(price);
+      return true;
+    }
+  }
+  return false;  // unknown type (already rejected by the header check)
+}
+
+/// Validates the fixed header; on success fills type/session/payload span.
+bool parse_header(std::span<const std::uint8_t> bytes, FrameType* type,
+                  std::uint32_t* session_id,
+                  std::span<const std::uint8_t>* payload) {
+  if (bytes.size() < kHeaderBytes) return false;
+  if (get_u32(bytes.data()) != kMagic) return false;
+  if (bytes[4] != kWireVersion) return false;
+  if (!valid_type(bytes[5])) return false;
+  const std::size_t payload_bytes = get_u32(bytes.data() + 10);
+  // Bound the length field before any arithmetic with it: a hostile header
+  // may claim up to 4 GiB.
+  if (payload_bytes > kMaxFrameBytes) return false;
+  if (bytes.size() != kHeaderBytes + payload_bytes) return false;
+  *type = static_cast<FrameType>(bytes[5]);
+  *session_id = get_u32(bytes.data() + 6);
+  *payload = bytes.subspan(kHeaderBytes);
+  return true;
+}
+
+}  // namespace
+
+std::uint32_t fnv1a(std::span<const std::uint8_t> bytes) {
+  std::uint32_t h = 2166136261u;
+  for (const std::uint8_t b : bytes) {
+    h ^= b;
+    h *= 16777619u;
+  }
+  return h;
+}
+
+std::vector<std::uint8_t> Frame::serialize() const {
+  const std::vector<std::uint8_t> body = serialize_body(*this);
+  OMNC_ASSERT(body.size() <= kMaxFrameBytes);
+  std::vector<std::uint8_t> out;
+  out.reserve(kHeaderBytes + body.size());
+  put_u32(out, kMagic);
+  out.push_back(kWireVersion);
+  out.push_back(static_cast<std::uint8_t>(type));
+  put_u32(out, session_id);
+  put_u32(out, static_cast<std::uint32_t>(body.size()));
+  put_u32(out, fnv1a(body));
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+bool Frame::parse(std::span<const std::uint8_t> bytes, Frame* out) {
+  FrameType type;
+  std::uint32_t session_id = 0;
+  std::span<const std::uint8_t> payload;
+  if (!parse_header(bytes, &type, &session_id, &payload)) return false;
+  if (get_u32(bytes.data() + 14) != fnv1a(payload)) return false;
+  Frame frame;
+  frame.type = type;
+  frame.session_id = session_id;
+  if (!parse_body(type, session_id, payload, &frame)) return false;
+  *out = std::move(frame);
+  return true;
+}
+
+Frame make_coded_data(coding::CodedPacket packet) {
+  Frame frame;
+  frame.type = FrameType::kCodedData;
+  frame.session_id = packet.session_id;
+  frame.packet = std::move(packet);
+  return frame;
+}
+
+Frame make_ack(std::uint32_t session_id, const GenerationAck& ack) {
+  Frame frame;
+  frame.type = FrameType::kGenerationAck;
+  frame.session_id = session_id;
+  frame.ack = ack;
+  return frame;
+}
+
+Frame make_beacon(std::uint32_t session_id, const ProbeBeacon& beacon) {
+  Frame frame;
+  frame.type = FrameType::kProbeBeacon;
+  frame.session_id = session_id;
+  frame.beacon = beacon;
+  return frame;
+}
+
+Frame make_report(std::uint32_t session_id, const ProbeReport& report) {
+  Frame frame;
+  frame.type = FrameType::kProbeReport;
+  frame.session_id = session_id;
+  frame.report = report;
+  return frame;
+}
+
+Frame make_price(std::uint32_t session_id, PriceUpdate price) {
+  Frame frame;
+  frame.type = FrameType::kPriceUpdate;
+  frame.session_id = session_id;
+  frame.price = std::move(price);
+  return frame;
+}
+
+bool peek_type(std::span<const std::uint8_t> bytes, FrameType* out) {
+  FrameType type;
+  std::uint32_t session_id = 0;
+  std::span<const std::uint8_t> payload;
+  if (!parse_header(bytes, &type, &session_id, &payload)) return false;
+  *out = type;
+  return true;
+}
+
+bool peek_session(std::span<const std::uint8_t> bytes, std::uint32_t* out) {
+  FrameType type;
+  std::uint32_t session_id = 0;
+  std::span<const std::uint8_t> payload;
+  if (!parse_header(bytes, &type, &session_id, &payload)) return false;
+  *out = session_id;
+  return true;
+}
+
+}  // namespace omnc::wire

@@ -1,0 +1,165 @@
+// Versioned wire-frame layer: everything the protocols exchange, as bytes.
+//
+// Drift (the paper's emulation testbed) runs *real protocol code* over an
+// emulated PHY; independent nodes can only interoperate if every message has
+// a precise on-the-wire format — the same reason MORE (Chachulski et al.,
+// SIGCOMM'07) and the practical-network-coding line (Chou & Wu) define their
+// coded-packet headers down to the byte.  This header defines OMNC's frame
+// vocabulary:
+//
+//   * coded data       — a coding::CodedPacket (coefficients + payload);
+//   * generation ACK   — the destination's decode confirmation, flooded back;
+//   * link-probe beacon/report — the prober's broadcast beacons and the
+//     resulting reception-ratio estimates;
+//   * price update     — the λ/β duals and recovered broadcast rate of the
+//     sUnicast decomposition (distributed rate control state).
+//
+// Every frame starts with a fixed 18-byte header (big-endian, like
+// CodedPacket):
+//
+//   offset size  field
+//   0      4     magic      0x4F4D4E43 ("OMNC")
+//   4      1     version    kWireVersion
+//   5      1     frame type (FrameType)
+//   6      4     session id
+//   10     4     payload length (bytes following the header)
+//   14     4     FNV-1a-32 checksum of the payload bytes
+//
+// Parsers are hardened: truncated buffers, inconsistent length fields,
+// corrupted checksums, unknown types/versions, and garbage bytes all return
+// `false` without reading out of bounds (mirroring CodedPacket::parse).
+// serialize(parse(serialize(f))) is byte-identical for every valid frame.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "coding/coded_packet.h"
+
+namespace omnc::wire {
+
+inline constexpr std::uint32_t kMagic = 0x4F4D4E43;  // "OMNC"
+inline constexpr std::uint8_t kWireVersion = 1;
+
+/// Fixed bytes before the payload of every frame.
+inline constexpr std::size_t kHeaderBytes = 18;
+
+/// Upper bound a well-behaved sender may produce (and the emulation
+/// transports accept); parsers reject any length field beyond it before
+/// touching the payload.
+inline constexpr std::size_t kMaxFrameBytes = 256 * 1024;
+
+enum class FrameType : std::uint8_t {
+  kCodedData = 1,      // payload: CodedPacket wire bytes
+  kGenerationAck = 2,  // payload: GenerationAck
+  kProbeBeacon = 3,    // payload: ProbeBeacon
+  kProbeReport = 4,    // payload: ProbeReport
+  kPriceUpdate = 5,    // payload: PriceUpdate
+};
+
+/// FNV-1a 32-bit over a byte range (the header checksum).
+std::uint32_t fnv1a(std::span<const std::uint8_t> bytes);
+
+/// Destination -> source decode confirmation for one generation, flooded
+/// back over the session DAG.  `ack_seq` counts retransmissions of the same
+/// ACK (the destination repeats it until the source moves on), which lets
+/// receivers deduplicate without extra state.
+struct GenerationAck {
+  std::uint32_t generation_id = 0;
+  std::uint16_t origin_local = 0;  // session-local index of the destination
+  std::uint32_t ack_seq = 0;
+
+  static constexpr std::size_t kBytes = 10;
+  bool operator==(const GenerationAck&) const = default;
+};
+
+/// One link-probe broadcast: "I am node `origin_local`, this is beacon
+/// number `sequence`".  Receivers count beacons per origin.
+struct ProbeBeacon {
+  std::uint16_t origin_local = 0;
+  std::uint32_t sequence = 0;
+
+  static constexpr std::size_t kBytes = 6;
+  bool operator==(const ProbeBeacon&) const = default;
+};
+
+/// A receiver's reception-ratio estimate for one probed link:
+/// p̂ = heard / window.
+struct ProbeReport {
+  std::uint16_t reporter_local = 0;  // who measured
+  std::uint16_t probed_local = 0;    // whose beacons were counted
+  std::uint32_t beacons_heard = 0;
+  std::uint32_t window = 0;  // beacons the origin sent in the window
+
+  static constexpr std::size_t kBytes = 12;
+  bool operator==(const ProbeReport&) const = default;
+
+  double estimate() const {
+    return window > 0
+               ? static_cast<double>(beacons_heard) / static_cast<double>(window)
+               : 0.0;
+  }
+};
+
+/// Rate-control state for one node of the sUnicast decomposition: the
+/// congestion price β_i of the broadcast-MAC constraint, the recovered
+/// broadcast rate b̄_i, and the link prices λ_ij of the node's outgoing DAG
+/// edges.  Doubles travel as their IEEE-754 bit patterns (big-endian), so a
+/// round trip is bit-exact.
+struct PriceUpdate {
+  struct Lambda {
+    std::uint16_t to_local = 0;
+    double lambda = 0.0;
+
+    bool operator==(const Lambda&) const = default;
+  };
+
+  std::uint16_t node_local = 0;
+  std::uint32_t iteration = 0;  // rate-control iteration the state is from
+  double beta = 0.0;
+  double rate_bytes_per_s = 0.0;  // recovered b̄_i
+  std::vector<Lambda> lambdas;    // per outgoing edge
+
+  static constexpr std::size_t kFixedBytes = 24;  // node+iter+beta+rate+count
+  static constexpr std::size_t kLambdaBytes = 10;
+  bool operator==(const PriceUpdate&) const = default;
+};
+
+/// A decoded frame: the header fields that matter to receivers plus the
+/// body of the one type the frame carries (the others stay default).
+struct Frame {
+  FrameType type = FrameType::kCodedData;
+  std::uint32_t session_id = 0;
+
+  coding::CodedPacket packet;  // kCodedData
+  GenerationAck ack;           // kGenerationAck
+  ProbeBeacon beacon;          // kProbeBeacon
+  ProbeReport report;          // kProbeReport
+  PriceUpdate price;           // kPriceUpdate
+
+  std::vector<std::uint8_t> serialize() const;
+
+  /// Parses one frame.  Returns false on anything malformed: short buffer,
+  /// bad magic/version/unknown type, length field disagreeing with the
+  /// buffer, checksum mismatch, or a body that fails its own validation
+  /// (e.g. a CodedPacket whose n/m disagree with the payload size, or whose
+  /// embedded session id disagrees with the frame header's).
+  static bool parse(std::span<const std::uint8_t> bytes, Frame* out);
+};
+
+// Convenience constructors -------------------------------------------------
+
+/// Wraps a coded packet; the frame's session id is the packet's.
+Frame make_coded_data(coding::CodedPacket packet);
+Frame make_ack(std::uint32_t session_id, const GenerationAck& ack);
+Frame make_beacon(std::uint32_t session_id, const ProbeBeacon& beacon);
+Frame make_report(std::uint32_t session_id, const ProbeReport& report);
+Frame make_price(std::uint32_t session_id, PriceUpdate price);
+
+/// Cheap peeks used by forwarding paths that do not need a full parse; they
+/// validate only the header structure (magic/version/length/type range).
+bool peek_type(std::span<const std::uint8_t> bytes, FrameType* out);
+bool peek_session(std::span<const std::uint8_t> bytes, std::uint32_t* out);
+
+}  // namespace omnc::wire

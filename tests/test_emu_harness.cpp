@@ -1,0 +1,186 @@
+// End-to-end emulation runs: the fig-2 diamond under EmuHarness must decode
+// every generation byte-exactly over both transports, and loopback goodput
+// must land within a (generous) band of the slot simulator's throughput on
+// the same topology.  Decoded data is checked exactly; rates and timings are
+// tolerance-checked because wall-clock scheduling is not deterministic (see
+// DESIGN.md §10).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "emu/emu_harness.h"
+#include "emu/loopback_transport.h"
+#include "emu/udp_transport.h"
+#include "net/topology.h"
+#include "opt/rate_control.h"
+#include "opt/sunicast.h"
+#include "protocols/metrics_bus.h"
+#include "protocols/omnc.h"
+#include "routing/node_selection.h"
+
+namespace omnc::emu {
+namespace {
+
+net::Topology diamond() {
+  std::vector<std::vector<double>> p(4, std::vector<double>(4, 0.0));
+  p[0][1] = p[1][0] = 0.8;
+  p[0][2] = p[2][0] = 0.6;
+  p[1][3] = p[3][1] = 0.7;
+  p[2][3] = p[3][2] = 0.9;
+  return net::Topology::from_link_matrix(p);
+}
+
+constexpr double kCapacity = 2e4;
+
+EmuConfig fast_emu_config(int generations) {
+  EmuConfig config;
+  config.node.coding.generation_blocks = 8;
+  config.node.coding.block_bytes = 64;
+  config.node.cbr_bytes_per_s = 1e4;
+  config.node.max_generations = generations;
+  config.speedup = 20.0;
+  config.wall_timeout_s = 45.0;
+  return config;
+}
+
+/// The same preparation OmncProtocol::prepare runs, so the emulated nodes
+/// transmit at the rates the optimizer would install in the simulator.
+opt::RateControlResult rate_control_for(const routing::SessionGraph& graph) {
+  opt::RateControlParams params;
+  params.capacity = kCapacity;
+  opt::DistributedRateControl control(graph, params);
+  return control.run();
+}
+
+std::vector<double> feasible_rates(const routing::SessionGraph& graph,
+                                   const opt::RateControlResult& rc) {
+  std::vector<double> rates = rc.b;
+  opt::rescale_to_feasible(graph, rates, kCapacity);
+  return rates;
+}
+
+TEST(EmuHarness, DiamondOverLoopbackMatchesSlotSimulator) {
+  const net::Topology topo = diamond();
+  const routing::SessionGraph graph = routing::select_nodes(topo, 0, 3);
+  ASSERT_EQ(graph.size(), 4);
+
+  // Slot-simulator baseline on the identical topology and coding geometry.
+  protocols::ProtocolConfig sim_config;
+  sim_config.coding.generation_blocks = 8;
+  sim_config.coding.block_bytes = 64;
+  sim_config.mac.capacity_bytes_per_s = kCapacity;
+  sim_config.mac.slot_bytes = 12 + 8 + 64;
+  sim_config.mac.fading.enabled = false;
+  sim_config.cbr_bytes_per_s = 1e4;
+  sim_config.max_sim_seconds = 60.0;
+  sim_config.seed = 1;
+  protocols::OmncProtocol omnc(topo, graph, sim_config, protocols::OmncConfig{});
+  const protocols::SessionResult sim = omnc.run();
+  ASSERT_GT(sim.throughput_bytes_per_s, 0.0);
+
+  // Emulated run: distributed mode (prices flooded in-band as frames).
+  const opt::RateControlResult rc = rate_control_for(graph);
+  LoopbackConfig loopback;
+  loopback.seed = 1;
+  LoopbackTransport transport(graph.size(),
+                              link_matrix_from_topology(topo, graph), loopback);
+  EmuConfig config = fast_emu_config(6);
+  EmuHarness harness(graph, transport, config);
+  harness.install_price_table(feasible_rates(graph, rc), rc.lambda, rc.beta,
+                              rc.iterations);
+  const EmuRunResult result = harness.run();
+
+  EXPECT_TRUE(result.completed);
+  EXPECT_TRUE(result.data_ok);  // every decoded byte matched the source
+  EXPECT_EQ(result.generations_completed, 6);
+  EXPECT_EQ(result.parse_errors, 0u);
+  EXPECT_GT(result.goodput_bytes_per_s, 0.0);
+  EXPECT_EQ(result.ack_latencies.size(), 6u);
+  EXPECT_GT(result.mean_ack_latency, 0.0);
+  EXPECT_GT(result.transport.frames_sent, 0u);
+  EXPECT_GT(result.transport.copies_dropped, 0u);  // links are lossy
+
+  // Cross-check: the emulation models no MAC contention, so it runs faster
+  // than the slot simulator (tool-measured ratio ≈ 2.2 on this topology);
+  // the band is wide to absorb CI scheduling noise, not protocol drift.
+  const double ratio = result.goodput_bytes_per_s / sim.throughput_bytes_per_s;
+  EXPECT_GT(ratio, 0.1) << "emu goodput " << result.goodput_bytes_per_s
+                        << " vs sim " << sim.throughput_bytes_per_s;
+  EXPECT_LT(ratio, 6.0) << "emu goodput " << result.goodput_bytes_per_s
+                        << " vs sim " << sim.throughput_bytes_per_s;
+}
+
+TEST(EmuHarness, LoopbackRunsAreDataDeterministic) {
+  // Two identically seeded loopback runs decode the same generations with
+  // the same data verdict (timing may differ; decoded content must not).
+  const net::Topology topo = diamond();
+  const routing::SessionGraph graph = routing::select_nodes(topo, 0, 3);
+  const opt::RateControlResult rc = rate_control_for(graph);
+  for (int repeat = 0; repeat < 2; ++repeat) {
+    LoopbackConfig loopback;
+    loopback.seed = 99;
+    LoopbackTransport transport(
+        graph.size(), link_matrix_from_topology(topo, graph), loopback);
+    EmuHarness harness(graph, transport, fast_emu_config(3));
+    harness.install_price_table(feasible_rates(graph, rc), rc.lambda, rc.beta,
+                                rc.iterations);
+    const EmuRunResult result = harness.run();
+    EXPECT_TRUE(result.completed) << "repeat " << repeat;
+    EXPECT_TRUE(result.data_ok) << "repeat " << repeat;
+    EXPECT_EQ(result.generations_completed, 3) << "repeat " << repeat;
+  }
+}
+
+TEST(EmuHarness, OracleRatesCompleteWithoutPriceFrames) {
+  const net::Topology topo = diamond();
+  const routing::SessionGraph graph = routing::select_nodes(topo, 0, 3);
+  const opt::RateControlResult rc = rate_control_for(graph);
+  LoopbackTransport transport(graph.size(),
+                              link_matrix_from_topology(topo, graph));
+  EmuHarness harness(graph, transport, fast_emu_config(2));
+  harness.install_rates(feasible_rates(graph, rc));
+  const EmuRunResult result = harness.run();
+  EXPECT_TRUE(result.completed);
+  EXPECT_TRUE(result.data_ok);
+}
+
+TEST(EmuHarness, MetricSinkSeesTransportAndAckEvents) {
+  const net::Topology topo = diamond();
+  const routing::SessionGraph graph = routing::select_nodes(topo, 0, 3);
+  const opt::RateControlResult rc = rate_control_for(graph);
+  LoopbackTransport transport(graph.size(),
+                              link_matrix_from_topology(topo, graph));
+  EmuHarness harness(graph, transport, fast_emu_config(2));
+  harness.install_rates(feasible_rates(graph, rc));
+  std::size_t sends = 0, delivers = 0, acks = 0;
+  harness.set_metric_sink([&](const protocols::MetricEvent& event) {
+    switch (event.type) {
+      case protocols::MetricEvent::Type::kEmuSend: ++sends; break;
+      case protocols::MetricEvent::Type::kEmuDeliver: ++delivers; break;
+      case protocols::MetricEvent::Type::kGenerationAck: ++acks; break;
+      default: break;
+    }
+  });
+  const EmuRunResult result = harness.run();
+  EXPECT_TRUE(result.completed);
+  EXPECT_GT(sends, 0u);
+  EXPECT_GT(delivers, 0u);
+  EXPECT_EQ(acks, 2u);  // one kGenerationAck per retired generation
+}
+
+TEST(EmuHarness, DiamondOverUdpSmoke) {
+  const net::Topology topo = diamond();
+  const routing::SessionGraph graph = routing::select_nodes(topo, 0, 3);
+  const opt::RateControlResult rc = rate_control_for(graph);
+  UdpTransport transport(graph.size());
+  EmuHarness harness(graph, transport, fast_emu_config(2));
+  harness.install_price_table(feasible_rates(graph, rc), rc.lambda, rc.beta,
+                              rc.iterations);
+  const EmuRunResult result = harness.run();
+  EXPECT_TRUE(result.completed);
+  EXPECT_TRUE(result.data_ok);
+  EXPECT_EQ(result.generations_completed, 2);
+}
+
+}  // namespace
+}  // namespace omnc::emu

@@ -1,0 +1,254 @@
+// Emulation transports: loopback determinism/loss/delay/overflow semantics,
+// link-matrix construction from session graphs and topologies, and a UDP
+// localhost smoke (ephemeral ports, round trip, stats).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "emu/loopback_transport.h"
+#include "emu/udp_transport.h"
+#include "net/topology.h"
+#include "routing/node_selection.h"
+
+namespace omnc::emu {
+namespace {
+
+std::vector<std::uint8_t> message(std::uint8_t tag, std::size_t size = 16) {
+  std::vector<std::uint8_t> bytes(size, tag);
+  return bytes;
+}
+
+/// Drains node `to` and returns the sender of each delivered frame.
+std::vector<int> drain_senders(Transport& transport, int to) {
+  std::vector<int> senders;
+  transport.poll(to, [&](int from, std::span<const std::uint8_t>) {
+    senders.push_back(from);
+  });
+  return senders;
+}
+
+net::Topology diamond() {
+  std::vector<std::vector<double>> p(4, std::vector<double>(4, 0.0));
+  p[0][1] = p[1][0] = 0.8;
+  p[0][2] = p[2][0] = 0.6;
+  p[1][3] = p[3][1] = 0.7;
+  p[2][3] = p[3][2] = 0.9;
+  return net::Topology::from_link_matrix(p);
+}
+
+TEST(LoopbackTransport, BroadcastReachesAllPeersOnPerfectLinks) {
+  LoopbackTransport transport(3, std::vector<double>(9, 1.0));
+  transport.send(0, message(0xaa));
+  EXPECT_EQ(drain_senders(transport, 1), (std::vector<int>{0}));
+  EXPECT_EQ(drain_senders(transport, 2), (std::vector<int>{0}));
+  // The sender does not hear itself, and polls are consuming.
+  EXPECT_TRUE(drain_senders(transport, 0).empty());
+  EXPECT_TRUE(drain_senders(transport, 1).empty());
+  const TransportStats stats = transport.stats();
+  EXPECT_EQ(stats.frames_sent, 1u);
+  EXPECT_EQ(stats.copies_delivered, 2u);
+  EXPECT_EQ(stats.copies_dropped, 0u);
+}
+
+TEST(LoopbackTransport, DeliversPayloadBytesIntact) {
+  LoopbackTransport transport(2, std::vector<double>(4, 1.0));
+  const std::vector<std::uint8_t> sent = message(0x5c, 100);
+  transport.send(0, sent);
+  std::vector<std::uint8_t> got;
+  transport.poll(1, [&](int, std::span<const std::uint8_t> bytes) {
+    got.assign(bytes.begin(), bytes.end());
+  });
+  EXPECT_EQ(got, sent);
+}
+
+TEST(LoopbackTransport, LossMatchesLinkProbability) {
+  // p(0->1) = 0.7: over 4000 sends the delivered fraction concentrates
+  // tightly around 0.7 (binomial sd ≈ 0.007).
+  std::vector<double> link_p(4, 0.0);
+  link_p[0 * 2 + 1] = 0.7;
+  LoopbackConfig config;
+  config.seed = 42;
+  config.max_inbox = 100000;
+  LoopbackTransport transport(2, link_p, config);
+  const int sends = 4000;
+  for (int k = 0; k < sends; ++k) transport.send(0, message(1));
+  const double fraction =
+      static_cast<double>(drain_senders(transport, 1).size()) / sends;
+  EXPECT_NEAR(fraction, 0.7, 0.05);
+  const TransportStats stats = transport.stats();
+  EXPECT_EQ(stats.copies_delivered + stats.copies_dropped,
+            static_cast<std::size_t>(sends));
+}
+
+TEST(LoopbackTransport, LossPatternIsSeedDeterministic) {
+  // Same seed -> the k-th broadcast on a link sees the same fate, no matter
+  // how sends interleave with polls.
+  auto pattern = [](std::uint64_t seed) {
+    std::vector<double> link_p(4, 0.0);
+    link_p[0 * 2 + 1] = 0.5;
+    LoopbackConfig config;
+    config.seed = seed;
+    config.max_inbox = 100000;
+    LoopbackTransport transport(2, link_p, config);
+    std::vector<bool> delivered;
+    for (int k = 0; k < 200; ++k) {
+      transport.send(0, message(1));
+      delivered.push_back(!drain_senders(transport, 1).empty());
+    }
+    return delivered;
+  };
+  const std::vector<bool> first = pattern(7);
+  EXPECT_EQ(first, pattern(7));
+  EXPECT_NE(first, pattern(8));
+}
+
+TEST(LoopbackTransport, LinksDrawIndependentStreams) {
+  // Loss on (0->1) must not perturb (0->2): a p = 0 link draws nothing and
+  // a p = 1 link always delivers, whatever the sibling links do.
+  std::vector<double> link_p(9, 0.0);
+  link_p[0 * 3 + 1] = 0.5;
+  link_p[0 * 3 + 2] = 1.0;
+  LoopbackConfig config;
+  config.max_inbox = 100000;
+  LoopbackTransport transport(3, link_p, config);
+  for (int k = 0; k < 100; ++k) transport.send(0, message(1));
+  EXPECT_EQ(drain_senders(transport, 2).size(), 100u);
+}
+
+TEST(LoopbackTransport, DelayHoldsDeliveryUntilDue) {
+  LoopbackConfig config;
+  config.delay_s = 0.05;
+  LoopbackTransport transport(2, std::vector<double>(4, 1.0), config);
+  transport.send(0, message(1));
+  EXPECT_TRUE(drain_senders(transport, 1).empty());
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  EXPECT_EQ(drain_senders(transport, 1).size(), 1u);
+}
+
+TEST(LoopbackTransport, FullInboxDropsNewCopies) {
+  LoopbackConfig config;
+  config.max_inbox = 4;
+  LoopbackTransport transport(2, std::vector<double>(4, 1.0), config);
+  for (int k = 0; k < 10; ++k) transport.send(0, message(1));
+  EXPECT_EQ(drain_senders(transport, 1).size(), 4u);
+  const TransportStats stats = transport.stats();
+  EXPECT_EQ(stats.copies_dropped, 6u);
+}
+
+TEST(LoopbackTransport, ObserverSeesEveryEvent) {
+  struct Recorder final : TransportObserver {
+    std::size_t sends = 0, drops = 0, delivers = 0;
+    void on_send(int, std::size_t) override { ++sends; }
+    void on_drop(int, int, std::size_t) override { ++drops; }
+    void on_deliver(int, int, std::size_t) override { ++delivers; }
+  };
+  LoopbackConfig config;
+  config.max_inbox = 1;
+  LoopbackTransport transport(2, std::vector<double>(4, 1.0), config);
+  Recorder recorder;
+  transport.set_observer(&recorder);
+  transport.send(0, message(1));
+  transport.send(0, message(2));  // inbox full: this copy drops at send time
+  drain_senders(transport, 1);
+  EXPECT_EQ(recorder.sends, 2u);
+  EXPECT_EQ(recorder.delivers, 1u);
+  EXPECT_EQ(recorder.drops, 1u);
+}
+
+TEST(LinkMatrix, FromGraphIsSymmetrizedOverDagEdges) {
+  const net::Topology topo = diamond();
+  const routing::SessionGraph graph = routing::select_nodes(topo, 0, 3);
+  const std::vector<double> m = link_matrix_from_graph(graph);
+  const int n = graph.size();
+  ASSERT_EQ(m.size(), static_cast<std::size_t>(n * n));
+  for (const auto& edge : graph.edges) {
+    EXPECT_EQ(m[static_cast<std::size_t>(edge.from * n + edge.to)], edge.p);
+    // Reciprocal channel: ACK/price floods travel the reverse direction.
+    EXPECT_EQ(m[static_cast<std::size_t>(edge.to * n + edge.from)], edge.p);
+  }
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(m[static_cast<std::size_t>(i * n + i)], 0.0);
+  }
+}
+
+TEST(LinkMatrix, FromTopologyUsesReceptionProbabilities) {
+  const net::Topology topo = diamond();
+  const routing::SessionGraph graph = routing::select_nodes(topo, 0, 3);
+  const std::vector<double> m = link_matrix_from_topology(topo, graph);
+  const int n = graph.size();
+  ASSERT_EQ(m.size(), static_cast<std::size_t>(n * n));
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i == j) continue;
+      EXPECT_DOUBLE_EQ(m[static_cast<std::size_t>(i * n + j)],
+                       topo.prob(graph.node_id(i), graph.node_id(j)));
+    }
+  }
+}
+
+TEST(UdpTransport, BindsDistinctEphemeralPorts) {
+  UdpTransport transport(4);
+  std::set<std::uint16_t> ports;
+  for (int i = 0; i < 4; ++i) {
+    const std::uint16_t port = transport.port_of(i);
+    EXPECT_NE(port, 0);
+    ports.insert(port);
+  }
+  EXPECT_EQ(ports.size(), 4u);  // ephemeral binds never collide
+}
+
+TEST(UdpTransport, BroadcastRoundTripsWithSenderIdentity) {
+  UdpTransport transport(3);
+  const std::vector<std::uint8_t> sent = message(0x3f, 200);
+  transport.send(0, sent);
+  // Localhost delivery is fast but asynchronous; poll with a short grace.
+  for (int to : {1, 2}) {
+    std::vector<std::uint8_t> got;
+    int from = -1;
+    for (int attempt = 0; attempt < 200 && got.empty(); ++attempt) {
+      transport.poll(to, [&](int sender, std::span<const std::uint8_t> bytes) {
+        from = sender;
+        got.assign(bytes.begin(), bytes.end());
+      });
+      if (got.empty()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+    EXPECT_EQ(from, 0) << "receiver " << to;
+    EXPECT_EQ(got, sent) << "receiver " << to;
+  }
+  const TransportStats stats = transport.stats();
+  EXPECT_EQ(stats.frames_sent, 1u);
+  EXPECT_EQ(stats.bytes_sent, sent.size());  // counted per broadcast
+  EXPECT_EQ(stats.copies_delivered, 2u);
+}
+
+TEST(UdpTransport, ManyInstancesCoexist) {
+  // ctest -j safety in miniature: several transports at once, no port clash,
+  // no cross-talk (distinct sockets).
+  UdpTransport a(2);
+  UdpTransport b(2);
+  a.send(0, message(0x01));
+  b.send(0, message(0x02));
+  std::vector<std::uint8_t> got_a, got_b;
+  for (int attempt = 0; attempt < 200 && (got_a.empty() || got_b.empty());
+       ++attempt) {
+    a.poll(1, [&](int, std::span<const std::uint8_t> bytes) {
+      got_a.assign(bytes.begin(), bytes.end());
+    });
+    b.poll(1, [&](int, std::span<const std::uint8_t> bytes) {
+      got_b.assign(bytes.begin(), bytes.end());
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(got_a, message(0x01));
+  EXPECT_EQ(got_b, message(0x02));
+}
+
+}  // namespace
+}  // namespace omnc::emu

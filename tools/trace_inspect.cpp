@@ -2,8 +2,8 @@
 // through the live metric sinks and reports what the run looked like.
 //
 // Usage: trace_inspect <trace.jsonl> [--summary] [--queues] [--edges]
-//                      [--latency] [--convergence] [--probes] [--registry]
-//                      [--verify] [--check-json PATH] [--run N]
+//                      [--latency] [--convergence] [--probes] [--transport]
+//                      [--registry] [--verify] [--check-json PATH] [--run N]
 //
 //   --summary       per-run result table (default when nothing is selected)
 //   --queues        per-node queue timelines rebuilt by QueueTimelineSink
@@ -11,6 +11,8 @@
 //   --latency       generation ACK latency percentiles per session
 //   --convergence   rate-control gamma-bar vs iteration (Fig. 1 curve)
 //   --probes        link-prober estimates vs true reception probabilities
+//   --transport     emulation transport summary (emu_send / emu_drop /
+//                   emu_deliver / emu_parse_error events, per-link loss)
 //   --registry      wall-clock metrics snapshot recorded in the trace
 //   --verify        replay every run and compare each reconstructed metric
 //                   with the recorded ground truth (exact double equality);
@@ -21,7 +23,9 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/options.h"
@@ -180,6 +184,63 @@ void print_probes(const obs::Trace& trace) {
               abs_error / static_cast<double>(trace.probes.size()));
 }
 
+void print_transport(const obs::Trace& trace, const Options& options) {
+  using Type = protocols::MetricEvent::Type;
+  bool printed = false;
+  for (const auto& run : trace.runs) {
+    if (!run_selected(options, run)) continue;
+    std::size_t sends = 0;
+    std::size_t drops = 0;
+    std::size_t delivers = 0;
+    std::size_t parse_errors = 0;
+    double sent_bytes = 0.0;
+    // Per directed link (tx_local -> rx_local): delivered / dropped copies.
+    std::map<std::pair<int, int>, std::pair<std::size_t, std::size_t>> links;
+    for (const auto& event : run.events) {
+      switch (event.type) {
+        case Type::kEmuSend:
+          ++sends;
+          sent_bytes += event.value;
+          break;
+        case Type::kEmuDrop:
+          ++drops;
+          ++links[{event.tx_local, event.rx_local}].second;
+          break;
+        case Type::kEmuDeliver:
+          ++delivers;
+          ++links[{event.tx_local, event.rx_local}].first;
+          break;
+        case Type::kEmuParseError:
+          ++parse_errors;
+          break;
+        default:
+          break;
+      }
+    }
+    if (sends + drops + delivers + parse_errors == 0) continue;
+    printed = true;
+    std::printf("-- run %d (%s): emulation transport --\n", run.id,
+                run.context.protocol.c_str());
+    std::printf("%zu broadcasts (%.0f bytes), %zu copies delivered, "
+                "%zu copies dropped, %zu parse errors\n",
+                sends, sent_bytes, delivers, drops, parse_errors);
+    TextTable table({"link", "delivered", "dropped", "loss"});
+    for (const auto& [link, counts] : links) {
+      const auto& [delivered, dropped] = counts;
+      const std::size_t total = delivered + dropped;
+      table.add_row({std::to_string(link.first) + "->" +
+                         std::to_string(link.second),
+                     std::to_string(delivered), std::to_string(dropped),
+                     total > 0 ? TextTable::fmt(static_cast<double>(dropped) /
+                                                    static_cast<double>(total),
+                                                3)
+                               : "-"});
+    }
+    std::printf("%s\n", table.render().c_str());
+  }
+  if (!printed) std::printf("no transport events in trace\n");
+}
+
 void print_registry(const obs::Trace& trace) {
   if (trace.registry.empty()) {
     std::printf("no registry snapshot in trace\n");
@@ -267,7 +328,7 @@ int main(int argc, char** argv) {
   if (options.positional().empty()) {
     std::fprintf(stderr, "usage: trace_inspect <trace.jsonl> [--summary] "
                          "[--queues] [--edges] [--latency] [--convergence] "
-                         "[--probes] [--registry] [--verify] "
+                         "[--probes] [--transport] [--registry] [--verify] "
                          "[--check-json PATH] [--run N]\n");
     return 2;
   }
@@ -284,6 +345,7 @@ int main(int argc, char** argv) {
       options.get_bool("edges", false) || options.get_bool("latency", false) ||
       options.get_bool("convergence", false) ||
       options.get_bool("probes", false) ||
+      options.get_bool("transport", false) ||
       options.get_bool("registry", false) || options.get_bool("verify", false) ||
       options.has("check-json");
 
@@ -295,6 +357,7 @@ int main(int argc, char** argv) {
   if (options.get_bool("latency", false)) print_latency(trace, options);
   if (options.get_bool("convergence", false)) print_convergence(trace, options);
   if (options.get_bool("probes", false)) print_probes(trace);
+  if (options.get_bool("transport", false)) print_transport(trace, options);
   if (options.get_bool("registry", false)) print_registry(trace);
 
   int status = 0;
