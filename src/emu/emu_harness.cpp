@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "common/assert.h"
+#include "emu/fault_transport.h"
 
 namespace omnc::emu {
 namespace {
@@ -42,6 +43,29 @@ class EventTap final : public TransportObserver {
   }
   void on_deliver(int from, int to, std::size_t bytes) override {
     emit(protocols::MetricEvent::Type::kEmuDeliver, from, to, bytes);
+  }
+  void on_fault(const FaultRecord& record) override {
+    // Fault records carry the injector's own virtual timestamp.
+    protocols::MetricEvent event = fault_metric_event(record, session_id_);
+    const int acting = record.to >= 0 ? record.to : record.from;
+    if (acting >= 0 && acting < graph_.size()) {
+      event.node = graph_.node_id(acting);
+    }
+    forward(event);
+  }
+  void on_truncated(int from, int to, std::size_t claimed_bytes) override {
+    // Truncated datagrams share the parse-error family with a distinct
+    // reason code (generation = 1; parser rejections use 0).
+    protocols::MetricEvent event;
+    event.type = protocols::MetricEvent::Type::kEmuParseError;
+    event.time = virtual_now();
+    event.session = session_id_;
+    if (to >= 0 && to < graph_.size()) event.node = graph_.node_id(to);
+    event.tx_local = from;
+    event.rx_local = to;
+    event.generation = 1;
+    event.value = static_cast<double>(claimed_bytes);
+    forward(event);
   }
 
  private:
@@ -120,6 +144,9 @@ EmuRunResult EmuHarness::run() {
 
   const Clock::time_point origin = Clock::now();
   tap.start(origin, config_.speedup);
+  // Anchor time-scheduled transport behaviour (fault partitions/blackouts)
+  // to the same virtual clock the nodes observe.
+  transport_.on_run_start(config_.speedup);
   std::atomic<bool> stop{false};
   const auto virtual_now = [&] {
     return std::chrono::duration<double>(Clock::now() - origin).count() *
@@ -185,6 +212,11 @@ EmuRunResult EmuHarness::run() {
     if (!stats.data_ok) result.data_ok = false;
     result.parse_errors += stats.parse_errors;
     result.data_packets_sent += stats.data_packets_sent;
+    result.stall_boosts += stats.stall_boosts;
+    result.ack_keepalives += stats.ack_keepalives;
+    result.resync_requests += stats.resync_requests;
+    result.resync_replies += stats.resync_replies;
+    result.price_decays += stats.price_decays;
     for (const wire::ProbeReport& report : stats.probe_reports) {
       if (seen_reports
               .insert({report.reporter_local, report.probed_local})

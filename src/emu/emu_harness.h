@@ -48,6 +48,12 @@ struct EmuRunResult {
   std::vector<double> ack_latencies;
   std::size_t parse_errors = 0;      // summed over nodes
   std::size_t data_packets_sent = 0;
+  // Recovery-path activity, summed over nodes (see EmuNode::Stats).
+  std::size_t stall_boosts = 0;
+  std::size_t ack_keepalives = 0;
+  std::size_t resync_requests = 0;
+  std::size_t resync_replies = 0;
+  std::size_t price_decays = 0;
   double virtual_elapsed = 0.0;      // virtual seconds the run took
   TransportStats transport;
   std::vector<wire::ProbeReport> probe_reports;  // deduped (reporter, probed)

@@ -1,6 +1,7 @@
 #include "emu/emu_node.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <utility>
 
@@ -41,6 +42,11 @@ EmuNode::EmuNode(const routing::SessionGraph& graph, int local,
   last_price_forward_.assign(n, -std::numeric_limits<double>::infinity());
   forwarded_price_iter_.assign(n, 0);
   beacons_heard_.assign(n, 0);
+  stall_deadline_ = std::numeric_limits<double>::infinity();
+  resync_wait_s_ = config_.resync_silence_s;
+  last_resync_send_ = -std::numeric_limits<double>::infinity();
+  last_resync_reply_ = -std::numeric_limits<double>::infinity();
+  last_resync_forward_.assign(n, -std::numeric_limits<double>::infinity());
 }
 
 void EmuNode::install_rate(double rate_bytes_per_s) {
@@ -74,6 +80,7 @@ void EmuNode::set_price_table(std::vector<double> rates_bytes_per_s,
     price_frames_.push_back(
         wire::make_price(config_.session_id, std::move(price)));
   }
+  source_price_iteration_ = iteration;
   install_rate(rates_bytes_per_s[static_cast<std::size_t>(local_)]);
 }
 
@@ -102,7 +109,30 @@ void EmuNode::step(double now) {
     case protocols::NodeRuntime::Role::kRelay:
       break;
   }
+  run_recovery(now);
   pace(now);
+}
+
+void EmuNode::run_recovery(double now) {
+  // Silence-triggered resync: only non-source nodes re-request state (the
+  // source *is* the session's state of record).
+  if (config_.resync_silence_s <= 0.0) return;
+  if (runtime_.role() == protocols::NodeRuntime::Role::kSource) return;
+  if (!frame_clock_started_) {
+    frame_clock_started_ = true;
+    last_frame_time_ = now;
+    return;
+  }
+  if (now - last_frame_time_ < resync_wait_s_) return;
+  if (now - last_resync_send_ < resync_wait_s_) return;
+  wire::ResyncRequest request;
+  request.origin_local = static_cast<std::uint16_t>(local_);
+  request.last_seen_generation =
+      std::max(live_generation_, runtime_.generation_id());
+  broadcast(wire::make_resync_request(config_.session_id, request));
+  ++stats_.resync_requests;
+  last_resync_send_ = now;
+  resync_wait_s_ = std::min(resync_wait_s_ * 2.0, config_.resync_backoff_max_s);
 }
 
 void EmuNode::run_probe(double now) {
@@ -137,8 +167,25 @@ void EmuNode::run_source(double now) {
   const double st = session_time(now);
   if (st < 0.0) return;
   if (!runtime_.generation_active()) {
-    runtime_.maybe_start_generation(st, config_.cbr_bytes_per_s,
-                                    config_.max_generations);
+    if (runtime_.maybe_start_generation(st, config_.cbr_bytes_per_s,
+                                        config_.max_generations)) {
+      stall_timeout_cur_ = config_.stall_timeout_s;
+      stall_deadline_ = now + stall_timeout_cur_;
+      redundancy_boost_ = 1.0;
+    }
+  }
+  // Stall detection: a generation outliving its ACK deadline earns a bounded
+  // redundancy boost (doubling rate multiplier and timer), so sustained
+  // reverse-path loss is answered with more forward coded packets instead of
+  // an idle source waiting for an ACK that keeps dying.
+  if (config_.stall_timeout_s > 0.0 && runtime_.generation_active() &&
+      now >= stall_deadline_) {
+    redundancy_boost_ =
+        std::min(redundancy_boost_ * 2.0, config_.redundancy_boost_max);
+    stall_timeout_cur_ =
+        std::min(stall_timeout_cur_ * 2.0, config_.stall_backoff_max_s);
+    stall_deadline_ = now + stall_timeout_cur_;
+    ++stats_.stall_boosts;
   }
 }
 
@@ -153,7 +200,16 @@ void EmuNode::flood_prices(double now) {
 
 void EmuNode::run_destination(double now) {
   if (!have_ack_ || source_moved_on_) return;
-  if (ack_resends_ >= config_.ack_repeat_limit) return;
+  if (ack_resends_ >= config_.ack_repeat_limit) {
+    // Repeat budget exhausted under sustained reverse-path loss: never go
+    // mute (a silent destination deadlocks the source forever), drop to a
+    // slow keepalive cadence until the source provably moves on.
+    if (now - last_ack_send_ < config_.ack_keepalive_s) return;
+    ++last_ack_.ack_seq;
+    ++stats_.ack_keepalives;
+    send_ack(now);
+    return;
+  }
   if (now - last_ack_send_ < config_.ack_repeat_s) return;
   ++last_ack_.ack_seq;
   ++ack_resends_;
@@ -163,6 +219,27 @@ void EmuNode::run_destination(double now) {
 void EmuNode::send_ack(double now) {
   broadcast(wire::make_ack(config_.session_id, last_ack_));
   last_ack_send_ = now;
+}
+
+double EmuNode::effective_rate(double now) {
+  if (runtime_.role() == protocols::NodeRuntime::Role::kSource) {
+    return rate_bytes_per_s_ * redundancy_boost_;
+  }
+  double rate = rate_bytes_per_s_;
+  if (rate_from_price_ && config_.price_stale_s > 0.0) {
+    const double stale = now - last_price_time_ - config_.price_stale_s;
+    if (stale > 0.0) {
+      if (!price_stale_) {
+        price_stale_ = true;
+        ++stats_.price_decays;
+      }
+      rate *= std::max(config_.price_decay_floor,
+                       std::exp(-stale / config_.price_decay_tau_s));
+    } else {
+      price_stale_ = false;
+    }
+  }
+  return rate;
 }
 
 void EmuNode::pace(double now) {
@@ -175,7 +252,7 @@ void EmuNode::pace(double now) {
   last_pace_time_ = now;
   if (rate_bytes_per_s_ <= 0.0) return;
   tokens_ = std::min(config_.burst_packets * packet_air_bytes_,
-                     tokens_ + rate_bytes_per_s_ * dt);
+                     tokens_ + effective_rate(now) * dt);
   if (runtime_.role() == protocols::NodeRuntime::Role::kDestination) return;
   if (session_time(now) < 0.0) return;
   const std::uint32_t live =
@@ -212,6 +289,11 @@ void EmuNode::on_frame(double now, int from,
     ++stats_.foreign_session_frames;
     return;
   }
+  // Any valid frame of our session proves the channel is alive: reset the
+  // resync silence clock and its backoff.
+  frame_clock_started_ = true;
+  last_frame_time_ = now;
+  resync_wait_s_ = config_.resync_silence_s;
   switch (frame.type) {
     case wire::FrameType::kCodedData:
       handle_data(now, frame.packet);
@@ -229,6 +311,12 @@ void EmuNode::on_frame(double now, int from,
       break;
     case wire::FrameType::kPriceUpdate:
       handle_price(now, frame.price);
+      break;
+    case wire::FrameType::kResyncRequest:
+      handle_resync_request(now, frame.resync_request);
+      break;
+    case wire::FrameType::kResyncInfo:
+      handle_resync_info(now, frame.resync_info);
       break;
   }
 }
@@ -294,6 +382,10 @@ void EmuNode::handle_ack(double now, const wire::GenerationAck& ack) {
       const double latency =
           session_time(now) - runtime_.generation_start_time();
       runtime_.complete_generation();
+      // The reverse path works again: stand the redundancy boost down until
+      // the next generation's stall timer re-arms it.
+      redundancy_boost_ = 1.0;
+      stall_deadline_ = std::numeric_limits<double>::infinity();
       stats_.ack_latencies.push_back(latency);
       stats_.last_ack_time = session_time(now);
       ++stats_.generations_completed;
@@ -344,6 +436,11 @@ void EmuNode::handle_price(double now, const wire::PriceUpdate& price) {
        price.iteration >= installed_price_iteration_)) {
     installed_price_iteration_ = price.iteration;
     install_rate(price.rate_bytes_per_s);
+    // Freshness for the staleness decay: even a same-iteration repeat proves
+    // the price plane still reaches us.
+    rate_from_price_ = true;
+    price_stale_ = false;
+    last_price_time_ = now;
   }
   // Re-flood: once per new iteration, and at most once per
   // price_forward_min_gap_s per advertised node otherwise (so repeated
@@ -359,6 +456,60 @@ void EmuNode::handle_price(double now, const wire::PriceUpdate& price) {
     wire::PriceUpdate copy = price;
     broadcast(wire::make_price(config_.session_id, std::move(copy)));
   }
+}
+
+void EmuNode::handle_resync_request(double now,
+                                    const wire::ResyncRequest& request) {
+  if (runtime_.role() == protocols::NodeRuntime::Role::kSource) {
+    if (now - last_resync_reply_ < config_.resync_reply_min_gap_s) return;
+    last_resync_reply_ = now;
+    wire::ResyncInfo info;
+    info.generation_id = runtime_.generation_id();
+    info.price_iteration = source_price_iteration_;
+    broadcast(wire::make_resync_info(config_.session_id, info));
+    ++stats_.resync_replies;
+    // The requester likely missed price floods too; reflood immediately
+    // instead of waiting out the periodic timer.
+    if (is_price_origin_) price_flooded_once_ = false;
+    return;
+  }
+  if (request.origin_local == static_cast<std::uint16_t>(local_)) {
+    return;  // own request, reflected back
+  }
+  // Forward toward the source, one copy per origin per reply gap (the same
+  // storm guard the source's reply uses).
+  if (request.origin_local >= last_resync_forward_.size()) return;
+  if (now - last_resync_forward_[request.origin_local] <
+      config_.resync_reply_min_gap_s) {
+    return;
+  }
+  last_resync_forward_[request.origin_local] = now;
+  broadcast(wire::make_resync_request(config_.session_id, request));
+}
+
+void EmuNode::handle_resync_info(double now, const wire::ResyncInfo& info) {
+  if (runtime_.role() == protocols::NodeRuntime::Role::kSource) {
+    return;  // its own answer, reflected back
+  }
+  const std::uint32_t gen = info.generation_id;
+  live_generation_ = std::max(live_generation_, gen);
+  if (runtime_.role() == protocols::NodeRuntime::Role::kRelay &&
+      gen > runtime_.generation_id()) {
+    // Fast-forward the recode buffer to the live generation instead of
+    // waiting for fresh data to reveal it.
+    runtime_.flush_to(gen);
+  }
+  if (runtime_.role() == protocols::NodeRuntime::Role::kDestination &&
+      have_ack_ && gen > last_ack_.generation_id) {
+    source_moved_on_ = true;  // the source provably heard our ACK
+  }
+  // Re-flood each newly learned live generation once, so the answer reaches
+  // requesters the source's broadcast missed.
+  if (static_cast<std::int64_t>(gen) > forwarded_resync_info_gen_) {
+    forwarded_resync_info_gen_ = static_cast<std::int64_t>(gen);
+    broadcast(wire::make_resync_info(config_.session_id, info));
+  }
+  (void)now;
 }
 
 }  // namespace omnc::emu

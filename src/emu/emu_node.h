@@ -22,6 +22,15 @@
 //   * Link probing (optional) — during [0, probe_window_s) every node
 //     broadcasts evenly spaced beacons, then reports p̂ = heard/window per
 //     origin.
+//   * Resync — a non-source node that has heard nothing for a while
+//     (blackout restart, healed partition) broadcasts a ResyncRequest with
+//     exponential backoff; the source floods back ResyncInfo (live
+//     generation id + price iteration) and refloods prices, letting the
+//     laggard fast-forward instead of waiting out the silence.
+// Recovery hardening on top (see DESIGN.md §11): the source boosts its
+// redundancy with bounded exponential backoff while ACKs go missing, the
+// destination's ACK flood degrades to a slow keepalive instead of going
+// mute, and relay rates installed from old PriceUpdates decay once stale.
 // Data plane: coded packets are paced by a token bucket charged in air
 // bytes (CodedPacket header + n + m), the same accounting as the
 // simulator's slot_bytes, so rates mean the same thing in both worlds.
@@ -56,9 +65,38 @@ struct EmuNodeConfig {
   // which keeps them comparable with the slot simulator's t = 0 start.
   double data_start_s = 0.5;
 
-  // ACK flood tuning (virtual seconds).
+  // ACK flood tuning (virtual seconds).  After ack_repeat_limit fast
+  // repeats the destination falls back to a slow keepalive cadence — it
+  // must never go mute, or a lossy reverse path deadlocks the source.
   double ack_repeat_s = 0.05;
   int ack_repeat_limit = 400;
+  double ack_keepalive_s = 0.5;
+
+  // Source stall detection (virtual seconds): a generation active with no
+  // ACK for stall_timeout_s doubles the source's redundancy boost (token
+  // refill multiplier, capped at redundancy_boost_max) and the timer itself
+  // (capped at stall_backoff_max_s), so reverse-path loss is answered with
+  // bounded extra forward redundancy instead of an idle wait.  0 disables.
+  double stall_timeout_s = 0.75;
+  double stall_backoff_max_s = 6.0;
+  double redundancy_boost_max = 4.0;
+
+  // Price staleness (non-source nodes): a rate installed from a PriceUpdate
+  // older than price_stale_s decays exponentially with time constant
+  // price_decay_tau_s toward price_decay_floor x installed, so a partitioned
+  // node's λ/β prices cannot pin its transmit rate forever.  0 disables.
+  double price_stale_s = 2.0;
+  double price_decay_tau_s = 2.0;
+  double price_decay_floor = 0.1;
+
+  // Resync (non-source nodes): silence longer than the current wait (starts
+  // at resync_silence_s, doubling per attempt up to resync_backoff_max_s,
+  // reset by any valid frame) triggers a ResyncRequest broadcast; the source
+  // answers with ResyncInfo + a price reflood, rate-limited to one reply per
+  // resync_reply_min_gap_s.  0 disables.
+  double resync_silence_s = 1.5;
+  double resync_backoff_max_s = 12.0;
+  double resync_reply_min_gap_s = 0.2;
 
   // Price flood tuning (virtual seconds).  The forward gap sits just under
   // the reflood period so each periodic reflood propagates once — a smaller
@@ -117,6 +155,11 @@ class EmuNode {
     std::size_t foreign_session_frames = 0;
     std::size_t data_packets_sent = 0;
     std::size_t innovative_received = 0;
+    std::size_t stall_boosts = 0;     // source redundancy escalations
+    std::size_t ack_keepalives = 0;   // destination slow-cadence ACKs
+    std::size_t resync_requests = 0;  // ResyncRequests this node originated
+    std::size_t resync_replies = 0;   // ResyncInfo answers (source only)
+    std::size_t price_decays = 0;     // staleness episodes entered
     bool rate_installed = false;
     /// Destination: every decoded generation matched the synthetic source
     /// payload byte-for-byte.  Stays true on nodes that decode nothing.
@@ -133,13 +176,17 @@ class EmuNode {
   void handle_data(double now, const coding::CodedPacket& packet);
   void handle_ack(double now, const wire::GenerationAck& ack);
   void handle_price(double now, const wire::PriceUpdate& price);
+  void handle_resync_request(double now, const wire::ResyncRequest& request);
+  void handle_resync_info(double now, const wire::ResyncInfo& info);
   void run_probe(double now);
   void run_source(double now);
   void run_destination(double now);
+  void run_recovery(double now);
   void pace(double now);
   void broadcast(const wire::Frame& frame);
   void send_ack(double now);
   void flood_prices(double now);
+  double effective_rate(double now);
   double session_time(double now) const { return now - config_.data_start_s; }
 
   const routing::SessionGraph& graph_;
@@ -184,6 +231,26 @@ class EmuNode {
   std::uint32_t installed_price_iteration_ = 0;
   std::vector<double> last_price_forward_;   // by node_local; -inf = never
   std::vector<std::uint32_t> forwarded_price_iter_;
+
+  // Source stall detection / redundancy boost.
+  double redundancy_boost_ = 1.0;
+  double stall_timeout_cur_ = 0.0;
+  double stall_deadline_ = 0.0;  // +inf while no generation is active
+
+  // Price freshness (non-source).
+  bool rate_from_price_ = false;
+  bool price_stale_ = false;
+  double last_price_time_ = 0.0;
+
+  // Resync: silence clock, request backoff, and flood forwarding state.
+  bool frame_clock_started_ = false;
+  double last_frame_time_ = 0.0;
+  double resync_wait_s_ = 0.0;
+  double last_resync_send_ = 0.0;
+  double last_resync_reply_ = 0.0;                // source rate limit
+  std::uint32_t source_price_iteration_ = 0;      // newest flooded iteration
+  std::vector<double> last_resync_forward_;       // by origin_local
+  std::int64_t forwarded_resync_info_gen_ = -1;   // newest info re-flooded
 
   // Probe state.
   int beacons_sent_ = 0;

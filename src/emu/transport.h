@@ -27,17 +27,50 @@ struct TransportStats {
   std::size_t bytes_sent = 0;        // serialized bytes of those broadcasts
   std::size_t copies_dropped = 0;    // per-receiver copies lost in transit
   std::size_t copies_delivered = 0;  // per-receiver copies handed to poll()
+  std::size_t datagrams_truncated = 0;  // UDP: frame larger than recv buffer
+  std::size_t socket_errors = 0;        // UDP: unexpected recvfrom failures
+  std::size_t rcvbuf_effective_bytes = 0;  // UDP: granted SO_RCVBUF (min
+                                           // across sockets); 0 elsewhere
+};
+
+/// One fault-injection decision, as emitted by FaultTransport.  `link_copy`
+/// is the 0-based arrival index on the directed link (from, to) the decision
+/// applied to — a seed-deterministic coordinate, unlike wall time.
+struct FaultRecord {
+  enum class Kind : std::uint8_t {
+    kLoss,       // Gilbert–Elliott channel killed the copy
+    kReorder,    // the copy was held back past later arrivals
+    kDuplicate,  // an extra copy was delivered
+    kPartition,  // the copy crossed a scheduled partition and was cut
+    kBlackout,   // the copy touched a blacked-out (crashed) node
+  };
+  Kind kind = Kind::kLoss;
+  int from = -1;
+  int to = -1;
+  std::size_t bytes = 0;
+  std::uint64_t link_copy = 0;
+  double time = 0.0;  // injector virtual seconds since run start
 };
 
 /// Taps every channel event; used to route transport activity into the obs
-/// layer (trace families emu_send / emu_drop / emu_deliver).  Callbacks may
-/// arrive concurrently from different node threads.
+/// layer (trace families emu_send / emu_drop / emu_deliver and the
+/// emu_fault_* family from FaultTransport).  Callbacks may arrive
+/// concurrently from different node threads.
 class TransportObserver {
  public:
   virtual ~TransportObserver() = default;
   virtual void on_send(int from, std::size_t bytes) = 0;
   virtual void on_drop(int from, int to, std::size_t bytes) = 0;
   virtual void on_deliver(int from, int to, std::size_t bytes) = 0;
+  /// A fault injector made a decision (loss/reorder/dup/partition/blackout).
+  virtual void on_fault(const FaultRecord& record) { (void)record; }
+  /// A datagram arrived larger than the receive buffer and was discarded
+  /// whole instead of being fed to the parser as a sheared prefix.
+  virtual void on_truncated(int from, int to, std::size_t claimed_bytes) {
+    (void)from;
+    (void)to;
+    (void)claimed_bytes;
+  }
 };
 
 class Transport {
@@ -59,6 +92,11 @@ class Transport {
   virtual std::size_t poll(int to, const Handler& handler) = 0;
 
   virtual TransportStats stats() const = 0;
+
+  /// Called once by the harness when the run's virtual clock starts; fault
+  /// injectors anchor their schedule (partitions, blackouts) here.  Backends
+  /// without time-dependent behaviour ignore it.
+  virtual void on_run_start(double speedup) { (void)speedup; }
 
   /// `observer` must outlive the transport (or be reset to nullptr first).
   void set_observer(TransportObserver* observer) { observer_ = observer; }

@@ -6,10 +6,13 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <cstring>
 #include <stdexcept>
 
 #include "common/assert.h"
+#include "common/logging.h"
 #include "wire/frame.h"
 
 namespace omnc::emu {
@@ -38,8 +41,25 @@ UdpTransport::UdpTransport(int nodes, UdpConfig config)
     if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
       throw std::runtime_error("UdpTransport: O_NONBLOCK failed");
     }
-    ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &config_.recv_buffer_bytes,
-                 sizeof(config_.recv_buffer_bytes));
+    const int set_rc =
+        ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &config_.recv_buffer_bytes,
+                     sizeof(config_.recv_buffer_bytes));
+    // Verify what was actually granted: the kernel clamps silently (and
+    // Linux reports the doubled bookkeeping value), so receive-drop
+    // mysteries need the effective size, not the request.
+    int granted = 0;
+    socklen_t granted_len = sizeof(granted);
+    if (::getsockopt(fd, SOL_SOCKET, SO_RCVBUF, &granted, &granted_len) != 0) {
+      granted = 0;
+    }
+    if (set_rc != 0 || granted < config_.recv_buffer_bytes) {
+      OMNC_LOG_WARN("UdpTransport: SO_RCVBUF request %d granted %d on node %d",
+                    config_.recv_buffer_bytes, granted, i);
+    }
+    const std::size_t effective =
+        granted > 0 ? static_cast<std::size_t>(granted) : 0;
+    rcvbuf_effective_ = i == 0 ? effective
+                               : std::min(rcvbuf_effective_, effective);
     sockaddr_in addr = loopback_addr(0);  // ephemeral: the kernel picks
     if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
         0) {
@@ -92,21 +112,44 @@ std::size_t UdpTransport::poll(int to, const Handler& handler) {
   OMNC_ASSERT(to >= 0 && to < n_);
   const int fd = fds_[static_cast<std::size_t>(to)];
   // One datagram = one frame; wire::kMaxFrameBytes bounds the sender side,
-  // but a UDP datagram cannot exceed 64 KiB anyway.
-  std::vector<std::uint8_t> buffer(65536);
+  // but a UDP datagram cannot exceed 64 KiB anyway.  MSG_TRUNC makes
+  // recvfrom report the datagram's *full* length even when it exceeds the
+  // buffer, so oversized datagrams are detectable instead of silently
+  // arriving as a sheared prefix that happens to parse as garbage.
+  std::vector<std::uint8_t> buffer(config_.recv_chunk_bytes);
   std::size_t delivered = 0;
   for (;;) {
     sockaddr_in src{};
     socklen_t len = sizeof(src);
     const ssize_t got =
-        ::recvfrom(fd, buffer.data(), buffer.size(), 0,
+        ::recvfrom(fd, buffer.data(), buffer.size(), MSG_TRUNC,
                    reinterpret_cast<sockaddr*>(&src), &len);
     if (got < 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) break;
-      break;  // unexpected socket error: stop draining, keep running
+      // Unexpected socket error: count it and log once per transport, so a
+      // dead socket is visible rather than indistinguishable from silence.
+      socket_errors_.fetch_add(1, std::memory_order_relaxed);
+      if (!socket_error_logged_.exchange(true, std::memory_order_relaxed)) {
+        OMNC_LOG_WARN(
+            "UdpTransport: recvfrom failed on node %d: %s "
+            "(further errors counted in stats, not logged)",
+            to, std::strerror(errno));
+      }
+      break;  // stop draining this round, keep running
     }
     const auto it = port_to_node_.find(ntohs(src.sin_port));
-    if (it == port_to_node_.end()) {
+    const int from = it != port_to_node_.end() ? it->second : -1;
+    if (static_cast<std::size_t>(got) > buffer.size()) {
+      // Truncated datagram: the kernel kept only buffer.size() bytes.  Feed
+      // nothing to the parser — a sheared prefix is indistinguishable from
+      // corruption — and count it as its own failure reason.
+      datagrams_truncated_.fetch_add(1, std::memory_order_relaxed);
+      if (observer_ != nullptr) {
+        observer_->on_truncated(from, to, static_cast<std::size_t>(got));
+      }
+      continue;
+    }
+    if (from < 0) {
       // A stray datagram from outside the harness; drop it.
       copies_dropped_.fetch_add(1, std::memory_order_relaxed);
       if (observer_ != nullptr) {
@@ -116,10 +159,10 @@ std::size_t UdpTransport::poll(int to, const Handler& handler) {
     }
     copies_delivered_.fetch_add(1, std::memory_order_relaxed);
     if (observer_ != nullptr) {
-      observer_->on_deliver(it->second, to, static_cast<std::size_t>(got));
+      observer_->on_deliver(from, to, static_cast<std::size_t>(got));
     }
     ++delivered;
-    handler(it->second,
+    handler(from,
             std::span<const std::uint8_t>(buffer.data(),
                                           static_cast<std::size_t>(got)));
   }
@@ -132,6 +175,10 @@ TransportStats UdpTransport::stats() const {
   stats.bytes_sent = bytes_sent_.load(std::memory_order_relaxed);
   stats.copies_dropped = copies_dropped_.load(std::memory_order_relaxed);
   stats.copies_delivered = copies_delivered_.load(std::memory_order_relaxed);
+  stats.datagrams_truncated =
+      datagrams_truncated_.load(std::memory_order_relaxed);
+  stats.socket_errors = socket_errors_.load(std::memory_order_relaxed);
+  stats.rcvbuf_effective_bytes = rcvbuf_effective_;
   return stats;
 }
 

@@ -20,8 +20,18 @@ namespace omnc::emu {
 
 struct UdpConfig {
   /// SO_RCVBUF request per socket; loopback bursts of coded packets
-  /// overflow the default on some kernels.
+  /// overflow the default on some kernels.  The granted size is read back
+  /// with getsockopt and surfaced in stats().rcvbuf_effective_bytes (a
+  /// shortfall is logged once), so receive-drop mysteries are diagnosable.
   int recv_buffer_bytes = 1 << 20;
+
+  /// Per-datagram receive buffer for poll().  A datagram larger than this
+  /// is detected via MSG_TRUNC and discarded whole (counted in
+  /// stats().datagrams_truncated and reported through
+  /// TransportObserver::on_truncated) instead of feeding a sheared prefix
+  /// to the frame parser.  The default covers the largest UDP datagram;
+  /// tests shrink it to exercise the truncation path.
+  std::size_t recv_chunk_bytes = 65536;
 };
 
 class UdpTransport final : public Transport {
@@ -54,6 +64,10 @@ class UdpTransport final : public Transport {
   std::atomic<std::size_t> bytes_sent_{0};
   std::atomic<std::size_t> copies_dropped_{0};
   std::atomic<std::size_t> copies_delivered_{0};
+  std::atomic<std::size_t> datagrams_truncated_{0};
+  std::atomic<std::size_t> socket_errors_{0};
+  std::atomic<bool> socket_error_logged_{false};
+  std::size_t rcvbuf_effective_ = 0;  // min granted SO_RCVBUF across sockets
 };
 
 }  // namespace omnc::emu

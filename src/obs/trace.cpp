@@ -82,6 +82,11 @@ const char* event_kind(protocols::MetricEvent::Type type) {
     case Type::kEmuDrop: return "edrop";
     case Type::kEmuDeliver: return "edeliver";
     case Type::kEmuParseError: return "eperr";
+    case Type::kEmuFaultLoss: return "floss";
+    case Type::kEmuFaultReorder: return "freord";
+    case Type::kEmuFaultDup: return "fdup";
+    case Type::kEmuFaultPartition: return "fpart";
+    case Type::kEmuFaultBlackout: return "fblack";
   }
   return "?";
 }

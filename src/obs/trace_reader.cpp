@@ -234,6 +234,11 @@ protocols::MetricEvent::Type event_type_of(const std::string& kind,
   if (kind == "edrop") return Type::kEmuDrop;
   if (kind == "edeliver") return Type::kEmuDeliver;
   if (kind == "eperr") return Type::kEmuParseError;
+  if (kind == "floss") return Type::kEmuFaultLoss;
+  if (kind == "freord") return Type::kEmuFaultReorder;
+  if (kind == "fdup") return Type::kEmuFaultDup;
+  if (kind == "fpart") return Type::kEmuFaultPartition;
+  if (kind == "fblack") return Type::kEmuFaultBlackout;
   *known = false;
   return Type::kTx;
 }

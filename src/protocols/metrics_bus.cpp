@@ -71,6 +71,11 @@ void SessionResultSink::on_event(const MetricEvent& event) {
     case MetricEvent::Type::kEmuDrop:
     case MetricEvent::Type::kEmuDeliver:
     case MetricEvent::Type::kEmuParseError:
+    case MetricEvent::Type::kEmuFaultLoss:
+    case MetricEvent::Type::kEmuFaultReorder:
+    case MetricEvent::Type::kEmuFaultDup:
+    case MetricEvent::Type::kEmuFaultPartition:
+    case MetricEvent::Type::kEmuFaultBlackout:
       break;  // emulation transport detail; aggregated by trace_inspect
   }
 }

@@ -41,7 +41,16 @@ struct MetricEvent {
     kEmuSend,        // a node broadcast one wire frame; value = frame bytes
     kEmuDrop,        // one per-receiver copy was lost in transit
     kEmuDeliver,     // one copy reached a receiver's poll(); value = bytes
-    kEmuParseError,  // a received buffer failed wire::Frame::parse
+    kEmuParseError,  // a received buffer failed wire::Frame::parse, or (when
+                     // generation == 1) a datagram arrived truncated and was
+                     // discarded whole before reaching the parser
+    // Fault-injection family, emitted by emu::FaultTransport; generation
+    // carries the deterministic per-link copy index the decision applied to:
+    kEmuFaultLoss,       // Gilbert–Elliott burst loss killed a copy
+    kEmuFaultReorder,    // a copy was held back past later arrivals
+    kEmuFaultDup,        // a copy was duplicated in flight
+    kEmuFaultPartition,  // a copy crossed a scheduled partition and was cut
+    kEmuFaultBlackout,   // a copy touched a blacked-out (crashed) node
   };
 
   Type type = Type::kTx;

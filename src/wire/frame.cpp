@@ -56,7 +56,7 @@ double get_double(const std::uint8_t* p) {
 
 bool valid_type(std::uint8_t raw) {
   return raw >= static_cast<std::uint8_t>(FrameType::kCodedData) &&
-         raw <= static_cast<std::uint8_t>(FrameType::kPriceUpdate);
+         raw <= static_cast<std::uint8_t>(FrameType::kResyncInfo);
 }
 
 /// Serializes just the body of `frame` (everything after the header).
@@ -100,6 +100,16 @@ std::vector<std::uint8_t> serialize_body(const Frame& frame) {
       }
       break;
     }
+    case FrameType::kResyncRequest:
+      body.reserve(ResyncRequest::kBytes);
+      put_u16(body, frame.resync_request.origin_local);
+      put_u32(body, frame.resync_request.last_seen_generation);
+      break;
+    case FrameType::kResyncInfo:
+      body.reserve(ResyncInfo::kBytes);
+      put_u32(body, frame.resync_info.generation_id);
+      put_u32(body, frame.resync_info.price_iteration);
+      break;
   }
   return body;
 }
@@ -158,6 +168,16 @@ bool parse_body(FrameType type, std::uint32_t session_id,
       out->price = std::move(price);
       return true;
     }
+    case FrameType::kResyncRequest:
+      if (body.size() != ResyncRequest::kBytes) return false;
+      out->resync_request.origin_local = get_u16(body.data());
+      out->resync_request.last_seen_generation = get_u32(body.data() + 2);
+      return true;
+    case FrameType::kResyncInfo:
+      if (body.size() != ResyncInfo::kBytes) return false;
+      out->resync_info.generation_id = get_u32(body.data());
+      out->resync_info.price_iteration = get_u32(body.data() + 4);
+      return true;
   }
   return false;  // unknown type (already rejected by the header check)
 }
@@ -258,6 +278,23 @@ Frame make_price(std::uint32_t session_id, PriceUpdate price) {
   frame.type = FrameType::kPriceUpdate;
   frame.session_id = session_id;
   frame.price = std::move(price);
+  return frame;
+}
+
+Frame make_resync_request(std::uint32_t session_id,
+                          const ResyncRequest& request) {
+  Frame frame;
+  frame.type = FrameType::kResyncRequest;
+  frame.session_id = session_id;
+  frame.resync_request = request;
+  return frame;
+}
+
+Frame make_resync_info(std::uint32_t session_id, const ResyncInfo& info) {
+  Frame frame;
+  frame.type = FrameType::kResyncInfo;
+  frame.session_id = session_id;
+  frame.resync_info = info;
   return frame;
 }
 

@@ -56,6 +56,8 @@ enum class FrameType : std::uint8_t {
   kProbeBeacon = 3,    // payload: ProbeBeacon
   kProbeReport = 4,    // payload: ProbeReport
   kPriceUpdate = 5,    // payload: PriceUpdate
+  kResyncRequest = 6,  // payload: ResyncRequest
+  kResyncInfo = 7,     // payload: ResyncInfo
 };
 
 /// FNV-1a 32-bit over a byte range (the header checksum).
@@ -126,6 +128,31 @@ struct PriceUpdate {
   bool operator==(const PriceUpdate&) const = default;
 };
 
+/// "I lost track of the session — where is it now?"  Broadcast by a node
+/// that has heard nothing for a while (post-blackout restart, healed
+/// partition); relays re-flood it toward the source with per-origin rate
+/// limiting.  `last_seen_generation` is the newest generation the requester
+/// knows about, so the source can tell a fresh restart from mild lag.
+struct ResyncRequest {
+  std::uint16_t origin_local = 0;         // who is asking
+  std::uint32_t last_seen_generation = 0;  // newest generation id it saw
+
+  static constexpr std::size_t kBytes = 6;
+  bool operator==(const ResyncRequest&) const = default;
+};
+
+/// The source's answer (also flooded): the live generation id and the
+/// rate-control iteration currently in force, enough for a restarted node to
+/// fast-forward its buffers and recognise stale prices.  The source follows
+/// it with a full price reflood.
+struct ResyncInfo {
+  std::uint32_t generation_id = 0;    // the source's live generation
+  std::uint32_t price_iteration = 0;  // newest flooded rate-control iteration
+
+  static constexpr std::size_t kBytes = 8;
+  bool operator==(const ResyncInfo&) const = default;
+};
+
 /// A decoded frame: the header fields that matter to receivers plus the
 /// body of the one type the frame carries (the others stay default).
 struct Frame {
@@ -137,6 +164,8 @@ struct Frame {
   ProbeBeacon beacon;          // kProbeBeacon
   ProbeReport report;          // kProbeReport
   PriceUpdate price;           // kPriceUpdate
+  ResyncRequest resync_request;  // kResyncRequest
+  ResyncInfo resync_info;        // kResyncInfo
 
   std::vector<std::uint8_t> serialize() const;
 
@@ -156,6 +185,9 @@ Frame make_ack(std::uint32_t session_id, const GenerationAck& ack);
 Frame make_beacon(std::uint32_t session_id, const ProbeBeacon& beacon);
 Frame make_report(std::uint32_t session_id, const ProbeReport& report);
 Frame make_price(std::uint32_t session_id, PriceUpdate price);
+Frame make_resync_request(std::uint32_t session_id,
+                          const ResyncRequest& request);
+Frame make_resync_info(std::uint32_t session_id, const ResyncInfo& info);
 
 /// Cheap peeks used by forwarding paths that do not need a full parse; they
 /// validate only the header structure (magic/version/length/type range).

@@ -228,6 +228,69 @@ TEST(UdpTransport, BroadcastRoundTripsWithSenderIdentity) {
   EXPECT_EQ(stats.copies_delivered, 2u);
 }
 
+TEST(UdpTransport, OversizedDatagramIsCountedNotSheared) {
+  // Regression: recvfrom without MSG_TRUNC reports the *clamped* length, so
+  // a datagram larger than the receive buffer used to arrive as a sheared
+  // prefix fed straight to the parser.  It must instead be discarded whole,
+  // counted, and reported through the observer.
+  struct TruncRecorder final : TransportObserver {
+    int from = -2;
+    int to = -2;
+    std::size_t claimed = 0;
+    std::size_t calls = 0;
+    void on_send(int, std::size_t) override {}
+    void on_drop(int, int, std::size_t) override {}
+    void on_deliver(int, int, std::size_t) override {}
+    void on_truncated(int f, int t, std::size_t bytes) override {
+      from = f;
+      to = t;
+      claimed = bytes;
+      ++calls;
+    }
+  };
+  UdpConfig config;
+  config.recv_chunk_bytes = 64;  // anything longer gets truncated by the OS
+  UdpTransport transport(2, config);
+  TruncRecorder recorder;
+  transport.set_observer(&recorder);
+  transport.send(0, message(0x7e, 200));
+  std::size_t handler_calls = 0;
+  for (int attempt = 0; attempt < 200 && recorder.calls == 0; ++attempt) {
+    transport.poll(1, [&](int, std::span<const std::uint8_t>) {
+      ++handler_calls;
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(handler_calls, 0u);  // nothing reaches the parser
+  EXPECT_EQ(recorder.calls, 1u);
+  EXPECT_EQ(recorder.from, 0);
+  EXPECT_EQ(recorder.to, 1);
+  EXPECT_EQ(recorder.claimed, 200u);  // MSG_TRUNC reports the full length
+  const TransportStats stats = transport.stats();
+  EXPECT_EQ(stats.datagrams_truncated, 1u);
+  EXPECT_EQ(stats.copies_delivered, 0u);
+
+  // Datagrams that fit still flow on the same socket afterwards.
+  transport.send(0, message(0x11, 32));
+  std::vector<std::uint8_t> got;
+  for (int attempt = 0; attempt < 200 && got.empty(); ++attempt) {
+    transport.poll(1, [&](int, std::span<const std::uint8_t> bytes) {
+      got.assign(bytes.begin(), bytes.end());
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(got, message(0x11, 32));
+}
+
+TEST(UdpTransport, ReportsEffectiveReceiveBufferSize) {
+  // The granted SO_RCVBUF (kernel-clamped, possibly doubled on Linux) must
+  // be surfaced so receive-drop mysteries are diagnosable from stats alone.
+  UdpTransport transport(2);
+  const TransportStats stats = transport.stats();
+  EXPECT_GT(stats.rcvbuf_effective_bytes, 0u);
+  EXPECT_EQ(stats.socket_errors, 0u);
+}
+
 TEST(UdpTransport, ManyInstancesCoexist) {
   // ctest -j safety in miniature: several transports at once, no port clash,
   // no cross-talk (distinct sockets).

@@ -93,6 +93,24 @@ TEST(WireFrame, PriceRoundTripEmptyLambdas) {
   expect_byte_exact_roundtrip(wire::make_price(1, price));
 }
 
+TEST(WireFrame, ResyncRequestRoundTrip) {
+  const wire::ResyncRequest request{3, 41};
+  expect_byte_exact_roundtrip(wire::make_resync_request(9, request));
+  wire::Frame parsed;
+  ASSERT_TRUE(wire::Frame::parse(
+      wire::make_resync_request(9, request).serialize(), &parsed));
+  EXPECT_EQ(parsed.resync_request, request);
+}
+
+TEST(WireFrame, ResyncInfoRoundTrip) {
+  const wire::ResyncInfo info{17, 250};
+  expect_byte_exact_roundtrip(wire::make_resync_info(9, info));
+  wire::Frame parsed;
+  ASSERT_TRUE(
+      wire::Frame::parse(wire::make_resync_info(9, info).serialize(), &parsed));
+  EXPECT_EQ(parsed.resync_info, info);
+}
+
 TEST(WireFrame, PeeksMatchFullParse) {
   const std::vector<std::uint8_t> bytes =
       wire::make_ack(1234, wire::GenerationAck{1, 0, 0}).serialize();
@@ -138,8 +156,11 @@ TEST(WireFrameHostile, RejectsBadMagicVersionAndType) {
   EXPECT_FALSE(mutate(0, 0x00));  // magic
   EXPECT_FALSE(mutate(4, 0x02));  // unknown version
   EXPECT_FALSE(mutate(5, 0x00));  // type below range
-  EXPECT_FALSE(mutate(5, 0x06));  // type above range
+  EXPECT_FALSE(mutate(5, 0x08));  // type above range (7 = kResyncInfo is top)
   EXPECT_FALSE(mutate(5, 0xff));
+  // 0x06/0x07 are valid types now, but the ACK body size does not fit them.
+  EXPECT_FALSE(mutate(5, 0x06));
+  EXPECT_FALSE(mutate(5, 0x07));
 }
 
 TEST(WireFrameHostile, RejectsEveryCorruptedByte) {
@@ -178,6 +199,23 @@ TEST(WireFrameHostile, RejectsHostileLengthFields) {
         wire::make_ack(1, wire::GenerationAck{}).serialize();
     copy[13] = claimed;  // true payload is 10 bytes
     EXPECT_FALSE(wire::Frame::parse(copy, &out));
+  }
+}
+
+TEST(WireFrameHostile, RejectsResyncTruncationAndTrailingBytes) {
+  const std::vector<std::vector<std::uint8_t>> frames = {
+      wire::make_resync_request(1, wire::ResyncRequest{2, 9}).serialize(),
+      wire::make_resync_info(1, wire::ResyncInfo{9, 4}).serialize(),
+  };
+  wire::Frame out;
+  for (const auto& good : frames) {
+    for (std::size_t len = 0; len < good.size(); ++len) {
+      EXPECT_FALSE(wire::Frame::parse(
+          std::span<const std::uint8_t>(good.data(), len), &out));
+    }
+    std::vector<std::uint8_t> padded = good;
+    padded.push_back(0);
+    EXPECT_FALSE(wire::Frame::parse(padded, &out));
   }
 }
 

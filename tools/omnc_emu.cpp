@@ -6,7 +6,7 @@
 //                 [--block-bytes B] [--capacity C] [--cbr R] [--seed S]
 //                 [--speedup X] [--timeout S] [--probe-window S]
 //                 [--oracle-rates] [--cross-check] [--tol-lo R] [--tol-hi R]
-//                 [--json PATH] [--trace PATH] [--metrics]
+//                 [--fault-plan SPEC] [--json PATH] [--trace PATH] [--metrics]
 //
 //   --transport     loopback: in-memory channel, per-link Bernoulli loss
 //                   from the session graph's reception probabilities;
@@ -23,6 +23,11 @@
 //                   instead of flooding them in-band as PriceUpdate frames
 //   --cross-check   also run the slot simulator on the same topology and
 //                   require emu/sim goodput within [--tol-lo, --tol-hi]
+//   --fault-plan    wrap the transport in a deterministic FaultTransport;
+//                   SPEC is a preset name (burst|jitter|partition|blackout|
+//                   chaos) or a directive string, see FaultPlan::parse.
+//                   A spec without `seed=` inherits --seed.  Fault decisions
+//                   appear in the trace (`trace_inspect --faults`)
 //   --json          write flat result records (bench JSON schema)
 //   --trace         record a schema-v1 JSONL trace; transport activity shows
 //                   up in `trace_inspect --transport`
@@ -38,6 +43,7 @@
 #include "bench_util.h"
 #include "common/options.h"
 #include "emu/emu_harness.h"
+#include "emu/fault_transport.h"
 #include "emu/loopback_transport.h"
 #include "emu/udp_transport.h"
 #include "net/topology.h"
@@ -121,29 +127,52 @@ int main(int argc, char** argv) {
   std::vector<double> rates = rc.b;
   opt::rescale_to_feasible(graph, rates, capacity);
 
-  std::unique_ptr<emu::Transport> transport;
+  std::unique_ptr<emu::Transport> base_transport;
   if (transport_name == "loopback") {
     emu::LoopbackConfig loopback;
     loopback.seed = seed;
-    transport = std::make_unique<emu::LoopbackTransport>(
+    base_transport = std::make_unique<emu::LoopbackTransport>(
         graph.size(), emu::link_matrix_from_topology(topo, graph), loopback);
   } else if (transport_name == "udp") {
-    transport = std::make_unique<emu::UdpTransport>(graph.size());
+    base_transport = std::make_unique<emu::UdpTransport>(graph.size());
   } else {
     std::fprintf(stderr, "unknown --transport %s (loopback|udp)\n",
                  transport_name.c_str());
     return 2;
   }
 
-  char params[256];
+  // Optional fault injection: the decorator wraps whichever backend was
+  // chosen, so burst loss and partitions apply identically over loopback
+  // and UDP.  The base transport must stay alive underneath it.
+  const std::string fault_spec = options.get("fault-plan", "");
+  std::unique_ptr<emu::FaultTransport> fault_transport;
+  emu::Transport* transport = base_transport.get();
+  if (!fault_spec.empty()) {
+    emu::FaultPlan plan;
+    std::string error;
+    if (!emu::FaultPlan::parse(fault_spec, &plan, &error)) {
+      std::fprintf(stderr, "bad --fault-plan: %s\n", error.c_str());
+      return 2;
+    }
+    // A spec without an explicit seed inherits the run seed, so sweeps over
+    // --seed exercise distinct fault realizations by default.
+    if (fault_spec.find("seed=") == std::string::npos) plan.seed = seed;
+    fault_transport =
+        std::make_unique<emu::FaultTransport>(*base_transport, plan);
+    transport = fault_transport.get();
+  }
+
+  char params[384];
   std::snprintf(params, sizeof(params),
                 "transport=%s;topology=%s;generations=%d;gen_blocks=%u;"
-                "block_bytes=%u;seed=%llu",
+                "block_bytes=%u;seed=%llu%s%s",
                 transport_name.c_str(), topology_name.c_str(),
                 config.node.max_generations,
                 config.node.coding.generation_blocks,
                 config.node.coding.block_bytes,
-                static_cast<unsigned long long>(seed));
+                static_cast<unsigned long long>(seed),
+                fault_spec.empty() ? "" : ";fault_plan=",
+                fault_spec.c_str());
   bench::ObsSetup obs = bench::parse_obs(options, "omnc_emu", params, seed);
   bench::JsonWriter json(options);
 
@@ -183,6 +212,10 @@ int main(int argc, char** argv) {
               config.node.coding.generation_blocks,
               config.node.coding.block_bytes, config.speedup,
               static_cast<unsigned long long>(seed));
+  if (fault_transport != nullptr) {
+    std::printf("# fault plan: %s\n",
+                fault_transport->plan().describe().c_str());
+  }
   const emu::EmuRunResult result = harness.run();
 
   std::printf("completed: %s  decoded data: %s\n",
@@ -197,6 +230,24 @@ int main(int argc, char** argv) {
               result.transport.frames_sent, result.transport.bytes_sent,
               result.transport.copies_delivered,
               result.transport.copies_dropped, result.parse_errors);
+  if (fault_transport != nullptr) {
+    const emu::FaultStats faults = fault_transport->fault_stats();
+    std::printf("faults: %zu lost, %zu duplicated, %zu reordered, "
+                "%zu partition drops, %zu blackout rx drops, "
+                "%zu blackout tx suppressed\n",
+                faults.lost, faults.duplicated, faults.reordered,
+                faults.partition_drops, faults.blackout_rx_drops,
+                faults.blackout_tx_suppressed);
+  }
+  if (result.stall_boosts + result.ack_keepalives + result.resync_requests +
+          result.resync_replies + result.price_decays >
+      0) {
+    std::printf("recovery: %zu stall boosts, %zu ACK keepalives, "
+                "%zu resync requests, %zu resync replies, %zu price decays\n",
+                result.stall_boosts, result.ack_keepalives,
+                result.resync_requests, result.resync_replies,
+                result.price_decays);
+  }
 
   // Link-probe estimates vs the topology's true probabilities.
   if (config.node.probe_window_s > 0.0 && !result.probe_reports.empty()) {
@@ -241,6 +292,28 @@ int main(int argc, char** argv) {
               static_cast<double>(result.transport.copies_dropped));
   json.record("omnc_emu", params, "parse_errors",
               static_cast<double>(result.parse_errors));
+  if (fault_transport != nullptr) {
+    const emu::FaultStats faults = fault_transport->fault_stats();
+    json.record("omnc_emu", params, "fault_lost",
+                static_cast<double>(faults.lost));
+    json.record("omnc_emu", params, "fault_duplicated",
+                static_cast<double>(faults.duplicated));
+    json.record("omnc_emu", params, "fault_reordered",
+                static_cast<double>(faults.reordered));
+    json.record("omnc_emu", params, "fault_partition_drops",
+                static_cast<double>(faults.partition_drops));
+    json.record("omnc_emu", params, "fault_blackout_drops",
+                static_cast<double>(faults.blackout_rx_drops +
+                                    faults.blackout_tx_suppressed));
+    json.record("omnc_emu", params, "stall_boosts",
+                static_cast<double>(result.stall_boosts));
+    json.record("omnc_emu", params, "ack_keepalives",
+                static_cast<double>(result.ack_keepalives));
+    json.record("omnc_emu", params, "resync_requests",
+                static_cast<double>(result.resync_requests));
+    json.record("omnc_emu", params, "price_decays",
+                static_cast<double>(result.price_decays));
+  }
 
   bool ok = result.completed && result.data_ok;
 

@@ -3,7 +3,8 @@
 //
 // Usage: trace_inspect <trace.jsonl> [--summary] [--queues] [--edges]
 //                      [--latency] [--convergence] [--probes] [--transport]
-//                      [--registry] [--verify] [--check-json PATH] [--run N]
+//                      [--faults] [--registry] [--verify] [--check-json PATH]
+//                      [--run N]
 //
 //   --summary       per-run result table (default when nothing is selected)
 //   --queues        per-node queue timelines rebuilt by QueueTimelineSink
@@ -13,6 +14,9 @@
 //   --probes        link-prober estimates vs true reception probabilities
 //   --transport     emulation transport summary (emu_send / emu_drop /
 //                   emu_deliver / emu_parse_error events, per-link loss)
+//   --faults        fault-injection summary (floss / freord / fdup / fpart /
+//                   fblack events per kind and per link, truncated-datagram
+//                   parse errors, fault activity time span)
 //   --registry      wall-clock metrics snapshot recorded in the trace
 //   --verify        replay every run and compare each reconstructed metric
 //                   with the recorded ground truth (exact double equality);
@@ -241,6 +245,74 @@ void print_transport(const obs::Trace& trace, const Options& options) {
   if (!printed) std::printf("no transport events in trace\n");
 }
 
+void print_faults(const obs::Trace& trace, const Options& options) {
+  using Type = protocols::MetricEvent::Type;
+  const auto fault_name = [](Type type) -> const char* {
+    switch (type) {
+      case Type::kEmuFaultLoss: return "loss";
+      case Type::kEmuFaultReorder: return "reorder";
+      case Type::kEmuFaultDup: return "duplicate";
+      case Type::kEmuFaultPartition: return "partition";
+      case Type::kEmuFaultBlackout: return "blackout";
+      default: return nullptr;
+    }
+  };
+  bool printed = false;
+  for (const auto& run : trace.runs) {
+    if (!run_selected(options, run)) continue;
+    // Per fault kind: count; per directed link: per-kind counts.
+    std::map<std::string, std::size_t> kinds;
+    std::map<std::pair<int, int>, std::map<std::string, std::size_t>> links;
+    std::size_t truncated = 0;
+    double first = 0.0;
+    double last = 0.0;
+    std::size_t total = 0;
+    for (const auto& event : run.events) {
+      if (event.type == Type::kEmuParseError && event.generation == 1) {
+        ++truncated;
+        continue;
+      }
+      const char* name = fault_name(event.type);
+      if (name == nullptr) continue;
+      if (total == 0) first = event.time;
+      last = event.time;
+      ++total;
+      ++kinds[name];
+      ++links[{event.tx_local, event.rx_local}][name];
+    }
+    if (total + truncated == 0) continue;
+    printed = true;
+    std::printf("-- run %d (%s): injected faults --\n", run.id,
+                run.context.protocol.c_str());
+    std::printf("%zu fault events between t=%.3f s and t=%.3f s, "
+                "%zu truncated datagrams\n",
+                total, first, last, truncated);
+    TextTable kind_table({"kind", "events"});
+    for (const auto& [kind, count] : kinds) {
+      kind_table.add_row({kind, std::to_string(count)});
+    }
+    std::printf("%s", kind_table.render().c_str());
+    TextTable link_table({"link", "loss", "reorder", "dup", "part", "black"});
+    const auto cell = [](const std::map<std::string, std::size_t>& row,
+                         const char* key) {
+      const auto it = row.find(key);
+      return it != row.end() ? std::to_string(it->second) : std::string("-");
+    };
+    for (const auto& [link, row] : links) {
+      // tx=-1 marks a sender-side blackout suppression (no receiver).
+      const std::string from =
+          link.first >= 0 ? std::to_string(link.first) : "*";
+      const std::string to =
+          link.second >= 0 ? std::to_string(link.second) : "*";
+      link_table.add_row({from + "->" + to, cell(row, "loss"),
+                          cell(row, "reorder"), cell(row, "duplicate"),
+                          cell(row, "partition"), cell(row, "blackout")});
+    }
+    std::printf("%s\n", link_table.render().c_str());
+  }
+  if (!printed) std::printf("no fault events in trace\n");
+}
+
 void print_registry(const obs::Trace& trace) {
   if (trace.registry.empty()) {
     std::printf("no registry snapshot in trace\n");
@@ -328,8 +400,8 @@ int main(int argc, char** argv) {
   if (options.positional().empty()) {
     std::fprintf(stderr, "usage: trace_inspect <trace.jsonl> [--summary] "
                          "[--queues] [--edges] [--latency] [--convergence] "
-                         "[--probes] [--transport] [--registry] [--verify] "
-                         "[--check-json PATH] [--run N]\n");
+                         "[--probes] [--transport] [--faults] [--registry] "
+                         "[--verify] [--check-json PATH] [--run N]\n");
     return 2;
   }
 
@@ -346,6 +418,7 @@ int main(int argc, char** argv) {
       options.get_bool("convergence", false) ||
       options.get_bool("probes", false) ||
       options.get_bool("transport", false) ||
+      options.get_bool("faults", false) ||
       options.get_bool("registry", false) || options.get_bool("verify", false) ||
       options.has("check-json");
 
@@ -358,6 +431,7 @@ int main(int argc, char** argv) {
   if (options.get_bool("convergence", false)) print_convergence(trace, options);
   if (options.get_bool("probes", false)) print_probes(trace);
   if (options.get_bool("transport", false)) print_transport(trace, options);
+  if (options.get_bool("faults", false)) print_faults(trace, options);
   if (options.get_bool("registry", false)) print_registry(trace);
 
   int status = 0;
