@@ -1,7 +1,6 @@
 #include "emu/emu_harness.h"
 
 #include <atomic>
-#include <chrono>
 #include <mutex>
 #include <set>
 #include <thread>
@@ -13,21 +12,19 @@
 namespace omnc::emu {
 namespace {
 
-using Clock = std::chrono::steady_clock;
-
 /// Serializes metric events from node threads and the transport observer
-/// into one sink, stamping transport events with virtual time.
+/// into one sink, stamping transport events with the run clock's virtual
+/// time — the same clock the nodes and fault schedules read, so harness and
+/// injector timestamps can never skew apart.
 class EventTap final : public TransportObserver {
  public:
-  EventTap(const routing::SessionGraph& graph,
+  EventTap(const routing::SessionGraph& graph, const vtime::Clock& clock,
            std::function<void(const protocols::MetricEvent&)> sink,
            std::uint32_t session_id)
-      : graph_(graph), sink_(std::move(sink)), session_id_(session_id) {}
-
-  void start(Clock::time_point origin, double speedup) {
-    origin_ = origin;
-    speedup_ = speedup;
-  }
+      : graph_(graph),
+        clock_(clock),
+        sink_(std::move(sink)),
+        session_id_(session_id) {}
 
   /// Thread-safe forwarding for EmuNode events (already carry their time).
   void forward(const protocols::MetricEvent& event) {
@@ -58,7 +55,7 @@ class EventTap final : public TransportObserver {
     // reason code (generation = 1; parser rejections use 0).
     protocols::MetricEvent event;
     event.type = protocols::MetricEvent::Type::kEmuParseError;
-    event.time = virtual_now();
+    event.time = clock_.now();
     event.session = session_id_;
     if (to >= 0 && to < graph_.size()) event.node = graph_.node_id(to);
     event.tx_local = from;
@@ -69,16 +66,11 @@ class EventTap final : public TransportObserver {
   }
 
  private:
-  double virtual_now() const {
-    return std::chrono::duration<double>(Clock::now() - origin_).count() *
-           speedup_;
-  }
-
   void emit(protocols::MetricEvent::Type type, int from, int to,
             std::size_t bytes) {
     protocols::MetricEvent event;
     event.type = type;
-    event.time = virtual_now();
+    event.time = clock_.now();
     event.session = session_id_;
     // The acting node: the receiver for drop/deliver, the sender for send.
     const int acting = to >= 0 ? to : from;
@@ -92,10 +84,9 @@ class EventTap final : public TransportObserver {
   }
 
   const routing::SessionGraph& graph_;
+  const vtime::Clock& clock_;
   std::function<void(const protocols::MetricEvent&)> sink_;
   std::uint32_t session_id_;
-  Clock::time_point origin_{};
-  double speedup_ = 1.0;
   std::mutex mutex_;
 };
 
@@ -132,8 +123,71 @@ void EmuHarness::set_metric_sink(
   sink_ = std::move(sink);
 }
 
+bool EmuHarness::run_threaded(vtime::Clock& clock, double tick,
+                              double horizon) {
+  // Every node thread plus the completion watcher (this thread) joins the
+  // clock; under kWarp all of them must sleep or leave for time to advance.
+  clock.start(static_cast<int>(nodes_.size()) + 1);
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> threads;
+  threads.reserve(nodes_.size());
+  for (auto& node : nodes_) {
+    threads.emplace_back([&, raw = node.get()] {
+      double next = tick;
+      while (!stop.load(std::memory_order_relaxed)) {
+        raw->step(clock.now());
+        clock.sleep_until(next);
+        next += tick;
+      }
+      // One final drain so late frames still reach the node's counters.
+      raw->step(clock.now());
+      clock.leave();
+    });
+  }
+
+  EmuNode& source = *nodes_[static_cast<std::size_t>(graph_.source)];
+  bool completed = false;
+  double next = tick;
+  while (clock.now() < horizon) {
+    if (source.completed_generations() >= config_.node.max_generations) {
+      completed = true;
+      break;
+    }
+    clock.sleep_until(next);
+    next += tick;
+  }
+  stop.store(true, std::memory_order_relaxed);
+  // The watcher departs first so sleeping node threads keep advancing to
+  // their next tick, observe `stop`, and drain out.
+  clock.leave();
+  for (std::thread& thread : threads) thread.join();
+  return completed;
+}
+
+bool EmuHarness::run_deterministic(vtime::DeterministicClock& clock,
+                                   double tick, double horizon) {
+  clock.start(1);
+  EmuNode& source = *nodes_[static_cast<std::size_t>(graph_.source)];
+  bool completed = false;
+  while (clock.now() < horizon) {
+    if (source.completed_generations() >= config_.node.max_generations) {
+      completed = true;
+      break;
+    }
+    clock.advance_to(clock.now() + tick);
+    // Fixed round-robin order: together with the cooperative clock this
+    // makes the whole run a pure function of the configured seeds.
+    for (auto& node : nodes_) node->step(clock.now());
+  }
+  for (auto& node : nodes_) node->step(clock.now());
+  return completed;
+}
+
 EmuRunResult EmuHarness::run() {
-  EventTap tap(graph_, sink_, config_.node.session_id);
+  std::unique_ptr<vtime::Clock> clock =
+      vtime::make_clock(config_.clock_mode, config_.speedup);
+  EventTap tap(graph_, *clock, sink_, config_.node.session_id);
   if (sink_) {
     transport_.set_observer(&tap);
     for (auto& node : nodes_) {
@@ -141,54 +195,34 @@ EmuRunResult EmuHarness::run() {
           [&tap](const protocols::MetricEvent& event) { tap.forward(event); });
     }
   }
+  transport_.bind_clock(clock.get());
 
-  const Clock::time_point origin = Clock::now();
-  tap.start(origin, config_.speedup);
-  // Anchor time-scheduled transport behaviour (fault partitions/blackouts)
-  // to the same virtual clock the nodes observe.
-  transport_.on_run_start(config_.speedup);
-  std::atomic<bool> stop{false};
-  const auto virtual_now = [&] {
-    return std::chrono::duration<double>(Clock::now() - origin).count() *
-           config_.speedup;
-  };
+  // One node scheduling round per `tick` virtual seconds; the horizon is
+  // the same virtual cutoff the old wall timeout imposed under kReal.
+  const double tick =
+      static_cast<double>(config_.poll_sleep_us) * 1e-6 * config_.speedup;
+  const double horizon = config_.virtual_timeout_s > 0.0
+                             ? config_.virtual_timeout_s
+                             : config_.wall_timeout_s * config_.speedup;
+  OMNC_ASSERT_MSG(tick > 0.0, "poll_sleep_us and speedup must be positive");
 
-  std::vector<std::thread> threads;
-  threads.reserve(nodes_.size());
-  for (auto& node : nodes_) {
-    threads.emplace_back([&, raw = node.get()] {
-      const auto sleep = std::chrono::microseconds(config_.poll_sleep_us);
-      while (!stop.load(std::memory_order_relaxed)) {
-        raw->step(virtual_now());
-        std::this_thread::sleep_for(sleep);
-      }
-      // One final drain so late frames still reach the node's counters.
-      raw->step(virtual_now());
-    });
-  }
-
-  EmuNode& source = *nodes_[static_cast<std::size_t>(graph_.source)];
-  const auto deadline =
-      origin + std::chrono::duration_cast<Clock::duration>(
-                   std::chrono::duration<double>(config_.wall_timeout_s));
   bool completed = false;
-  while (Clock::now() < deadline) {
-    if (source.completed_generations() >= config_.node.max_generations) {
-      completed = true;
-      break;
-    }
-    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  if (config_.clock_mode == vtime::ClockMode::kDeterministic) {
+    completed = run_deterministic(
+        static_cast<vtime::DeterministicClock&>(*clock), tick, horizon);
+  } else {
+    completed = run_threaded(*clock, tick, horizon);
   }
-  stop.store(true, std::memory_order_relaxed);
-  for (std::thread& thread : threads) thread.join();
-  const double virtual_elapsed = virtual_now();
+  const double virtual_elapsed = clock->now();
   transport_.set_observer(nullptr);
+  transport_.bind_clock(nullptr);
 
   EmuRunResult result;
   result.completed = completed;
   result.virtual_elapsed = virtual_elapsed;
   result.transport = transport_.stats();
 
+  EmuNode& source = *nodes_[static_cast<std::size_t>(graph_.source)];
   const EmuNode::Stats& src = source.stats();
   result.generations_completed = src.generations_completed;
   result.last_ack_time = src.last_ack_time;

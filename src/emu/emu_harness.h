@@ -1,16 +1,27 @@
-// Runs one OMNC session as a fleet of threads exchanging serialized frames.
+// Runs one OMNC session as a fleet of EmuNodes exchanging serialized frames.
 //
-// Every session node gets its own EmuNode and its own thread; the only
-// shared state is the Transport (and an optional, internally serialized
-// metric sink).  Virtual time is wall time times `speedup`, shared by all
-// nodes through one steady_clock origin, so a 60-virtual-second session
-// finishes in a few wall seconds.  The run stops when the source has
-// retired `max_generations` generations or the wall timeout expires.
+// All timing flows through one vtime::Clock (DESIGN.md §12) that the
+// harness creates per run and binds to the transport, so nodes, delay
+// queues, fault schedules, and event timestamps share a single origin.
+// The clock mode picks the execution strategy:
 //
-// Determinism caveat (DESIGN.md §10): coding coefficients and loopback
-// losses are seed-deterministic, but *timing* — and therefore exact packet
-// counts and goodput — varies with OS scheduling.  Cross-checks against the
-// slot simulator use tolerances, while decoded-data integrity is exact.
+//   * kReal — thread per node; virtual time is wall time times `speedup`,
+//     so a 60-virtual-second session finishes in a few wall seconds.
+//   * kWarp — thread per node; virtual time jumps tick to tick as fast as
+//     the threads can step, so the same session finishes in milliseconds.
+//   * kDeterministic — no threads; nodes step round-robin on a cooperative
+//     clock, making the whole run (packet counts, goodput, traces) a pure
+//     function of the seeds.
+//
+// The run stops when the source has retired `max_generations` generations
+// or the timeout expires.
+//
+// Determinism (DESIGN.md §10/§12): coding coefficients and loopback losses
+// are seed-deterministic in every mode; under kReal/kWarp *timing* — and
+// therefore exact packet counts and goodput — still varies with thread
+// scheduling, so cross-checks use tolerances there.  Under kDeterministic
+// same-seed runs are byte-identical end to end and comparisons can demand
+// exact equality.
 #pragma once
 
 #include <functional>
@@ -20,6 +31,7 @@
 #include "emu/transport.h"
 #include "protocols/metrics_bus.h"
 #include "routing/node_selection.h"
+#include "time/clock.h"
 #include "wire/frame.h"
 
 namespace omnc::emu {
@@ -27,14 +39,23 @@ namespace omnc::emu {
 struct EmuConfig {
   EmuNodeConfig node;
 
-  /// Virtual seconds per wall second.
+  /// How virtual time advances; see the header comment.
+  vtime::ClockMode clock_mode = vtime::ClockMode::kReal;
+
+  /// Virtual seconds per wall second (RealClock only).
   double speedup = 20.0;
 
-  /// Wall-clock budget; a run that has not finished by then is cut off and
-  /// reported with completed = false.
+  /// Wall-clock budget under kReal; a run that has not finished by then is
+  /// cut off and reported with completed = false.
   double wall_timeout_s = 60.0;
 
-  /// Wall-clock sleep between node scheduling rounds.
+  /// Virtual-seconds budget.  0 means wall_timeout_s * speedup, which keeps
+  /// the three clock modes cutting off at the same *virtual* horizon.
+  double virtual_timeout_s = 0.0;
+
+  /// Node scheduling period: each node steps every poll_sleep_us * speedup
+  /// microseconds of virtual time (under kReal that is a wall sleep of
+  /// poll_sleep_us between rounds, matching the pre-seam behaviour).
   int poll_sleep_us = 200;
 };
 
@@ -85,6 +106,12 @@ class EmuHarness {
   EmuNode& node(int local) { return *nodes_[static_cast<std::size_t>(local)]; }
 
  private:
+  /// Thread-per-node run loop shared by kReal and kWarp.
+  bool run_threaded(vtime::Clock& clock, double tick, double horizon);
+  /// Single-threaded round-robin loop for kDeterministic.
+  bool run_deterministic(vtime::DeterministicClock& clock, double tick,
+                         double horizon);
+
   const routing::SessionGraph& graph_;
   Transport& transport_;
   EmuConfig config_;

@@ -1,10 +1,12 @@
-// One emulated network node: today's NodeRuntime behind a wall-clock pacing
+// One emulated network node: today's NodeRuntime behind a time-paced step
 // loop, speaking only serialized wire frames through a Transport.
 //
 // The slot simulator advances all nodes in lockstep and hands packets around
-// as C++ objects; an EmuNode instead runs on its own thread, observes a
-// monotonically increasing *virtual clock* (wall time x speedup, provided by
-// the harness), and reacts to whatever bytes its transport delivers.  The
+// as C++ objects; an EmuNode instead observes a monotonically increasing
+// *virtual clock* (the harness's vtime::Clock — wall-scaled, warped, or
+// deterministic; DESIGN.md §12) and reacts to whatever bytes its transport
+// delivers.  step(now) is pure in `now`: the node never reads time itself,
+// which is what lets the same node code run under all three clock modes.  The
 // protocol state machine is the very same NodeRuntime the simulator uses —
 // the point of the emulation runtime is that nothing protocol-level changes
 // when the process boundary appears.

@@ -326,11 +326,9 @@ FaultTransport::FaultTransport(Transport& inner, FaultPlan plan)
 
 FaultTransport::~FaultTransport() { inner_.set_observer(nullptr); }
 
-void FaultTransport::on_run_start(double speedup) {
-  origin_ = Clock::now();
-  speedup_ = speedup;
-  anchored_ = true;
-  inner_.on_run_start(speedup);
+void FaultTransport::bind_clock(const vtime::Clock* clock) {
+  Transport::bind_clock(clock);
+  inner_.bind_clock(clock);
 }
 
 void FaultTransport::set_time_source(std::function<double()> now) {
@@ -339,9 +337,7 @@ void FaultTransport::set_time_source(std::function<double()> now) {
 
 double FaultTransport::now() const {
   if (time_source_) return time_source_();
-  if (!anchored_) return 0.0;
-  return std::chrono::duration<double>(Clock::now() - origin_).count() *
-         speedup_;
+  return clock_now();
 }
 
 bool FaultTransport::in_blackout(int node, double t) const {

@@ -27,7 +27,6 @@
 #pragma once
 
 #include <atomic>
-#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -160,9 +159,10 @@ class FaultTransport final : public Transport, private TransportObserver {
   std::size_t poll(int to, const Handler& handler) override;
   TransportStats stats() const override;
 
-  /// Anchors the injector clock (partitions/blackouts schedule against
-  /// virtual seconds since this call) and forwards to the inner transport.
-  void on_run_start(double speedup) override;
+  /// Forwards the run clock to the inner transport as well, so both layers
+  /// read the *same* time origin (partitions, blackouts, and delay queues
+  /// can never disagree by a scheduling-jitter epsilon).
+  void bind_clock(const vtime::Clock* clock) override;
 
   /// Tests override the clock entirely; the function must be callable from
   /// any node thread and return non-decreasing virtual seconds.
@@ -172,8 +172,6 @@ class FaultTransport final : public Transport, private TransportObserver {
   FaultStats fault_stats() const;
 
  private:
-  using Clock = std::chrono::steady_clock;
-
   /// A copy delayed by jitter/reordering, waiting in the receiver's queue.
   struct Held {
     double due = 0.0;
@@ -214,9 +212,6 @@ class FaultTransport final : public Transport, private TransportObserver {
   std::vector<std::vector<Held>> held_;  // per receiver, sorted by due
 
   std::function<double()> time_source_;
-  Clock::time_point origin_{};
-  double speedup_ = 1.0;
-  bool anchored_ = false;
 
   std::atomic<std::size_t> lost_{0};
   std::atomic<std::size_t> duplicated_{0};

@@ -66,9 +66,9 @@ LoopbackTransport::LoopbackTransport(int nodes, std::vector<double> link_p,
 
 void LoopbackTransport::send(int from, std::span<const std::uint8_t> frame) {
   OMNC_ASSERT(from >= 0 && from < n_);
-  const auto due = std::chrono::steady_clock::now() +
-                   std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-                       std::chrono::duration<double>(config_.delay_s));
+  // With no clock bound (direct unit-test traffic) time stands still at 0,
+  // so a nonzero delay would hold frames forever; deliver immediately.
+  const double due = clock_ ? clock_now() + config_.delay_s : 0.0;
   std::lock_guard<std::mutex> lock(mutex_);
   ++stats_.frames_sent;
   stats_.bytes_sent += frame.size();
@@ -94,7 +94,7 @@ void LoopbackTransport::send(int from, std::span<const std::uint8_t> frame) {
 
 std::size_t LoopbackTransport::poll(int to, const Handler& handler) {
   OMNC_ASSERT(to >= 0 && to < n_);
-  const auto now = std::chrono::steady_clock::now();
+  const double now = clock_now();
   std::vector<Delivery> due;
   {
     std::lock_guard<std::mutex> lock(mutex_);

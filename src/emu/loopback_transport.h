@@ -5,10 +5,10 @@
 // k-th broadcast is a pure function of (seed, i, j, k) — independent of how
 // the node threads interleave.  That is what makes loopback emulation runs
 // reproducible under a seed even though they execute on wall-clock threads
-// (the *timing* still varies with scheduling; see DESIGN.md §10).
+// (the *timing* still varies with scheduling; see DESIGN.md §10 — under the
+// DeterministicClock it does not, see §12).
 #pragma once
 
-#include <chrono>
 #include <deque>
 #include <mutex>
 #include <utility>
@@ -25,7 +25,8 @@ namespace omnc::emu {
 struct LoopbackConfig {
   std::uint64_t seed = 1;
 
-  /// Fixed one-way propagation/processing delay, in wall-clock seconds.
+  /// Fixed one-way propagation/processing delay, in *virtual* seconds (read
+  /// against the clock the harness binds; instantaneous when unbound).
   double delay_s = 0.0;
 
   /// Per-receiver inbox bound; a full inbox drops the incoming copy (the
@@ -66,7 +67,7 @@ class LoopbackTransport final : public Transport {
  private:
   struct Delivery {
     int from = 0;
-    std::chrono::steady_clock::time_point due;
+    double due = 0.0;  // virtual seconds
     std::vector<std::uint8_t> bytes;
   };
 

@@ -19,6 +19,8 @@
 #include <functional>
 #include <span>
 
+#include "time/clock.h"
+
 namespace omnc::emu {
 
 /// Channel-level counters, aggregated over all nodes.
@@ -93,16 +95,23 @@ class Transport {
 
   virtual TransportStats stats() const = 0;
 
-  /// Called once by the harness when the run's virtual clock starts; fault
-  /// injectors anchor their schedule (partitions, blackouts) here.  Backends
-  /// without time-dependent behaviour ignore it.
-  virtual void on_run_start(double speedup) { (void)speedup; }
+  /// Attaches the run's virtual clock (the harness calls this before any
+  /// traffic; nullptr detaches).  All time-dependent transport behaviour —
+  /// delay queues, fault schedules, event timestamps — reads this clock, so
+  /// every layer of a run agrees on "now".  Decorators forward to the
+  /// transport they wrap.
+  virtual void bind_clock(const vtime::Clock* clock) { clock_ = clock; }
 
   /// `observer` must outlive the transport (or be reset to nullptr first).
   void set_observer(TransportObserver* observer) { observer_ = observer; }
 
  protected:
+  /// Virtual seconds since run start; 0.0 when no clock is bound (traffic
+  /// outside a harness run, e.g. direct transport unit tests).
+  double clock_now() const { return clock_ ? clock_->now() : 0.0; }
+
   TransportObserver* observer_ = nullptr;
+  const vtime::Clock* clock_ = nullptr;
 };
 
 }  // namespace omnc::emu

@@ -4,60 +4,26 @@
 
 namespace omnc::sim {
 
-EventId Simulator::schedule_at(Time at, std::function<void()> fn) {
-  OMNC_ASSERT_MSG(at >= now_, "scheduling into the past");
-  const EventId id = next_id_++;
-  heap_.push(Event{at, next_seq_++, id});
-  handlers_.emplace(id, std::move(fn));
-  return id;
-}
-
 EventId Simulator::schedule_in(Time delay, std::function<void()> fn) {
   OMNC_ASSERT(delay >= 0.0);
-  return schedule_at(now_ + delay, std::move(fn));
-}
-
-void Simulator::cancel(EventId id) {
-  if (handlers_.erase(id) > 0) cancelled_.insert(id);
-}
-
-bool Simulator::step() {
-  while (!heap_.empty()) {
-    const Event ev = heap_.top();
-    heap_.pop();
-    if (cancelled_.erase(ev.id) > 0) continue;  // lazily dropped
-    auto it = handlers_.find(ev.id);
-    OMNC_ASSERT(it != handlers_.end());
-    std::function<void()> fn = std::move(it->second);
-    handlers_.erase(it);
-    now_ = ev.at;
-    ++processed_;
-    fn();
-    return true;
-  }
-  return false;
+  return queue_.schedule_at(queue_.now() + delay, std::move(fn));
 }
 
 void Simulator::run() {
   stopped_ = false;
-  while (!stopped_ && step()) {
+  while (!stopped_ && queue_.step()) {
   }
 }
 
 bool Simulator::run_until(Time t) {
-  OMNC_ASSERT(t >= now_);
+  OMNC_ASSERT(t >= queue_.now());
   stopped_ = false;
   while (!stopped_) {
-    if (heap_.empty()) break;
-    // Peek the next live event's time without firing it.
-    while (!heap_.empty() && cancelled_.count(heap_.top().id) > 0) {
-      cancelled_.erase(heap_.top().id);
-      heap_.pop();
-    }
-    if (heap_.empty() || heap_.top().at > t) break;
-    step();
+    Time at = 0.0;
+    if (!queue_.next_time(&at) || at > t) break;
+    queue_.step();
   }
-  if (!stopped_) now_ = t;
+  if (!stopped_) queue_.advance_to(t);
   return !stopped_;
 }
 

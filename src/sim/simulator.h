@@ -1,37 +1,39 @@
 // Discrete-event simulation core of the Drift-substitute testbed.
 //
-// A Simulator owns a virtual clock and a time-ordered event queue.  Events
-// scheduled for the same instant fire in scheduling order (stable), which
-// keeps runs deterministic.  Cancellation is lazy: cancelled events stay in
-// the heap but are skipped when popped.
+// A Simulator is a thin client of vtime::EventQueue — the same scheduling
+// core that drives the emulation's WarpClock — adding only the run-loop
+// policy (run / run_until / stop).  Events scheduled for the same instant
+// fire in scheduling order (stable), which keeps runs deterministic.
+// Cancellation is lazy: cancelled events stay in the heap but are skipped
+// when popped.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_map>
-#include <unordered_set>
-#include <vector>
+
+#include "time/event_queue.h"
 
 namespace omnc::sim {
 
-using Time = double;  // seconds
-using EventId = std::uint64_t;
+using Time = vtime::Time;        // seconds
+using EventId = vtime::EventId;
 
 class Simulator {
  public:
-  Time now() const { return now_; }
+  Time now() const { return queue_.now(); }
 
   /// Schedules `fn` at absolute time `at` (>= now), returning a handle that
   /// can be cancelled.
-  EventId schedule_at(Time at, std::function<void()> fn);
+  EventId schedule_at(Time at, std::function<void()> fn) {
+    return queue_.schedule_at(at, std::move(fn));
+  }
 
   /// Schedules `fn` after `delay` seconds.
   EventId schedule_in(Time delay, std::function<void()> fn);
 
   /// Cancels a pending event; cancelling an already-fired or unknown event is
   /// a no-op.
-  void cancel(EventId id);
+  void cancel(EventId id) { queue_.cancel(id); }
 
   /// Runs until the queue is empty or stop() is called.
   void run();
@@ -44,32 +46,11 @@ class Simulator {
   void stop() { stopped_ = true; }
   bool stopped() const { return stopped_; }
 
-  std::size_t events_processed() const { return processed_; }
-  std::size_t pending() const { return heap_.size() - cancelled_.size(); }
+  std::size_t events_processed() const { return queue_.processed(); }
+  std::size_t pending() const { return queue_.pending(); }
 
  private:
-  struct Event {
-    Time at;
-    std::uint64_t seq;
-    EventId id;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
-    }
-  };
-
-  /// Pops the next live event and runs it; returns false when drained.
-  bool step();
-
-  Time now_ = 0.0;
-  std::uint64_t next_seq_ = 0;
-  EventId next_id_ = 1;
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
-  std::unordered_set<EventId> cancelled_;
-  std::unordered_map<EventId, std::function<void()>> handlers_;
-  std::size_t processed_ = 0;
+  vtime::EventQueue queue_;
   bool stopped_ = false;
 };
 

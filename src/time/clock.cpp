@@ -1,0 +1,138 @@
+#include "time/clock.h"
+
+#include <chrono>
+#include <thread>
+
+#include "common/assert.h"
+
+namespace omnc::vtime {
+
+const char* clock_mode_name(ClockMode mode) {
+  switch (mode) {
+    case ClockMode::kReal: return "real";
+    case ClockMode::kWarp: return "warp";
+    case ClockMode::kDeterministic: return "det";
+  }
+  return "?";
+}
+
+bool parse_clock_mode(const std::string& name, ClockMode* out) {
+  if (name == "real") {
+    *out = ClockMode::kReal;
+  } else if (name == "warp") {
+    *out = ClockMode::kWarp;
+  } else if (name == "det" || name == "deterministic") {
+    *out = ClockMode::kDeterministic;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// RealClock
+
+namespace {
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+}  // namespace
+
+RealClock::RealClock(double speedup) : speedup_(speedup) {
+  OMNC_ASSERT_MSG(speedup > 0.0, "speedup must be positive");
+}
+
+double RealClock::now() const {
+  if (!started_) return 0.0;
+  return static_cast<double>(steady_ns() - origin_ns_) * 1e-9 * speedup_;
+}
+
+void RealClock::start(int participants) {
+  (void)participants;
+  OMNC_ASSERT_MSG(!started_, "RealClock started twice");
+  started_ = true;
+  origin_ns_ = steady_ns();
+}
+
+void RealClock::sleep_until(double t) {
+  const double remaining_virtual = t - now();
+  if (remaining_virtual <= 0.0) return;
+  const double wall_s = remaining_virtual / speedup_;
+  std::this_thread::sleep_for(std::chrono::duration<double>(wall_s));
+}
+
+// ---------------------------------------------------------------------------
+// WarpClock
+
+double WarpClock::now() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return wakeups_.now();
+}
+
+void WarpClock::start(int participants) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  OMNC_ASSERT_MSG(participants > 0, "WarpClock needs at least one participant");
+  OMNC_ASSERT_MSG(active_ == 0, "WarpClock started twice");
+  active_ = participants;
+}
+
+void WarpClock::sleep_until(double t) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (t <= wakeups_.now()) return;
+  // `sleeping_` counts participants whose wake-up is still pending, so it is
+  // decremented when the event *fires*, not when the thread resumes — a
+  // fast thread re-entering the barrier cannot advance time past peers that
+  // were woken but have not run yet.
+  bool due = false;
+  wakeups_.schedule_at(t, [this, &due] {
+    due = true;
+    --sleeping_;
+  });
+  ++sleeping_;
+  if (sleeping_ == active_) advance_locked();
+  cv_.wait(lock, [&due] { return due; });
+}
+
+void WarpClock::leave() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  OMNC_ASSERT_MSG(active_ > 0, "leave() without a matching start()");
+  --active_;
+  // The departure may complete the barrier for everyone still asleep.
+  if (active_ > 0 && sleeping_ == active_) advance_locked();
+}
+
+void WarpClock::advance_locked() {
+  // Fire every wake-up at the earliest pending instant, so participants with
+  // tied deadlines resume within the same virtual "now".
+  Time at = 0.0;
+  if (!wakeups_.next_time(&at)) return;  // nobody to wake (all leaving)
+  wakeups_.step();                       // advances now() to `at`
+  Time next = 0.0;
+  while (wakeups_.next_time(&next) && next == at) wakeups_.step();
+  cv_.notify_all();
+}
+
+// ---------------------------------------------------------------------------
+// DeterministicClock
+
+void DeterministicClock::start(int participants) {
+  OMNC_ASSERT_MSG(participants == 1,
+                  "DeterministicClock is single-threaded by design");
+}
+
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<Clock> make_clock(ClockMode mode, double speedup) {
+  switch (mode) {
+    case ClockMode::kReal: return std::make_unique<RealClock>(speedup);
+    case ClockMode::kWarp: return std::make_unique<WarpClock>();
+    case ClockMode::kDeterministic:
+      return std::make_unique<DeterministicClock>();
+  }
+  return nullptr;
+}
+
+}  // namespace omnc::vtime

@@ -1,0 +1,50 @@
+#include "time/event_queue.h"
+
+#include "common/assert.h"
+
+namespace omnc::vtime {
+
+EventId EventQueue::schedule_at(Time at, std::function<void()> fn) {
+  OMNC_ASSERT_MSG(at >= now_, "scheduling into the past");
+  const EventId id = next_id_++;
+  heap_.push(Event{at, next_seq_++, id});
+  handlers_.emplace(id, std::move(fn));
+  return id;
+}
+
+void EventQueue::cancel(EventId id) {
+  if (handlers_.erase(id) > 0) cancelled_.insert(id);
+}
+
+bool EventQueue::next_time(Time* at) {
+  while (!heap_.empty() && cancelled_.count(heap_.top().id) > 0) {
+    cancelled_.erase(heap_.top().id);
+    heap_.pop();
+  }
+  if (heap_.empty()) return false;
+  *at = heap_.top().at;
+  return true;
+}
+
+bool EventQueue::step() {
+  while (!heap_.empty()) {
+    const Event ev = heap_.top();
+    heap_.pop();
+    if (cancelled_.erase(ev.id) > 0) continue;  // lazily dropped
+    auto it = handlers_.find(ev.id);
+    OMNC_ASSERT(it != handlers_.end());
+    std::function<void()> fn = std::move(it->second);
+    handlers_.erase(it);
+    now_ = ev.at;
+    ++processed_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+void EventQueue::advance_to(Time t) {
+  if (t > now_) now_ = t;
+}
+
+}  // namespace omnc::vtime

@@ -1,0 +1,177 @@
+// The vtime layer: EventQueue ordering/cancellation, clock-mode parsing,
+// DeterministicClock stepping, RealClock wall anchoring, and the WarpClock
+// barrier (virtual time far outrunning wall time, tied deadlines waking
+// together, leave() unblocking the survivors).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "time/clock.h"
+#include "time/event_queue.h"
+
+namespace omnc::vtime {
+namespace {
+
+TEST(EventQueue, FiresInTimeOrderWithStableTies) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.schedule_at(2.0, [&] { order.push_back(2); });
+  queue.schedule_at(1.0, [&] { order.push_back(1); });
+  queue.schedule_at(1.0, [&] { order.push_back(11); });  // same instant, later
+  while (queue.step()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 11, 2}));
+  EXPECT_DOUBLE_EQ(queue.now(), 2.0);
+  EXPECT_EQ(queue.processed(), 3u);
+}
+
+TEST(EventQueue, CancelledEventsAreSkipped) {
+  EventQueue queue;
+  int fired = 0;
+  const EventId id = queue.schedule_at(1.0, [&] { ++fired; });
+  queue.schedule_at(2.0, [&] { ++fired; });
+  queue.cancel(id);
+  queue.cancel(999);  // unknown ids are a no-op
+  EXPECT_EQ(queue.pending(), 1u);
+  double at = 0.0;
+  ASSERT_TRUE(queue.next_time(&at));
+  EXPECT_DOUBLE_EQ(at, 2.0);  // the cancelled top was pruned
+  while (queue.step()) {
+  }
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, AdvanceToNeverMovesBackwards) {
+  EventQueue queue;
+  queue.advance_to(5.0);
+  EXPECT_DOUBLE_EQ(queue.now(), 5.0);
+  queue.advance_to(3.0);
+  EXPECT_DOUBLE_EQ(queue.now(), 5.0);
+}
+
+TEST(ClockMode, ParseAndNameRoundTrip) {
+  ClockMode mode = ClockMode::kReal;
+  EXPECT_TRUE(parse_clock_mode("warp", &mode));
+  EXPECT_EQ(mode, ClockMode::kWarp);
+  EXPECT_TRUE(parse_clock_mode("det", &mode));
+  EXPECT_EQ(mode, ClockMode::kDeterministic);
+  EXPECT_TRUE(parse_clock_mode("deterministic", &mode));
+  EXPECT_EQ(mode, ClockMode::kDeterministic);
+  EXPECT_TRUE(parse_clock_mode("real", &mode));
+  EXPECT_EQ(mode, ClockMode::kReal);
+  EXPECT_FALSE(parse_clock_mode("wall", &mode));
+  EXPECT_STREQ(clock_mode_name(ClockMode::kWarp), "warp");
+  EXPECT_STREQ(clock_mode_name(ClockMode::kDeterministic), "det");
+  EXPECT_STREQ(clock_mode_name(ClockMode::kReal), "real");
+}
+
+TEST(DeterministicClock, SleepUntilJustMovesTheHand) {
+  DeterministicClock clock;
+  clock.start(1);
+  EXPECT_DOUBLE_EQ(clock.now(), 0.0);
+  clock.sleep_until(1.5);
+  EXPECT_DOUBLE_EQ(clock.now(), 1.5);
+  clock.sleep_until(1.0);  // backwards is a no-op
+  EXPECT_DOUBLE_EQ(clock.now(), 1.5);
+  clock.advance_to(2.0);
+  EXPECT_DOUBLE_EQ(clock.now(), 2.0);
+}
+
+TEST(RealClock, ScalesWallTimeBySpeedup) {
+  RealClock clock(100.0);
+  EXPECT_DOUBLE_EQ(clock.now(), 0.0);  // unstarted
+  clock.start(1);
+  // Sleeping to 0.5 virtual seconds at 100x costs ~5ms of wall time.
+  const auto wall_before = std::chrono::steady_clock::now();
+  clock.sleep_until(0.5);
+  const double wall_elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_before)
+          .count();
+  EXPECT_GE(clock.now(), 0.5);
+  EXPECT_LT(wall_elapsed, 0.5);  // far less wall than virtual
+  clock.sleep_until(0.0);        // already passed: returns immediately
+}
+
+TEST(WarpClock, VirtualTimeOutrunsWallTime) {
+  // Four participants tick through 100 virtual seconds; wall time is
+  // bounded by loop overhead, not by the virtual duration.
+  WarpClock clock;
+  constexpr int kThreads = 4;
+  constexpr double kTick = 0.01;
+  constexpr int kIterations = 10000;  // 100 virtual seconds
+  clock.start(kThreads);
+  std::vector<int> steps(kThreads, 0);
+  const auto wall_before = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      double next = kTick;
+      for (int k = 0; k < kIterations; ++k) {
+        clock.sleep_until(next);
+        next += kTick;
+        ++steps[static_cast<std::size_t>(i)];
+      }
+      clock.leave();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const double wall_elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_before)
+          .count();
+  // Every participant made every tick: nobody was skipped past.
+  for (int i = 0; i < kThreads; ++i) EXPECT_EQ(steps[i], kIterations);
+  EXPECT_GE(clock.now(), kTick * kIterations - 1e-9);
+  EXPECT_LT(wall_elapsed, kTick * kIterations / 2.0)
+      << "warp ran slower than half real time";
+}
+
+TEST(WarpClock, TiedDeadlinesWakeAtTheSameInstant) {
+  WarpClock clock;
+  constexpr int kThreads = 3;
+  clock.start(kThreads);
+  std::vector<double> wake_times(kThreads, -1.0);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      clock.sleep_until(1.0);  // everyone asks for the same instant
+      wake_times[static_cast<std::size_t>(i)] = clock.now();
+      clock.leave();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (const double t : wake_times) EXPECT_DOUBLE_EQ(t, 1.0);
+}
+
+TEST(WarpClock, LeaveUnblocksRemainingSleepers) {
+  // One participant departs without ever sleeping; the other must still
+  // advance (the barrier shrinks instead of deadlocking).
+  WarpClock clock;
+  clock.start(2);
+  std::atomic<bool> woke{false};
+  std::thread sleeper([&] {
+    clock.sleep_until(2.0);
+    woke.store(true);
+    clock.leave();
+  });
+  // Give the sleeper a moment to park, then depart.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  clock.leave();
+  sleeper.join();
+  EXPECT_TRUE(woke.load());
+  EXPECT_DOUBLE_EQ(clock.now(), 2.0);
+}
+
+TEST(MakeClock, ProducesTheRequestedMode) {
+  EXPECT_EQ(make_clock(ClockMode::kReal, 2.0)->mode(), ClockMode::kReal);
+  EXPECT_EQ(make_clock(ClockMode::kWarp, 1.0)->mode(), ClockMode::kWarp);
+  EXPECT_EQ(make_clock(ClockMode::kDeterministic, 1.0)->mode(),
+            ClockMode::kDeterministic);
+}
+
+}  // namespace
+}  // namespace omnc::vtime

@@ -4,7 +4,12 @@
 // gate is liveness + integrity: under every scenario all generations decode
 // byte-exactly and the run terminates — no deadlock, no unbounded
 // redundancy — with goodput inside a generous band of the clean run
-// (wall-clock scheduling is nondeterministic, see DESIGN.md §10).
+// (thread scheduling is nondeterministic, see DESIGN.md §10).
+//
+// The soak runs under the WarpClock (DESIGN.md §12): virtual time advances
+// as fast as the node threads can step, so sweeping every preset costs
+// milliseconds of wall time instead of sleeping through the virtual
+// seconds.  One small RealClock smoke keeps the wall-paced path covered.
 //
 // The run is long enough (in virtual seconds) that the scheduled partition
 // (2-4 s) and blackout (2.5-4.5 s) windows open mid-session.
@@ -36,12 +41,13 @@ net::Topology diamond() {
   return net::Topology::from_link_matrix(p);
 }
 
-EmuConfig soak_config() {
+EmuConfig soak_config(vtime::ClockMode clock_mode) {
   EmuConfig config;
   config.node.coding.generation_blocks = 8;
   config.node.coding.block_bytes = 64;
   config.node.cbr_bytes_per_s = 1e4;
   config.node.max_generations = kGenerations;
+  config.clock_mode = clock_mode;
   config.speedup = 20.0;
   config.wall_timeout_s = 45.0;
   return config;
@@ -52,7 +58,8 @@ struct SoakOutcome {
   FaultStats faults;
 };
 
-SoakOutcome run_scenario(const std::string& preset) {
+SoakOutcome run_scenario(const std::string& preset,
+                         vtime::ClockMode clock_mode = vtime::ClockMode::kWarp) {
   const net::Topology topo = diamond();
   const routing::SessionGraph graph = routing::select_nodes(topo, 0, 3);
   opt::RateControlParams params;
@@ -67,7 +74,7 @@ SoakOutcome run_scenario(const std::string& preset) {
   LoopbackTransport base(graph.size(), link_matrix_from_topology(topo, graph),
                          loopback);
   SoakOutcome outcome;
-  const EmuConfig config = soak_config();
+  const EmuConfig config = soak_config(clock_mode);
   if (preset.empty()) {
     EmuHarness harness(graph, base, config);
     harness.install_price_table(rates, rc.lambda, rc.beta, rc.iterations);
@@ -125,6 +132,32 @@ TEST(EmuChaosSoak, RandomFaultPresetsActuallyInject) {
   EXPECT_GT(burst.faults.lost, 0u);
   const SoakOutcome jitter = run_scenario("jitter");
   EXPECT_GT(jitter.faults.duplicated + jitter.faults.reordered, 0u);
+}
+
+TEST(EmuChaosSoak, RealClockSmoke) {
+  // One short wall-paced run keeps the RealClock path (thread sleeps, wall
+  // deadline) covered now that the soak itself warps.
+  const net::Topology topo = diamond();
+  const routing::SessionGraph graph = routing::select_nodes(topo, 0, 3);
+  opt::RateControlParams params;
+  params.capacity = kCapacity;
+  opt::DistributedRateControl control(graph, params);
+  const opt::RateControlResult rc = control.run();
+  std::vector<double> rates = rc.b;
+  opt::rescale_to_feasible(graph, rates, kCapacity);
+
+  LoopbackConfig loopback;
+  loopback.seed = 1;
+  LoopbackTransport base(graph.size(), link_matrix_from_topology(topo, graph),
+                         loopback);
+  EmuConfig config = soak_config(vtime::ClockMode::kReal);
+  config.node.max_generations = 4;
+  EmuHarness harness(graph, base, config);
+  harness.install_price_table(rates, rc.lambda, rc.beta, rc.iterations);
+  const EmuRunResult result = harness.run();
+  EXPECT_TRUE(result.completed);
+  EXPECT_TRUE(result.data_ok);
+  EXPECT_EQ(result.generations_completed, 4);
 }
 
 }  // namespace

@@ -14,6 +14,7 @@
 #include "emu/udp_transport.h"
 #include "net/topology.h"
 #include "routing/node_selection.h"
+#include "time/clock.h"
 
 namespace omnc::emu {
 namespace {
@@ -121,12 +122,28 @@ TEST(LoopbackTransport, LinksDrawIndependentStreams) {
 }
 
 TEST(LoopbackTransport, DelayHoldsDeliveryUntilDue) {
+  // Delay is measured in virtual seconds against the bound clock — no wall
+  // sleeping involved.
+  vtime::DeterministicClock clock;
+  LoopbackConfig config;
+  config.delay_s = 0.05;
+  LoopbackTransport transport(2, std::vector<double>(4, 1.0), config);
+  transport.bind_clock(&clock);
+  transport.send(0, message(1));
+  EXPECT_TRUE(drain_senders(transport, 1).empty());
+  clock.advance_to(0.04);
+  EXPECT_TRUE(drain_senders(transport, 1).empty());
+  clock.advance_to(0.05);
+  EXPECT_EQ(drain_senders(transport, 1).size(), 1u);
+}
+
+TEST(LoopbackTransport, DelayWithoutClockIsInstantaneous) {
+  // Unbound transports (direct unit-test traffic) deliver immediately even
+  // with a configured delay: clock_now() pins both send and poll to 0.
   LoopbackConfig config;
   config.delay_s = 0.05;
   LoopbackTransport transport(2, std::vector<double>(4, 1.0), config);
   transport.send(0, message(1));
-  EXPECT_TRUE(drain_senders(transport, 1).empty());
-  std::this_thread::sleep_for(std::chrono::milliseconds(80));
   EXPECT_EQ(drain_senders(transport, 1).size(), 1u);
 }
 

@@ -1,0 +1,166 @@
+// Diffs two flat bench-JSON files (the {"name","params","metric","value"}
+// records JsonWriter emits) so CI can gate runs against committed baselines
+// (bench/baselines/).
+//
+// Usage: bench_compare BASELINE CURRENT [--tol R] [--warn-only]
+//                      [--metrics REGEXLESS-LIST]
+//
+//   --tol        allowed relative deviation |cur - base| / max(|base|, eps)
+//                before a record counts as a violation          (0.10)
+//   --warn-only  report violations but exit 0 — for noisy metrics (wall
+//                timings on shared CI runners) where the trajectory matters
+//                but a hard gate would flake
+//   --metrics    comma-separated metric names to compare; others are
+//                carried along informationally        (default: all)
+//
+// Records are matched by the (name, params, metric) triple.  Records present
+// on only one side are reported (missing baselines are informational — new
+// benches appear; missing current records are violations — a bench silently
+// vanished).  Exit status: 0 clean or --warn-only, 1 violations, 2 usage or
+// parse failure.
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/options.h"
+
+using namespace omnc;
+
+namespace {
+
+struct Record {
+  std::string name;
+  std::string params;
+  std::string metric;
+  double value = 0.0;
+};
+
+/// Pulls the string field `key` out of one JSON object line; the writer
+/// emits one record per line, so a line-oriented scan is exact for files it
+/// produced (escaped quotes are handled).
+bool field(const std::string& line, const std::string& key, std::string* out) {
+  const std::string needle = "\"" + key + "\": \"";
+  const std::size_t start = line.find(needle);
+  if (start == std::string::npos) return false;
+  std::string value;
+  for (std::size_t i = start + needle.size(); i < line.size(); ++i) {
+    if (line[i] == '\\' && i + 1 < line.size()) {
+      value.push_back(line[++i]);
+      continue;
+    }
+    if (line[i] == '"') {
+      *out = std::move(value);
+      return true;
+    }
+    value.push_back(line[i]);
+  }
+  return false;
+}
+
+bool number_field(const std::string& line, const std::string& key,
+                  double* out) {
+  const std::string needle = "\"" + key + "\": ";
+  const std::size_t start = line.find(needle);
+  if (start == std::string::npos) return false;
+  return std::sscanf(line.c_str() + start + needle.size(), "%lg", out) == 1;
+}
+
+bool load(const std::string& path, std::vector<Record>* out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "bench_compare: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    Record record;
+    if (!field(line, "name", &record.name)) continue;
+    if (!field(line, "metric", &record.metric)) continue;
+    field(line, "params", &record.params);
+    if (!number_field(line, "value", &record.value)) continue;
+    out->push_back(std::move(record));
+  }
+  return true;
+}
+
+bool metric_selected(const std::string& metric, const std::string& list) {
+  if (list.empty()) return true;
+  std::stringstream stream(list);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    if (item == metric) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options options(argc, argv);
+  if (options.positional().size() != 2) {
+    std::fprintf(stderr,
+                 "usage: bench_compare BASELINE CURRENT [--tol R] "
+                 "[--warn-only] [--metrics a,b,...]\n");
+    return 2;
+  }
+  const double tol = options.get_double("tol", 0.10);
+  const bool warn_only = options.get_bool("warn-only", false);
+  const std::string metric_list = options.get("metrics", "");
+
+  std::vector<Record> base_records;
+  std::vector<Record> current_records;
+  if (!load(options.positional()[0], &base_records) ||
+      !load(options.positional()[1], &current_records)) {
+    return 2;
+  }
+
+  std::map<std::string, double> baseline;
+  for (const Record& r : base_records) {
+    baseline[r.name + "|" + r.params + "|" + r.metric] = r.value;
+  }
+
+  int violations = 0;
+  int compared = 0;
+  for (const Record& r : current_records) {
+    const std::string key = r.name + "|" + r.params + "|" + r.metric;
+    auto it = baseline.find(key);
+    if (it == baseline.end()) {
+      std::printf("NEW       %s = %.6g (no baseline)\n", key.c_str(), r.value);
+      continue;
+    }
+    const double base = it->second;
+    baseline.erase(it);
+    if (!metric_selected(r.metric, metric_list)) {
+      std::printf("SKIP      %s = %.6g (baseline %.6g)\n", key.c_str(),
+                  r.value, base);
+      continue;
+    }
+    ++compared;
+    const double rel =
+        std::fabs(r.value - base) / std::max(std::fabs(base), 1e-12);
+    if (rel <= tol) {
+      std::printf("OK        %s = %.6g (baseline %.6g, drift %.1f%%)\n",
+                  key.c_str(), r.value, base, rel * 100.0);
+    } else {
+      ++violations;
+      std::printf("VIOLATION %s = %.6g (baseline %.6g, drift %.1f%% > %.1f%%)\n",
+                  key.c_str(), r.value, base, rel * 100.0, tol * 100.0);
+    }
+  }
+  for (const auto& [key, value] : baseline) {
+    if (!metric_selected(key.substr(key.rfind('|') + 1), metric_list)) continue;
+    ++violations;
+    std::printf("MISSING   %s (baseline %.6g, absent from current run)\n",
+                key.c_str(), value);
+  }
+
+  std::printf("bench_compare: %d compared, %d violation%s (tol %.1f%%)%s\n",
+              compared, violations, violations == 1 ? "" : "s", tol * 100.0,
+              warn_only && violations > 0 ? " [warn-only]" : "");
+  if (violations > 0 && !warn_only) return 1;
+  return 0;
+}

@@ -4,7 +4,8 @@
 // Usage: omnc_emu [--transport loopback|udp] [--topology diamond|chain]
 //                 [--hops N] [--link-p P] [--generations N] [--gen-blocks N]
 //                 [--block-bytes B] [--capacity C] [--cbr R] [--seed S]
-//                 [--speedup X] [--timeout S] [--probe-window S]
+//                 [--clock real|warp|det] [--speedup X] [--time-scale X]
+//                 [--timeout S] [--virtual-timeout S] [--probe-window S]
 //                 [--oracle-rates] [--cross-check] [--tol-lo R] [--tol-hi R]
 //                 [--fault-plan SPEC] [--json PATH] [--trace PATH] [--metrics]
 //
@@ -15,14 +16,26 @@
 //   --topology      diamond: the paper's Fig. 2 four-node relay diamond;
 //                   chain: a (--hops)-link line with --link-p   (diamond)
 //   --generations   generations the source must deliver              (8)
-//   --speedup       virtual seconds per wall second                 (20)
-//   --timeout       wall-clock budget in seconds                    (60)
+//   --clock         how virtual time advances (DESIGN.md §12):
+//                   real: wall time x speedup; warp: as fast as the node
+//                   threads can step; det: single-threaded deterministic
+//                   stepping (exact seed replay)                  (real)
+//   --speedup       virtual seconds per wall second (real clock); also
+//                   sets the virtual node-step cadence everywhere   (20)
+//   --time-scale    alias for --speedup
+//   --timeout       wall-clock budget in seconds (real clock)       (60)
+//   --virtual-timeout  virtual-seconds budget, all clocks
+//                      (0 = timeout x speedup)                      (0)
 //   --probe-window  virtual seconds of link probing before the data
 //                   phase; estimates are reported and traced        (0 = off)
 //   --oracle-rates  install rate-control rates directly on every node
 //                   instead of flooding them in-band as PriceUpdate frames
-//   --cross-check   also run the slot simulator on the same topology and
-//                   require emu/sim goodput within [--tol-lo, --tol-hi]
+//   --cross-check   run the slot simulator on the same topology and require
+//                   emu/sim goodput within [--tol-lo, --tol-hi].  Under
+//                   --clock det the tolerance gate is replaced by an exact
+//                   replay assertion: a second deterministic run on a fresh
+//                   transport must reproduce the first bit for bit (the sim
+//                   ratio is still printed for reference)
 //   --fault-plan    wrap the transport in a deterministic FaultTransport;
 //                   SPEC is a preset name (burst|jitter|partition|blackout|
 //                   chaos) or a directive string, see FaultPlan::parse.
@@ -33,7 +46,7 @@
 //                   up in `trace_inspect --transport`
 //
 // Exit status: 0 when the destination decoded every generation with the
-// correct bytes (and the cross-check, if requested, is within tolerance).
+// correct bytes (and the cross-check, if requested, passed).
 #include <cmath>
 #include <cstdio>
 #include <memory>
@@ -106,8 +119,16 @@ int main(int argc, char** argv) {
       static_cast<int>(options.get_int("generations", 8));
   config.node.probe_window_s = options.get_double("probe-window", 0.0);
   config.node.data_start_s = config.node.probe_window_s + 0.5;
-  config.speedup = options.get_double("speedup", 20.0);
+  const std::string clock_name = options.get("clock", "real");
+  if (!vtime::parse_clock_mode(clock_name, &config.clock_mode)) {
+    std::fprintf(stderr, "unknown --clock %s (real|warp|det)\n",
+                 clock_name.c_str());
+    return 2;
+  }
+  config.speedup =
+      options.get_double("time-scale", options.get_double("speedup", 20.0));
   config.wall_timeout_s = options.get_double("timeout", 60.0);
+  config.virtual_timeout_s = options.get_double("virtual-timeout", 0.0);
   const double capacity = options.get_double("capacity", 2e4);
 
   const net::Topology topo = make_topology(topology_name, hops, link_p);
@@ -127,40 +148,55 @@ int main(int argc, char** argv) {
   std::vector<double> rates = rc.b;
   opt::rescale_to_feasible(graph, rates, capacity);
 
-  std::unique_ptr<emu::Transport> base_transport;
-  if (transport_name == "loopback") {
-    emu::LoopbackConfig loopback;
-    loopback.seed = seed;
-    base_transport = std::make_unique<emu::LoopbackTransport>(
-        graph.size(), emu::link_matrix_from_topology(topo, graph), loopback);
-  } else if (transport_name == "udp") {
-    base_transport = std::make_unique<emu::UdpTransport>(graph.size());
-  } else {
-    std::fprintf(stderr, "unknown --transport %s (loopback|udp)\n",
-                 transport_name.c_str());
-    return 2;
-  }
-
   // Optional fault injection: the decorator wraps whichever backend was
   // chosen, so burst loss and partitions apply identically over loopback
-  // and UDP.  The base transport must stay alive underneath it.
+  // and UDP.  A spec without an explicit seed inherits the run seed, so
+  // sweeps over --seed exercise distinct fault realizations by default.
   const std::string fault_spec = options.get("fault-plan", "");
-  std::unique_ptr<emu::FaultTransport> fault_transport;
-  emu::Transport* transport = base_transport.get();
+  emu::FaultPlan fault_plan;
+  bool have_fault_plan = false;
   if (!fault_spec.empty()) {
-    emu::FaultPlan plan;
     std::string error;
-    if (!emu::FaultPlan::parse(fault_spec, &plan, &error)) {
+    if (!emu::FaultPlan::parse(fault_spec, &fault_plan, &error)) {
       std::fprintf(stderr, "bad --fault-plan: %s\n", error.c_str());
       return 2;
     }
-    // A spec without an explicit seed inherits the run seed, so sweeps over
-    // --seed exercise distinct fault realizations by default.
-    if (fault_spec.find("seed=") == std::string::npos) plan.seed = seed;
-    fault_transport =
-        std::make_unique<emu::FaultTransport>(*base_transport, plan);
-    transport = fault_transport.get();
+    if (fault_spec.find("seed=") == std::string::npos) fault_plan.seed = seed;
+    have_fault_plan = true;
   }
+
+  // The whole transport stack comes from a factory so the deterministic
+  // replay cross-check can build a pristine second copy.  The base
+  // transport must stay alive underneath the decorator.
+  struct TransportBundle {
+    std::unique_ptr<emu::Transport> base;
+    std::unique_ptr<emu::FaultTransport> fault;
+    emu::Transport* transport = nullptr;
+  };
+  auto make_transport = [&]() {
+    TransportBundle bundle;
+    if (transport_name == "loopback") {
+      emu::LoopbackConfig loopback;
+      loopback.seed = seed;
+      bundle.base = std::make_unique<emu::LoopbackTransport>(
+          graph.size(), emu::link_matrix_from_topology(topo, graph), loopback);
+    } else if (transport_name == "udp") {
+      bundle.base = std::make_unique<emu::UdpTransport>(graph.size());
+    } else {
+      std::fprintf(stderr, "unknown --transport %s (loopback|udp)\n",
+                   transport_name.c_str());
+      std::exit(2);
+    }
+    if (have_fault_plan) {
+      bundle.fault =
+          std::make_unique<emu::FaultTransport>(*bundle.base, fault_plan);
+      bundle.transport = bundle.fault.get();
+    } else {
+      bundle.transport = bundle.base.get();
+    }
+    return bundle;
+  };
+  TransportBundle bundle = make_transport();
 
   char params[384];
   std::snprintf(params, sizeof(params),
@@ -176,7 +212,7 @@ int main(int argc, char** argv) {
   bench::ObsSetup obs = bench::parse_obs(options, "omnc_emu", params, seed);
   bench::JsonWriter json(options);
 
-  emu::EmuHarness harness(graph, *transport, config);
+  emu::EmuHarness harness(graph, *bundle.transport, config);
   if (options.get_bool("oracle-rates", false)) {
     harness.install_rates(rates);
   } else {
@@ -206,15 +242,16 @@ int main(int argc, char** argv) {
   }
 
   std::printf("# omnc_emu: %s over %s, %d nodes, %d generations of %u x %u B, "
-              "speedup %.0fx, seed %llu\n",
+              "clock %s, speedup %.0fx, seed %llu\n",
               topology_name.c_str(), transport_name.c_str(), graph.size(),
               config.node.max_generations,
               config.node.coding.generation_blocks,
-              config.node.coding.block_bytes, config.speedup,
+              config.node.coding.block_bytes,
+              vtime::clock_mode_name(config.clock_mode), config.speedup,
               static_cast<unsigned long long>(seed));
-  if (fault_transport != nullptr) {
+  if (bundle.fault != nullptr) {
     std::printf("# fault plan: %s\n",
-                fault_transport->plan().describe().c_str());
+                bundle.fault->plan().describe().c_str());
   }
   const emu::EmuRunResult result = harness.run();
 
@@ -230,8 +267,8 @@ int main(int argc, char** argv) {
               result.transport.frames_sent, result.transport.bytes_sent,
               result.transport.copies_delivered,
               result.transport.copies_dropped, result.parse_errors);
-  if (fault_transport != nullptr) {
-    const emu::FaultStats faults = fault_transport->fault_stats();
+  if (bundle.fault != nullptr) {
+    const emu::FaultStats faults = bundle.fault->fault_stats();
     std::printf("faults: %zu lost, %zu duplicated, %zu reordered, "
                 "%zu partition drops, %zu blackout rx drops, "
                 "%zu blackout tx suppressed\n",
@@ -292,8 +329,8 @@ int main(int argc, char** argv) {
               static_cast<double>(result.transport.copies_dropped));
   json.record("omnc_emu", params, "parse_errors",
               static_cast<double>(result.parse_errors));
-  if (fault_transport != nullptr) {
-    const emu::FaultStats faults = fault_transport->fault_stats();
+  if (bundle.fault != nullptr) {
+    const emu::FaultStats faults = bundle.fault->fault_stats();
     json.record("omnc_emu", params, "fault_lost",
                 static_cast<double>(faults.lost));
     json.record("omnc_emu", params, "fault_duplicated",
@@ -336,18 +373,63 @@ int main(int argc, char** argv) {
         sim_result.throughput_bytes_per_s > 0.0
             ? result.goodput_bytes_per_s / sim_result.throughput_bytes_per_s
             : 0.0;
-    const double tol_lo = options.get_double("tol-lo", 0.2);
-    const double tol_hi = options.get_double("tol-hi", 3.5);
-    const bool within = ratio >= tol_lo && ratio <= tol_hi;
-    std::printf("cross-check: sim goodput %.1f B/s (%d gens), emu/sim ratio "
-                "%.3f, tolerance [%.2f, %.2f] — %s\n",
-                sim_result.throughput_bytes_per_s,
-                sim_result.generations_completed, ratio, tol_lo, tol_hi,
-                within ? "ok" : "OUT OF TOLERANCE");
     json.record("omnc_emu", params, "sim_goodput_bytes_per_s",
                 sim_result.throughput_bytes_per_s);
     json.record("omnc_emu", params, "goodput_ratio", ratio);
-    ok = ok && within;
+
+    if (config.clock_mode == vtime::ClockMode::kDeterministic) {
+      // Deterministic runs owe more than a tolerance band: a second run on
+      // a pristine transport stack must reproduce the first bit for bit.
+      // The sim ratio stays informational (the slot MAC and the emulated
+      // channel are different processes; equality there is not expected).
+      TransportBundle replay_bundle = make_transport();
+      emu::EmuHarness replay(graph, *replay_bundle.transport, config);
+      if (options.get_bool("oracle-rates", false)) {
+        replay.install_rates(rates);
+      } else {
+        replay.install_price_table(rates, rc.lambda, rc.beta, rc.iterations);
+      }
+      const emu::EmuRunResult second = replay.run();
+      const bool exact =
+          second.completed == result.completed &&
+          second.data_ok == result.data_ok &&
+          second.generations_completed == result.generations_completed &&
+          second.goodput_bytes_per_s == result.goodput_bytes_per_s &&
+          second.last_ack_time == result.last_ack_time &&
+          second.mean_ack_latency == result.mean_ack_latency &&
+          second.ack_latencies == result.ack_latencies &&
+          second.data_packets_sent == result.data_packets_sent &&
+          second.transport.frames_sent == result.transport.frames_sent &&
+          second.transport.copies_delivered ==
+              result.transport.copies_delivered &&
+          second.transport.copies_dropped == result.transport.copies_dropped;
+      std::printf("cross-check: sim goodput %.1f B/s (%d gens), emu/sim "
+                  "ratio %.3f (informational); deterministic replay %s\n",
+                  sim_result.throughput_bytes_per_s,
+                  sim_result.generations_completed, ratio,
+                  exact ? "EXACT" : "DIVERGED");
+      if (!exact) {
+        std::printf("replay divergence: goodput %.17g vs %.17g, gens %d vs "
+                    "%d, frames %zu vs %zu\n",
+                    result.goodput_bytes_per_s, second.goodput_bytes_per_s,
+                    result.generations_completed,
+                    second.generations_completed,
+                    result.transport.frames_sent,
+                    second.transport.frames_sent);
+      }
+      json.record("omnc_emu", params, "replay_exact", exact ? 1.0 : 0.0);
+      ok = ok && exact;
+    } else {
+      const double tol_lo = options.get_double("tol-lo", 0.2);
+      const double tol_hi = options.get_double("tol-hi", 3.5);
+      const bool within = ratio >= tol_lo && ratio <= tol_hi;
+      std::printf("cross-check: sim goodput %.1f B/s (%d gens), emu/sim "
+                  "ratio %.3f, tolerance [%.2f, %.2f] — %s\n",
+                  sim_result.throughput_bytes_per_s,
+                  sim_result.generations_completed, ratio, tol_lo, tol_hi,
+                  within ? "ok" : "OUT OF TOLERANCE");
+      ok = ok && within;
+    }
   }
 
   bench::finish_obs(obs);
