@@ -20,10 +20,12 @@ class EventTap final : public TransportObserver {
  public:
   EventTap(const routing::SessionGraph& graph, const vtime::Clock& clock,
            std::function<void(const protocols::MetricEvent&)> sink,
+           std::function<void(const obs::SpanEvent&)> span_sink,
            std::uint32_t session_id)
       : graph_(graph),
         clock_(clock),
         sink_(std::move(sink)),
+        span_sink_(std::move(span_sink)),
         session_id_(session_id) {}
 
   /// Thread-safe forwarding for EmuNode events (already carry their time).
@@ -32,11 +34,20 @@ class EventTap final : public TransportObserver {
     if (sink_) sink_(event);
   }
 
+  /// Thread-safe forwarding for EmuNode span events, sharing the metric
+  /// mutex so the two streams interleave in one total order.
+  void forward_span(const obs::SpanEvent& event) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (span_sink_) span_sink_(event);
+  }
+
   void on_send(int from, std::size_t bytes) override {
     emit(protocols::MetricEvent::Type::kEmuSend, from, -1, bytes);
   }
-  void on_drop(int from, int to, std::size_t bytes) override {
-    emit(protocols::MetricEvent::Type::kEmuDrop, from, to, bytes);
+  void on_drop(int from, int to,
+               std::span<const std::uint8_t> frame) override {
+    emit(protocols::MetricEvent::Type::kEmuDrop, from, to, frame.size());
+    span_drop(from, to, frame, clock_.now());
   }
   void on_deliver(int from, int to, std::size_t bytes) override {
     emit(protocols::MetricEvent::Type::kEmuDeliver, from, to, bytes);
@@ -49,6 +60,14 @@ class EventTap final : public TransportObserver {
       event.node = graph_.node_id(acting);
     }
     forward(event);
+    // Only fault kinds that destroy the copy close its span; reorder and
+    // duplicate leave the packet in flight (the eventual delivery — or a
+    // later drop — ends the story).
+    if (record.kind == FaultRecord::Kind::kLoss ||
+        record.kind == FaultRecord::Kind::kPartition ||
+        record.kind == FaultRecord::Kind::kBlackout) {
+      span_drop(record.from, record.to, record.frame, record.time);
+    }
   }
   void on_truncated(int from, int to, std::size_t claimed_bytes) override {
     // Truncated datagrams share the parse-error family with a distinct
@@ -83,9 +102,36 @@ class EventTap final : public TransportObserver {
     forward(event);
   }
 
+  /// Closes the span of a killed coded-data copy by peeking its wire trace
+  /// tag.  Untraced frames (control traffic, v1 peers, foreign sessions)
+  /// are skipped silently; the metric-side kEmuDrop already counted them.
+  void span_drop(int from, int to, std::span<const std::uint8_t> frame,
+                 double time) {
+    if (!span_sink_ || frame.empty()) return;
+    std::uint16_t origin = 0;
+    std::uint32_t seq = 0;
+    if (!wire::peek_trace(frame, &origin, &seq)) return;
+    const obs::SpanId span{origin, seq};
+    if (!span.valid()) return;
+    std::uint32_t session = 0;
+    if (!wire::peek_session(frame, &session) || session != session_id_) return;
+    std::uint32_t generation = 0;
+    if (!wire::peek_generation(frame, &generation)) return;
+    obs::SpanEvent event;
+    event.kind = obs::SpanEvent::Kind::kDrop;
+    event.time = time;
+    event.session = session_id_;
+    event.generation = generation;
+    event.node = to;
+    event.peer = from;
+    event.span = span;
+    forward_span(event);
+  }
+
   const routing::SessionGraph& graph_;
   const vtime::Clock& clock_;
   std::function<void(const protocols::MetricEvent&)> sink_;
+  std::function<void(const obs::SpanEvent&)> span_sink_;
   std::uint32_t session_id_;
   std::mutex mutex_;
 };
@@ -121,6 +167,11 @@ void EmuHarness::install_price_table(std::vector<double> rates_bytes_per_s,
 void EmuHarness::set_metric_sink(
     std::function<void(const protocols::MetricEvent&)> sink) {
   sink_ = std::move(sink);
+}
+
+void EmuHarness::set_span_sink(
+    std::function<void(const obs::SpanEvent&)> sink) {
+  span_sink_ = std::move(sink);
 }
 
 bool EmuHarness::run_threaded(vtime::Clock& clock, double tick,
@@ -187,12 +238,20 @@ bool EmuHarness::run_deterministic(vtime::DeterministicClock& clock,
 EmuRunResult EmuHarness::run() {
   std::unique_ptr<vtime::Clock> clock =
       vtime::make_clock(config_.clock_mode, config_.speedup);
-  EventTap tap(graph_, *clock, sink_, config_.node.session_id);
-  if (sink_) {
+  EventTap tap(graph_, *clock, sink_, span_sink_, config_.node.session_id);
+  if (sink_ || span_sink_) {
     transport_.set_observer(&tap);
+  }
+  if (sink_) {
     for (auto& node : nodes_) {
       node->set_metric_sink(
           [&tap](const protocols::MetricEvent& event) { tap.forward(event); });
+    }
+  }
+  if (span_sink_) {
+    for (auto& node : nodes_) {
+      node->set_span_sink(
+          [&tap](const obs::SpanEvent& event) { tap.forward_span(event); });
     }
   }
   transport_.bind_clock(clock.get());

@@ -29,6 +29,7 @@
 
 #include "emu/emu_node.h"
 #include "emu/transport.h"
+#include "obs/span.h"
 #include "protocols/metrics_bus.h"
 #include "routing/node_selection.h"
 #include "time/clock.h"
@@ -100,6 +101,14 @@ class EmuHarness {
   /// Events carry virtual time.
   void set_metric_sink(std::function<void(const protocols::MetricEvent&)> sink);
 
+  /// Observes packet-lifecycle span events (enqueue/tx/rx/drop/innovate/
+  /// decode; see obs/span.h).  The harness serializes calls across node
+  /// threads and the transport observer, so the sink itself need not be
+  /// thread-safe.  Drop spans are synthesized here by peeking the wire trace
+  /// tag of each killed copy.  When unset, span instrumentation is fully
+  /// disabled and adds no work to the data path.
+  void set_span_sink(std::function<void(const obs::SpanEvent&)> sink);
+
   /// Blocks until the session finishes or times out.
   EmuRunResult run();
 
@@ -117,6 +126,7 @@ class EmuHarness {
   EmuConfig config_;
   std::vector<std::unique_ptr<EmuNode>> nodes_;
   std::function<void(const protocols::MetricEvent&)> sink_;
+  std::function<void(const obs::SpanEvent&)> span_sink_;
 };
 
 }  // namespace omnc::emu

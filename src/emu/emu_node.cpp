@@ -89,9 +89,30 @@ void EmuNode::set_metric_sink(
   sink_ = std::move(sink);
 }
 
+void EmuNode::set_span_sink(std::function<void(const obs::SpanEvent&)> sink) {
+  span_sink_ = std::move(sink);
+}
+
 void EmuNode::broadcast(const wire::Frame& frame) {
   const std::vector<std::uint8_t> bytes = frame.serialize();
   transport_.send(local_, bytes);
+}
+
+void EmuNode::emit_span(obs::SpanEvent::Kind kind, double now,
+                        std::uint32_t generation, obs::SpanId span, int peer,
+                        std::size_t rank, std::vector<obs::SpanId> parents) {
+  if (!span_sink_) return;
+  obs::SpanEvent event;
+  event.kind = kind;
+  event.time = now;
+  event.session = config_.session_id;
+  event.generation = generation;
+  event.node = local_;
+  event.peer = peer;
+  event.span = span;
+  event.rank = rank;
+  event.parents = std::move(parents);
+  span_sink_(event);
 }
 
 void EmuNode::step(double now) {
@@ -131,6 +152,16 @@ void EmuNode::run_recovery(double now) {
       std::max(live_generation_, runtime_.generation_id());
   broadcast(wire::make_resync_request(config_.session_id, request));
   ++stats_.resync_requests;
+  if (sink_) {
+    protocols::MetricEvent event;
+    event.type = protocols::MetricEvent::Type::kEmuResync;
+    event.time = now;
+    event.session = config_.session_id;
+    event.node = graph_.node_id(local_);
+    event.tx_local = local_;
+    event.generation = request.last_seen_generation;
+    sink_(event);
+  }
   last_resync_send_ = now;
   resync_wait_s_ = std::min(resync_wait_s_ * 2.0, config_.resync_backoff_max_s);
 }
@@ -186,6 +217,17 @@ void EmuNode::run_source(double now) {
         std::min(stall_timeout_cur_ * 2.0, config_.stall_backoff_max_s);
     stall_deadline_ = now + stall_timeout_cur_;
     ++stats_.stall_boosts;
+    if (sink_) {
+      protocols::MetricEvent event;
+      event.type = protocols::MetricEvent::Type::kEmuStall;
+      event.time = now;
+      event.session = config_.session_id;
+      event.node = graph_.node_id(local_);
+      event.tx_local = local_;
+      event.generation = runtime_.generation_id();
+      event.value = redundancy_boost_;
+      sink_(event);
+    }
   }
 }
 
@@ -260,7 +302,20 @@ void EmuNode::pace(double now) {
           ? runtime_.generation_id()
           : live_generation_;
   while (tokens_ >= packet_air_bytes_ && runtime_.can_send(live)) {
-    broadcast(wire::make_coded_data(runtime_.next_packet(rng_)));
+    wire::Frame frame = wire::make_coded_data(runtime_.next_packet(rng_));
+    // Every coded-data frame gets a span id on the wire (stamped whether or
+    // not anything listens, so traced and untraced runs exchange
+    // byte-identical traffic).  A recoded packet's causal parents are the
+    // spans of the relay's buffered innovative packets; source packets are
+    // DAG roots.
+    frame.trace_origin = static_cast<std::uint16_t>(local_);
+    frame.trace_seq = ++span_seq_;
+    const obs::SpanId span{frame.trace_origin, frame.trace_seq};
+    const std::uint32_t gen = frame.packet.generation_id;
+    emit_span(obs::SpanEvent::Kind::kEnqueue, now, gen, span, -1, 0,
+              basis_spans_);
+    broadcast(frame);
+    emit_span(obs::SpanEvent::Kind::kTransmit, now, gen, span, -1, 0);
     tokens_ -= packet_air_bytes_;
     ++stats_.data_packets_sent;
   }
@@ -268,7 +323,6 @@ void EmuNode::pace(double now) {
 
 void EmuNode::on_frame(double now, int from,
                        std::span<const std::uint8_t> bytes) {
-  (void)from;
   ++stats_.frames_received;
   wire::Frame frame;
   if (!wire::Frame::parse(bytes, &frame)) {
@@ -296,7 +350,7 @@ void EmuNode::on_frame(double now, int from,
   resync_wait_s_ = config_.resync_silence_s;
   switch (frame.type) {
     case wire::FrameType::kCodedData:
-      handle_data(now, frame.packet);
+      handle_data(now, from, frame);
       break;
     case wire::FrameType::kGenerationAck:
       handle_ack(now, frame.ack);
@@ -321,19 +375,28 @@ void EmuNode::on_frame(double now, int from,
   }
 }
 
-void EmuNode::handle_data(double now, const coding::CodedPacket& packet) {
+void EmuNode::handle_data(double now, int from, const wire::Frame& frame) {
+  const coding::CodedPacket& packet = frame.packet;
   const std::uint32_t gen = packet.generation_id;
+  const obs::SpanId span{frame.trace_origin, frame.trace_seq};
   switch (runtime_.role()) {
     case protocols::NodeRuntime::Role::kSource:
       break;  // echo of the session's own traffic
     case protocols::NodeRuntime::Role::kRelay: {
       live_generation_ = std::max(live_generation_, gen);
       if (gen > runtime_.generation_id()) {
-        runtime_.flush_to(gen);
+        if (runtime_.flush_to(gen)) basis_spans_.clear();
       }
       if (gen == runtime_.generation_id()) {
         const auto outcome = runtime_.receive(packet);
-        if (outcome.innovative) ++stats_.innovative_received;
+        emit_span(obs::SpanEvent::Kind::kReceive, now, gen, span, from,
+                  runtime_.rank());
+        if (outcome.innovative) {
+          ++stats_.innovative_received;
+          if (span.valid()) basis_spans_.push_back(span);
+          emit_span(obs::SpanEvent::Kind::kInnovate, now, gen, span, from,
+                    runtime_.rank());
+        }
       }
       break;
     }
@@ -345,7 +408,14 @@ void EmuNode::handle_data(double now, const coding::CodedPacket& packet) {
       }
       if (gen != runtime_.generation_id()) break;  // stale (already decoded)
       const auto outcome = runtime_.receive(packet);
-      if (outcome.innovative) ++stats_.innovative_received;
+      emit_span(obs::SpanEvent::Kind::kReceive, now, gen, span, from,
+                runtime_.rank());
+      if (outcome.innovative) {
+        ++stats_.innovative_received;
+        if (span.valid()) basis_spans_.push_back(span);
+        emit_span(obs::SpanEvent::Kind::kInnovate, now, gen, span, from,
+                  runtime_.rank());
+      }
       if (!outcome.generation_complete) break;
       // Decode finished: verify the plaintext against the source's
       // deterministic payload, then start the ACK flood.
@@ -360,7 +430,13 @@ void EmuNode::handle_data(double now, const coding::CodedPacket& packet) {
       ++stats_.generations_completed;
       completed_.store(stats_.generations_completed,
                        std::memory_order_relaxed);
+      // The decode span's parents are every innovative packet that entered
+      // the decoding basis — the DAG edge set trace_inspect walks back to
+      // the source roots.
+      emit_span(obs::SpanEvent::Kind::kDecode, now, gen, span, from,
+                basis_spans_.size(), basis_spans_);
       runtime_.advance_generation();
+      basis_spans_.clear();
       last_ack_ = wire::GenerationAck{gen,
                                       static_cast<std::uint16_t>(local_), 0};
       have_ack_ = true;
@@ -408,7 +484,7 @@ void EmuNode::handle_ack(double now, const wire::GenerationAck& ack) {
       // until data of the next generation arrives.
       live_generation_ = std::max(live_generation_, ack.generation_id + 1);
       if (ack.generation_id >= runtime_.generation_id()) {
-        runtime_.flush_to(ack.generation_id + 1);
+        if (runtime_.flush_to(ack.generation_id + 1)) basis_spans_.clear();
       }
       // Flood forwarding with (generation, seq) dedup per origin.
       if (ack.origin_local < forwarded_acks_.size()) {
@@ -497,7 +573,7 @@ void EmuNode::handle_resync_info(double now, const wire::ResyncInfo& info) {
       gen > runtime_.generation_id()) {
     // Fast-forward the recode buffer to the live generation instead of
     // waiting for fresh data to reveal it.
-    runtime_.flush_to(gen);
+    if (runtime_.flush_to(gen)) basis_spans_.clear();
   }
   if (runtime_.role() == protocols::NodeRuntime::Role::kDestination &&
       have_ack_ && gen > last_ack_.generation_id) {

@@ -45,6 +45,7 @@
 
 #include "common/rng.h"
 #include "emu/transport.h"
+#include "obs/span.h"
 #include "protocols/metrics_bus.h"
 #include "protocols/node_runtime.h"
 #include "routing/node_selection.h"
@@ -133,9 +134,17 @@ class EmuNode {
                        int iterations);
 
   /// Thread-safe event hook (the harness serializes).  Receives
-  /// kGenerationAck (at the source, value = session-time latency) and
-  /// kEmuParseError events.
+  /// kGenerationAck (at the source, value = session-time latency),
+  /// kEmuParseError, and the recovery family (kEmuResync / kEmuStall).
   void set_metric_sink(std::function<void(const protocols::MetricEvent&)> sink);
+
+  /// Packet-lifecycle hook (the harness serializes alongside metric events).
+  /// When set, the node emits a SpanEvent at every enqueue / transmit /
+  /// receive / innovate / decode of a coded packet; drops are emitted by the
+  /// harness's transport tap.  Data frames carry their span id on the wire
+  /// whether or not a sink is installed, so traced and untraced runs
+  /// exchange byte-identical traffic.
+  void set_span_sink(std::function<void(const obs::SpanEvent&)> sink);
 
   /// One scheduling round at virtual time `now`: drains the transport, runs
   /// the control-plane timers, and paces data transmissions.  Must be
@@ -175,7 +184,7 @@ class EmuNode {
 
  private:
   void on_frame(double now, int from, std::span<const std::uint8_t> bytes);
-  void handle_data(double now, const coding::CodedPacket& packet);
+  void handle_data(double now, int from, const wire::Frame& frame);
   void handle_ack(double now, const wire::GenerationAck& ack);
   void handle_price(double now, const wire::PriceUpdate& price);
   void handle_resync_request(double now, const wire::ResyncRequest& request);
@@ -186,6 +195,9 @@ class EmuNode {
   void run_recovery(double now);
   void pace(double now);
   void broadcast(const wire::Frame& frame);
+  void emit_span(obs::SpanEvent::Kind kind, double now,
+                 std::uint32_t generation, obs::SpanId span, int peer,
+                 std::size_t rank, std::vector<obs::SpanId> parents = {});
   void send_ack(double now);
   void flood_prices(double now);
   double effective_rate(double now);
@@ -200,6 +212,14 @@ class EmuNode {
   double packet_air_bytes_;
 
   std::function<void(const protocols::MetricEvent&)> sink_;
+  std::function<void(const obs::SpanEvent&)> span_sink_;
+
+  // Span plane: per-origin packet counter (seq 0 = untraced, so counting
+  // starts at 1) and the spans of the innovative packets currently buffered
+  // — a recoded transmission's causal parents.  Cleared whenever the buffer
+  // flushes to a new generation.
+  std::uint32_t span_seq_ = 0;
+  std::vector<obs::SpanId> basis_spans_;
 
   // Pacing.
   double rate_bytes_per_s_ = 0.0;

@@ -364,16 +364,17 @@ bool FaultTransport::partition_cuts(int from, int to, double t) const {
 }
 
 void FaultTransport::emit_fault(FaultRecord::Kind kind, int from, int to,
-                                std::size_t bytes, std::uint64_t link_copy,
-                                double t) {
+                                std::span<const std::uint8_t> frame,
+                                std::uint64_t link_copy, double t) {
   if (observer_ == nullptr) return;
   FaultRecord record;
   record.kind = kind;
   record.from = from;
   record.to = to;
-  record.bytes = bytes;
+  record.bytes = frame.size();
   record.link_copy = link_copy;
   record.time = t;
+  record.frame = frame;  // valid for the callback only
   observer_->on_fault(record);
 }
 
@@ -391,7 +392,7 @@ void FaultTransport::send(int from, std::span<const std::uint8_t> frame) {
     // A crashed node transmits nothing; the frame is never offered to the
     // channel, so frames_sent does not count it.
     blackout_tx_suppressed_.fetch_add(1, std::memory_order_relaxed);
-    emit_fault(FaultRecord::Kind::kBlackout, from, -1, frame.size(), 0, t);
+    emit_fault(FaultRecord::Kind::kBlackout, from, -1, frame, 0, t);
     return;
   }
   inner_.send(from, frame);
@@ -428,30 +429,28 @@ std::size_t FaultTransport::poll(int to, const Handler& handler) {
     }
     if (rx_dead) {
       blackout_rx_drops_.fetch_add(1, std::memory_order_relaxed);
-      emit_fault(FaultRecord::Kind::kBlackout, from, to, bytes.size(), copy, t);
+      emit_fault(FaultRecord::Kind::kBlackout, from, to, bytes, copy, t);
       return;
     }
     if (partition_cuts(from, to, t)) {
       partition_drops_.fetch_add(1, std::memory_order_relaxed);
-      emit_fault(FaultRecord::Kind::kPartition, from, to, bytes.size(), copy,
-                 t);
+      emit_fault(FaultRecord::Kind::kPartition, from, to, bytes, copy, t);
       return;
     }
     if (ge_loss) {
       lost_.fetch_add(1, std::memory_order_relaxed);
-      emit_fault(FaultRecord::Kind::kLoss, from, to, bytes.size(), copy, t);
+      emit_fault(FaultRecord::Kind::kLoss, from, to, bytes, copy, t);
       return;
     }
     if (dup) {
       duplicated_.fetch_add(1, std::memory_order_relaxed);
-      emit_fault(FaultRecord::Kind::kDuplicate, from, to, bytes.size(), copy,
-                 t);
+      emit_fault(FaultRecord::Kind::kDuplicate, from, to, bytes, copy, t);
       deliver(from, to, bytes, handler);
       ++count;
     }
     if (reorder) {
       reordered_.fetch_add(1, std::memory_order_relaxed);
-      emit_fault(FaultRecord::Kind::kReorder, from, to, bytes.size(), copy, t);
+      emit_fault(FaultRecord::Kind::kReorder, from, to, bytes, copy, t);
     }
     if (delay > 0.0) {
       Held held;
@@ -477,8 +476,8 @@ std::size_t FaultTransport::poll(int to, const Handler& handler) {
     queue.erase(queue.begin());
     if (rx_dead) {
       blackout_rx_drops_.fetch_add(1, std::memory_order_relaxed);
-      emit_fault(FaultRecord::Kind::kBlackout, held.from, to,
-                 held.bytes.size(), held.link_copy, t);
+      emit_fault(FaultRecord::Kind::kBlackout, held.from, to, held.bytes,
+                 held.link_copy, t);
       continue;
     }
     deliver(held.from, to, held.bytes, handler);
@@ -518,8 +517,9 @@ void FaultTransport::on_send(int from, std::size_t bytes) {
   if (observer_ != nullptr) observer_->on_send(from, bytes);
 }
 
-void FaultTransport::on_drop(int from, int to, std::size_t bytes) {
-  if (observer_ != nullptr) observer_->on_drop(from, to, bytes);
+void FaultTransport::on_drop(int from, int to,
+                             std::span<const std::uint8_t> frame) {
+  if (observer_ != nullptr) observer_->on_drop(from, to, frame);
 }
 
 void FaultTransport::on_deliver(int from, int to, std::size_t bytes) {

@@ -194,15 +194,16 @@ class FaultTransport final : public Transport, private TransportObserver {
   // Inner-transport observer taps: send/drop/truncation pass through,
   // deliveries are swallowed here and re-emitted post-filter from poll().
   void on_send(int from, std::size_t bytes) override;
-  void on_drop(int from, int to, std::size_t bytes) override;
+  void on_drop(int from, int to, std::span<const std::uint8_t> frame) override;
   void on_deliver(int from, int to, std::size_t bytes) override;
   void on_truncated(int from, int to, std::size_t claimed_bytes) override;
 
   double now() const;
   bool in_blackout(int node, double t) const;
   bool partition_cuts(int from, int to, double t) const;
-  void emit_fault(FaultRecord::Kind kind, int from, int to, std::size_t bytes,
-                  std::uint64_t link_copy, double t);
+  void emit_fault(FaultRecord::Kind kind, int from, int to,
+                  std::span<const std::uint8_t> frame, std::uint64_t link_copy,
+                  double t);
   void deliver(int from, int to, std::span<const std::uint8_t> bytes,
                const Handler& handler);
 

@@ -84,7 +84,7 @@ void LoopbackTransport::send(int from, std::span<const std::uint8_t> frame) {
     if (!heard || inbox_[static_cast<std::size_t>(to)].size() >=
                       config_.max_inbox) {
       ++stats_.copies_dropped;
-      if (observer_ != nullptr) observer_->on_drop(from, to, frame.size());
+      if (observer_ != nullptr) observer_->on_drop(from, to, frame);
       continue;
     }
     inbox_[static_cast<std::size_t>(to)].push_back(

@@ -52,6 +52,10 @@ struct FaultRecord {
   std::size_t bytes = 0;
   std::uint64_t link_copy = 0;
   double time = 0.0;  // injector virtual seconds since run start
+  /// The affected frame's bytes, when the injector still holds them (valid
+  /// only for the duration of the observer callback; may be empty).  Lets
+  /// the obs layer peek the trace tag of a killed copy and close its span.
+  std::span<const std::uint8_t> frame;
 };
 
 /// Taps every channel event; used to route transport activity into the obs
@@ -62,7 +66,11 @@ class TransportObserver {
  public:
   virtual ~TransportObserver() = default;
   virtual void on_send(int from, std::size_t bytes) = 0;
-  virtual void on_drop(int from, int to, std::size_t bytes) = 0;
+  /// A per-receiver copy died in transit.  `frame` is the copy's bytes,
+  /// valid only for the duration of the callback — observers peek (e.g. the
+  /// wire trace tag, to emit a span drop event) but must not keep the span.
+  virtual void on_drop(int from, int to,
+                       std::span<const std::uint8_t> frame) = 0;
   virtual void on_deliver(int from, int to, std::size_t bytes) = 0;
   /// A fault injector made a decision (loss/reorder/dup/partition/blackout).
   virtual void on_fault(const FaultRecord& record) { (void)record; }

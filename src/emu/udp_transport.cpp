@@ -103,7 +103,7 @@ void UdpTransport::send(int from, std::span<const std::uint8_t> frame) {
       // EWOULDBLOCK / ENOBUFS on a saturated loopback: the copy is lost,
       // which is the same contract a lossy channel gives the protocol.
       copies_dropped_.fetch_add(1, std::memory_order_relaxed);
-      if (observer_ != nullptr) observer_->on_drop(from, to, frame.size());
+      if (observer_ != nullptr) observer_->on_drop(from, to, frame);
     }
   }
 }
@@ -126,13 +126,21 @@ std::size_t UdpTransport::poll(int to, const Handler& handler) {
                    reinterpret_cast<sockaddr*>(&src), &len);
     if (got < 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) break;
-      // Unexpected socket error: count it and log once per transport, so a
-      // dead socket is visible rather than indistinguishable from silence.
+      // Unexpected socket error: count it and log at most once per
+      // error_log_interval_s of *virtual* time, so a dead socket is visible
+      // rather than indistinguishable from silence.  The window runs on the
+      // bound vtime::Clock — under warp/det clocks a wall-time window would
+      // either flood (warp compresses hours into seconds) or never reopen.
       socket_errors_.fetch_add(1, std::memory_order_relaxed);
-      if (!socket_error_logged_.exchange(true, std::memory_order_relaxed)) {
+      const double now = clock_now();
+      double window = next_error_log_.load(std::memory_order_relaxed);
+      if (now >= window &&
+          next_error_log_.compare_exchange_strong(
+              window, now + config_.error_log_interval_s,
+              std::memory_order_relaxed)) {
         OMNC_LOG_WARN(
             "UdpTransport: recvfrom failed on node %d: %s "
-            "(further errors counted in stats, not logged)",
+            "(rate-limited; further errors counted in stats)",
             to, std::strerror(errno));
       }
       break;  // stop draining this round, keep running
@@ -153,7 +161,9 @@ std::size_t UdpTransport::poll(int to, const Handler& handler) {
       // A stray datagram from outside the harness; drop it.
       copies_dropped_.fetch_add(1, std::memory_order_relaxed);
       if (observer_ != nullptr) {
-        observer_->on_drop(-1, to, static_cast<std::size_t>(got));
+        observer_->on_drop(-1, to,
+                           std::span<const std::uint8_t>(
+                               buffer.data(), static_cast<std::size_t>(got)));
       }
       continue;
     }

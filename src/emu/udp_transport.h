@@ -32,6 +32,10 @@ struct UdpConfig {
   /// to the frame parser.  The default covers the largest UDP datagram;
   /// tests shrink it to exercise the truncation path.
   std::size_t recv_chunk_bytes = 65536;
+
+  /// Minimum virtual seconds between recvfrom-error log lines (the count in
+  /// stats().socket_errors is always exact; only the logging is limited).
+  double error_log_interval_s = 5.0;
 };
 
 class UdpTransport final : public Transport {
@@ -66,7 +70,8 @@ class UdpTransport final : public Transport {
   std::atomic<std::size_t> copies_delivered_{0};
   std::atomic<std::size_t> datagrams_truncated_{0};
   std::atomic<std::size_t> socket_errors_{0};
-  std::atomic<bool> socket_error_logged_{false};
+  /// Virtual time (bound clock) when the next recvfrom-error line may log.
+  std::atomic<double> next_error_log_{0.0};
   std::size_t rcvbuf_effective_ = 0;  // min granted SO_RCVBUF across sockets
 };
 

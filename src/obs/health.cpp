@@ -1,0 +1,303 @@
+#include "obs/health.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+namespace omnc::obs {
+namespace {
+
+constexpr std::size_t kMaxAnomalies = 64;
+
+enum AnomalyKind { kStallKind = 0, kResyncKind = 1, kPlateauKind = 2 };
+
+void append_double(std::string& out, double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out += buf;
+}
+
+void append_counter(std::string& out, const char* key, std::uint64_t value,
+                    bool first = false) {
+  if (!first) out += ',';
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "\"%s\":\"%" PRIu64 "\"", key, value);
+  out += buf;
+}
+
+void append_escaped(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void append_span_json(std::string& out, const SpanEvent& event) {
+  out += "{\"k\":\"";
+  out += span_kind_name(event.kind);
+  out += "\",\"tm\":";
+  append_double(out, event.time);
+  char buf[96];
+  std::snprintf(buf, sizeof(buf),
+                ",\"s\":%u,\"g\":%u,\"n\":%d,\"p\":%d,\"o\":%u,\"q\":%u",
+                event.session, event.generation, event.node, event.peer,
+                static_cast<unsigned>(event.span.origin), event.span.seq);
+  out += buf;
+  if (event.rank != 0) {
+    std::snprintf(buf, sizeof(buf), ",\"rk\":%zu", event.rank);
+    out += buf;
+  }
+  if (!event.parents.empty()) {
+    out += ",\"par\":[";
+    for (std::size_t i = 0; i < event.parents.size(); ++i) {
+      if (i > 0) out += ',';
+      std::snprintf(buf, sizeof(buf), "[%u,%u]",
+                    static_cast<unsigned>(event.parents[i].origin),
+                    event.parents[i].seq);
+      out += buf;
+    }
+    out += ']';
+  }
+  out += '}';
+}
+
+}  // namespace
+
+HealthMonitor::HealthMonitor(HealthConfig config) : config_(config) {
+  next_snapshot_ = config_.snapshot_interval_s;
+}
+
+void HealthMonitor::advance(double now) {
+  if (now > now_) now_ = now;
+  while (config_.snapshot_interval_s > 0.0 && now_ >= next_snapshot_) {
+    take_snapshot(next_snapshot_);
+    next_snapshot_ += config_.snapshot_interval_s;
+  }
+}
+
+void HealthMonitor::on_metric(const protocols::MetricEvent& event) {
+  advance(event.time);
+  using Type = protocols::MetricEvent::Type;
+  switch (event.type) {
+    case Type::kEmuSend:
+      ++sends_;
+      break;
+    case Type::kEmuDrop:
+      ++drops_;
+      break;
+    case Type::kEmuDeliver:
+      ++delivers_;
+      break;
+    case Type::kEmuParseError:
+      ++parse_errors_;
+      break;
+    case Type::kEmuResync:
+      ++resyncs_;
+      resync_times_.push_back(event.time);
+      break;
+    case Type::kEmuStall:
+      ++stall_boosts_;
+      stall_wait_.record(std::max(0.0, event.time - last_progress_));
+      break;
+    case Type::kGenerationAck:
+      ++acks_;
+      decode_latency_.record(event.value);
+      // kGenerationAck carries session time; progress tracking uses the
+      // event's own clock consistently with the stall detector.
+      last_progress_ = std::max(last_progress_, event.time);
+      break;
+    default:
+      break;
+  }
+}
+
+void HealthMonitor::on_span(const SpanEvent& event) {
+  advance(event.time);
+  ++span_events_;
+  flight_ring_.push_back(event);
+  while (flight_ring_.size() > config_.flight_recorder_capacity) {
+    flight_ring_.pop_front();
+  }
+  switch (event.kind) {
+    case SpanEvent::Kind::kTransmit: {
+      const std::uint64_t key = event.span.key();
+      if (tx_times_.emplace(key, event.time).second) {
+        tx_order_.push_back(key);
+        while (tx_order_.size() > config_.span_track_capacity) {
+          tx_times_.erase(tx_order_.front());
+          tx_order_.pop_front();
+        }
+      }
+      break;
+    }
+    case SpanEvent::Kind::kReceive: {
+      const auto it = tx_times_.find(event.span.key());
+      if (it != tx_times_.end() && event.time >= it->second) {
+        hop_delay_.record(event.time - it->second);
+      }
+      break;
+    }
+    case SpanEvent::Kind::kInnovate:
+      last_progress_ = std::max(last_progress_, event.time);
+      if (event.generation != last_rank_generation_) {
+        last_rank_generation_ = event.generation;
+        last_rank_ = 0;
+      }
+      last_rank_ = std::max(last_rank_, event.rank);
+      break;
+    case SpanEvent::Kind::kDecode:
+      last_progress_ = std::max(last_progress_, event.time);
+      break;
+    default:
+      break;
+  }
+}
+
+void HealthMonitor::take_snapshot(double now) {
+  // Stall: nothing made progress for longer than the threshold.
+  if (config_.stall_threshold_s > 0.0 &&
+      now - last_progress_ > config_.stall_threshold_s &&
+      (last_anomaly_[kStallKind] < 0.0 ||
+       now - last_anomaly_[kStallKind] >= config_.stall_threshold_s)) {
+    last_anomaly_[kStallKind] = now;
+    char detail[96];
+    std::snprintf(detail, sizeof(detail), "no progress for %.3fs",
+                  now - last_progress_);
+    note_anomaly("stall", now, detail);
+  }
+
+  // Resync storm: too many requests inside the trailing window.
+  while (!resync_times_.empty() &&
+         resync_times_.front() < now - config_.resync_window_s) {
+    resync_times_.pop_front();
+  }
+  if (config_.resync_storm_count > 0 &&
+      resync_times_.size() > config_.resync_storm_count &&
+      (last_anomaly_[kResyncKind] < 0.0 ||
+       now - last_anomaly_[kResyncKind] >= config_.resync_window_s)) {
+    last_anomaly_[kResyncKind] = now;
+    char detail[96];
+    std::snprintf(detail, sizeof(detail), "%zu resync requests in %.3fs",
+                  resync_times_.size(), config_.resync_window_s);
+    note_anomaly("resync_storm", now, detail);
+  }
+
+  // Decode-rank plateau: the highest observed rank stayed frozen across
+  // consecutive snapshots with no generation completing in between.
+  const bool frozen = last_rank_ > 0 &&
+                      last_rank_ == rank_at_last_snapshot_ &&
+                      last_rank_generation_ == gen_at_last_snapshot_ &&
+                      acks_ == acks_at_last_snapshot_;
+  rank_frozen_snapshots_ = frozen ? rank_frozen_snapshots_ + 1 : 0;
+  if (config_.plateau_snapshots > 0 &&
+      rank_frozen_snapshots_ >= config_.plateau_snapshots) {
+    rank_frozen_snapshots_ = 0;
+    last_anomaly_[kPlateauKind] = now;
+    char detail[96];
+    std::snprintf(detail, sizeof(detail),
+                  "generation %u rank stuck at %zu for %d snapshots",
+                  last_rank_generation_, last_rank_,
+                  config_.plateau_snapshots);
+    note_anomaly("rank_plateau", now, detail);
+  }
+  rank_at_last_snapshot_ = last_rank_;
+  gen_at_last_snapshot_ = last_rank_generation_;
+  acks_at_last_snapshot_ = acks_;
+
+  if (on_snapshot_) on_snapshot_(*this);
+}
+
+void HealthMonitor::note_anomaly(const std::string& kind, double time,
+                                 const std::string& detail) {
+  if (anomalies_.size() >= kMaxAnomalies) return;
+  anomalies_.push_back(HealthAnomaly{kind, time, detail});
+  // The flight recorder freezes at the first incident: the events leading up
+  // to it are usually the diagnostic ones, later anomalies are downstream.
+  if (flight_dump_.empty()) {
+    flight_dump_.assign(flight_ring_.begin(), flight_ring_.end());
+  }
+}
+
+std::string HealthMonitor::to_json() const {
+  std::string out = "{\"time\":";
+  append_double(out, now_);
+  out += ",\"counters\":{";
+  append_counter(out, "sends", sends_, /*first=*/true);
+  append_counter(out, "drops", drops_);
+  append_counter(out, "delivers", delivers_);
+  append_counter(out, "parse_errors", parse_errors_);
+  append_counter(out, "resyncs", resyncs_);
+  append_counter(out, "stall_boosts", stall_boosts_);
+  append_counter(out, "generations_completed", acks_);
+  append_counter(out, "span_events", span_events_);
+  out += "},\"histograms\":{\"hop_delay\":";
+  out += hop_delay_.to_json();
+  out += ",\"decode_latency\":";
+  out += decode_latency_.to_json();
+  out += ",\"stall_wait\":";
+  out += stall_wait_.to_json();
+  out += "},\"anomalies\":[";
+  for (std::size_t i = 0; i < anomalies_.size(); ++i) {
+    if (i > 0) out += ',';
+    out += "{\"kind\":\"";
+    append_escaped(out, anomalies_[i].kind);
+    out += "\",\"time\":";
+    append_double(out, anomalies_[i].time);
+    out += ",\"detail\":\"";
+    append_escaped(out, anomalies_[i].detail);
+    out += "\"}";
+  }
+  out += "],\"flight_recorder\":[";
+  for (std::size_t i = 0; i < flight_dump_.size(); ++i) {
+    if (i > 0) out += ',';
+    append_span_json(out, flight_dump_[i]);
+  }
+  out += "]}";
+  return out;
+}
+
+std::string HealthMonitor::one_liner() const {
+  char buf[256];
+  std::snprintf(
+      buf, sizeof(buf),
+      "health t=%.3f gens=%" PRIu64 " sent=%" PRIu64 " drop=%" PRIu64
+      " deliver=%" PRIu64 " perr=%" PRIu64 " resync=%" PRIu64
+      " stall=%" PRIu64 " hop_p50=%.6f dec_p50=%.6f anomalies=%zu",
+      now_, acks_, sends_, drops_, delivers_, parse_errors_, resyncs_,
+      stall_boosts_, hop_delay_.quantile(50.0), decode_latency_.quantile(50.0),
+      anomalies_.size());
+  return std::string(buf);
+}
+
+bool HealthMonitor::write_json(const std::string& path) const {
+  const std::string tmp = path + ".tmp";
+  std::FILE* file = std::fopen(tmp.c_str(), "w");
+  if (file == nullptr) return false;
+  const std::string doc = to_json();
+  const bool wrote =
+      std::fwrite(doc.data(), 1, doc.size(), file) == doc.size() &&
+      std::fputc('\n', file) != EOF;
+  if (std::fclose(file) != 0 || !wrote) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace omnc::obs

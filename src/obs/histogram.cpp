@@ -1,0 +1,143 @@
+#include "obs/histogram.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace omnc::obs {
+namespace {
+
+void append_double(std::string& out, double v) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", v);
+  out += buffer;
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buffer[24];
+  std::snprintf(buffer, sizeof(buffer), "%llu",
+                static_cast<unsigned long long>(v));
+  out += buffer;
+}
+
+}  // namespace
+
+Histogram::Histogram() : buckets_(kBucketCount, 0) {}
+
+int Histogram::bucket_index(double value) {
+  if (!std::isfinite(value)) return value > 0.0 ? kBucketCount - 1 : 0;
+  if (!(value > 0.0)) return 0;  // zero, negative, NaN → underflow
+  int exp = 0;
+  const double m = std::frexp(value, &exp);  // m in [0.5, 1), value = m·2^exp
+  if (exp < kMinExp) return 0;
+  if (exp > kMaxExp) return kBucketCount - 1;
+  // m - 0.5 is exact (Sterbenz) and the scale is a power of two, so values
+  // sitting exactly on a bucket edge land in that bucket, no rounding.
+  const int sub = static_cast<int>((m - 0.5) * (2 * kSubBuckets));
+  return 1 + (exp - kMinExp) * kSubBuckets + sub;
+}
+
+double Histogram::bucket_floor(int index) {
+  if (index <= 0) return 0.0;
+  if (index >= kBucketCount - 1) return std::ldexp(0.5, kMaxExp + 1);
+  const int offset = index - 1;
+  const int exp = kMinExp + offset / kSubBuckets;
+  const int sub = offset % kSubBuckets;
+  return std::ldexp(0.5 + static_cast<double>(sub) / (2 * kSubBuckets), exp);
+}
+
+void Histogram::record_n(double value, std::uint64_t n) {
+  if (n == 0) return;
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    if (value < min_) min_ = value;
+    if (value > max_) max_ = value;
+  }
+  buckets_[static_cast<std::size_t>(bucket_index(value))] += n;
+  count_ += n;
+  sum_ += value * static_cast<double>(n);
+}
+
+double Histogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  if (q <= 0.0) return min_;
+  if (q >= 100.0) return max_;
+  std::uint64_t rank =
+      static_cast<std::uint64_t>(std::ceil(q / 100.0 * static_cast<double>(count_)));
+  if (rank < 1) rank = 1;
+  if (rank > count_) rank = count_;
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBucketCount; ++i) {
+    seen += buckets_[static_cast<std::size_t>(i)];
+    if (seen >= rank) return bucket_floor(i);
+  }
+  return max_;
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+  for (int i = 0; i < kBucketCount; ++i) {
+    buckets_[static_cast<std::size_t>(i)] +=
+        other.buckets_[static_cast<std::size_t>(i)];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+std::string Histogram::to_json() const {
+  std::string out = "{\"count\":\"";
+  append_u64(out, count_);
+  out += "\",\"sum\":";
+  append_double(out, sum_);
+  out += ",\"min\":";
+  append_double(out, min());
+  out += ",\"max\":";
+  append_double(out, max());
+  out += ",\"b\":[";
+  bool first = true;
+  for (int i = 0; i < kBucketCount; ++i) {
+    const std::uint64_t c = buckets_[static_cast<std::size_t>(i)];
+    if (c == 0) continue;
+    if (!first) out += ',';
+    first = false;
+    out += '[';
+    append_u64(out, static_cast<std::uint64_t>(i));
+    out += ",\"";
+    append_u64(out, c);
+    out += "\"]";
+  }
+  out += "]}";
+  return out;
+}
+
+bool Histogram::assemble(std::uint64_t count, double sum, double min,
+                         double max,
+                         const std::vector<std::pair<int, std::uint64_t>>& buckets,
+                         Histogram* out) {
+  Histogram h;
+  std::uint64_t total = 0;
+  for (const auto& [index, c] : buckets) {
+    if (index < 0 || index >= kBucketCount) return false;
+    h.buckets_[static_cast<std::size_t>(index)] += c;
+    total += c;
+  }
+  if (total != count) return false;
+  h.count_ = count;
+  h.sum_ = sum;
+  if (count > 0) {
+    h.min_ = min;
+    h.max_ = max;
+  }
+  *out = h;
+  return true;
+}
+
+}  // namespace omnc::obs

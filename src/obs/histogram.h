@@ -1,0 +1,89 @@
+// HDR-style log-bucketed latency histogram (fixed memory, mergeable,
+// exact-serializable).
+//
+// The common/stats scalars (min/mean/max) collapse exactly the structure the
+// paper's latency claims are about — a bimodal "fast path vs. stall" decode
+// distribution has a meaningless mean.  This histogram keeps the whole
+// shape at bounded cost:
+//
+//   * Buckets are logarithmic: each power-of-two octave of the value range
+//     is split into kSubBuckets linear sub-buckets, giving a fixed relative
+//     width of 1/kSubBuckets (~3% for 32) across ~19 decades.  Memory is a
+//     flat fixed-size array — no allocation on the record path.
+//   * Bucket edges are exact dyadic rationals (ldexp of small integers), so
+//     an index→lower-edge→index round trip is the identity and serialized
+//     histograms reparse bit-identically.
+//   * merge() adds counts bucket-wise; counts are integers, so merging is
+//     associative and commutative — per-thread or per-shard histograms
+//     combine without bias (the double-valued `sum` is the one field subject
+//     to rounding; counts, min, max, and every quantile are exact).
+//
+// Serialization is sparse JSON ({"count":…,"b":[[index,count],…]}); see
+// to_json() and Histogram::from parsing in trace_reader.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace omnc::obs {
+
+class Histogram {
+ public:
+  /// Sub-buckets per octave; relative bucket width is 1/kSubBuckets.
+  static constexpr int kSubBits = 5;
+  static constexpr int kSubBuckets = 1 << kSubBits;
+  /// Octave range: bucket coverage spans [2^(kMinExp-1), 2^kMaxExp) —
+  /// roughly 1e-13 s to 8e6 s when values are seconds.  Values outside land
+  /// in the underflow/overflow buckets and still count toward quantiles.
+  static constexpr int kMinExp = -40;
+  static constexpr int kMaxExp = 23;
+  static constexpr int kBucketCount =
+      1 + (kMaxExp - kMinExp + 1) * kSubBuckets + 1;  // under + octaves + over
+
+  Histogram();
+
+  void record(double value) { record_n(value, 1); }
+  void record_n(double value, std::uint64_t n);
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  /// Exact extremes of the recorded values (not bucket edges); 0 when empty.
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+
+  /// Nearest-rank quantile, q in [0, 100].  Returns the lower edge of the
+  /// bucket holding the rank (a deterministic, serialization-exact value);
+  /// q <= 0 and q >= 100 return the exact min/max.
+  double quantile(double q) const;
+
+  void merge(const Histogram& other);
+
+  /// The bucket a value lands in / the inclusive lower edge of a bucket.
+  /// bucket_index(bucket_floor(i)) == i for every interior bucket.
+  static int bucket_index(double value);
+  static double bucket_floor(int index);
+
+  /// Sparse JSON object: {"count":"N","sum":S,"min":m,"max":M,
+  /// "b":[[index,"count"],...]} — u64 counts as decimal strings, doubles in
+  /// %.17g, empty buckets omitted.  Parsed back by trace_reader.
+  std::string to_json() const;
+
+  /// Rebuilds from the parsed components of to_json() output (the reader
+  /// hands over the fields; this validates indices).
+  static bool assemble(std::uint64_t count, double sum, double min, double max,
+                       const std::vector<std::pair<int, std::uint64_t>>& buckets,
+                       Histogram* out);
+
+  bool operator==(const Histogram&) const = default;
+
+ private:
+  std::vector<std::uint64_t> buckets_;  // kBucketCount entries
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace omnc::obs

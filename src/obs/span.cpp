@@ -1,0 +1,23 @@
+#include "obs/span.h"
+
+namespace omnc::obs {
+
+const char* span_kind_name(SpanEvent::Kind kind) {
+  switch (kind) {
+    case SpanEvent::Kind::kEnqueue:
+      return "enq";
+    case SpanEvent::Kind::kTransmit:
+      return "tx";
+    case SpanEvent::Kind::kReceive:
+      return "rx";
+    case SpanEvent::Kind::kDrop:
+      return "drop";
+    case SpanEvent::Kind::kInnovate:
+      return "inn";
+    case SpanEvent::Kind::kDecode:
+      return "dec";
+  }
+  return "?";
+}
+
+}  // namespace omnc::obs

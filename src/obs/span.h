@@ -1,0 +1,79 @@
+// Packet-lifecycle spans: the causal unit of the observability plane.
+//
+// Every coded-data frame a node creates gets a span id — (origin node,
+// per-origin sequence) — stamped into the wire header (wire/frame.h, v2).
+// The id follows the frame through the transport, so each step of the
+// packet's life emits one SpanEvent carrying that id:
+//
+//   kEnqueue   — the creating node drew the packet from its encoder or
+//                recode buffer; `parents` is the packet's input basis (the
+//                spans of the innovative packets the recoder combined —
+//                empty at the source, whose packets are DAG roots).
+//   kTransmit  — the frame was offered to the transport.
+//   kReceive   — a copy reached a node and parsed; `rank` is the receiver's
+//                decode/buffer rank after absorbing it.
+//   kDrop      — a copy died in transit (channel loss, fault injection,
+//                stray datagram); `peer` is the sender, `node` the intended
+//                receiver (-1 when unknown).
+//   kInnovate  — the receive increased the receiver's rank.
+//   kDecode    — the destination reached full rank; `parents` is the basis
+//                that decoded the generation, `span` the completing packet.
+//
+// Relays propagate causality: a recoded packet's parents are the spans of
+// the innovative packets currently in its buffer, so walking parents from a
+// kDecode event reconstructs the per-generation coding DAG all the way back
+// to source-created roots (trace_inspect --timeline does exactly that).
+//
+// Header-only on purpose: src/emu emits these without linking the obs trace
+// machinery, and the deterministic-clock guarantee (byte-identical span
+// streams per seed) falls out of events flowing through the same serialized
+// sink as MetricEvents.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace omnc::obs {
+
+/// Identity of one created packet.  seq 0 is the null id ("untraced"):
+/// per-origin counters start at 1, so (0, 0) never names a real packet.
+struct SpanId {
+  std::uint16_t origin = 0;
+  std::uint32_t seq = 0;
+
+  bool valid() const { return seq != 0; }
+  /// Dense total order / map key.
+  std::uint64_t key() const {
+    return (static_cast<std::uint64_t>(origin) << 32) | seq;
+  }
+  bool operator==(const SpanId&) const = default;
+};
+
+struct SpanEvent {
+  enum class Kind : std::uint8_t {
+    kEnqueue,
+    kTransmit,
+    kReceive,
+    kDrop,
+    kInnovate,
+    kDecode,
+  };
+
+  Kind kind = Kind::kEnqueue;
+  double time = 0.0;       // virtual seconds since run start
+  std::uint32_t session = 0;
+  std::uint32_t generation = 0;
+  int node = -1;           // the node the event happened at
+  int peer = -1;           // kReceive/kDrop: the sending node
+  SpanId span;             // the packet the event is about
+  std::size_t rank = 0;    // kReceive/kInnovate: receiver rank after absorb;
+                           // kDecode: basis size
+  std::vector<SpanId> parents;  // kEnqueue (recoded input basis) and kDecode
+
+  bool operator==(const SpanEvent&) const = default;
+};
+
+/// Short names used in the JSONL schema and the CLI views.
+const char* span_kind_name(SpanEvent::Kind kind);
+
+}  // namespace omnc::obs

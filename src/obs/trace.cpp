@@ -87,6 +87,8 @@ const char* event_kind(protocols::MetricEvent::Type type) {
     case Type::kEmuFaultDup: return "fdup";
     case Type::kEmuFaultPartition: return "fpart";
     case Type::kEmuFaultBlackout: return "fblack";
+    case Type::kEmuResync: return "eresync";
+    case Type::kEmuStall: return "estall";
   }
   return "?";
 }
@@ -311,6 +313,67 @@ void TraceRecorder::record_event(int run, const protocols::MetricEvent& event) {
     line += ',';
     append_num(line, "v", event.value);
   }
+  line += '}';
+  write_line(line);
+}
+
+void TraceRecorder::record_span(int run, const SpanEvent& event) {
+  if (file_ == nullptr) return;
+  std::string line = "{\"t\":\"span\",";
+  append_int(line, "r", run);
+  line += ",\"k\":\"";
+  line += span_kind_name(event.kind);
+  line += "\",";
+  append_num(line, "tm", event.time);
+  if (event.session != 0) {
+    line += ',';
+    append_int(line, "s", event.session);
+  }
+  if (event.generation != 0) {
+    line += ',';
+    append_int(line, "g", event.generation);
+  }
+  if (event.node != -1) {
+    line += ',';
+    append_int(line, "n", event.node);
+  }
+  if (event.peer != -1) {
+    line += ',';
+    append_int(line, "p", event.peer);
+  }
+  line += ',';
+  append_int(line, "o", event.span.origin);
+  line += ',';
+  append_int(line, "q", static_cast<long long>(event.span.seq));
+  if (event.rank != 0) {
+    line += ',';
+    append_int(line, "rk", static_cast<long long>(event.rank));
+  }
+  if (!event.parents.empty()) {
+    line += ",\"par\":[";
+    for (std::size_t i = 0; i < event.parents.size(); ++i) {
+      if (i > 0) line += ',';
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "[%u,%u]",
+                    static_cast<unsigned>(event.parents[i].origin),
+                    static_cast<unsigned>(event.parents[i].seq));
+      line += buf;
+    }
+    line += ']';
+  }
+  line += '}';
+  write_line(line);
+}
+
+void TraceRecorder::record_histogram(int run, const std::string& name,
+                                     const Histogram& histogram) {
+  if (file_ == nullptr) return;
+  std::string line = "{\"t\":\"hist\",";
+  append_int(line, "r", run);
+  line += ',';
+  append_string(line, "name", name);
+  line += ",\"h\":";
+  line += histogram.to_json();
   line += '}';
   write_line(line);
 }

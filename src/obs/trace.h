@@ -24,13 +24,17 @@
 #include <string>
 #include <vector>
 
+#include "obs/histogram.h"
+#include "obs/span.h"
 #include "protocols/metrics.h"
 #include "protocols/metrics_bus.h"
 #include "routing/node_selection.h"
 
 namespace omnc::obs {
 
-inline constexpr int kTraceSchemaVersion = 1;
+/// Schema 2 added packet-lifecycle "span" records and serialized "hist"
+/// histogram records; the reader accepts 1 and 2.
+inline constexpr int kTraceSchemaVersion = 2;
 
 /// Per-run manifest data written into the run_begin record.
 struct RunContext {
@@ -71,6 +75,16 @@ class TraceRecorder {
 
   /// Serializes one bus event (RunSink forwards here).
   void record_event(int run, const protocols::MetricEvent& event);
+
+  /// Serializes one packet-lifecycle span event (obs/span.h).  Emission
+  /// order is the tap's serialized order, so deterministic-clock runs
+  /// produce byte-identical span streams per seed.
+  void record_span(int run, const SpanEvent& event);
+
+  /// Serializes one named latency histogram (sparse bucket encoding; see
+  /// Histogram::to_json).  Typically written once at end of run.
+  void record_histogram(int run, const std::string& name,
+                        const Histogram& histogram);
 
   /// One rate-control iteration: recovered gamma-bar and b-bar (Fig. 1).
   void record_opt_iteration(int run, int iteration, double gamma,

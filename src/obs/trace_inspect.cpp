@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <map>
+#include <set>
 
 namespace omnc::obs {
 namespace {
@@ -197,6 +199,110 @@ double percentile(std::vector<double> values, double q) {
   if (index > 0) --index;
   if (index >= values.size()) index = values.size() - 1;
   return values[index];
+}
+
+const SpanDag::Node* SpanDag::find(SpanId id) const {
+  for (const Node& node : nodes) {
+    if (node.id == id) return &node;
+  }
+  return nullptr;
+}
+
+std::vector<SpanDag> build_span_dags(const std::vector<SpanEvent>& spans) {
+  std::map<std::uint32_t, SpanDag> dags;
+  std::map<std::uint32_t, std::map<std::uint64_t, std::size_t>> index;
+  for (const SpanEvent& event : spans) {
+    SpanDag& dag = dags[event.generation];
+    dag.generation = event.generation;
+    dag.events.push_back(event);
+    if (!event.span.valid()) continue;
+    auto& nodes_of = index[event.generation];
+    const auto [it, inserted] =
+        nodes_of.emplace(event.span.key(), dag.nodes.size());
+    if (inserted) {
+      SpanDag::Node node;
+      node.id = event.span;
+      node.first_time = event.time;
+      dag.nodes.push_back(node);
+    }
+    SpanDag::Node& node = dag.nodes[it->second];
+    switch (event.kind) {
+      case SpanEvent::Kind::kEnqueue:
+        node.creator = event.node;
+        node.parents = event.parents;
+        break;
+      case SpanEvent::Kind::kTransmit:
+        node.transmitted = true;
+        break;
+      case SpanEvent::Kind::kReceive:
+        node.received = true;
+        break;
+      case SpanEvent::Kind::kDrop:
+        node.dropped = true;
+        break;
+      case SpanEvent::Kind::kInnovate:
+        node.innovative = true;
+        break;
+      case SpanEvent::Kind::kDecode:
+        dag.decoded = true;
+        dag.decode_span = event.span;
+        dag.decode_time = event.time;
+        dag.decode_basis = event.parents;
+        break;
+    }
+  }
+  std::vector<SpanDag> out;
+  out.reserve(dags.size());
+  for (auto& [generation, dag] : dags) out.push_back(std::move(dag));
+  return out;
+}
+
+SpanDagCheck check_span_dags(const std::vector<SpanDag>& dags) {
+  SpanDagCheck check;
+  auto problem = [&check](std::uint32_t generation, const char* what,
+                          SpanId span) {
+    check.complete = false;
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "generation %u: span (%u,%u) %s",
+                  generation, static_cast<unsigned>(span.origin), span.seq,
+                  what);
+    check.problems.push_back(buf);
+  };
+  for (const SpanDag& dag : dags) {
+    if (!dag.decoded) continue;
+    ++check.decoded_generations;
+    if (dag.decode_basis.empty()) {
+      problem(dag.generation, "decode has an empty basis", dag.decode_span);
+      continue;
+    }
+    // Walk the decode basis back through recorded parents; every path must
+    // terminate in a source root (an enqueue with no parents).
+    std::set<std::uint64_t> visited;
+    std::vector<SpanId> frontier = dag.decode_basis;
+    bool reached_root = false;
+    while (!frontier.empty()) {
+      const SpanId span = frontier.back();
+      frontier.pop_back();
+      if (!visited.insert(span.key()).second) continue;
+      const SpanDag::Node* node = dag.find(span);
+      if (node == nullptr || node->creator < 0) {
+        problem(dag.generation, "has no enqueue record", span);
+        continue;
+      }
+      if (node->parents.empty()) {
+        reached_root = true;
+        continue;
+      }
+      for (const SpanId& parent : node->parents) {
+        frontier.push_back(parent);
+      }
+    }
+    if (!reached_root) {
+      problem(dag.generation, "DAG never reaches a source root",
+              dag.decode_span);
+    }
+  }
+  return check;
 }
 
 }  // namespace omnc::obs

@@ -63,4 +63,48 @@ VerifyReport verify_trace(const Trace& trace);
 /// Nearest-rank percentile; q in [0, 100].  0 on empty input.
 double percentile(std::vector<double> values, double q);
 
+// ---------------------------------------------------------------------------
+// Span-DAG reconstruction (schema >= 2 traces; see obs/span.h).
+// ---------------------------------------------------------------------------
+
+/// The causal DAG of one generation, rebuilt from its span events.
+struct SpanDag {
+  struct Node {
+    SpanId id;
+    int creator = -1;  // node that enqueued the packet; -1 = enqueue unseen
+    std::vector<SpanId> parents;  // recoded input basis (empty = source root)
+    bool transmitted = false;
+    bool received = false;   // at least one copy reached some node
+    bool dropped = false;    // at least one copy died in transit
+    bool innovative = false;
+    double first_time = 0.0;  // time of the span's earliest event
+  };
+
+  std::uint32_t generation = 0;
+  bool decoded = false;     // a kDecode event was seen
+  SpanId decode_span;       // the packet that completed the decode
+  double decode_time = 0.0;
+  std::vector<SpanId> decode_basis;  // parents of the kDecode event
+  std::vector<Node> nodes;           // first-seen order
+  std::vector<SpanEvent> events;     // this generation's events, trace order
+
+  const Node* find(SpanId id) const;
+};
+
+/// Groups one run's span stream into per-generation DAGs (ascending
+/// generation id).
+std::vector<SpanDag> build_span_dags(const std::vector<SpanEvent>& spans);
+
+struct SpanDagCheck {
+  bool complete = true;  // every decoded generation's DAG reaches its roots
+  std::size_t decoded_generations = 0;
+  std::vector<std::string> problems;
+};
+
+/// Walks every decoded generation's decode basis back through recorded
+/// parents.  The walk must terminate in source roots (spans enqueued with an
+/// empty parent list); unreachable parents (no enqueue record) and cycles
+/// are reported as problems and mark the check incomplete.
+SpanDagCheck check_span_dags(const std::vector<SpanDag>& dags);
+
 }  // namespace omnc::obs

@@ -239,8 +239,43 @@ protocols::MetricEvent::Type event_type_of(const std::string& kind,
   if (kind == "fdup") return Type::kEmuFaultDup;
   if (kind == "fpart") return Type::kEmuFaultPartition;
   if (kind == "fblack") return Type::kEmuFaultBlackout;
+  if (kind == "eresync") return Type::kEmuResync;
+  if (kind == "estall") return Type::kEmuStall;
   *known = false;
   return Type::kTx;
+}
+
+SpanEvent::Kind span_kind_of(const std::string& kind, bool* known) {
+  using Kind = SpanEvent::Kind;
+  *known = true;
+  if (kind == "enq") return Kind::kEnqueue;
+  if (kind == "tx") return Kind::kTransmit;
+  if (kind == "rx") return Kind::kReceive;
+  if (kind == "drop") return Kind::kDrop;
+  if (kind == "inn") return Kind::kInnovate;
+  if (kind == "dec") return Kind::kDecode;
+  *known = false;
+  return Kind::kEnqueue;
+}
+
+/// Bucket counts ride in [index, "count"] pairs; u64 counts are decimal
+/// strings (see Histogram::to_json).
+bool parse_histogram(const Json& h, Histogram* out) {
+  std::vector<std::pair<int, std::uint64_t>> buckets;
+  if (const Json* b = h.find("b"); b != nullptr) {
+    for (const Json& pair : b->items) {
+      if (pair.items.size() != 2 ||
+          pair.items[0].kind != Json::Kind::kNumber ||
+          pair.items[1].kind != Json::Kind::kString) {
+        return false;
+      }
+      buckets.emplace_back(
+          static_cast<int>(pair.items[0].number),
+          std::strtoull(pair.items[1].str.c_str(), nullptr, 10));
+    }
+  }
+  return Histogram::assemble(h.u64("count"), h.num("sum"), h.num("min"),
+                             h.num("max"), buckets, out);
 }
 
 protocols::SessionResult parse_result(const Json& j,
@@ -291,6 +326,7 @@ bool read_trace(const std::string& path, Trace* out, std::string* error) {
   int line_number = 0;
   char buffer[1 << 16];
   bool ok = true;
+  bool saw_manifest = false;
   while (ok && std::fgets(buffer, sizeof(buffer), file) != nullptr) {
     ++line_number;
     line.assign(buffer);
@@ -313,12 +349,14 @@ bool read_trace(const std::string& path, Trace* out, std::string* error) {
 
     const std::string type = record.text("t");
     if (type == "manifest") {
+      saw_manifest = true;
       out->schema = static_cast<int>(record.integer("schema"));
       out->build = record.text("build");
       out->tool = record.text("tool");
       out->params = record.text("params");
       out->seed = record.u64("seed");
-      if (out->schema != kTraceSchemaVersion) {
+      // Schema 1 traces (pre-span/hist) remain readable.
+      if (out->schema < 1 || out->schema > kTraceSchemaVersion) {
         char msg[64];
         std::snprintf(msg, sizeof(msg), "unsupported trace schema %d",
                       out->schema);
@@ -385,6 +423,47 @@ bool read_trace(const std::string& path, Trace* out, std::string* error) {
       event.generation = static_cast<std::uint32_t>(record.integer("g", 0));
       event.value = record.num("v", 0.0);
       run.events.push_back(event);
+    } else if (type == "span") {
+      RecordedRun& run = run_of(static_cast<int>(record.integer("r")));
+      bool known = false;
+      SpanEvent event;
+      event.kind = span_kind_of(record.text("k"), &known);
+      if (!known) continue;  // forward compatibility: skip unknown kinds
+      event.time = record.num("tm");
+      event.session = static_cast<std::uint32_t>(record.integer("s", 0));
+      event.generation = static_cast<std::uint32_t>(record.integer("g", 0));
+      event.node = static_cast<int>(record.integer("n", -1));
+      event.peer = static_cast<int>(record.integer("p", -1));
+      event.span.origin = static_cast<std::uint16_t>(record.integer("o", 0));
+      event.span.seq = static_cast<std::uint32_t>(record.integer("q", 0));
+      event.rank = static_cast<std::size_t>(record.integer("rk", 0));
+      if (const Json* par = record.find("par"); par != nullptr) {
+        for (const Json& p : par->items) {
+          if (p.items.size() != 2) {
+            *error = "malformed span parent";
+            ok = false;
+            break;
+          }
+          event.parents.push_back(
+              SpanId{static_cast<std::uint16_t>(p.items[0].number),
+                     static_cast<std::uint32_t>(p.items[1].number)});
+        }
+        if (!ok) break;
+      }
+      run.spans.push_back(std::move(event));
+    } else if (type == "hist") {
+      RecordedRun& run = run_of(static_cast<int>(record.integer("r")));
+      const Json* h = record.find("h");
+      Histogram histogram;
+      if (h == nullptr || !parse_histogram(*h, &histogram)) {
+        char where[64];
+        std::snprintf(where, sizeof(where), "malformed histogram (line %d)",
+                      line_number);
+        *error = where;
+        ok = false;
+        break;
+      }
+      run.histograms.emplace_back(record.text("name"), std::move(histogram));
     } else if (type == "opt_iter") {
       RecordedRun& run = run_of(static_cast<int>(record.integer("r")));
       run.opt_gamma.push_back(record.num("gamma"));
@@ -428,6 +507,12 @@ bool read_trace(const std::string& path, Trace* out, std::string* error) {
   }
   std::fclose(file);
   if (!ok) return false;
+  if (!saw_manifest) {
+    // An empty or truncated file must not "verify" vacuously: without a
+    // manifest there is nothing to vouch for.
+    *error = "no manifest record in " + path + " (empty or truncated trace?)";
+    return false;
+  }
 
   out->runs.reserve(runs.size());
   for (auto& [id, run] : runs) out->runs.push_back(std::move(run));

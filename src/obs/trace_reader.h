@@ -28,6 +28,11 @@ struct RecordedRun {
   /// sink consults it).
   std::vector<routing::SessionGraph> graphs;
   std::vector<protocols::MetricEvent> events;
+  /// Packet-lifecycle span events in recorded (tap-serialized) order
+  /// (schema >= 2; empty for older traces).
+  std::vector<SpanEvent> spans;
+  /// Named latency histograms recorded at end of run (schema >= 2).
+  std::vector<std::pair<std::string, Histogram>> histograms;
   /// Rate-control iterates in recorded order (Fig. 1 convergence curve).
   std::vector<double> opt_gamma;
   std::vector<std::vector<double>> opt_b;
@@ -71,7 +76,9 @@ struct Trace {
 };
 
 /// Parses a JSONL trace.  Returns false (and sets `error`) on unreadable
-/// files, malformed JSON, or an unsupported schema version.
+/// files, malformed JSON, an unsupported schema version, or a file with no
+/// manifest record (empty/truncated traces must fail loudly, not verify
+/// vacuously).
 bool read_trace(const std::string& path, Trace* out, std::string* error);
 
 }  // namespace omnc::obs

@@ -51,6 +51,11 @@ struct MetricEvent {
     kEmuFaultDup,        // a copy was duplicated in flight
     kEmuFaultPartition,  // a copy crossed a scheduled partition and was cut
     kEmuFaultBlackout,   // a copy touched a blacked-out (crashed) node
+    // Recovery family, emitted by emu::EmuNode; feeds the health plane's
+    // resync-storm and stall anomaly detectors:
+    kEmuResync,     // node broadcast/refreshed a ResyncRequest
+    kEmuStall,      // source escalated redundancy after an ACK stall;
+                    // value = the boost factor in force
   };
 
   Type type = Type::kTx;

@@ -182,22 +182,49 @@ bool parse_body(FrameType type, std::uint32_t session_id,
   return false;  // unknown type (already rejected by the header check)
 }
 
-/// Validates the fixed header; on success fills type/session/payload span.
-bool parse_header(std::span<const std::uint8_t> bytes, FrameType* type,
-                  std::uint32_t* session_id,
-                  std::span<const std::uint8_t>* payload) {
-  if (bytes.size() < kHeaderBytes) return false;
+/// Everything the fixed header carries, plus the byte range the checksum
+/// field covers (trace tag + payload on v2, payload only on v1).
+struct Header {
+  FrameType type = FrameType::kCodedData;
+  std::uint32_t session_id = 0;
+  std::uint16_t trace_origin = 0;
+  std::uint32_t trace_seq = 0;
+  std::uint32_t checksum = 0;
+  std::span<const std::uint8_t> payload;
+  std::span<const std::uint8_t> checksummed;
+};
+
+/// Validates the fixed header of either wire version; on success fills
+/// `out`.  Does not verify the checksum (peeks skip it; Frame::parse
+/// checks).
+bool parse_header(std::span<const std::uint8_t> bytes, Header* out) {
+  if (bytes.size() < kHeaderBytesV1) return false;
   if (get_u32(bytes.data()) != kMagic) return false;
-  if (bytes[4] != kWireVersion) return false;
+  const std::uint8_t version = bytes[4];
+  if (version != kWireVersion && version != kWireVersionV1) return false;
+  const std::size_t header_bytes =
+      version == kWireVersionV1 ? kHeaderBytesV1 : kHeaderBytes;
   if (!valid_type(bytes[5])) return false;
   const std::size_t payload_bytes = get_u32(bytes.data() + 10);
   // Bound the length field before any arithmetic with it: a hostile header
   // may claim up to 4 GiB.
   if (payload_bytes > kMaxFrameBytes) return false;
-  if (bytes.size() != kHeaderBytes + payload_bytes) return false;
-  *type = static_cast<FrameType>(bytes[5]);
-  *session_id = get_u32(bytes.data() + 6);
-  *payload = bytes.subspan(kHeaderBytes);
+  if (bytes.size() != header_bytes + payload_bytes) return false;
+  out->type = static_cast<FrameType>(bytes[5]);
+  out->session_id = get_u32(bytes.data() + 6);
+  out->checksum = get_u32(bytes.data() + 14);
+  if (version == kWireVersion) {
+    out->trace_origin = get_u16(bytes.data() + kTraceTagOffset);
+    out->trace_seq = get_u32(bytes.data() + kTraceTagOffset + 2);
+  } else {
+    out->trace_origin = 0;
+    out->trace_seq = 0;
+  }
+  out->payload = bytes.subspan(header_bytes);
+  // v1 checksums cover the payload alone; v2 starts at the trace tag so a
+  // flipped tag bit is caught like any payload corruption.
+  out->checksummed = bytes.subspan(
+      version == kWireVersionV1 ? kHeaderBytesV1 : kTraceTagOffset);
   return true;
 }
 
@@ -222,21 +249,31 @@ std::vector<std::uint8_t> Frame::serialize() const {
   out.push_back(static_cast<std::uint8_t>(type));
   put_u32(out, session_id);
   put_u32(out, static_cast<std::uint32_t>(body.size()));
-  put_u32(out, fnv1a(body));
+  put_u32(out, 0);  // checksum; patched once the covered bytes are in place
+  put_u16(out, trace_origin);
+  put_u32(out, trace_seq);
   out.insert(out.end(), body.begin(), body.end());
+  const std::uint32_t sum =
+      fnv1a(std::span<const std::uint8_t>(out).subspan(kTraceTagOffset));
+  out[14] = static_cast<std::uint8_t>(sum >> 24);
+  out[15] = static_cast<std::uint8_t>(sum >> 16);
+  out[16] = static_cast<std::uint8_t>(sum >> 8);
+  out[17] = static_cast<std::uint8_t>(sum);
   return out;
 }
 
 bool Frame::parse(std::span<const std::uint8_t> bytes, Frame* out) {
-  FrameType type;
-  std::uint32_t session_id = 0;
-  std::span<const std::uint8_t> payload;
-  if (!parse_header(bytes, &type, &session_id, &payload)) return false;
-  if (get_u32(bytes.data() + 14) != fnv1a(payload)) return false;
+  Header header;
+  if (!parse_header(bytes, &header)) return false;
+  if (header.checksum != fnv1a(header.checksummed)) return false;
   Frame frame;
-  frame.type = type;
-  frame.session_id = session_id;
-  if (!parse_body(type, session_id, payload, &frame)) return false;
+  frame.type = header.type;
+  frame.session_id = header.session_id;
+  frame.trace_origin = header.trace_origin;
+  frame.trace_seq = header.trace_seq;
+  if (!parse_body(header.type, header.session_id, header.payload, &frame)) {
+    return false;
+  }
   *out = std::move(frame);
   return true;
 }
@@ -299,20 +336,35 @@ Frame make_resync_info(std::uint32_t session_id, const ResyncInfo& info) {
 }
 
 bool peek_type(std::span<const std::uint8_t> bytes, FrameType* out) {
-  FrameType type;
-  std::uint32_t session_id = 0;
-  std::span<const std::uint8_t> payload;
-  if (!parse_header(bytes, &type, &session_id, &payload)) return false;
-  *out = type;
+  Header header;
+  if (!parse_header(bytes, &header)) return false;
+  *out = header.type;
   return true;
 }
 
 bool peek_session(std::span<const std::uint8_t> bytes, std::uint32_t* out) {
-  FrameType type;
-  std::uint32_t session_id = 0;
-  std::span<const std::uint8_t> payload;
-  if (!parse_header(bytes, &type, &session_id, &payload)) return false;
-  *out = session_id;
+  Header header;
+  if (!parse_header(bytes, &header)) return false;
+  *out = header.session_id;
+  return true;
+}
+
+bool peek_trace(std::span<const std::uint8_t> bytes, std::uint16_t* origin,
+                std::uint32_t* seq) {
+  Header header;
+  if (!parse_header(bytes, &header)) return false;
+  *origin = header.trace_origin;
+  *seq = header.trace_seq;
+  return true;
+}
+
+bool peek_generation(std::span<const std::uint8_t> bytes, std::uint32_t* out) {
+  Header header;
+  if (!parse_header(bytes, &header)) return false;
+  if (header.type != FrameType::kCodedData) return false;
+  // CodedPacket wire header: session id (u32) then generation id (u32).
+  if (header.payload.size() < 8) return false;
+  *out = get_u32(header.payload.data() + 4);
   return true;
 }
 

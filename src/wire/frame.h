@@ -14,7 +14,7 @@
 //   * price update     — the λ/β duals and recovered broadcast rate of the
 //     sUnicast decomposition (distributed rate control state).
 //
-// Every frame starts with a fixed 18-byte header (big-endian, like
+// Every frame starts with a fixed 24-byte header (big-endian, like
 // CodedPacket):
 //
 //   offset size  field
@@ -23,7 +23,15 @@
 //   5      1     frame type (FrameType)
 //   6      4     session id
 //   10     4     payload length (bytes following the header)
-//   14     4     FNV-1a-32 checksum of the payload bytes
+//   14     4     FNV-1a-32 checksum of bytes 18..end (trace tag + payload)
+//   18     2     trace origin — session-local index of the node that created
+//                the frame's span (obs/span.h)
+//   20     4     trace sequence — per-origin counter; 0 marks an untraced
+//                frame, so (origin, seq) = (0, 0) is the null span id
+//
+// Version 1 frames (the 18-byte header without the trace tag, checksum over
+// the payload only) still parse — back-compat for recorded captures — and
+// surface as untraced.  serialize() always emits version 2.
 //
 // Parsers are hardened: truncated buffers, inconsistent length fields,
 // corrupted checksums, unknown types/versions, and garbage bytes all return
@@ -40,10 +48,17 @@
 namespace omnc::wire {
 
 inline constexpr std::uint32_t kMagic = 0x4F4D4E43;  // "OMNC"
-inline constexpr std::uint8_t kWireVersion = 1;
+inline constexpr std::uint8_t kWireVersion = 2;
+inline constexpr std::uint8_t kWireVersionV1 = 1;
 
 /// Fixed bytes before the payload of every frame.
-inline constexpr std::size_t kHeaderBytes = 18;
+inline constexpr std::size_t kHeaderBytes = 24;
+/// The version-1 header (no trace tag); parsers still accept it.
+inline constexpr std::size_t kHeaderBytesV1 = 18;
+/// Where the trace tag starts — also the first checksummed byte of a v2
+/// frame (the checksum covers the tag and the payload, so a flipped tag bit
+/// is caught like any payload corruption).
+inline constexpr std::size_t kTraceTagOffset = 18;
 
 /// Upper bound a well-behaved sender may produce (and the emulation
 /// transports accept); parsers reject any length field beyond it before
@@ -159,6 +174,12 @@ struct Frame {
   FrameType type = FrameType::kCodedData;
   std::uint32_t session_id = 0;
 
+  /// Packet-lifecycle span id (obs/span.h): the session-local index of the
+  /// node that created this frame and a per-origin sequence number.  seq 0
+  /// means "untraced" — control frames and v1 captures parse as (0, 0).
+  std::uint16_t trace_origin = 0;
+  std::uint32_t trace_seq = 0;
+
   coding::CodedPacket packet;  // kCodedData
   GenerationAck ack;           // kGenerationAck
   ProbeBeacon beacon;          // kProbeBeacon
@@ -193,5 +214,15 @@ Frame make_resync_info(std::uint32_t session_id, const ResyncInfo& info);
 /// validate only the header structure (magic/version/length/type range).
 bool peek_type(std::span<const std::uint8_t> bytes, FrameType* out);
 bool peek_session(std::span<const std::uint8_t> bytes, std::uint32_t* out);
+
+/// Reads the trace tag of a frame that may never be delivered (drop
+/// observers).  Version-1 frames and control frames yield (0, 0) = untraced.
+bool peek_trace(std::span<const std::uint8_t> bytes, std::uint16_t* origin,
+                std::uint32_t* seq);
+
+/// Reads the generation id of a kCodedData frame without a full parse (the
+/// CodedPacket header embeds it right after the session id).  False for
+/// non-data frames or a payload too short to carry a packet header.
+bool peek_generation(std::span<const std::uint8_t> bytes, std::uint32_t* out);
 
 }  // namespace omnc::wire

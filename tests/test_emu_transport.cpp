@@ -161,7 +161,7 @@ TEST(LoopbackTransport, ObserverSeesEveryEvent) {
   struct Recorder final : TransportObserver {
     std::size_t sends = 0, drops = 0, delivers = 0;
     void on_send(int, std::size_t) override { ++sends; }
-    void on_drop(int, int, std::size_t) override { ++drops; }
+    void on_drop(int, int, std::span<const std::uint8_t>) override { ++drops; }
     void on_deliver(int, int, std::size_t) override { ++delivers; }
   };
   LoopbackConfig config;
@@ -256,7 +256,7 @@ TEST(UdpTransport, OversizedDatagramIsCountedNotSheared) {
     std::size_t claimed = 0;
     std::size_t calls = 0;
     void on_send(int, std::size_t) override {}
-    void on_drop(int, int, std::size_t) override {}
+    void on_drop(int, int, std::span<const std::uint8_t>) override {}
     void on_deliver(int, int, std::size_t) override {}
     void on_truncated(int f, int t, std::size_t bytes) override {
       from = f;

@@ -37,7 +37,7 @@ struct FaultLog final : TransportObserver {
   std::string log;
   std::size_t delivers = 0;
   void on_send(int, std::size_t) override {}
-  void on_drop(int, int, std::size_t) override {}
+  void on_drop(int, int, std::span<const std::uint8_t>) override {}
   void on_deliver(int, int, std::size_t) override { ++delivers; }
   void on_fault(const FaultRecord& record) override {
     char buf[96];

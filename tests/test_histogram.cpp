@@ -1,0 +1,171 @@
+// Property tests for the log-bucketed latency histogram (obs/histogram.h):
+// bucket-boundary exactness (index -> floor -> index is the identity), merge
+// associativity/commutativity on integer counts, and an exact
+// serialize -> record -> reparse round trip through the JSONL trace layer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "obs/histogram.h"
+#include "obs/trace.h"
+#include "obs/trace_reader.h"
+
+namespace omnc::obs {
+namespace {
+
+TEST(Histogram, StartsEmpty) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0.0);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.quantile(50.0), 0.0);
+}
+
+TEST(Histogram, BucketFloorRoundTripsForEveryInteriorBucket) {
+  // Bucket edges are exact dyadic rationals, so the lower edge of every
+  // interior bucket must map back to that same bucket.  This is what makes
+  // serialized histograms reparse bit-identically.
+  for (int index = 1; index + 1 < Histogram::kBucketCount; ++index) {
+    const double floor = Histogram::bucket_floor(index);
+    EXPECT_EQ(Histogram::bucket_index(floor), index)
+        << "bucket " << index << " floor " << floor;
+  }
+}
+
+TEST(Histogram, BucketEdgesAreMonotone) {
+  double previous = Histogram::bucket_floor(1);
+  for (int index = 2; index + 1 < Histogram::kBucketCount; ++index) {
+    const double floor = Histogram::bucket_floor(index);
+    EXPECT_GT(floor, previous) << "bucket " << index;
+    previous = floor;
+  }
+}
+
+TEST(Histogram, ValuesJustBelowAnEdgeStayInTheLowerBucket) {
+  for (int index : {64, 512, 1024, 1999}) {
+    const double floor = Histogram::bucket_floor(index);
+    const double below = std::nextafter(floor, 0.0);
+    EXPECT_EQ(Histogram::bucket_index(below), index - 1)
+        << "value just below the edge of bucket " << index;
+  }
+}
+
+TEST(Histogram, UnderflowAndOverflowLandInOutermostBuckets) {
+  Histogram h;
+  h.record(1e-300);  // far below 2^(kMinExp-1)
+  h.record(1e300);   // far above 2^kMaxExp
+  h.record(0.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 1e300);
+  // Exact extremes are preserved even though the buckets saturate.
+  EXPECT_EQ(h.quantile(0.0), 0.0);
+  EXPECT_EQ(h.quantile(100.0), 1e300);
+}
+
+/// Dyadic rationals sum exactly in double, so merged `sum` fields compare
+/// with operator== and associativity is testable as full equality.
+Histogram dyadic(std::initializer_list<double> values) {
+  Histogram h;
+  for (double v : values) h.record(v);
+  return h;
+}
+
+TEST(Histogram, MergeIsAssociativeAndCommutative) {
+  const Histogram a = dyadic({0.5, 0.25, 8.0, 0.125});
+  const Histogram b = dyadic({1.5, 1.5, 0.75});
+  const Histogram c = dyadic({2.0, 1024.0, 0.0078125});
+
+  Histogram ab = a;
+  ab.merge(b);
+  Histogram ab_c = ab;
+  ab_c.merge(c);
+
+  Histogram bc = b;
+  bc.merge(c);
+  Histogram a_bc = a;
+  a_bc.merge(bc);
+
+  EXPECT_EQ(ab_c, a_bc) << "merge is not associative";
+
+  Histogram ba = b;
+  ba.merge(a);
+  EXPECT_EQ(ab, ba) << "merge is not commutative";
+
+  EXPECT_EQ(ab_c.count(), a.count() + b.count() + c.count());
+  EXPECT_EQ(ab_c.min(), 0.0078125);
+  EXPECT_EQ(ab_c.max(), 1024.0);
+}
+
+TEST(Histogram, MergeWithEmptyIsIdentity) {
+  const Histogram a = dyadic({0.5, 4.0});
+  Histogram merged = a;
+  merged.merge(Histogram{});
+  EXPECT_EQ(merged, a);
+
+  Histogram other;
+  other.merge(a);
+  EXPECT_EQ(other, a);
+}
+
+TEST(Histogram, QuantileReturnsBucketFloorsAndExactExtremes) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.record(static_cast<double>(i) / 1000.0);
+  EXPECT_EQ(h.quantile(0.0), 0.001);
+  EXPECT_EQ(h.quantile(100.0), 0.1);
+  // Interior quantiles are bucket lower edges: deterministic and within one
+  // relative bucket width (1/kSubBuckets) below the true value.
+  const double p50 = h.quantile(50.0);
+  EXPECT_EQ(Histogram::bucket_floor(Histogram::bucket_index(p50)), p50);
+  EXPECT_LE(p50, 0.050);
+  EXPECT_GT(p50, 0.050 * (1.0 - 2.0 / Histogram::kSubBuckets));
+}
+
+TEST(Histogram, RecordNCountsInBulk) {
+  Histogram bulk;
+  bulk.record_n(0.25, 1000);
+  Histogram loop;
+  for (int i = 0; i < 1000; ++i) loop.record(0.25);
+  EXPECT_EQ(bulk, loop);
+}
+
+TEST(Histogram, SerializeRoundTripsExactlyThroughTheTrace) {
+  Histogram original;
+  // A spread across decades, including awkward doubles the %.17g encoding
+  // must survive exactly, plus under/overflow.
+  for (double v : {1e-9, 3.14159e-3, 0.1, 0.1, 0.7, 42.0, 1e7, 1e300, 0.0}) {
+    original.record(v);
+  }
+  original.record_n(2.5e-4, 12345);
+
+  const std::string path =
+      ::testing::TempDir() + "histogram_roundtrip.jsonl";
+  {
+    TraceRecorder recorder(path, "test_histogram", "unit", 1);
+    ASSERT_TRUE(recorder.ok());
+    RunContext context;
+    context.protocol = "unit";
+    const int run = recorder.begin_run(context, {});
+    recorder.record_histogram(run, "round_trip", original);
+  }
+
+  Trace trace;
+  std::string error;
+  ASSERT_TRUE(read_trace(path, &trace, &error)) << error;
+  ASSERT_EQ(trace.runs.size(), 1u);
+  ASSERT_EQ(trace.runs[0].histograms.size(), 1u);
+  EXPECT_EQ(trace.runs[0].histograms[0].first, "round_trip");
+  const Histogram& reparsed = trace.runs[0].histograms[0].second;
+  EXPECT_EQ(reparsed, original)
+      << "serialize -> parse must be bit-identical";
+  EXPECT_EQ(reparsed.to_json(), original.to_json());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace omnc::obs

@@ -122,6 +122,78 @@ TEST(WireFrame, PeeksMatchFullParse) {
   EXPECT_EQ(session, 1234u);
 }
 
+TEST(WireFrame, TraceTagRoundTripAndPeek) {
+  wire::Frame frame = wire::make_coded_data(sample_packet());
+  frame.trace_origin = 3;
+  frame.trace_seq = 41;
+  const std::vector<std::uint8_t> bytes = frame.serialize();
+  wire::Frame parsed;
+  ASSERT_TRUE(wire::Frame::parse(bytes, &parsed));
+  EXPECT_EQ(parsed.trace_origin, 3);
+  EXPECT_EQ(parsed.trace_seq, 41u);
+  EXPECT_EQ(parsed.serialize(), bytes);
+
+  std::uint16_t origin = 0;
+  std::uint32_t seq = 0;
+  ASSERT_TRUE(wire::peek_trace(bytes, &origin, &seq));
+  EXPECT_EQ(origin, 3);
+  EXPECT_EQ(seq, 41u);
+  std::uint32_t generation = 0;
+  ASSERT_TRUE(wire::peek_generation(bytes, &generation));
+  EXPECT_EQ(generation, sample_packet().generation_id);
+  // Control frames carry no coded-data payload to peek a generation from.
+  EXPECT_FALSE(wire::peek_generation(
+      wire::make_ack(1, wire::GenerationAck{}).serialize(), &generation));
+}
+
+TEST(WireFrame, ParsesVersion1FramesAsUntraced) {
+  // A hand-built v1 frame (18-byte header, checksum over the payload only,
+  // no trace tag) must still parse — older peers stay interoperable — and
+  // surface the null span id.
+  const wire::GenerationAck ack{42, 3, 17};
+  std::vector<std::uint8_t> body;
+  auto put_u16 = [&body](std::uint16_t v) {
+    body.push_back(static_cast<std::uint8_t>(v >> 8));
+    body.push_back(static_cast<std::uint8_t>(v));
+  };
+  auto put_u32 = [&body](std::uint32_t v) {
+    for (int shift = 24; shift >= 0; shift -= 8) {
+      body.push_back(static_cast<std::uint8_t>(v >> shift));
+    }
+  };
+  put_u32(ack.generation_id);
+  put_u16(ack.origin_local);
+  put_u32(ack.ack_seq);
+
+  std::vector<std::uint8_t> bytes;
+  auto put_hdr_u32 = [&bytes](std::uint32_t v) {
+    for (int shift = 24; shift >= 0; shift -= 8) {
+      bytes.push_back(static_cast<std::uint8_t>(v >> shift));
+    }
+  };
+  put_hdr_u32(0x4F4D4E43);  // magic "OMNC"
+  bytes.push_back(wire::kWireVersionV1);
+  bytes.push_back(static_cast<std::uint8_t>(wire::FrameType::kGenerationAck));
+  put_hdr_u32(9);  // session id
+  put_hdr_u32(static_cast<std::uint32_t>(body.size()));
+  put_hdr_u32(wire::fnv1a(body));
+  bytes.insert(bytes.end(), body.begin(), body.end());
+  ASSERT_EQ(bytes.size(), wire::kHeaderBytesV1 + body.size());
+
+  wire::Frame parsed;
+  ASSERT_TRUE(wire::Frame::parse(bytes, &parsed));
+  EXPECT_EQ(parsed.type, wire::FrameType::kGenerationAck);
+  EXPECT_EQ(parsed.session_id, 9u);
+  EXPECT_EQ(parsed.ack, ack);
+  EXPECT_EQ(parsed.trace_origin, 0);
+  EXPECT_EQ(parsed.trace_seq, 0u);
+
+  // Corrupting a v1 payload byte must still be caught by its checksum.
+  std::vector<std::uint8_t> corrupted = bytes;
+  corrupted[wire::kHeaderBytesV1] ^= 0x5a;
+  EXPECT_FALSE(wire::Frame::parse(corrupted, &parsed));
+}
+
 // ---- hostile inputs ------------------------------------------------------
 
 TEST(WireFrameHostile, RejectsEmptyAndShortBuffers) {
@@ -154,7 +226,8 @@ TEST(WireFrameHostile, RejectsBadMagicVersionAndType) {
     return wire::Frame::parse(bytes, &out);
   };
   EXPECT_FALSE(mutate(0, 0x00));  // magic
-  EXPECT_FALSE(mutate(4, 0x02));  // unknown version
+  EXPECT_FALSE(mutate(4, 0x00));  // version below range
+  EXPECT_FALSE(mutate(4, 0x03));  // unknown future version
   EXPECT_FALSE(mutate(5, 0x00));  // type below range
   EXPECT_FALSE(mutate(5, 0x08));  // type above range (7 = kResyncInfo is top)
   EXPECT_FALSE(mutate(5, 0xff));
@@ -228,8 +301,9 @@ TEST(WireFrameHostile, RejectsPriceCountMismatch) {
   // body validation).
   const std::size_t count_at = wire::kHeaderBytes + 22;
   bytes[count_at + 1] = 3;
+  // The v2 checksum covers the trace tag and the payload.
   const std::uint32_t checksum = wire::fnv1a(
-      std::span<const std::uint8_t>(bytes).subspan(wire::kHeaderBytes));
+      std::span<const std::uint8_t>(bytes).subspan(wire::kTraceTagOffset));
   bytes[14] = static_cast<std::uint8_t>(checksum >> 24);
   bytes[15] = static_cast<std::uint8_t>(checksum >> 16);
   bytes[16] = static_cast<std::uint8_t>(checksum >> 8);

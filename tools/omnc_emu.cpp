@@ -8,6 +8,7 @@
 //                 [--timeout S] [--virtual-timeout S] [--probe-window S]
 //                 [--oracle-rates] [--cross-check] [--tol-lo R] [--tol-hi R]
 //                 [--fault-plan SPEC] [--json PATH] [--trace PATH] [--metrics]
+//                 [--health-json PATH] [--health-interval S]
 //
 //   --transport     loopback: in-memory channel, per-link Bernoulli loss
 //                   from the session graph's reception probabilities;
@@ -42,8 +43,16 @@
 //                   A spec without `seed=` inherits --seed.  Fault decisions
 //                   appear in the trace (`trace_inspect --faults`)
 //   --json          write flat result records (bench JSON schema)
-//   --trace         record a schema-v1 JSONL trace; transport activity shows
-//                   up in `trace_inspect --transport`
+//   --trace         record a JSONL trace (schema v2): metric events, packet
+//                   lifecycle spans, and latency histograms.  Inspect with
+//                   `trace_inspect --transport / --timeline / --histograms`
+//   --health-json   periodically write a live health document (counters,
+//                   latency histograms, anomalies, flight recorder) to PATH
+//                   via atomic tmp+rename, once per snapshot interval and
+//                   once at run end
+//   --health-interval  snapshot cadence in virtual seconds (also the anomaly
+//                   evaluation cadence); prints a one-line health summary to
+//                   stderr at every snapshot                        (1)
 //
 // Exit status: 0 when the destination decoded every generation with the
 // correct bytes (and the cross-check, if requested, passed).
@@ -60,6 +69,7 @@
 #include "emu/loopback_transport.h"
 #include "emu/udp_transport.h"
 #include "net/topology.h"
+#include "obs/health.h"
 #include "obs/trace.h"
 #include "opt/rate_control.h"
 #include "opt/sunicast.h"
@@ -219,6 +229,24 @@ int main(int argc, char** argv) {
     harness.install_price_table(rates, rc.lambda, rc.beta, rc.iterations);
   }
 
+  // The health plane rides the same serialized sinks as the recorder: the
+  // monitor is fed whenever tracing (its histograms land in the trace at run
+  // end) or when either --health flag asks for live output.
+  const std::string health_path = options.get("health-json", "");
+  const bool health_stderr = options.has("health-interval");
+  const bool want_health =
+      !health_path.empty() || health_stderr || obs.recorder != nullptr;
+  obs::HealthConfig health_config;
+  health_config.snapshot_interval_s =
+      options.get_double("health-interval", health_config.snapshot_interval_s);
+  obs::HealthMonitor health(health_config);
+  if (!health_path.empty() || health_stderr) {
+    health.set_snapshot_callback([&](const obs::HealthMonitor& h) {
+      if (health_stderr) std::fprintf(stderr, "%s\n", h.one_liner().c_str());
+      if (!health_path.empty()) h.write_json(health_path);
+    });
+  }
+
   int run_id = -1;
   std::unique_ptr<obs::RunSink> run_sink;
   if (obs.recorder != nullptr) {
@@ -233,12 +261,19 @@ int main(int argc, char** argv) {
     context.sim_seconds = config.wall_timeout_s * config.speedup;
     run_id = obs.recorder->begin_run(context, {&graph});
     run_sink = std::make_unique<obs::RunSink>(obs.recorder.get(), run_id);
-    harness.set_metric_sink([&](const protocols::MetricEvent& event) {
-      run_sink->on_event(event);
-    });
     // No end_run record on purpose: the emulation result is not a
     // SessionResult the replay sinks could reconstruct, so the run stays a
     // pure event stream (trace_inspect --verify treats it as vacuous).
+  }
+  if (run_sink != nullptr || want_health) {
+    harness.set_metric_sink([&](const protocols::MetricEvent& event) {
+      if (run_sink != nullptr) run_sink->on_event(event);
+      if (want_health) health.on_metric(event);
+    });
+    harness.set_span_sink([&](const obs::SpanEvent& event) {
+      if (obs.recorder != nullptr) obs.recorder->record_span(run_id, event);
+      if (want_health) health.on_span(event);
+    });
   }
 
   std::printf("# omnc_emu: %s over %s, %d nodes, %d generations of %u x %u B, "
@@ -286,6 +321,35 @@ int main(int argc, char** argv) {
                 result.price_decays);
   }
 
+  if (want_health) {
+    // Final snapshot: the run may end mid-interval, so flush the closing
+    // state to the same outputs the periodic callback used.
+    if (health_stderr) {
+      std::fprintf(stderr, "%s\n", health.one_liner().c_str());
+    }
+    if (!health_path.empty() && !health.write_json(health_path)) {
+      std::fprintf(stderr, "cannot write --health-json %s\n",
+                   health_path.c_str());
+    }
+    std::printf("health: hop delay p50 %.6f s p99 %.6f s (%llu hops), "
+                "decode p50 %.3f s, %zu anomalies\n",
+                health.hop_delay().quantile(50.0),
+                health.hop_delay().quantile(99.0),
+                static_cast<unsigned long long>(health.hop_delay().count()),
+                health.decode_latency().quantile(50.0),
+                health.anomalies().size());
+    for (const obs::HealthAnomaly& anomaly : health.anomalies()) {
+      std::printf("  anomaly t=%.3f %s: %s\n", anomaly.time,
+                  anomaly.kind.c_str(), anomaly.detail.c_str());
+    }
+  }
+  if (obs.recorder != nullptr) {
+    obs.recorder->record_histogram(run_id, "hop_delay", health.hop_delay());
+    obs.recorder->record_histogram(run_id, "decode_latency",
+                                   health.decode_latency());
+    obs.recorder->record_histogram(run_id, "stall_wait", health.stall_wait());
+  }
+
   // Link-probe estimates vs the topology's true probabilities.
   if (config.node.probe_window_s > 0.0 && !result.probe_reports.empty()) {
     double abs_error = 0.0;
@@ -329,6 +393,18 @@ int main(int argc, char** argv) {
               static_cast<double>(result.transport.copies_dropped));
   json.record("omnc_emu", params, "parse_errors",
               static_cast<double>(result.parse_errors));
+  if (want_health) {
+    // Histogram-derived metrics are deterministic under --clock det (bucket
+    // floors, exact counts), so bench_compare can gate them like any other.
+    json.record("omnc_emu", params, "hop_delay_p50_s",
+                health.hop_delay().quantile(50.0));
+    json.record("omnc_emu", params, "hop_delay_p99_s",
+                health.hop_delay().quantile(99.0));
+    json.record("omnc_emu", params, "decode_latency_p50_s",
+                health.decode_latency().quantile(50.0));
+    json.record("omnc_emu", params, "health_anomalies",
+                static_cast<double>(health.anomalies().size()));
+  }
   if (bundle.fault != nullptr) {
     const emu::FaultStats faults = bundle.fault->fault_stats();
     json.record("omnc_emu", params, "fault_lost",

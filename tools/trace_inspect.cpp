@@ -22,6 +22,14 @@
 //                   with the recorded ground truth (exact double equality);
 //                   exit code 1 on any mismatch
 //   --check-json    cross-check a bench's --json output against the trace
+//   --timeline G    per-packet causal timeline of generation G ("all" for
+//                   every generation) rebuilt from span records, plus a
+//                   DAG-completeness check: every decoded generation must
+//                   walk back to source roots (exit 1 when it does not)
+//   --histograms    latency histograms recorded in the trace (hop delay,
+//                   decode latency, stall wait): count/mean/percentiles
+//   --diff B.jsonl  cross-run regression triage: compare this trace's
+//                   histograms and event counts against trace B
 //   --run N         restrict the report to one run id
 #include <algorithm>
 #include <cmath>
@@ -327,6 +335,156 @@ void print_registry(const obs::Trace& trace) {
   std::printf("%s\n", table.render().c_str());
 }
 
+std::string span_name(const obs::SpanId& span) {
+  return "(" + std::to_string(span.origin) + "," + std::to_string(span.seq) +
+         ")";
+}
+
+std::string span_list(const std::vector<obs::SpanId>& spans) {
+  std::string out;
+  for (const obs::SpanId& span : spans) {
+    if (!out.empty()) out += " ";
+    out += span_name(span);
+  }
+  return out;
+}
+
+/// Per-packet causal timeline of one generation (or all), rebuilt from span
+/// records, plus the DAG-completeness check the acceptance criterion names:
+/// every decoded generation's decode basis must walk back through recorded
+/// parents to source roots.  Exit 1 when any decoded DAG is incomplete.
+int print_timeline(const obs::Trace& trace, const Options& options) {
+  const std::string which = options.get("timeline", "all");
+  const bool all = which.empty() || which == "all" || which == "true";
+  const long wanted = all ? -1 : std::strtol(which.c_str(), nullptr, 10);
+  int status = 0;
+  bool any_spans = false;
+  for (const auto& run : trace.runs) {
+    if (!run_selected(options, run) || run.spans.empty()) continue;
+    any_spans = true;
+    const std::vector<obs::SpanDag> dags = obs::build_span_dags(run.spans);
+    for (const obs::SpanDag& dag : dags) {
+      if (!all && static_cast<long>(dag.generation) != wanted) continue;
+      std::printf("-- run %d generation %u: %zu spans, %zu events%s --\n",
+                  run.id, dag.generation, dag.nodes.size(), dag.events.size(),
+                  dag.decoded ? ", decoded" : "");
+      TextTable table({"t", "event", "node", "peer", "span", "rank",
+                       "parents"});
+      for (const obs::SpanEvent& event : dag.events) {
+        const bool root = event.kind == obs::SpanEvent::Kind::kEnqueue &&
+                          event.parents.empty();
+        table.add_row(
+            {TextTable::fmt(event.time, 6), obs::span_kind_name(event.kind),
+             event.node >= 0 ? std::to_string(event.node) : "-",
+             event.peer >= 0 ? std::to_string(event.peer) : "-",
+             span_name(event.span),
+             event.rank > 0 ? std::to_string(event.rank) : "-",
+             root ? "source" : span_list(event.parents)});
+      }
+      std::printf("%s", table.render().c_str());
+      if (dag.decoded) {
+        std::printf("decoded at t=%.6f by %s, basis: %s\n", dag.decode_time,
+                    span_name(dag.decode_span).c_str(),
+                    span_list(dag.decode_basis).c_str());
+      }
+      std::printf("\n");
+    }
+    const obs::SpanDagCheck check = obs::check_span_dags(dags);
+    for (const auto& problem : check.problems) {
+      std::fprintf(stderr, "INCOMPLETE: run %d: %s\n", run.id,
+                   problem.c_str());
+    }
+    std::printf("timeline: run %d: %zu decoded generations, causal DAG %s\n",
+                run.id, check.decoded_generations,
+                check.complete ? "complete (source-rooted)" : "INCOMPLETE");
+    if (!check.complete) status = 1;
+  }
+  if (!any_spans) {
+    std::printf("no span records in trace (schema < 2 or tracing off)\n");
+  }
+  return status;
+}
+
+void print_histograms(const obs::Trace& trace, const Options& options) {
+  bool printed = false;
+  TextTable table({"run", "name", "count", "mean", "p50", "p90", "p99",
+                   "min", "max"});
+  for (const auto& run : trace.runs) {
+    if (!run_selected(options, run)) continue;
+    for (const auto& [name, hist] : run.histograms) {
+      printed = true;
+      table.add_row({std::to_string(run.id), name,
+                     std::to_string(hist.count()),
+                     TextTable::fmt(hist.mean(), 6),
+                     TextTable::fmt(hist.quantile(50.0), 6),
+                     TextTable::fmt(hist.quantile(90.0), 6),
+                     TextTable::fmt(hist.quantile(99.0), 6),
+                     TextTable::fmt(hist.min(), 6),
+                     TextTable::fmt(hist.max(), 6)});
+    }
+  }
+  if (!printed) {
+    std::printf("no histogram records in trace\n");
+    return;
+  }
+  std::printf("-- recorded latency histograms (seconds) --\n%s\n",
+              table.render().c_str());
+}
+
+/// Cross-run regression triage: compares this trace's recorded histograms
+/// and event/span counts against a second trace, run by run.  Informational
+/// (always exit 0) — chaos runs legitimately differ; the report is for
+/// eyeballing which latency population moved.
+int diff_traces(const obs::Trace& a, const std::string& b_path) {
+  obs::Trace b;
+  std::string error;
+  if (!obs::read_trace(b_path, &b, &error)) {
+    std::fprintf(stderr, "error reading diff trace: %s\n", error.c_str());
+    return 2;
+  }
+  std::printf("-- diff: A=current trace, B=%s --\n", b_path.c_str());
+  const std::size_t runs = std::min(a.runs.size(), b.runs.size());
+  if (a.runs.size() != b.runs.size()) {
+    std::printf("run counts differ: A has %zu, B has %zu — comparing the "
+                "first %zu\n",
+                a.runs.size(), b.runs.size(), runs);
+  }
+  TextTable table({"run", "quantity", "A", "B", "delta"});
+  const auto row = [&table](int run, const std::string& what, double va,
+                            double vb, int prec) {
+    table.add_row({std::to_string(run), what, TextTable::fmt(va, prec),
+                   TextTable::fmt(vb, prec), TextTable::fmt(vb - va, prec)});
+  };
+  for (std::size_t r = 0; r < runs; ++r) {
+    const obs::RecordedRun& ra = a.runs[r];
+    const obs::RecordedRun& rb = b.runs[r];
+    row(ra.id, "events", static_cast<double>(ra.events.size()),
+        static_cast<double>(rb.events.size()), 0);
+    row(ra.id, "spans", static_cast<double>(ra.spans.size()),
+        static_cast<double>(rb.spans.size()), 0);
+    // Histograms matched by name; one-sided names still show (other side 0).
+    std::map<std::string, std::pair<const obs::Histogram*,
+                                    const obs::Histogram*>> by_name;
+    for (const auto& [name, hist] : ra.histograms) {
+      by_name[name].first = &hist;
+    }
+    for (const auto& [name, hist] : rb.histograms) {
+      by_name[name].second = &hist;
+    }
+    const obs::Histogram empty;
+    for (const auto& [name, pair] : by_name) {
+      const obs::Histogram& ha = pair.first ? *pair.first : empty;
+      const obs::Histogram& hb = pair.second ? *pair.second : empty;
+      row(ra.id, name + ".count", static_cast<double>(ha.count()),
+          static_cast<double>(hb.count()), 0);
+      row(ra.id, name + ".p50", ha.quantile(50.0), hb.quantile(50.0), 6);
+      row(ra.id, name + ".p99", ha.quantile(99.0), hb.quantile(99.0), 6);
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+  return 0;
+}
+
 int verify(const obs::Trace& trace) {
   const obs::VerifyReport report = obs::verify_trace(trace);
   for (const auto& mismatch : report.mismatches) {
@@ -401,6 +559,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "usage: trace_inspect <trace.jsonl> [--summary] "
                          "[--queues] [--edges] [--latency] [--convergence] "
                          "[--probes] [--transport] [--faults] [--registry] "
+                         "[--timeline G|all] [--histograms] [--diff B.jsonl] "
                          "[--verify] [--check-json PATH] [--run N]\n");
     return 2;
   }
@@ -420,7 +579,8 @@ int main(int argc, char** argv) {
       options.get_bool("transport", false) ||
       options.get_bool("faults", false) ||
       options.get_bool("registry", false) || options.get_bool("verify", false) ||
-      options.has("check-json");
+      options.has("timeline") || options.get_bool("histograms", false) ||
+      options.has("diff") || options.has("check-json");
 
   if (!any_section || options.get_bool("summary", false)) {
     print_summary(trace, options);
@@ -433,8 +593,11 @@ int main(int argc, char** argv) {
   if (options.get_bool("transport", false)) print_transport(trace, options);
   if (options.get_bool("faults", false)) print_faults(trace, options);
   if (options.get_bool("registry", false)) print_registry(trace);
+  if (options.get_bool("histograms", false)) print_histograms(trace, options);
 
   int status = 0;
+  if (options.has("timeline")) status |= print_timeline(trace, options);
+  if (options.has("diff")) status |= diff_traces(trace, options.get("diff", ""));
   if (options.get_bool("verify", false)) status |= verify(trace);
   if (options.has("check-json")) {
     status |= check_json(trace, options.get("check-json", ""));
