@@ -5,11 +5,12 @@
 // Benchmarks cover the raw region kernels (single-source axpy, the fused
 // four-source fold, and the scatter form), full-generation encoding, and
 // progressive decoding through recover(), each registered once per backend
-// (scalar / sse2 / ssse3 / avx2 / gfni).  Unsupported backends are skipped
-// at run time.  Run with --benchmark_filter=... to narrow, and --json <path>
+// (scalar / sse2 / ssse3 / avx2 / gfni / neon / portable).  Unsupported
+// backends are skipped at run time.  Run with --benchmark_filter=... to narrow, and --json <path>
 // to mirror results into the shared bench JSON format.
 #include <benchmark/benchmark.h>
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -23,9 +24,10 @@ using namespace omnc;
 
 namespace {
 
-constexpr gf::Backend kAllBackends[] = {gf::Backend::kScalarTable,
-                                        gf::Backend::kSse2, gf::Backend::kSsse3,
-                                        gf::Backend::kAvx2, gf::Backend::kGfni};
+constexpr gf::Backend kAllBackends[] = {
+    gf::Backend::kScalarTable, gf::Backend::kSse2,    gf::Backend::kSsse3,
+    gf::Backend::kAvx2,        gf::Backend::kGfni,    gf::Backend::kNeon,
+    gf::Backend::kPortable};
 
 void bench_axpy(benchmark::State& state, gf::Backend backend) {
   if (!gf::backend_supported(backend)) {
@@ -141,15 +143,17 @@ void bench_progressive_decode(benchmark::State& state, gf::Backend backend) {
   // Pre-generate a full generation worth of packets outside the timing loop.
   std::vector<coding::CodedPacket> packets;
   for (int i = 0; i < blocks + 4; ++i) packets.push_back(encoder.next_packet(rng));
+  std::vector<std::uint8_t> out(params.generation_bytes());
   for (auto _ : state) {
     coding::ProgressiveDecoder decoder(params, 0);
     for (const auto& pkt : packets) {
       if (decoder.complete()) break;
-      decoder.offer(pkt);
+      decoder.offer(pkt.as_view());
     }
-    // Decode all the way through: recover() runs the deferred payload
-    // elimination, so the timing covers offers plus materialization.
-    const std::vector<std::uint8_t> out = decoder.recover();
+    // Decode all the way through: recover_into() runs the deferred payload
+    // elimination straight into the caller buffer, so the timing covers
+    // offers plus materialization with no output allocation or concat copy.
+    decoder.recover_into(std::span<std::uint8_t>(out));
     benchmark::DoNotOptimize(out.data());
   }
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *

@@ -41,27 +41,57 @@ std::vector<std::uint8_t> CodedPacket::serialize() const {
   return wire;
 }
 
-bool CodedPacket::parse(std::span<const std::uint8_t> wire, CodedPacket* out) {
-  if (wire.size() < kHeaderBytes) return false;
-  CodedPacket pkt;
-  pkt.session_id = get_u32(wire.data());
-  pkt.generation_id = get_u32(wire.data() + 4);
-  pkt.generation_blocks = get_u16(wire.data() + 8);
-  pkt.block_bytes = get_u16(wire.data() + 10);
+bool CodedPacketView::parse(std::span<const std::uint8_t> wire,
+                            CodedPacketView* out) {
+  if (wire.size() < CodedPacket::kHeaderBytes) return false;
+  CodedPacketView view;
+  view.session_id = get_u32(wire.data());
+  view.generation_id = get_u32(wire.data() + 4);
+  view.generation_blocks = get_u16(wire.data() + 8);
+  view.block_bytes = get_u16(wire.data() + 10);
   // Reject degenerate geometry before any arithmetic with the
   // attacker-controlled length fields.  The sum below cannot overflow —
   // both fields are u16, widened to size_t — but hostile headers should
   // fail on their own terms, not on a downstream size comparison.
-  if (pkt.generation_blocks == 0 || pkt.block_bytes == 0) return false;
-  const std::size_t expected = kHeaderBytes +
-                               static_cast<std::size_t>(pkt.generation_blocks) +
-                               pkt.block_bytes;
+  if (view.generation_blocks == 0 || view.block_bytes == 0) return false;
+  const std::size_t expected =
+      CodedPacket::kHeaderBytes +
+      static_cast<std::size_t>(view.generation_blocks) + view.block_bytes;
   if (wire.size() != expected) return false;
-  const std::uint8_t* body = wire.data() + kHeaderBytes;
-  pkt.coefficients.assign(body, body + pkt.generation_blocks);
-  pkt.payload.assign(body + pkt.generation_blocks,
-                     body + pkt.generation_blocks + pkt.block_bytes);
-  *out = std::move(pkt);
+  view.coefficients =
+      wire.subspan(CodedPacket::kHeaderBytes, view.generation_blocks);
+  view.payload = wire.subspan(
+      CodedPacket::kHeaderBytes + view.generation_blocks, view.block_bytes);
+  *out = view;
+  return true;
+}
+
+CodedPacket CodedPacketView::to_packet() const {
+  CodedPacket pkt;
+  pkt.session_id = session_id;
+  pkt.generation_id = generation_id;
+  pkt.generation_blocks = generation_blocks;
+  pkt.block_bytes = block_bytes;
+  pkt.coefficients.assign(coefficients.begin(), coefficients.end());
+  pkt.payload.assign(payload.begin(), payload.end());
+  return pkt;
+}
+
+CodedPacketView CodedPacket::as_view() const {
+  CodedPacketView view;
+  view.session_id = session_id;
+  view.generation_id = generation_id;
+  view.generation_blocks = generation_blocks;
+  view.block_bytes = block_bytes;
+  view.coefficients = std::span<const std::uint8_t>(coefficients);
+  view.payload = std::span<const std::uint8_t>(payload);
+  return view;
+}
+
+bool CodedPacket::parse(std::span<const std::uint8_t> wire, CodedPacket* out) {
+  CodedPacketView view;
+  if (!CodedPacketView::parse(wire, &view)) return false;
+  *out = view.to_packet();
   return true;
 }
 

@@ -10,6 +10,38 @@
 
 namespace omnc::coding {
 
+struct CodedPacket;
+
+/// Non-owning parse of a coded packet: the header fields are decoded, the
+/// coefficient vector and payload stay as spans into the caller's buffer.
+/// This is the zero-copy receive path — a view can be validated and offered
+/// to the RREF accumulator without materializing owning vectors; the
+/// accumulator copies the payload region directly into its arena only when
+/// the row turns out to be innovative.  A view is only valid while the
+/// buffer it was parsed from is alive and unmodified.
+struct CodedPacketView {
+  std::uint32_t session_id = 0;
+  std::uint32_t generation_id = 0;
+  std::uint16_t generation_blocks = 0;        // n
+  std::uint16_t block_bytes = 0;              // m
+  std::span<const std::uint8_t> coefficients;  // length n, into the buffer
+  std::span<const std::uint8_t> payload;       // length m, into the buffer
+
+  bool dimensions_match(const CodingParams& params) const {
+    return generation_blocks == params.generation_blocks &&
+           block_bytes == params.block_bytes &&
+           coefficients.size() == params.generation_blocks &&
+           payload.size() == params.block_bytes;
+  }
+
+  /// Validates geometry in place; on success the spans alias `wire`.
+  /// Returns false on truncation or inconsistent lengths.
+  static bool parse(std::span<const std::uint8_t> wire, CodedPacketView* out);
+
+  /// Owning copy, for paths that must outlive the receive buffer.
+  CodedPacket to_packet() const;
+};
+
 struct CodedPacket {
   std::uint32_t session_id = 0;
   std::uint32_t generation_id = 0;
@@ -34,6 +66,10 @@ struct CodedPacket {
   }
 
   std::vector<std::uint8_t> serialize() const;
+
+  /// Non-owning view over this packet's own storage (same lifetime rules as
+  /// a parsed view: valid while the packet is alive and unmodified).
+  CodedPacketView as_view() const;
 
   /// Parses a packet; returns false on truncation or inconsistent lengths.
   static bool parse(std::span<const std::uint8_t> wire, CodedPacket* out);

@@ -14,13 +14,17 @@ ProgressiveDecoder::ProgressiveDecoder(const CodingParams& params,
                 params.block_bytes) {}
 
 bool ProgressiveDecoder::offer(const CodedPacket& packet) {
+  return offer(packet.as_view());
+}
+
+bool ProgressiveDecoder::offer(const CodedPacketView& view) {
   OMNC_SCOPED_TIMER("coding/decode");
-  if (packet.generation_id != generation_id_) return false;
-  if (!packet.dimensions_match(params_)) return false;
+  if (view.generation_id != generation_id_) return false;
+  if (!view.dimensions_match(params_)) return false;
   ++packets_seen_;
   // No row assembly: coefficients and payload go straight into the split
   // arenas, and a non-innovative packet's payload is never even read.
-  return rref_.insert(packet.coefficients.data(), packet.payload.data());
+  return rref_.insert(view.coefficients.data(), view.payload.data());
 }
 
 const std::uint8_t* ProgressiveDecoder::decoded_block(std::size_t index) const {
@@ -38,18 +42,19 @@ const std::uint8_t* ProgressiveDecoder::decoded_block(std::size_t index) const {
 }
 
 std::vector<std::uint8_t> ProgressiveDecoder::recover() const {
-  OMNC_ASSERT_MSG(complete(), "recover() before the generation is decodable");
-  // One blocked pass beats decoded_block's row-at-a-time materialization
-  // when the whole generation is being read anyway.
-  rref_.materialize_payloads();
-  std::vector<std::uint8_t> out;
-  out.reserve(params_.generation_bytes());
-  for (std::size_t b = 0; b < params_.generation_blocks; ++b) {
-    const std::uint8_t* block = decoded_block(b);
-    OMNC_ASSERT(block != nullptr);
-    out.insert(out.end(), block, block + params_.block_bytes);
-  }
+  std::vector<std::uint8_t> out(params_.generation_bytes());
+  recover_into(std::span<std::uint8_t>(out));
   return out;
+}
+
+void ProgressiveDecoder::recover_into(std::span<std::uint8_t> out) const {
+  OMNC_ASSERT_MSG(complete(), "recover() before the generation is decodable");
+  OMNC_ASSERT(out.size() == params_.generation_bytes());
+  // In a complete basis every row's coefficient part is a unit vector, so
+  // the row with pivot b is exactly block b: one blocked elimination pass
+  // writes the whole generation in place, skipping the materialization
+  // cache and the per-block unit-vector scans of the decoded_block path.
+  rref_.materialize_into(out.data());
 }
 
 void ProgressiveDecoder::reset(std::uint32_t generation_id) {

@@ -26,6 +26,12 @@ class ProgressiveDecoder {
   /// other generations or with mismatched dimensions are rejected (false).
   bool offer(const CodedPacket& packet);
 
+  /// Zero-copy variant: the view's spans are read in place; the payload is
+  /// copied exactly once (into the RREF arena) iff the row is innovative,
+  /// and never touched otherwise.  The view only needs to stay valid for
+  /// the duration of the call.
+  bool offer(const CodedPacketView& view);
+
   std::uint32_t generation_id() const { return generation_id_; }
   std::size_t rank() const { return rref_.rank(); }
   bool complete() const { return rref_.complete(); }
@@ -41,6 +47,15 @@ class ProgressiveDecoder {
 
   /// Concatenated original generation bytes; requires complete().
   std::vector<std::uint8_t> recover() const;
+
+  /// Byte count recover() / recover_into() produce.
+  std::size_t recovered_size() const { return params_.generation_bytes(); }
+
+  /// Allocation-free recovery: eliminates every payload straight into
+  /// `out` (exactly recovered_size() bytes) in one source-blocked pass —
+  /// no materialization cache bounce, no per-block unit-vector scans, no
+  /// concatenation copy.  Requires complete().
+  void recover_into(std::span<std::uint8_t> out) const;
 
   /// Drops all state and retargets a new generation.
   void reset(std::uint32_t generation_id);

@@ -11,18 +11,35 @@ SourceEncoder::SourceEncoder(const Generation& generation,
     : generation_(&generation), session_id_(session_id) {}
 
 CodedPacket SourceEncoder::next_packet(Rng& rng) const {
+  CodedPacket pkt;
+  next_packet_into(rng, &pkt);
+  return pkt;
+}
+
+void SourceEncoder::next_packet_into(Rng& rng, CodedPacket* out) const {
   OMNC_SCOPED_TIMER("coding/encode");
-  const auto n = generation_->params().generation_blocks;
-  std::vector<std::uint8_t> coefficients(n);
+  const CodingParams& params = generation_->params();
+  const std::size_t n = params.generation_blocks;
+  out->session_id = session_id_;
+  out->generation_id = generation_->id();
+  out->generation_blocks = params.generation_blocks;
+  out->block_bytes = params.block_bytes;
+  out->coefficients.resize(n);
   // All-zero coefficient vectors are useless; retry (probability 256^-n).
   bool nonzero = false;
   while (!nonzero) {
-    for (auto& c : coefficients) {
+    for (auto& c : out->coefficients) {
       c = rng.next_byte();
       nonzero |= (c != 0);
     }
   }
-  return packet_with_coefficients(coefficients);
+  out->payload.assign(params.block_bytes, 0);
+  // Fused fold over the generation's blocks: 2-4 source rows per pass over
+  // the payload instead of one destination read/write per block.
+  block_ptrs_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) block_ptrs_[i] = generation_->block(i);
+  gf::region_axpy_many(out->payload.data(), block_ptrs_.data(),
+                       out->coefficients.data(), n, params.block_bytes);
 }
 
 CodedPacket SourceEncoder::packet_with_coefficients(
@@ -38,12 +55,13 @@ CodedPacket SourceEncoder::packet_with_coefficients(
   pkt.payload.assign(params.block_bytes, 0);
   // Fused fold over the generation's blocks: 2-4 source rows per pass over
   // the payload instead of one destination read/write per block.
-  std::vector<const std::uint8_t*> blocks(coefficients.size());
+  block_ptrs_.resize(coefficients.size());
   for (std::size_t i = 0; i < coefficients.size(); ++i) {
-    blocks[i] = generation_->block(i);
+    block_ptrs_[i] = generation_->block(i);
   }
-  gf::region_axpy_many(pkt.payload.data(), blocks.data(), coefficients.data(),
-                       coefficients.size(), params.block_bytes);
+  gf::region_axpy_many(pkt.payload.data(), block_ptrs_.data(),
+                       coefficients.data(), coefficients.size(),
+                       params.block_bytes);
   return pkt;
 }
 

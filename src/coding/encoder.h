@@ -18,6 +18,10 @@ class SourceEncoder {
   /// Produces one coded packet with fresh random coefficients.
   CodedPacket next_packet(Rng& rng) const;
 
+  /// Allocation-free variant: fills `out` reusing its vectors' capacity.
+  /// Identical output bytes (and rng draw sequence) to next_packet().
+  void next_packet_into(Rng& rng, CodedPacket* out) const;
+
   /// Produces a packet with the caller's coefficients (length n); used by
   /// tests and by the systematic warm-up variant.
   CodedPacket packet_with_coefficients(
@@ -28,6 +32,7 @@ class SourceEncoder {
  private:
   const Generation* generation_;
   std::uint32_t session_id_;
+  mutable std::vector<const std::uint8_t*> block_ptrs_;  // fold scratch
 };
 
 }  // namespace omnc::coding

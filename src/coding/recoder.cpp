@@ -14,54 +14,71 @@ Recoder::Recoder(const CodingParams& params, std::uint32_t session_id,
       filter_(params.generation_blocks, params.generation_blocks) {}
 
 bool Recoder::offer(const CodedPacket& packet) {
-  if (packet.generation_id != generation_id_) return false;
-  if (!packet.dimensions_match(params_)) return false;
-  // Coefficient-only filter: no payload arena, no row copy.
-  if (!filter_.insert(packet.coefficients.data(), nullptr)) return false;
-  buffer_.push_back(packet);
+  return offer(packet.as_view());
+}
+
+bool Recoder::offer(const CodedPacketView& view) {
+  if (view.generation_id != generation_id_) return false;
+  if (!view.dimensions_match(params_)) return false;
+  // Coefficient-only filter: no payload arena, no row copy.  Only when the
+  // row is accepted do its bytes get copied — once — into the flat basis
+  // arenas (clear() keeps the capacity, so the steady state re-fills in
+  // place without allocating).
+  if (!filter_.insert(view.coefficients.data(), nullptr)) return false;
+  basis_coeffs_.insert(basis_coeffs_.end(), view.coefficients.begin(),
+                       view.coefficients.end());
+  basis_payloads_.insert(basis_payloads_.end(), view.payload.begin(),
+                         view.payload.end());
   return true;
 }
 
 CodedPacket Recoder::recode(Rng& rng) const {
-  OMNC_SCOPED_TIMER("coding/recode");
-  OMNC_ASSERT_MSG(can_send(), "recode() with an empty buffer");
   CodedPacket out;
-  out.session_id = session_id_;
-  out.generation_id = generation_id_;
-  out.generation_blocks = params_.generation_blocks;
-  out.block_bytes = params_.block_bytes;
-  out.coefficients.assign(params_.generation_blocks, 0);
-  out.payload.assign(params_.block_bytes, 0);
-  // Random combination over the buffer.  At least one multiplier must be
+  recode_into(rng, &out);
+  return out;
+}
+
+void Recoder::recode_into(Rng& rng, CodedPacket* out) const {
+  OMNC_SCOPED_TIMER("coding/recode");
+  OMNC_ASSERT_MSG(can_send(), "recode() with an empty basis");
+  const std::size_t count = filter_.rank();
+  const std::size_t n = params_.generation_blocks;
+  const std::size_t m = params_.block_bytes;
+  out->session_id = session_id_;
+  out->generation_id = generation_id_;
+  out->generation_blocks = params_.generation_blocks;
+  out->block_bytes = params_.block_bytes;
+  out->coefficients.assign(n, 0);
+  out->payload.assign(m, 0);
+  // Random combination over the basis.  At least one multiplier must be
   // nonzero, otherwise the output would be the zero packet.
-  std::vector<std::uint8_t> multipliers(buffer_.size());
+  multipliers_.resize(count);
   bool nonzero = false;
   while (!nonzero) {
-    for (auto& m : multipliers) {
-      m = rng.next_byte();
-      nonzero |= (m != 0);
+    for (auto& mult : multipliers_) {
+      mult = rng.next_byte();
+      nonzero |= (mult != 0);
     }
   }
-  // Fold the combination through the fused kernels: 2-4 buffered packets per
+  // Fold the combination through the fused kernels: 2-4 basis rows per
   // destination pass instead of re-reading the output row for each source.
-  std::vector<const std::uint8_t*> coeff_srcs(buffer_.size());
-  std::vector<const std::uint8_t*> payload_srcs(buffer_.size());
-  for (std::size_t k = 0; k < buffer_.size(); ++k) {
-    coeff_srcs[k] = buffer_[k].coefficients.data();
-    payload_srcs[k] = buffer_[k].payload.data();
+  coeff_srcs_.resize(count);
+  payload_srcs_.resize(count);
+  for (std::size_t k = 0; k < count; ++k) {
+    coeff_srcs_[k] = basis_coeffs_.data() + k * n;
+    payload_srcs_[k] = basis_payloads_.data() + k * m;
   }
-  gf::region_axpy_many(out.coefficients.data(), coeff_srcs.data(),
-                       multipliers.data(), buffer_.size(),
-                       out.coefficients.size());
-  gf::region_axpy_many(out.payload.data(), payload_srcs.data(),
-                       multipliers.data(), buffer_.size(), out.payload.size());
-  return out;
+  gf::region_axpy_many(out->coefficients.data(), coeff_srcs_.data(),
+                       multipliers_.data(), count, n);
+  gf::region_axpy_many(out->payload.data(), payload_srcs_.data(),
+                       multipliers_.data(), count, m);
 }
 
 void Recoder::reset(std::uint32_t generation_id) {
   generation_id_ = generation_id;
   filter_.clear();
-  buffer_.clear();
+  basis_coeffs_.clear();
+  basis_payloads_.clear();
 }
 
 }  // namespace omnc::coding

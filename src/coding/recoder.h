@@ -2,10 +2,18 @@
 // Management").
 //
 // A relay accepts an incoming packet only if it is innovative with respect to
-// what it already holds; innovative packets are buffered, and outgoing
-// packets are fresh random linear combinations of the buffer, which replaces
-// the coding coefficients with a new random set exactly as re-encoding is
-// defined in the paper.
+// what it already holds; innovative packets join the relay's basis, and
+// outgoing packets are fresh random linear combinations of that basis, which
+// replaces the coding coefficients with a new random set exactly as
+// re-encoding is defined in the paper.
+//
+// Storage is two flat insertion-order arenas (coefficients and payloads of
+// the accepted packets) beside the coefficient-only RREF innovation filter —
+// no ring of owning CodedPackets.  offer() takes a CodedPacketView, so on
+// the zero-copy receive path an innovative packet's bytes are copied exactly
+// once (into the arenas) and a non-innovative packet's payload is never
+// read.  recode_into() re-encodes straight from the arenas into a reused
+// output packet: the steady-state relay path allocates nothing.
 #pragma once
 
 #include <cstdint>
@@ -23,24 +31,34 @@ class Recoder {
   Recoder(const CodingParams& params, std::uint32_t session_id,
           std::uint32_t generation_id);
 
-  /// Considers an incoming packet: returns true (and buffers it) iff it is
-  /// innovative for this relay.  Packets from other generations or with
-  /// mismatched dimensions are rejected.
+  /// Considers an incoming packet: returns true (and absorbs it into the
+  /// basis arenas) iff it is innovative for this relay.  Packets from other
+  /// generations or with mismatched dimensions are rejected.
   bool offer(const CodedPacket& packet);
+
+  /// Zero-copy variant: reads the view in place; an innovative packet's
+  /// coefficients and payload are copied once into the arenas, a
+  /// non-innovative packet's payload is never read.
+  bool offer(const CodedPacketView& view);
 
   /// True if this relay can emit packets (holds at least one innovative
   /// packet of the current generation).
-  bool can_send() const { return !buffer_.empty(); }
+  bool can_send() const { return filter_.rank() > 0; }
 
   std::size_t rank() const { return filter_.rank(); }
   bool is_full() const { return filter_.complete(); }
   std::uint32_t generation_id() const { return generation_id_; }
 
-  /// Emits a re-encoded packet: a random combination of the buffered
-  /// innovative packets.  Requires can_send().
+  /// Emits a re-encoded packet: a random combination of the basis.
+  /// Requires can_send().
   CodedPacket recode(Rng& rng) const;
 
-  /// Discards buffered packets and moves to a new generation (triggered by an
+  /// Allocation-free variant: re-encodes straight from the basis arenas
+  /// into `out`, reusing its vectors' capacity.  Identical output bytes to
+  /// recode() for the same rng state.
+  void recode_into(Rng& rng, CodedPacket* out) const;
+
+  /// Discards the basis and moves to a new generation (triggered by an
   /// ACK or by overhearing a higher generation ID).
   void reset(std::uint32_t generation_id);
 
@@ -48,9 +66,14 @@ class Recoder {
   CodingParams params_;
   std::uint32_t session_id_;
   std::uint32_t generation_id_;
-  // Coefficient-only innovation filter; payload stays untouched in buffer_.
+  // Coefficient-only innovation filter; the original (unreduced) rows live
+  // in the flat arenas below, in insertion order.
   RrefAccumulator filter_;
-  std::vector<CodedPacket> buffer_;
+  std::vector<std::uint8_t> basis_coeffs_;    // rank x n, as received
+  std::vector<std::uint8_t> basis_payloads_;  // rank x m, as received
+  mutable std::vector<std::uint8_t> multipliers_;
+  mutable std::vector<const std::uint8_t*> coeff_srcs_;
+  mutable std::vector<const std::uint8_t*> payload_srcs_;
 };
 
 }  // namespace omnc::coding

@@ -81,6 +81,14 @@ class RrefAccumulator {
   /// results are identical to per-row materialization.  Logically const.
   void materialize_payloads() const;
 
+  /// Full-rank bulk read: eliminates every payload directly into `out`
+  /// (pivot_cols() * payload_bytes() bytes, pivot-major), bypassing the
+  /// per-row cache entirely.  In a complete basis the row with pivot p *is*
+  /// decoded block p, so this writes the recovered generation in one
+  /// source-blocked sweep with no intermediate copy and no allocation.
+  /// Requires complete() and payload_bytes() > 0.
+  void materialize_into(std::uint8_t* out) const;
+
   void clear();
 
  private:

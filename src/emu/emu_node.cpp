@@ -94,8 +94,8 @@ void EmuNode::set_span_sink(std::function<void(const obs::SpanEvent&)> sink) {
 }
 
 void EmuNode::broadcast(const wire::Frame& frame) {
-  const std::vector<std::uint8_t> bytes = frame.serialize();
-  transport_.send(local_, bytes);
+  frame.serialize_into(&tx_bytes_);
+  transport_.send(local_, tx_bytes_);
 }
 
 void EmuNode::emit_span(obs::SpanEvent::Kind kind, double now,
@@ -302,19 +302,24 @@ void EmuNode::pace(double now) {
           ? runtime_.generation_id()
           : live_generation_;
   while (tokens_ >= packet_air_bytes_ && runtime_.can_send(live)) {
-    wire::Frame frame = wire::make_coded_data(runtime_.next_packet(rng_));
+    // Steady-state transmit: the frame's packet vectors and the serialize
+    // buffer are node members, so emitting a packet allocates nothing once
+    // their capacity is warm.
+    runtime_.next_packet_into(rng_, &tx_frame_.packet);
+    tx_frame_.type = wire::FrameType::kCodedData;
+    tx_frame_.session_id = tx_frame_.packet.session_id;
     // Every coded-data frame gets a span id on the wire (stamped whether or
     // not anything listens, so traced and untraced runs exchange
     // byte-identical traffic).  A recoded packet's causal parents are the
     // spans of the relay's buffered innovative packets; source packets are
     // DAG roots.
-    frame.trace_origin = static_cast<std::uint16_t>(local_);
-    frame.trace_seq = ++span_seq_;
-    const obs::SpanId span{frame.trace_origin, frame.trace_seq};
-    const std::uint32_t gen = frame.packet.generation_id;
+    tx_frame_.trace_origin = static_cast<std::uint16_t>(local_);
+    tx_frame_.trace_seq = ++span_seq_;
+    const obs::SpanId span{tx_frame_.trace_origin, tx_frame_.trace_seq};
+    const std::uint32_t gen = tx_frame_.packet.generation_id;
     emit_span(obs::SpanEvent::Kind::kEnqueue, now, gen, span, -1, 0,
               basis_spans_);
-    broadcast(frame);
+    broadcast(tx_frame_);
     emit_span(obs::SpanEvent::Kind::kTransmit, now, gen, span, -1, 0);
     tokens_ -= packet_air_bytes_;
     ++stats_.data_packets_sent;
@@ -324,6 +329,23 @@ void EmuNode::pace(double now) {
 void EmuNode::on_frame(double now, int from,
                        std::span<const std::uint8_t> bytes) {
   ++stats_.frames_received;
+  // Zero-copy fast path for the dominant frame type: a kCodedData frame
+  // parses to a view whose spans alias the datagram buffer (full header
+  // validation included); the coding layer copies the payload out only if
+  // the packet is innovative.  Anything else — control frames, corruption —
+  // falls through to the owning parse.
+  wire::DataFrameView data;
+  if (wire::DataFrameView::parse(bytes, &data)) {
+    if (data.session_id != config_.session_id) {
+      ++stats_.foreign_session_frames;
+      return;
+    }
+    frame_clock_started_ = true;
+    last_frame_time_ = now;
+    resync_wait_s_ = config_.resync_silence_s;
+    handle_data(now, from, data);
+    return;
+  }
   wire::Frame frame;
   if (!wire::Frame::parse(bytes, &frame)) {
     ++stats_.parse_errors;
@@ -350,8 +372,7 @@ void EmuNode::on_frame(double now, int from,
   resync_wait_s_ = config_.resync_silence_s;
   switch (frame.type) {
     case wire::FrameType::kCodedData:
-      handle_data(now, from, frame);
-      break;
+      break;  // unreachable: data frames took the view fast path above
     case wire::FrameType::kGenerationAck:
       handle_ack(now, frame.ack);
       break;
@@ -375,8 +396,9 @@ void EmuNode::on_frame(double now, int from,
   }
 }
 
-void EmuNode::handle_data(double now, int from, const wire::Frame& frame) {
-  const coding::CodedPacket& packet = frame.packet;
+void EmuNode::handle_data(double now, int from,
+                          const wire::DataFrameView& frame) {
+  const coding::CodedPacketView& packet = frame.packet;
   const std::uint32_t gen = packet.generation_id;
   const obs::SpanId span{frame.trace_origin, frame.trace_seq};
   switch (runtime_.role()) {
@@ -418,13 +440,17 @@ void EmuNode::handle_data(double now, int from, const wire::Frame& frame) {
       }
       if (!outcome.generation_complete) break;
       // Decode finished: verify the plaintext against the source's
-      // deterministic payload, then start the ACK flood.
-      const std::vector<std::uint8_t> recovered = runtime_.recover();
+      // deterministic payload, then start the ACK flood.  recover_into
+      // reuses the node's scratch buffer (its capacity persists across
+      // generations — the geometry is fixed per session).
+      recover_buf_.resize(runtime_.recovered_size());
+      runtime_.recover_into(std::span<std::uint8_t>(recover_buf_));
       const coding::Generation expected = coding::Generation::synthetic(
           gen, config_.coding, config_.data_seed);
       const std::span<const std::uint8_t> want = expected.bytes();
-      if (recovered.size() != want.size() ||
-          !std::equal(recovered.begin(), recovered.end(), want.begin())) {
+      if (recover_buf_.size() != want.size() ||
+          !std::equal(recover_buf_.begin(), recover_buf_.end(),
+                      want.begin())) {
         stats_.data_ok = false;
       }
       ++stats_.generations_completed;

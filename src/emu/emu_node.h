@@ -184,7 +184,7 @@ class EmuNode {
 
  private:
   void on_frame(double now, int from, std::span<const std::uint8_t> bytes);
-  void handle_data(double now, int from, const wire::Frame& frame);
+  void handle_data(double now, int from, const wire::DataFrameView& frame);
   void handle_ack(double now, const wire::GenerationAck& ack);
   void handle_price(double now, const wire::PriceUpdate& price);
   void handle_resync_request(double now, const wire::ResyncRequest& request);
@@ -278,6 +278,13 @@ class EmuNode {
   int beacons_sent_ = 0;
   bool reports_sent_ = false;
   std::vector<std::uint32_t> beacons_heard_;  // by origin_local
+
+  // Steady-state scratch (allocation-free data path): the transmit frame's
+  // packet and the serialization buffer keep their capacity across sends,
+  // and the destination recovers each generation into the same buffer.
+  wire::Frame tx_frame_;
+  std::vector<std::uint8_t> tx_bytes_;
+  std::vector<std::uint8_t> recover_buf_;
 
   std::atomic<int> completed_{0};
   Stats stats_;

@@ -62,6 +62,14 @@ LoopbackTransport::LoopbackTransport(int nodes, std::vector<double> link_p,
     link_rng_.push_back(master.fork(1000 + link));
   }
   inbox_.resize(static_cast<std::size_t>(n_));
+  poll_scratch_.resize(static_cast<std::size_t>(n_));
+}
+
+std::vector<std::uint8_t> LoopbackTransport::take_buffer() {
+  if (buffer_pool_.empty()) return {};
+  std::vector<std::uint8_t> buffer = std::move(buffer_pool_.back());
+  buffer_pool_.pop_back();
+  return buffer;
 }
 
 void LoopbackTransport::send(int from, std::span<const std::uint8_t> frame) {
@@ -87,15 +95,18 @@ void LoopbackTransport::send(int from, std::span<const std::uint8_t> frame) {
       if (observer_ != nullptr) observer_->on_drop(from, to, frame);
       continue;
     }
+    std::vector<std::uint8_t> bytes = take_buffer();
+    bytes.assign(frame.begin(), frame.end());
     inbox_[static_cast<std::size_t>(to)].push_back(
-        Delivery{from, due, std::vector<std::uint8_t>(frame.begin(), frame.end())});
+        Delivery{from, due, std::move(bytes)});
   }
 }
 
 std::size_t LoopbackTransport::poll(int to, const Handler& handler) {
   OMNC_ASSERT(to >= 0 && to < n_);
   const double now = clock_now();
-  std::vector<Delivery> due;
+  std::vector<Delivery>& due = poll_scratch_[static_cast<std::size_t>(to)];
+  due.clear();
   {
     std::lock_guard<std::mutex> lock(mutex_);
     std::deque<Delivery>& inbox = inbox_[static_cast<std::size_t>(to)];
@@ -114,7 +125,17 @@ std::size_t LoopbackTransport::poll(int to, const Handler& handler) {
   for (const Delivery& delivery : due) {
     handler(delivery.from, delivery.bytes);
   }
-  return due.size();
+  const std::size_t delivered = due.size();
+  if (delivered > 0) {
+    // Recycle the drained byte buffers for future sends.
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (Delivery& delivery : due) {
+      delivery.bytes.clear();
+      buffer_pool_.push_back(std::move(delivery.bytes));
+    }
+  }
+  due.clear();
+  return delivered;
 }
 
 TransportStats LoopbackTransport::stats() const {

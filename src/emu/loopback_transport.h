@@ -71,6 +71,10 @@ class LoopbackTransport final : public Transport {
     std::vector<std::uint8_t> bytes;
   };
 
+  /// Pops a recycled byte buffer (empty vector when the pool is dry).
+  /// Caller must hold mutex_.
+  std::vector<std::uint8_t> take_buffer();
+
   int n_;
   std::vector<double> link_p_;  // n*n row-major
   LoopbackConfig config_;
@@ -78,6 +82,14 @@ class LoopbackTransport final : public Transport {
 
   mutable std::mutex mutex_;
   std::vector<std::deque<Delivery>> inbox_;  // per receiver
+  /// Free-list of delivery byte buffers (mutex_-guarded): a copy's vector is
+  /// recycled once its receiver has polled it, so steady-state traffic stops
+  /// hitting the allocator per delivered copy.  Bounded by the number of
+  /// copies in flight (≤ n * max_inbox).
+  std::vector<std::vector<std::uint8_t>> buffer_pool_;
+  /// Per-receiver drain scratch; poll(i) only runs on node i's thread
+  /// (Transport contract), so each slot is single-threaded by construction.
+  std::vector<std::vector<Delivery>> poll_scratch_;
   TransportStats stats_;
 };
 

@@ -73,6 +73,8 @@ UdpTransport::UdpTransport(int nodes, UdpConfig config)
     ports_[static_cast<std::size_t>(i)] = ntohs(bound.sin_port);
     port_to_node_[ports_[static_cast<std::size_t>(i)]] = i;
   }
+  recv_buffers_.resize(static_cast<std::size_t>(n_));
+  for (auto& buffer : recv_buffers_) buffer.resize(config_.recv_chunk_bytes);
 }
 
 UdpTransport::~UdpTransport() {
@@ -115,8 +117,9 @@ std::size_t UdpTransport::poll(int to, const Handler& handler) {
   // but a UDP datagram cannot exceed 64 KiB anyway.  MSG_TRUNC makes
   // recvfrom report the datagram's *full* length even when it exceeds the
   // buffer, so oversized datagrams are detectable instead of silently
-  // arriving as a sheared prefix that happens to parse as garbage.
-  std::vector<std::uint8_t> buffer(config_.recv_chunk_bytes);
+  // arriving as a sheared prefix that happens to parse as garbage.  The
+  // buffer is this node's persistent one — no allocation per poll.
+  std::vector<std::uint8_t>& buffer = recv_buffers_[static_cast<std::size_t>(to)];
   std::size_t delivered = 0;
   for (;;) {
     sockaddr_in src{};

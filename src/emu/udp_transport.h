@@ -63,6 +63,11 @@ class UdpTransport final : public Transport {
   std::vector<int> fds_;
   std::vector<std::uint16_t> ports_;
   std::unordered_map<std::uint16_t, int> port_to_node_;
+  /// Per-node datagram buffer, allocated once at construction.  poll(i) is
+  /// only ever called from node i's thread (Transport contract), so each
+  /// node reuses its own buffer across polls — the receive loop does not
+  /// touch the allocator per datagram or per poll round.
+  std::vector<std::vector<std::uint8_t>> recv_buffers_;
 
   std::atomic<std::size_t> frames_sent_{0};
   std::atomic<std::size_t> bytes_sent_{0};

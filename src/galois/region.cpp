@@ -9,6 +9,11 @@
 #define OMNC_X86 1
 #endif
 
+#if defined(__aarch64__) && defined(__ARM_NEON)
+#include <arm_neon.h>
+#define OMNC_NEON 1
+#endif
+
 #include "common/assert.h"
 #include "galois/gf256.h"
 
@@ -87,6 +92,280 @@ void scalar_axpy4(std::uint8_t* dst, const std::uint8_t* src0, std::uint8_t c0,
                                        r2[src2[i]] ^ r3[src3[i]]);
   }
 }
+
+// ---------------------------------------------------------------------------
+// Portable SWAR backend: the SSE2 double-and-add scheme carried out on
+// plain uint64 lanes — eight field bytes per machine word with no intrinsic
+// in sight.  xtime() shifts every byte left once and folds the reduction
+// polynomial back in wherever a high bit fell out; the constant multiply is
+// Horner form over the bits of c, exactly like sse2_mul_const.  This is the
+// vector-unit-free fallback for targets with neither x86 nor NEON, and the
+// backend x86 CI forces (OMNC_GF_BACKEND=portable) to keep that path green.
+// ---------------------------------------------------------------------------
+
+constexpr std::uint64_t kSwarHighBits = 0x8080808080808080ull;
+constexpr std::uint64_t kSwarLowSeven = 0x7f7f7f7f7f7f7f7full;
+
+inline std::uint64_t swar_xtime(std::uint64_t v) {
+  const std::uint64_t high = v & kSwarHighBits;
+  const std::uint64_t shifted = (v & kSwarLowSeven) << 1;
+  // Bytes whose high bit was set pick up the low half of the reduction
+  // polynomial (0x11B & 0xFF = 0x1B); (high >> 7) leaves 0x01 in exactly
+  // those bytes, and * 0x1B stays carry-free because 0x1B < 0x100.
+  return shifted ^ ((high >> 7) * 0x1b);
+}
+
+inline std::uint64_t swar_mul_const(std::uint64_t v, std::uint8_t c) {
+  std::uint64_t product = 0;
+  int top = 7;
+  while (top > 0 && !((c >> top) & 1)) --top;
+  for (int bit = top; bit >= 0; --bit) {
+    if (bit != top) product = swar_xtime(product);
+    if ((c >> bit) & 1) product ^= v;
+  }
+  return product;
+}
+
+inline std::uint64_t swar_load(const std::uint8_t* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+inline void swar_store(std::uint8_t* p, std::uint64_t v) {
+  std::memcpy(p, &v, 8);
+}
+
+void portable_mul(std::uint8_t* dst, const std::uint8_t* src, std::uint8_t c,
+                  std::size_t n) {
+  if (c == 0) {
+    std::memset(dst, 0, n);
+    return;
+  }
+  if (c == 1) {
+    if (dst != src) std::memmove(dst, src, n);
+    return;
+  }
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    swar_store(dst + i, swar_mul_const(swar_load(src + i), c));
+  }
+  if (i < n) scalar_mul(dst + i, src + i, c, n - i);
+}
+
+void portable_axpy(std::uint8_t* dst, const std::uint8_t* src, std::uint8_t c,
+                   std::size_t n) {
+  if (c == 0) return;
+  if (c == 1) {
+    scalar_xor(dst, src, n);
+    return;
+  }
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    swar_store(dst + i,
+               swar_load(dst + i) ^ swar_mul_const(swar_load(src + i), c));
+  }
+  if (i < n) scalar_axpy(dst + i, src + i, c, n - i);
+}
+
+void portable_axpy2(std::uint8_t* dst, const std::uint8_t* src0,
+                    std::uint8_t c0, const std::uint8_t* src1, std::uint8_t c1,
+                    std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const std::uint64_t p = swar_mul_const(swar_load(src0 + i), c0) ^
+                            swar_mul_const(swar_load(src1 + i), c1);
+    swar_store(dst + i, swar_load(dst + i) ^ p);
+  }
+  if (i < n) scalar_axpy2(dst + i, src0 + i, c0, src1 + i, c1, n - i);
+}
+
+void portable_axpy4(std::uint8_t* dst, const std::uint8_t* src0,
+                    std::uint8_t c0, const std::uint8_t* src1, std::uint8_t c1,
+                    const std::uint8_t* src2, std::uint8_t c2,
+                    const std::uint8_t* src3, std::uint8_t c3, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const std::uint64_t p01 = swar_mul_const(swar_load(src0 + i), c0) ^
+                              swar_mul_const(swar_load(src1 + i), c1);
+    const std::uint64_t p23 = swar_mul_const(swar_load(src2 + i), c2) ^
+                              swar_mul_const(swar_load(src3 + i), c3);
+    swar_store(dst + i, swar_load(dst + i) ^ p01 ^ p23);
+  }
+  if (i < n) {
+    scalar_axpy4(dst + i, src0 + i, c0, src1 + i, c1, src2 + i, c2, src3 + i,
+                 c3, n - i);
+  }
+}
+
+#if defined(OMNC_X86) || defined(OMNC_NEON)
+
+// ---------------------------------------------------------------------------
+// Nibble split tables shared by the shuffle backends (SSSE3/AVX2 on x86,
+// vqtbl1q on NEON): each byte is split into nibbles and each nibble resolved
+// through a 16-entry table derived from the full multiplication table.
+//
+// All 256 lo/hi table pairs are precomputed once (8 KiB, cache-resident for
+// hot constants): loading a constant's tables is two aligned loads instead
+// of 32 scalar lookups, which matters enormously for the short coefficient
+// rows the RREF elimination sweeps through.
+// ---------------------------------------------------------------------------
+
+struct NibbleTables {
+  alignas(64) std::uint8_t lo[256][16];
+  alignas(64) std::uint8_t hi[256][16];
+  NibbleTables() {
+    for (int c = 0; c < 256; ++c) {
+      const std::uint8_t* row = mul_row(static_cast<std::uint8_t>(c));
+      for (int i = 0; i < 16; ++i) {
+        lo[c][i] = row[i];
+        hi[c][i] = row[i << 4];
+      }
+    }
+  }
+};
+
+const NibbleTables& nibble_tables() {
+  static const NibbleTables tables;
+  return tables;
+}
+
+#endif  // OMNC_X86 || OMNC_NEON
+
+#ifdef OMNC_NEON
+
+// ---------------------------------------------------------------------------
+// NEON backend (aarch64): the nibble-table scheme on 16-byte registers.
+// vqtbl1q_u8 is the PSHUFB analogue — a 16-entry in-register table lookup —
+// so the kernels mirror the SSSE3 shapes byte for byte.  NEON is part of
+// the aarch64 baseline, so there is no runtime feature probe to do.
+// ---------------------------------------------------------------------------
+
+inline void neon_load_tables(std::uint8_t c, uint8x16_t* lo_table,
+                             uint8x16_t* hi_table) {
+  const NibbleTables& t = nibble_tables();
+  *lo_table = vld1q_u8(t.lo[c]);
+  *hi_table = vld1q_u8(t.hi[c]);
+}
+
+inline uint8x16_t neon_product(uint8x16_t v, uint8x16_t lo_table,
+                               uint8x16_t hi_table) {
+  const uint8x16_t lo = vandq_u8(v, vdupq_n_u8(0x0f));
+  const uint8x16_t hi = vshrq_n_u8(v, 4);
+  return veorq_u8(vqtbl1q_u8(lo_table, lo), vqtbl1q_u8(hi_table, hi));
+}
+
+void neon_xor(std::uint8_t* dst, const std::uint8_t* src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    vst1q_u8(dst + i, veorq_u8(vld1q_u8(dst + i), vld1q_u8(src + i)));
+  }
+  for (; i < n; ++i) dst[i] ^= src[i];
+}
+
+void neon_mul(std::uint8_t* dst, const std::uint8_t* src, std::uint8_t c,
+              std::size_t n) {
+  if (c == 0) {
+    std::memset(dst, 0, n);
+    return;
+  }
+  if (c == 1) {
+    if (dst != src) std::memmove(dst, src, n);
+    return;
+  }
+  uint8x16_t lo_table;
+  uint8x16_t hi_table;
+  neon_load_tables(c, &lo_table, &hi_table);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    vst1q_u8(dst + i, neon_product(vld1q_u8(src + i), lo_table, hi_table));
+  }
+  if (i < n) scalar_mul(dst + i, src + i, c, n - i);
+}
+
+void neon_axpy(std::uint8_t* dst, const std::uint8_t* src, std::uint8_t c,
+               std::size_t n) {
+  if (c == 0) return;
+  if (c == 1) {
+    neon_xor(dst, src, n);
+    return;
+  }
+  uint8x16_t lo_table;
+  uint8x16_t hi_table;
+  neon_load_tables(c, &lo_table, &hi_table);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const uint8x16_t p = neon_product(vld1q_u8(src + i), lo_table, hi_table);
+    vst1q_u8(dst + i, veorq_u8(vld1q_u8(dst + i), p));
+  }
+  if (i < n) scalar_axpy(dst + i, src + i, c, n - i);
+}
+
+void neon_axpy2(std::uint8_t* dst, const std::uint8_t* src0, std::uint8_t c0,
+                const std::uint8_t* src1, std::uint8_t c1, std::size_t n) {
+  uint8x16_t lo0, hi0, lo1, hi1;
+  neon_load_tables(c0, &lo0, &hi0);
+  neon_load_tables(c1, &lo1, &hi1);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const uint8x16_t p = veorq_u8(neon_product(vld1q_u8(src0 + i), lo0, hi0),
+                                  neon_product(vld1q_u8(src1 + i), lo1, hi1));
+    vst1q_u8(dst + i, veorq_u8(vld1q_u8(dst + i), p));
+  }
+  if (i < n) scalar_axpy2(dst + i, src0 + i, c0, src1 + i, c1, n - i);
+}
+
+void neon_axpy4(std::uint8_t* dst, const std::uint8_t* src0, std::uint8_t c0,
+                const std::uint8_t* src1, std::uint8_t c1,
+                const std::uint8_t* src2, std::uint8_t c2,
+                const std::uint8_t* src3, std::uint8_t c3, std::size_t n) {
+  uint8x16_t lo0, hi0, lo1, hi1, lo2, hi2, lo3, hi3;
+  neon_load_tables(c0, &lo0, &hi0);
+  neon_load_tables(c1, &lo1, &hi1);
+  neon_load_tables(c2, &lo2, &hi2);
+  neon_load_tables(c3, &lo3, &hi3);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const uint8x16_t p01 =
+        veorq_u8(neon_product(vld1q_u8(src0 + i), lo0, hi0),
+                 neon_product(vld1q_u8(src1 + i), lo1, hi1));
+    const uint8x16_t p23 =
+        veorq_u8(neon_product(vld1q_u8(src2 + i), lo2, hi2),
+                 neon_product(vld1q_u8(src3 + i), lo3, hi3));
+    vst1q_u8(dst + i, veorq_u8(vld1q_u8(dst + i), veorq_u8(p01, p23)));
+  }
+  if (i < n) {
+    scalar_axpy4(dst + i, src0 + i, c0, src1 + i, c1, src2 + i, c2, src3 + i,
+                 c3, n - i);
+  }
+}
+
+void neon_axpy_scatter(std::uint8_t* const* dsts, const std::uint8_t* coeffs,
+                       std::size_t count, const std::uint8_t* src,
+                       std::size_t n) {
+  const NibbleTables& t = nibble_tables();
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const uint8x16_t v = vld1q_u8(src + i);
+    const uint8x16_t vlo = vandq_u8(v, vdupq_n_u8(0x0f));
+    const uint8x16_t vhi = vshrq_n_u8(v, 4);
+    for (std::size_t r = 0; r < count; ++r) {
+      const uint8x16_t lo = vld1q_u8(t.lo[coeffs[r]]);
+      const uint8x16_t hi = vld1q_u8(t.hi[coeffs[r]]);
+      const uint8x16_t p =
+          veorq_u8(vqtbl1q_u8(lo, vlo), vqtbl1q_u8(hi, vhi));
+      std::uint8_t* d = dsts[r] + i;
+      vst1q_u8(d, veorq_u8(vld1q_u8(d), p));
+    }
+  }
+  if (i < n) {
+    for (std::size_t r = 0; r < count; ++r) {
+      scalar_axpy(dsts[r] + i, src + i, coeffs[r], n - i);
+    }
+  }
+}
+
+#endif  // OMNC_NEON
 
 #ifdef OMNC_X86
 
@@ -269,33 +548,8 @@ __attribute__((target("sse2"))) void sse2_axpy4(
 }
 
 // ---------------------------------------------------------------------------
-// SSSE3 backend: split the byte into nibbles and resolve each through a
-// 16-entry PSHUFB table derived from the full multiplication table.
-//
-// All 256 lo/hi table pairs are precomputed once (8 KiB, cache-resident for
-// hot constants): loading a constant's tables is two aligned loads instead
-// of 32 scalar lookups, which matters enormously for the short coefficient
-// rows the RREF elimination sweeps through.
+// SSSE3 backend: the shared nibble tables resolved through PSHUFB.
 // ---------------------------------------------------------------------------
-
-struct NibbleTables {
-  alignas(64) std::uint8_t lo[256][16];
-  alignas(64) std::uint8_t hi[256][16];
-  NibbleTables() {
-    for (int c = 0; c < 256; ++c) {
-      const std::uint8_t* row = mul_row(static_cast<std::uint8_t>(c));
-      for (int i = 0; i < 16; ++i) {
-        lo[c][i] = row[i];
-        hi[c][i] = row[i << 4];
-      }
-    }
-  }
-};
-
-const NibbleTables& nibble_tables() {
-  static const NibbleTables tables;
-  return tables;
-}
 
 __attribute__((target("ssse3"))) inline void ssse3_tables(std::uint8_t c,
                                                           __m128i* lo_table,
@@ -857,37 +1111,10 @@ bool cpu_has(const char* feature) {
 
 #endif  // OMNC_X86
 
-Backend detect_default_backend() {
-#ifdef OMNC_X86
-  if (const char* env = std::getenv("OMNC_GF_BACKEND")) {
-    if (std::strcmp(env, "scalar") == 0) return Backend::kScalarTable;
-    if (std::strcmp(env, "sse2") == 0) return Backend::kSse2;
-    if (std::strcmp(env, "ssse3") == 0 && cpu_has("ssse3")) {
-      return Backend::kSsse3;
-    }
-    if (std::strcmp(env, "avx2") == 0 && cpu_has("avx2")) {
-      return Backend::kAvx2;
-    }
-    if (std::strcmp(env, "gfni") == 0 && cpu_has("gfni")) {
-      return Backend::kGfni;
-    }
-  }
-  if (cpu_has("gfni")) return Backend::kGfni;
-  if (cpu_has("avx2")) return Backend::kAvx2;
-  if (cpu_has("ssse3")) return Backend::kSsse3;
-  return Backend::kSse2;
-#else
-  return Backend::kScalarTable;
-#endif
-}
-
-std::atomic<Backend> g_backend{detect_default_backend()};
-
-}  // namespace
-
-bool backend_supported(Backend backend) {
+bool hw_backend_usable(Backend backend) {
   switch (backend) {
     case Backend::kScalarTable:
+    case Backend::kPortable:
       return true;
 #ifdef OMNC_X86
     case Backend::kSse2:
@@ -898,13 +1125,52 @@ bool backend_supported(Backend backend) {
       return cpu_has("avx2");
     case Backend::kGfni:
       return cpu_has("gfni");
-#else
+#endif
+#ifdef OMNC_NEON
+    case Backend::kNeon:
+      return true;  // NEON is part of the aarch64 baseline.
+#endif
     default:
       return false;
-#endif
   }
-  return false;
 }
+
+Backend detect_default_backend() {
+  if (const char* env = std::getenv("OMNC_GF_BACKEND")) {
+    struct NamedBackend {
+      const char* name;
+      Backend backend;
+    };
+    static constexpr NamedBackend kByName[] = {
+        {"scalar", Backend::kScalarTable}, {"sse2", Backend::kSse2},
+        {"ssse3", Backend::kSsse3},        {"avx2", Backend::kAvx2},
+        {"gfni", Backend::kGfni},          {"neon", Backend::kNeon},
+        {"portable", Backend::kPortable},
+    };
+    for (const NamedBackend& entry : kByName) {
+      if (std::strcmp(env, entry.name) == 0 &&
+          hw_backend_usable(entry.backend)) {
+        return entry.backend;
+      }
+    }
+  }
+#ifdef OMNC_X86
+  if (cpu_has("gfni")) return Backend::kGfni;
+  if (cpu_has("avx2")) return Backend::kAvx2;
+  if (cpu_has("ssse3")) return Backend::kSsse3;
+  return Backend::kSse2;
+#elif defined(OMNC_NEON)
+  return Backend::kNeon;
+#else
+  return Backend::kScalarTable;
+#endif
+}
+
+std::atomic<Backend> g_backend{detect_default_backend()};
+
+}  // namespace
+
+bool backend_supported(Backend backend) { return hw_backend_usable(backend); }
 
 void set_backend(Backend backend) {
   OMNC_ASSERT_MSG(backend_supported(backend), "backend not supported on CPU");
@@ -920,17 +1186,27 @@ const char* backend_name(Backend backend) {
     case Backend::kSsse3: return "ssse3-shuffle";
     case Backend::kAvx2: return "avx2-shuffle";
     case Backend::kGfni: return "gfni-mulb";
+    case Backend::kNeon: return "neon-shuffle";
+    case Backend::kPortable: return "portable-swar";
   }
   return "?";
 }
 
 void region_xor(std::uint8_t* dst, const std::uint8_t* src, std::size_t n) {
+  const Backend backend = active_backend();
 #ifdef OMNC_X86
-  if (active_backend() != Backend::kScalarTable) {
+  if (backend != Backend::kScalarTable && backend != Backend::kPortable) {
     sse2_xor(dst, src, n);
     return;
   }
 #endif
+#ifdef OMNC_NEON
+  if (backend == Backend::kNeon) {
+    neon_xor(dst, src, n);
+    return;
+  }
+#endif
+  (void)backend;
   scalar_xor(dst, src, n);
 }
 
@@ -1006,6 +1282,9 @@ void region_mul_backend(Backend backend, std::uint8_t* dst,
     case Backend::kScalarTable:
       scalar_mul(dst, src, c, n);
       return;
+    case Backend::kPortable:
+      portable_mul(dst, src, c, n);
+      return;
 #ifdef OMNC_X86
     case Backend::kSse2:
       sse2_mul(dst, src, c, n);
@@ -1019,11 +1298,15 @@ void region_mul_backend(Backend backend, std::uint8_t* dst,
     case Backend::kGfni:
       gfni_mul(dst, src, c, n);
       return;
-#else
+#endif
+#ifdef OMNC_NEON
+    case Backend::kNeon:
+      neon_mul(dst, src, c, n);
+      return;
+#endif
     default:
       scalar_mul(dst, src, c, n);
       return;
-#endif
   }
 }
 
@@ -1033,6 +1316,9 @@ void region_axpy_backend(Backend backend, std::uint8_t* dst,
   switch (backend) {
     case Backend::kScalarTable:
       scalar_axpy(dst, src, c, n);
+      return;
+    case Backend::kPortable:
+      portable_axpy(dst, src, c, n);
       return;
 #ifdef OMNC_X86
     case Backend::kSse2:
@@ -1047,11 +1333,15 @@ void region_axpy_backend(Backend backend, std::uint8_t* dst,
     case Backend::kGfni:
       gfni_axpy(dst, src, c, n);
       return;
-#else
+#endif
+#ifdef OMNC_NEON
+    case Backend::kNeon:
+      neon_axpy(dst, src, c, n);
+      return;
+#endif
     default:
       scalar_axpy(dst, src, c, n);
       return;
-#endif
   }
 }
 
@@ -1062,6 +1352,9 @@ void region_axpy2_backend(Backend backend, std::uint8_t* dst,
   switch (backend) {
     case Backend::kScalarTable:
       scalar_axpy2(dst, src0, c0, src1, c1, n);
+      return;
+    case Backend::kPortable:
+      portable_axpy2(dst, src0, c0, src1, c1, n);
       return;
 #ifdef OMNC_X86
     case Backend::kSse2:
@@ -1076,11 +1369,15 @@ void region_axpy2_backend(Backend backend, std::uint8_t* dst,
     case Backend::kGfni:
       gfni_axpy2(dst, src0, c0, src1, c1, n);
       return;
-#else
+#endif
+#ifdef OMNC_NEON
+    case Backend::kNeon:
+      neon_axpy2(dst, src0, c0, src1, c1, n);
+      return;
+#endif
     default:
       scalar_axpy2(dst, src0, c0, src1, c1, n);
       return;
-#endif
   }
 }
 
@@ -1093,6 +1390,9 @@ void region_axpy4_backend(Backend backend, std::uint8_t* dst,
   switch (backend) {
     case Backend::kScalarTable:
       scalar_axpy4(dst, src0, c0, src1, c1, src2, c2, src3, c3, n);
+      return;
+    case Backend::kPortable:
+      portable_axpy4(dst, src0, c0, src1, c1, src2, c2, src3, c3, n);
       return;
 #ifdef OMNC_X86
     case Backend::kSse2:
@@ -1107,11 +1407,15 @@ void region_axpy4_backend(Backend backend, std::uint8_t* dst,
     case Backend::kGfni:
       gfni_axpy4(dst, src0, c0, src1, c1, src2, c2, src3, c3, n);
       return;
-#else
+#endif
+#ifdef OMNC_NEON
+    case Backend::kNeon:
+      neon_axpy4(dst, src0, c0, src1, c1, src2, c2, src3, c3, n);
+      return;
+#endif
     default:
       scalar_axpy4(dst, src0, c0, src1, c1, src2, c2, src3, c3, n);
       return;
-#endif
   }
 }
 
@@ -1130,9 +1434,14 @@ void region_axpy_scatter_backend(Backend backend, std::uint8_t* const* dsts,
       gfni_axpy_scatter(dsts, coeffs, count, src, n);
       return;
 #endif
+#ifdef OMNC_NEON
+    case Backend::kNeon:
+      neon_axpy_scatter(dsts, coeffs, count, src, n);
+      return;
+#endif
     default:
-      // Scalar and SSE2 gain nothing from hoisting the source, so the
-      // scatter form is just the per-destination loop.
+      // Scalar, SSE2 and the SWAR fallback gain nothing from hoisting the
+      // source, so the scatter form is just the per-destination loop.
       for (std::size_t r = 0; r < count; ++r) {
         region_axpy_backend(backend, dsts[r], src, coeffs[r], n);
       }

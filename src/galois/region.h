@@ -13,7 +13,14 @@
 //     registers (both 128-bit lanes carry the same 16-entry table);
 //   * kGfni — GF2P8MULB computes the product in GF(2^8) over the AES
 //     polynomial 0x11B directly — exactly this codebase's field — one
-//     instruction per 32 bytes, no tables at all.
+//     instruction per 32 bytes, no tables at all;
+//   * kNeon — the nibble-table scheme on 16-byte NEON registers via
+//     vqtbl1q_u8 (aarch64 only), sharing the precomputed lo/hi tables with
+//     the x86 shuffle backends;
+//   * kPortable — a plain-C 64-bit SWAR double-and-add multiply (the SSE2
+//     scheme on uint64 lanes), the fallback for targets with neither x86
+//     nor NEON vector units.  Compiled and selectable everywhere, so x86 CI
+//     can force it to keep non-x86 code paths green.
 //
 // On top of the single-source kernels, the fused variants region_axpy2 /
 // region_axpy4 fold two or four source rows into one destination pass; the
@@ -22,9 +29,9 @@
 // re-encoding.  region_axpy_many drives them over an arbitrary source list.
 //
 // The active backend is chosen at startup from CPUID (leaf 1, leaf 7 and
-// XGETBV for the OS-enabled AVX state) and can be overridden
-// programmatically (set_backend) or with
-// OMNC_GF_BACKEND=scalar|sse2|ssse3|avx2|gfni.
+// XGETBV for the OS-enabled AVX state; NEON is implied by the aarch64
+// baseline) and can be overridden programmatically (set_backend) or with
+// OMNC_GF_BACKEND=scalar|sse2|ssse3|avx2|gfni|neon|portable.
 #pragma once
 
 #include <cstddef>
@@ -32,7 +39,15 @@
 
 namespace omnc::gf {
 
-enum class Backend { kScalarTable, kSse2, kSsse3, kAvx2, kGfni };
+enum class Backend {
+  kScalarTable,
+  kSse2,
+  kSsse3,
+  kAvx2,
+  kGfni,
+  kNeon,
+  kPortable,
+};
 
 /// True if the instruction set for `backend` is available on this CPU.
 bool backend_supported(Backend backend);

@@ -74,17 +74,32 @@ coding::CodedPacket NodeRuntime::next_packet(Rng& rng) const {
   return recoder_->recode(rng);
 }
 
+void NodeRuntime::next_packet_into(Rng& rng, coding::CodedPacket* out) const {
+  if (role_ == Role::kSource) {
+    OMNC_ASSERT(encoder_.has_value());
+    encoder_->next_packet_into(rng, out);
+    return;
+  }
+  OMNC_ASSERT(role_ == Role::kRelay);
+  recoder_->recode_into(rng, out);
+}
+
 NodeRuntime::ReceiveOutcome NodeRuntime::receive(
     const coding::CodedPacket& packet) {
+  return receive(packet.as_view());
+}
+
+NodeRuntime::ReceiveOutcome NodeRuntime::receive(
+    const coding::CodedPacketView& view) {
   ReceiveOutcome outcome;
   switch (role_) {
     case Role::kSource:
       break;  // the source ignores data packets
     case Role::kRelay:
-      outcome.innovative = recoder_->offer(packet);
+      outcome.innovative = recoder_->offer(view);
       break;
     case Role::kDestination:
-      outcome.innovative = decoder_->offer(packet);
+      outcome.innovative = decoder_->offer(view);
       outcome.generation_complete = decoder_->complete();
       break;
   }
@@ -134,6 +149,16 @@ bool NodeRuntime::flush_to(std::uint32_t generation_id) {
 std::vector<std::uint8_t> NodeRuntime::recover() const {
   OMNC_ASSERT(role_ == Role::kDestination);
   return decoder_->recover();
+}
+
+std::size_t NodeRuntime::recovered_size() const {
+  OMNC_ASSERT(role_ == Role::kDestination);
+  return decoder_->recovered_size();
+}
+
+void NodeRuntime::recover_into(std::span<std::uint8_t> out) const {
+  OMNC_ASSERT(role_ == Role::kDestination);
+  decoder_->recover_into(out);
 }
 
 void NodeRuntime::advance_generation() {

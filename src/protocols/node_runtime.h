@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "coding/decoder.h"
@@ -48,8 +49,12 @@ class NodeRuntime {
   bool can_send(std::uint32_t live_generation) const;
 
   /// Emits one coded packet: a fresh random combination from the source
-  /// encoder or the relay's recode buffer.  Requires can_send().
+  /// encoder or the relay's recode basis.  Requires can_send().
   coding::CodedPacket next_packet(Rng& rng) const;
+
+  /// Allocation-free variant: fills `out` reusing its vectors' capacity.
+  /// Identical output bytes (and rng draw sequence) to next_packet().
+  void next_packet_into(Rng& rng, coding::CodedPacket* out) const;
 
   struct ReceiveOutcome {
     bool innovative = false;
@@ -60,6 +65,11 @@ class NodeRuntime {
   /// Absorbs a packet of this node's current generation (relay or
   /// destination).
   ReceiveOutcome receive(const coding::CodedPacket& packet);
+
+  /// Zero-copy variant: the view's spans are read in place and copied (once)
+  /// into the coding arenas only if the packet is innovative.  The view only
+  /// needs to stay valid for the duration of the call.
+  ReceiveOutcome receive(const coding::CodedPacketView& view);
 
   // --- source lifecycle --------------------------------------------------
 
@@ -88,6 +98,11 @@ class NodeRuntime {
 
   /// The recovered plaintext of the completed generation.
   std::vector<std::uint8_t> recover() const;
+  /// recover() byte count for this session's coding geometry.
+  std::size_t recovered_size() const;
+  /// Allocation-free recovery into a caller-owned buffer of exactly
+  /// recovered_size() bytes; byte-identical to recover().
+  void recover_into(std::span<std::uint8_t> out) const;
   /// Moves the decoder to the next generation; stale packets are rejected by
   /// generation id from now on.
   void advance_generation();

@@ -59,59 +59,80 @@ bool valid_type(std::uint8_t raw) {
          raw <= static_cast<std::uint8_t>(FrameType::kResyncInfo);
 }
 
-/// Serializes just the body of `frame` (everything after the header).
-std::vector<std::uint8_t> serialize_body(const Frame& frame) {
-  std::vector<std::uint8_t> body;
+/// Appends just the body of `frame` (everything after the header) to `out`,
+/// so the caller's buffer is the only allocation site on the transmit path.
+void append_body(const Frame& frame, std::vector<std::uint8_t>& out) {
   switch (frame.type) {
-    case FrameType::kCodedData:
-      body = frame.packet.serialize();
+    case FrameType::kCodedData: {
+      const coding::CodedPacket& pkt = frame.packet;
+      put_u32(out, pkt.session_id);
+      put_u32(out, pkt.generation_id);
+      put_u16(out, pkt.generation_blocks);
+      put_u16(out, pkt.block_bytes);
+      out.insert(out.end(), pkt.coefficients.begin(), pkt.coefficients.end());
+      out.insert(out.end(), pkt.payload.begin(), pkt.payload.end());
       break;
+    }
     case FrameType::kGenerationAck:
-      body.reserve(GenerationAck::kBytes);
-      put_u32(body, frame.ack.generation_id);
-      put_u16(body, frame.ack.origin_local);
-      put_u32(body, frame.ack.ack_seq);
+      put_u32(out, frame.ack.generation_id);
+      put_u16(out, frame.ack.origin_local);
+      put_u32(out, frame.ack.ack_seq);
       break;
     case FrameType::kProbeBeacon:
-      body.reserve(ProbeBeacon::kBytes);
-      put_u16(body, frame.beacon.origin_local);
-      put_u32(body, frame.beacon.sequence);
+      put_u16(out, frame.beacon.origin_local);
+      put_u32(out, frame.beacon.sequence);
       break;
     case FrameType::kProbeReport:
-      body.reserve(ProbeReport::kBytes);
-      put_u16(body, frame.report.reporter_local);
-      put_u16(body, frame.report.probed_local);
-      put_u32(body, frame.report.beacons_heard);
-      put_u32(body, frame.report.window);
+      put_u16(out, frame.report.reporter_local);
+      put_u16(out, frame.report.probed_local);
+      put_u32(out, frame.report.beacons_heard);
+      put_u32(out, frame.report.window);
       break;
     case FrameType::kPriceUpdate: {
       const PriceUpdate& price = frame.price;
       OMNC_ASSERT(price.lambdas.size() <= 0xffff);
-      body.reserve(PriceUpdate::kFixedBytes +
-                   PriceUpdate::kLambdaBytes * price.lambdas.size());
-      put_u16(body, price.node_local);
-      put_u32(body, price.iteration);
-      put_double(body, price.beta);
-      put_double(body, price.rate_bytes_per_s);
-      put_u16(body, static_cast<std::uint16_t>(price.lambdas.size()));
+      put_u16(out, price.node_local);
+      put_u32(out, price.iteration);
+      put_double(out, price.beta);
+      put_double(out, price.rate_bytes_per_s);
+      put_u16(out, static_cast<std::uint16_t>(price.lambdas.size()));
       for (const PriceUpdate::Lambda& entry : price.lambdas) {
-        put_u16(body, entry.to_local);
-        put_double(body, entry.lambda);
+        put_u16(out, entry.to_local);
+        put_double(out, entry.lambda);
       }
       break;
     }
     case FrameType::kResyncRequest:
-      body.reserve(ResyncRequest::kBytes);
-      put_u16(body, frame.resync_request.origin_local);
-      put_u32(body, frame.resync_request.last_seen_generation);
+      put_u16(out, frame.resync_request.origin_local);
+      put_u32(out, frame.resync_request.last_seen_generation);
       break;
     case FrameType::kResyncInfo:
-      body.reserve(ResyncInfo::kBytes);
-      put_u32(body, frame.resync_info.generation_id);
-      put_u32(body, frame.resync_info.price_iteration);
+      put_u32(out, frame.resync_info.generation_id);
+      put_u32(out, frame.resync_info.price_iteration);
       break;
   }
-  return body;
+}
+
+/// Byte count append_body will produce for `frame`.
+std::size_t body_size(const Frame& frame) {
+  switch (frame.type) {
+    case FrameType::kCodedData:
+      return frame.packet.wire_size();
+    case FrameType::kGenerationAck:
+      return GenerationAck::kBytes;
+    case FrameType::kProbeBeacon:
+      return ProbeBeacon::kBytes;
+    case FrameType::kProbeReport:
+      return ProbeReport::kBytes;
+    case FrameType::kPriceUpdate:
+      return PriceUpdate::kFixedBytes +
+             PriceUpdate::kLambdaBytes * frame.price.lambdas.size();
+    case FrameType::kResyncRequest:
+      return ResyncRequest::kBytes;
+    case FrameType::kResyncInfo:
+      return ResyncInfo::kBytes;
+  }
+  return 0;
 }
 
 /// Parses the body of one frame type; `body` is exactly the payload (the
@@ -240,26 +261,32 @@ std::uint32_t fnv1a(std::span<const std::uint8_t> bytes) {
 }
 
 std::vector<std::uint8_t> Frame::serialize() const {
-  const std::vector<std::uint8_t> body = serialize_body(*this);
-  OMNC_ASSERT(body.size() <= kMaxFrameBytes);
   std::vector<std::uint8_t> out;
-  out.reserve(kHeaderBytes + body.size());
-  put_u32(out, kMagic);
-  out.push_back(kWireVersion);
-  out.push_back(static_cast<std::uint8_t>(type));
-  put_u32(out, session_id);
-  put_u32(out, static_cast<std::uint32_t>(body.size()));
-  put_u32(out, 0);  // checksum; patched once the covered bytes are in place
-  put_u16(out, trace_origin);
-  put_u32(out, trace_seq);
-  out.insert(out.end(), body.begin(), body.end());
-  const std::uint32_t sum =
-      fnv1a(std::span<const std::uint8_t>(out).subspan(kTraceTagOffset));
-  out[14] = static_cast<std::uint8_t>(sum >> 24);
-  out[15] = static_cast<std::uint8_t>(sum >> 16);
-  out[16] = static_cast<std::uint8_t>(sum >> 8);
-  out[17] = static_cast<std::uint8_t>(sum);
+  serialize_into(&out);
   return out;
+}
+
+void Frame::serialize_into(std::vector<std::uint8_t>* out) const {
+  const std::size_t body_bytes = body_size(*this);
+  OMNC_ASSERT(body_bytes <= kMaxFrameBytes);
+  out->clear();
+  out->reserve(kHeaderBytes + body_bytes);
+  put_u32(*out, kMagic);
+  out->push_back(kWireVersion);
+  out->push_back(static_cast<std::uint8_t>(type));
+  put_u32(*out, session_id);
+  put_u32(*out, static_cast<std::uint32_t>(body_bytes));
+  put_u32(*out, 0);  // checksum; patched once the covered bytes are in place
+  put_u16(*out, trace_origin);
+  put_u32(*out, trace_seq);
+  append_body(*this, *out);
+  OMNC_ASSERT(out->size() == kHeaderBytes + body_bytes);
+  const std::uint32_t sum =
+      fnv1a(std::span<const std::uint8_t>(*out).subspan(kTraceTagOffset));
+  (*out)[14] = static_cast<std::uint8_t>(sum >> 24);
+  (*out)[15] = static_cast<std::uint8_t>(sum >> 16);
+  (*out)[16] = static_cast<std::uint8_t>(sum >> 8);
+  (*out)[17] = static_cast<std::uint8_t>(sum);
 }
 
 bool Frame::parse(std::span<const std::uint8_t> bytes, Frame* out) {
@@ -275,6 +302,26 @@ bool Frame::parse(std::span<const std::uint8_t> bytes, Frame* out) {
     return false;
   }
   *out = std::move(frame);
+  return true;
+}
+
+bool DataFrameView::parse(std::span<const std::uint8_t> bytes,
+                          DataFrameView* out) {
+  Header header;
+  if (!parse_header(bytes, &header)) return false;
+  if (header.type != FrameType::kCodedData) return false;
+  if (header.checksum != fnv1a(header.checksummed)) return false;
+  DataFrameView view;
+  view.session_id = header.session_id;
+  view.trace_origin = header.trace_origin;
+  view.trace_seq = header.trace_seq;
+  if (!coding::CodedPacketView::parse(header.payload, &view.packet)) {
+    return false;
+  }
+  // The embedded packet header repeats the session id; a frame whose two
+  // copies disagree was corrupted or forged (same check as Frame::parse).
+  if (view.packet.session_id != header.session_id) return false;
+  *out = view;
   return true;
 }
 

@@ -190,12 +190,37 @@ struct Frame {
 
   std::vector<std::uint8_t> serialize() const;
 
+  /// Serializes into a caller-owned buffer (cleared first), reusing its
+  /// capacity — the transmit path emits one frame per call into the same
+  /// vector without allocating in the steady state.  Byte-identical to
+  /// serialize().
+  void serialize_into(std::vector<std::uint8_t>* out) const;
+
   /// Parses one frame.  Returns false on anything malformed: short buffer,
   /// bad magic/version/unknown type, length field disagreeing with the
   /// buffer, checksum mismatch, or a body that fails its own validation
   /// (e.g. a CodedPacket whose n/m disagree with the payload size, or whose
   /// embedded session id disagrees with the frame header's).
   static bool parse(std::span<const std::uint8_t> bytes, Frame* out);
+};
+
+/// Zero-copy parse of a kCodedData frame: the full header is validated —
+/// magic, version, type, length, checksum, and the embedded-vs-header
+/// session id cross-check, exactly as Frame::parse does — but the coded
+/// packet stays a CodedPacketView whose spans alias `bytes`.  This is the
+/// receive hot path: nothing is copied out of the datagram buffer; the
+/// caller hands the view to the coding layer, which copies the payload into
+/// its arena only if the packet is innovative.  Returns false for any
+/// malformed frame and for well-formed frames of any other type (callers
+/// peek the type first or fall back to Frame::parse).  The view is only
+/// valid while `bytes` is alive and unmodified.
+struct DataFrameView {
+  std::uint32_t session_id = 0;
+  std::uint16_t trace_origin = 0;
+  std::uint32_t trace_seq = 0;
+  coding::CodedPacketView packet;
+
+  static bool parse(std::span<const std::uint8_t> bytes, DataFrameView* out);
 };
 
 // Convenience constructors -------------------------------------------------

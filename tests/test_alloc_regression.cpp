@@ -1,0 +1,193 @@
+// Allocation-count regression: the steady-state receive paths — wire bytes
+// -> DataFrameView -> RREF offer -> recover_into at the destination, and
+// view offer -> recode_into -> serialize_into at a relay — must not touch
+// the heap at all once first-generation warm-up has sized every arena and
+// scratch vector.  Global operator new/delete are replaced with counting
+// versions; each test drives one full generation inside a counting window
+// and pins the delta to zero, so any future per-packet allocation (a stray
+// copy, a vector that re-grows, a debug string) fails loudly instead of
+// silently eroding the zero-copy pipeline.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <span>
+#include <vector>
+
+#include "coding/coded_packet.h"
+#include "coding/decoder.h"
+#include "coding/encoder.h"
+#include "coding/generation.h"
+#include "coding/recoder.h"
+#include "common/rng.h"
+#include "wire/frame.h"
+
+namespace {
+std::atomic<std::size_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size ? size : 1);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t& tag) noexcept {
+  return ::operator new(size, tag);
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t alignment = static_cast<std::size_t>(align);
+  const std::size_t rounded = (size + alignment - 1) / alignment * alignment;
+  if (void* p = std::aligned_alloc(alignment, rounded ? rounded : alignment)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace omnc {
+namespace {
+
+/// Serialized coded-data frames for one full generation (n + 4 packets —
+/// enough redundancy that the decoder always completes).
+std::vector<std::vector<std::uint8_t>> generation_frames(
+    const coding::CodingParams& params, std::uint32_t generation_id) {
+  const coding::Generation gen =
+      coding::Generation::synthetic(generation_id, params, 7);
+  coding::SourceEncoder encoder(gen, 1);
+  Rng rng(100 + generation_id);
+  std::vector<std::vector<std::uint8_t>> wires;
+  for (int i = 0; i < params.generation_blocks + 4; ++i) {
+    wire::Frame frame = wire::make_coded_data(encoder.next_packet(rng));
+    frame.trace_origin = 1;
+    frame.trace_seq = static_cast<std::uint32_t>(i + 1);
+    wires.push_back(frame.serialize());
+  }
+  return wires;
+}
+
+TEST(AllocRegression, SteadyStateDecodePathIsAllocationFree) {
+  const coding::CodingParams params{8, 64};
+  const auto warmup = generation_frames(params, 0);
+  const auto steady = generation_frames(params, 1);
+
+  coding::ProgressiveDecoder decoder(params, 0);
+  std::vector<std::uint8_t> recovered(params.generation_bytes());
+  bool parsed_ok = true;
+  bool completed = false;
+
+  const auto drive = [&](const std::vector<std::vector<std::uint8_t>>& wires) {
+    completed = false;
+    for (const auto& bytes : wires) {
+      wire::DataFrameView view;
+      if (!wire::DataFrameView::parse(bytes, &view)) {
+        parsed_ok = false;
+        return;
+      }
+      decoder.offer(view.packet);
+      if (decoder.complete()) {
+        completed = true;
+        break;
+      }
+    }
+    if (completed) decoder.recover_into(std::span<std::uint8_t>(recovered));
+  };
+
+  // Warm-up generation: arenas, pivot maps, and scratch vectors size here.
+  drive(warmup);
+  ASSERT_TRUE(parsed_ok);
+  ASSERT_TRUE(completed);
+  decoder.reset(1);
+
+  const std::size_t before = g_allocations.load(std::memory_order_relaxed);
+  drive(steady);
+  const std::size_t after = g_allocations.load(std::memory_order_relaxed);
+
+  EXPECT_TRUE(parsed_ok);
+  EXPECT_TRUE(completed);
+  EXPECT_EQ(after - before, 0u)
+      << "steady-state parse -> offer -> recover_into must not allocate";
+  // The recovered bytes are the real generation, not stale warm-up data.
+  const coding::Generation expected =
+      coding::Generation::synthetic(1, params, 7);
+  const std::span<const std::uint8_t> want = expected.bytes();
+  ASSERT_EQ(recovered.size(), want.size());
+  EXPECT_TRUE(std::equal(recovered.begin(), recovered.end(), want.begin()));
+}
+
+TEST(AllocRegression, SteadyStateRelayPathIsAllocationFree) {
+  const coding::CodingParams params{8, 64};
+  const auto warmup = generation_frames(params, 0);
+  const auto steady = generation_frames(params, 1);
+
+  coding::Recoder recoder(params, 1, 0);
+  wire::Frame tx;
+  tx.type = wire::FrameType::kCodedData;
+  std::vector<std::uint8_t> tx_bytes;
+  Rng recode_rng(9);
+  bool parsed_ok = true;
+
+  const auto drive = [&](const std::vector<std::vector<std::uint8_t>>& wires) {
+    for (const auto& bytes : wires) {
+      wire::DataFrameView view;
+      if (!wire::DataFrameView::parse(bytes, &view)) {
+        parsed_ok = false;
+        return;
+      }
+      recoder.offer(view.packet);
+      if (recoder.can_send()) {
+        // The relay transmit path: recode from the basis arenas into the
+        // reused packet, serialize into the reused buffer.
+        recoder.recode_into(recode_rng, &tx.packet);
+        tx.session_id = tx.packet.session_id;
+        tx.trace_origin = 2;
+        tx.trace_seq = 1;
+        tx.serialize_into(&tx_bytes);
+      }
+    }
+  };
+
+  drive(warmup);
+  ASSERT_TRUE(parsed_ok);
+  ASSERT_TRUE(recoder.is_full());
+  recoder.reset(1);
+
+  const std::size_t before = g_allocations.load(std::memory_order_relaxed);
+  drive(steady);
+  const std::size_t after = g_allocations.load(std::memory_order_relaxed);
+
+  EXPECT_TRUE(parsed_ok);
+  EXPECT_TRUE(recoder.is_full());
+  EXPECT_EQ(after - before, 0u)
+      << "steady-state offer -> recode_into -> serialize_into must not "
+         "allocate";
+}
+
+}  // namespace
+}  // namespace omnc

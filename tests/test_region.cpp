@@ -11,9 +11,9 @@
 namespace omnc::gf {
 namespace {
 
-constexpr Backend kAllBackends[] = {Backend::kScalarTable, Backend::kSse2,
-                                    Backend::kSsse3, Backend::kAvx2,
-                                    Backend::kGfni};
+constexpr Backend kAllBackends[] = {
+    Backend::kScalarTable, Backend::kSse2, Backend::kSsse3, Backend::kAvx2,
+    Backend::kGfni,        Backend::kNeon, Backend::kPortable};
 
 std::vector<std::uint8_t> random_bytes(std::size_t n, Rng& rng) {
   std::vector<std::uint8_t> v(n);
@@ -304,6 +304,12 @@ TEST(Region, UnsupportedBackendsStillResolveNames) {
   for (Backend backend : kAllBackends) {
     EXPECT_STRNE(backend_name(backend), "?");
   }
+}
+
+TEST(Region, PortableBackendAlwaysSupported) {
+  // The SWAR backend needs no vector unit: it must be selectable on every
+  // architecture (it is CI's forced-kernel fallback via OMNC_GF_BACKEND).
+  EXPECT_TRUE(backend_supported(Backend::kPortable));
 }
 
 }  // namespace
