@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "codes/family_runtime.h"
 #include "coding/decoder.h"
 #include "coding/encoder.h"
 #include "common/rng.h"
@@ -161,6 +162,94 @@ void bench_progressive_decode(benchmark::State& state, gf::Backend backend) {
   gf::set_backend(previous);
 }
 
+// Family decoders (DESIGN.md §15): the structured CBD-style decoder fed by
+// the family encoder's own emission order.  Systematic runs the lossless
+// fast path (n uncoded originals, zero GF region multiplies); banded decode
+// cost scales with the band width instead of the generation size, which is
+// the BENCH_9 decode-cost win against BM_Decode's dense Gauss-Jordan.
+void bench_family_decode(benchmark::State& state, gf::Backend backend,
+                         codes::CodeSpec spec) {
+  if (!gf::backend_supported(backend)) {
+    state.SkipWithError("backend not supported on this CPU");
+    return;
+  }
+  const gf::Backend previous = gf::active_backend();
+  gf::set_backend(backend);
+  const auto blocks = static_cast<std::uint16_t>(state.range(0));
+  const auto bytes = static_cast<std::uint16_t>(state.range(1));
+  if (spec.family == codes::CodeFamily::kBanded) {
+    spec.band_width = static_cast<std::uint16_t>(state.range(2));
+  }
+  coding::CodingParams params{blocks, bytes};
+  const coding::Generation gen = coding::Generation::synthetic(0, params, 7);
+  codes::FamilyEncoder encoder(gen, 0, spec);
+  Rng rng(5);
+  // Pre-generate outside the timing loop until a probe decoder completes,
+  // so the timed loop always replays a completing reception sequence; views
+  // hold the structures' explicit coefficient bytes, exactly as the wire
+  // layer would deliver.
+  std::vector<coding::CodedPacket> packets;
+  std::vector<coding::CodedStructure> structures;
+  std::vector<coding::CodedPacketView> views;
+  {
+    codes::StructuredDecoder probe(params, 0);
+    const std::size_t budget = static_cast<std::size_t>(blocks) * 64;
+    while (!probe.complete() && packets.size() < budget) {
+      packets.emplace_back();
+      structures.emplace_back();
+      encoder.next_packet_into(rng, &packets.back(), &structures.back());
+      coding::CodedPacketView view = packets.back().as_view();
+      switch (structures.back().kind) {
+        case coding::CodedStructure::Kind::kDense:
+          break;
+        case coding::CodedStructure::Kind::kUncoded:
+          view.coefficients = {};
+          break;
+        case coding::CodedStructure::Kind::kWindow:
+          view.coefficients = view.coefficients.subspan(
+              structures.back().offset, structures.back().width);
+          break;
+      }
+      probe.offer(view, structures.back());
+    }
+    if (!probe.complete()) {
+      state.SkipWithError("family sequence did not reach full rank");
+      gf::set_backend(previous);
+      return;
+    }
+    // as_view() spans must be taken after the vector stops reallocating.
+    views.resize(packets.size());
+    for (std::size_t i = 0; i < packets.size(); ++i) {
+      coding::CodedPacketView view = packets[i].as_view();
+      switch (structures[i].kind) {
+        case coding::CodedStructure::Kind::kDense:
+          break;
+        case coding::CodedStructure::Kind::kUncoded:
+          view.coefficients = {};
+          break;
+        case coding::CodedStructure::Kind::kWindow:
+          view.coefficients = view.coefficients.subspan(structures[i].offset,
+                                                        structures[i].width);
+          break;
+      }
+      views[i] = view;
+    }
+  }
+  std::vector<std::uint8_t> out(params.generation_bytes());
+  for (auto _ : state) {
+    codes::StructuredDecoder decoder(params, 0);
+    for (std::size_t i = 0; i < views.size(); ++i) {
+      if (decoder.complete()) break;
+      decoder.offer(views[i], structures[i]);
+    }
+    decoder.recover_into(std::span<std::uint8_t>(out));
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(blocks) * bytes);
+  gf::set_backend(previous);
+}
+
 /// One benchmark family per backend, named BM_<What>/<backend-name>/<args>.
 void register_benchmarks() {
   for (const gf::Backend backend : kAllBackends) {
@@ -189,6 +278,17 @@ void register_benchmarks() {
         ->Args({40, 1024})
         ->Args({64, 1024})
         ->Args({16, 256});
+    benchmark::RegisterBenchmark(("BM_DecodeSystematic/" + name).c_str(),
+                                 bench_family_decode, backend,
+                                 codes::CodeSpec::systematic())
+        ->Args({64, 1024})
+        ->Args({40, 1024});
+    // Third arg: band width (<= g/4 is the BENCH_9 decode-cost target).
+    benchmark::RegisterBenchmark(("BM_DecodeBanded/" + name).c_str(),
+                                 bench_family_decode, backend,
+                                 codes::CodeSpec::banded(0))
+        ->Args({64, 1024, 16})
+        ->Args({64, 1024, 8});
   }
 }
 

@@ -1,0 +1,83 @@
+#include "codes/code_spec.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace omnc::codes {
+
+const char* CodeSpec::name() const {
+  switch (family) {
+    case CodeFamily::kDense:
+      return "dense";
+    case CodeFamily::kSystematic:
+      return "systematic";
+    case CodeFamily::kBanded:
+      return "banded";
+  }
+  return "dense";
+}
+
+std::string CodeSpec::selector() const {
+  if (family == CodeFamily::kBanded && band_width != 0) {
+    return std::string("banded:") + std::to_string(band_width);
+  }
+  return name();
+}
+
+CodeSpec CodeSpec::clamped_for(const coding::CodingParams& params) const {
+  CodeSpec spec = *this;
+  if (spec.family != CodeFamily::kBanded) {
+    spec.band_width = 0;
+    return spec;
+  }
+  const std::uint16_t n = params.generation_blocks;
+  if (spec.band_width == 0) {
+    spec.band_width = std::max<std::uint16_t>(1, n / 4);
+  }
+  spec.band_width = std::clamp<std::uint16_t>(spec.band_width, 1, n);
+  return spec;
+}
+
+bool CodeSpec::parse(const std::string& text, CodeSpec* out) {
+  if (text == "dense") {
+    *out = dense();
+    return true;
+  }
+  if (text == "systematic") {
+    *out = systematic();
+    return true;
+  }
+  if (text == "banded") {
+    *out = banded(0);
+    return true;
+  }
+  const std::string prefix = "banded:";
+  if (text.rfind(prefix, 0) == 0) {
+    const std::string digits = text.substr(prefix.size());
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos) {
+      return false;
+    }
+    const long width = std::strtol(digits.c_str(), nullptr, 10);
+    if (width < 1 || width > 0xFFFF) return false;
+    *out = banded(static_cast<std::uint16_t>(width));
+    return true;
+  }
+  return false;
+}
+
+CodeSpec CodeSpec::from_env() {
+  CodeSpec spec = dense();
+  if (const char* family = std::getenv("OMNC_CODE_FAMILY")) {
+    if (!parse(family, &spec)) return dense();
+  }
+  if (spec.family == CodeFamily::kBanded && spec.band_width == 0) {
+    if (const char* width = std::getenv("OMNC_BAND_WIDTH")) {
+      const long w = std::strtol(width, nullptr, 10);
+      if (w >= 1 && w <= 0xFFFF) spec.band_width = static_cast<std::uint16_t>(w);
+    }
+  }
+  return spec;
+}
+
+}  // namespace omnc::codes

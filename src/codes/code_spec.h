@@ -1,0 +1,65 @@
+// Code-family selection seam (DESIGN.md §15).
+//
+// A CodeSpec names the random-linear code family a session runs — dense RLNC
+// (the paper's baseline), systematic RLNC (originals first, dense repairs
+// after), or banded RLNC (coefficients confined to a sliding window) — plus
+// the family's shape parameters.  Everything above the raw coding primitives
+// (NodeRuntime, SessionEngine, omnc_emu, the benches) takes a CodeSpec and
+// threads it down to the family-parameterized encoder/recoder/decoder in
+// family_runtime.h; the dense spec reproduces the pre-family pipeline
+// byte-for-byte, RNG draw-for-draw.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "coding/generation.h"
+
+namespace omnc::codes {
+
+enum class CodeFamily : std::uint8_t {
+  kDense = 0,
+  kSystematic = 1,
+  kBanded = 2,
+};
+
+struct CodeSpec {
+  CodeFamily family = CodeFamily::kDense;
+  /// Banded only: coefficient window width.  0 means auto — resolved to
+  /// max(1, n/4) for the generation at hand by clamped_for().
+  std::uint16_t band_width = 0;
+
+  static CodeSpec dense() { return {}; }
+  static CodeSpec systematic() { return {CodeFamily::kSystematic, 0}; }
+  static CodeSpec banded(std::uint16_t width) {
+    return {CodeFamily::kBanded, width};
+  }
+
+  bool is_dense() const { return family == CodeFamily::kDense; }
+
+  /// Family name: "dense" | "systematic" | "banded".
+  const char* name() const;
+
+  /// Canonical selector text: the family name, plus ":<width>" for banded
+  /// with an explicit band width.  parse() round-trips it.
+  std::string selector() const;
+
+  /// Resolves the spec against a concrete generation geometry: the band
+  /// width auto-default (n/4) is applied and explicit widths are clamped to
+  /// [1, n].  Non-banded specs pass through unchanged.
+  CodeSpec clamped_for(const coding::CodingParams& params) const;
+
+  /// Parses "dense", "systematic", "banded", or "banded:<width>".
+  /// Returns false (leaving *out untouched) on anything else.
+  static bool parse(const std::string& text, CodeSpec* out);
+
+  /// Spec selected by the OMNC_CODE_FAMILY / OMNC_BAND_WIDTH environment
+  /// variables, or dense() when unset or unparseable.  Only consulted by
+  /// explicitly env-aware entry points (omnc_emu's default, the forced-
+  /// family CI passes); library defaults are hard dense.
+  static CodeSpec from_env();
+
+  bool operator==(const CodeSpec&) const = default;
+};
+
+}  // namespace omnc::codes

@@ -1,0 +1,252 @@
+#include "codes/family_runtime.h"
+
+#include <cstring>
+
+#include "common/assert.h"
+#include "galois/region.h"
+
+namespace omnc::codes {
+
+// --- FamilyEncoder ---------------------------------------------------------
+
+FamilyEncoder::FamilyEncoder(const coding::Generation& generation,
+                             std::uint32_t session_id, const CodeSpec& spec)
+    : dense_(generation, session_id),
+      generation_(&generation),
+      session_id_(session_id),
+      spec_(spec.clamped_for(generation.params())) {}
+
+void FamilyEncoder::next_packet_into(Rng& rng, coding::CodedPacket* out,
+                                     coding::CodedStructure* structure) {
+  const coding::CodingParams& params = generation_->params();
+  const std::size_t n = params.generation_blocks;
+  switch (spec_.family) {
+    case CodeFamily::kDense:
+      dense_.next_packet_into(rng, out);
+      *structure = coding::CodedStructure::make_dense();
+      return;
+    case CodeFamily::kSystematic:
+      if (next_uncoded_ < n) {
+        // Original block, uncoded: zero RNG draws, zero GF work.
+        const std::uint16_t index =
+            static_cast<std::uint16_t>(next_uncoded_++);
+        out->session_id = session_id_;
+        out->generation_id = generation_->id();
+        out->generation_blocks = params.generation_blocks;
+        out->block_bytes = params.block_bytes;
+        out->coefficients.assign(n, 0);
+        out->coefficients[index] = 1;
+        out->payload.resize(params.block_bytes);
+        std::memcpy(out->payload.data(), generation_->block(index),
+                    params.block_bytes);
+        *structure = coding::CodedStructure::make_uncoded(index);
+        return;
+      }
+      // Repairs are plain dense packets (n draws).
+      dense_.next_packet_into(rng, out);
+      *structure = coding::CodedStructure::make_dense();
+      return;
+    case CodeFamily::kBanded: {
+      const std::size_t w = spec_.band_width;
+      OMNC_ASSERT(w >= 1 && w <= n);
+      // Pinned draws: exactly w bytes.  The window start slides cyclically
+      // so every pivot column is covered once per cycle of n-w+1 packets; a
+      // uniformly random start would leave the edge columns uncovered for
+      // arbitrarily long (column 0 only appears when start == 0).
+      const std::size_t positions = n - w + 1;
+      const std::uint16_t start =
+          static_cast<std::uint16_t>(band_seq_++ % positions);
+      out->session_id = session_id_;
+      out->generation_id = generation_->id();
+      out->generation_blocks = params.generation_blocks;
+      out->block_bytes = params.block_bytes;
+      out->coefficients.assign(n, 0);
+      bool nonzero = false;
+      for (std::size_t i = 0; i < w; ++i) {
+        const std::uint8_t c = rng.next_byte();
+        out->coefficients[start + i] = c;
+        nonzero |= (c != 0);
+      }
+      if (!nonzero) out->coefficients[start] = 1;
+      out->payload.assign(params.block_bytes, 0);
+      fold_ptrs_.resize(w);
+      for (std::size_t i = 0; i < w; ++i) {
+        fold_ptrs_[i] = generation_->block(start + i);
+      }
+      gf::region_axpy_many(out->payload.data(), fold_ptrs_.data(),
+                           out->coefficients.data() + start, w,
+                           params.block_bytes);
+      *structure = coding::CodedStructure::make_window(
+          start, static_cast<std::uint16_t>(w));
+      return;
+    }
+  }
+}
+
+// --- FamilyRecoder ---------------------------------------------------------
+
+FamilyRecoder::FamilyRecoder(const coding::CodingParams& params,
+                             std::uint32_t session_id,
+                             std::uint32_t generation_id, const CodeSpec& spec)
+    : dense_(params, session_id, generation_id),
+      params_(params),
+      session_id_(session_id),
+      spec_(spec.clamped_for(params)) {
+  scratch_coeffs_.resize(params.generation_blocks);
+}
+
+bool FamilyRecoder::offer(const coding::CodedPacketView& view,
+                          const coding::CodedStructure& structure) {
+  if (structure.dense()) return dense_.offer(view);
+  if (view.generation_id != generation_id()) return false;
+  if (view.generation_blocks != params_.generation_blocks ||
+      view.block_bytes != params_.block_bytes ||
+      view.payload.size() != params_.block_bytes ||
+      !structure.valid_for(view.generation_blocks)) {
+    return false;
+  }
+  // Expand the compact coefficients to a dense row for the innovation
+  // filter, which stays the single source of truth for rank.
+  coding::expand_coefficients(structure, view.coefficients,
+                              view.generation_blocks, scratch_coeffs_.data());
+  coding::CodedPacketView dense_view = view;
+  dense_view.coefficients =
+      std::span<const std::uint8_t>(scratch_coeffs_.data(),
+                                    params_.generation_blocks);
+  if (!dense_.offer(dense_view)) return false;
+  if (!spec_.is_dense()) {
+    // Keep a verbatim copy so the structure survives this relay hop.
+    StoredRow row;
+    row.structure = structure;
+    row.window.assign(view.coefficients.begin(), view.coefficients.end());
+    row.payload.assign(view.payload.begin(), view.payload.end());
+    forward_rows_.push_back(std::move(row));
+  }
+  return true;
+}
+
+void FamilyRecoder::recode_into(Rng& rng, coding::CodedPacket* out,
+                                coding::CodedStructure* structure) {
+  if (spec_.is_dense() || next_forward_ >= forward_rows_.size()) {
+    dense_.recode_into(rng, out);
+    *structure = coding::CodedStructure::make_dense();
+    return;
+  }
+  // Structure-preserving forwarding: re-emit a stored structured row
+  // verbatim, zero RNG draws.
+  const StoredRow& row = forward_rows_[next_forward_++];
+  out->session_id = session_id_;
+  out->generation_id = generation_id();
+  out->generation_blocks = params_.generation_blocks;
+  out->block_bytes = params_.block_bytes;
+  out->coefficients.assign(params_.generation_blocks, 0);
+  coding::expand_coefficients(
+      row.structure,
+      std::span<const std::uint8_t>(row.window.data(), row.window.size()),
+      params_.generation_blocks, out->coefficients.data());
+  out->payload.assign(row.payload.begin(), row.payload.end());
+  *structure = row.structure;
+}
+
+void FamilyRecoder::reset(std::uint32_t generation_id) {
+  dense_.reset(generation_id);
+  forward_rows_.clear();
+  next_forward_ = 0;
+}
+
+// --- FamilyDecoder ---------------------------------------------------------
+
+FamilyDecoder::FamilyDecoder(const coding::CodingParams& params,
+                             std::uint32_t generation_id, const CodeSpec& spec)
+    : params_(params), spec_(spec.clamped_for(params)) {
+  if (spec_.is_dense()) {
+    dense_.emplace(params, generation_id);
+    scratch_coeffs_.resize(params.generation_blocks);
+  } else {
+    structured_.emplace(params, generation_id);
+  }
+}
+
+FamilyDecoder::OfferResult FamilyDecoder::offer(
+    const coding::CodedPacketView& view,
+    const coding::CodedStructure& structure) {
+  OfferResult result;
+  if (dense_) {
+    if (structure.dense()) {
+      result.innovative = dense_->offer(view);
+    } else {
+      // A structured packet reaching a dense-spec decoder (mixed-family
+      // peers): expand and decode; the structural fast path is lost but
+      // correctness is not.
+      if (view.generation_id != dense_->generation_id() ||
+          !structure.valid_for(view.generation_blocks) ||
+          view.generation_blocks != params_.generation_blocks ||
+          view.block_bytes != params_.block_bytes) {
+        return result;
+      }
+      coding::expand_coefficients(structure, view.coefficients,
+                                  view.generation_blocks,
+                                  scratch_coeffs_.data());
+      coding::CodedPacketView dense_view = view;
+      dense_view.coefficients = std::span<const std::uint8_t>(
+          scratch_coeffs_.data(), params_.generation_blocks);
+      result.innovative = dense_->offer(dense_view);
+    }
+    if (result.innovative) result.pivot = dense_->last_pivot();
+    return result;
+  }
+  result.innovative = structured_->offer(view, structure);
+  if (result.innovative) {
+    result.pivot = structured_->last_pivot();
+    result.uncoded =
+        structure.kind == coding::CodedStructure::Kind::kUncoded &&
+        result.pivot == static_cast<int>(structure.index);
+  }
+  return result;
+}
+
+std::uint32_t FamilyDecoder::generation_id() const {
+  return dense_ ? dense_->generation_id() : structured_->generation_id();
+}
+
+std::size_t FamilyDecoder::rank() const {
+  return dense_ ? dense_->rank() : structured_->rank();
+}
+
+bool FamilyDecoder::complete() const {
+  return dense_ ? dense_->complete() : structured_->complete();
+}
+
+std::size_t FamilyDecoder::packets_seen() const {
+  return dense_ ? dense_->packets_seen() : structured_->packets_seen();
+}
+
+std::vector<std::uint8_t> FamilyDecoder::recover() const {
+  return dense_ ? dense_->recover() : structured_->recover();
+}
+
+std::size_t FamilyDecoder::recovered_size() const {
+  return dense_ ? dense_->recovered_size() : structured_->recovered_size();
+}
+
+void FamilyDecoder::recover_into(std::span<std::uint8_t> out) const {
+  if (dense_) {
+    dense_->recover_into(out);
+  } else {
+    structured_->recover_into(out);
+  }
+}
+
+void FamilyDecoder::reset(std::uint32_t generation_id) {
+  if (dense_) {
+    dense_->reset(generation_id);
+  } else {
+    structured_->reset(generation_id);
+  }
+}
+
+const StructuredDecoder::Stats* FamilyDecoder::structured_stats() const {
+  return structured_ ? &structured_->stats() : nullptr;
+}
+
+}  // namespace omnc::codes

@@ -1,0 +1,79 @@
+#include "codes/tuner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "coding/coded_packet.h"
+#include "common/assert.h"
+
+namespace omnc::codes {
+
+double dense_full_rank_prob(int generation_blocks, int received) {
+  if (received < generation_blocks) return 0.0;
+  double prob = 1.0;
+  for (int i = 0; i < generation_blocks; ++i) {
+    // 256^-(received - i); underflows to 0 harmlessly for deep surpluses.
+    prob *= 1.0 - std::pow(256.0, -(received - i));
+  }
+  return prob;
+}
+
+double decode_success_prob(int generation_blocks, int sent, double loss_rate) {
+  OMNC_ASSERT(generation_blocks >= 1 && sent >= 0);
+  const double p = std::clamp(loss_rate, 0.0, 1.0);
+  const double q = 1.0 - p;
+  if (sent < generation_blocks) return 0.0;
+  if (p == 0.0) return dense_full_rank_prob(generation_blocks, sent);
+  // Binomial pmf over the received count, built iteratively:
+  //   pmf(0) = p^N,  pmf(r+1) = pmf(r) * (N-r)/(r+1) * q/p.
+  double pmf = std::pow(p, sent);
+  double total = 0.0;
+  for (int r = 0; r <= sent; ++r) {
+    if (r >= generation_blocks && pmf > 0.0) {
+      total += pmf * dense_full_rank_prob(generation_blocks, r);
+    }
+    pmf *= static_cast<double>(sent - r) / (r + 1) * (q / p);
+  }
+  return std::min(total, 1.0);
+}
+
+TunerChoice tune_generation(double loss_rate, double target_success,
+                            int min_g, int max_g, int block_bytes) {
+  OMNC_ASSERT(min_g >= 1 && max_g >= min_g && block_bytes >= 1);
+  const double p = std::clamp(loss_rate, 0.0, 0.95);
+  const double target = std::clamp(target_success, 0.5, 0.999999);
+  TunerChoice best;
+  for (int g = min_g; g <= max_g; g *= 2) {
+    // Minimal N with P[decode] >= target.  The success probability is
+    // monotone in N, so a linear scan from g upward terminates; the cap is
+    // a pure safety net for absurd loss rates.
+    const int cap = std::max(64, static_cast<int>(8.0 * g / (1.0 - p)));
+    int sent = g;
+    double prob = 0.0;
+    while (sent <= cap) {
+      prob = decode_success_prob(g, sent, p);
+      if (prob >= target) break;
+      ++sent;
+    }
+    if (prob < target) continue;  // not reachable within the cap
+    // Delivered bytes per on-air byte: g blocks of payload against N
+    // packets each carrying the coded-packet header, g coefficient bytes,
+    // and the payload.
+    const double delivered = static_cast<double>(g) * block_bytes;
+    const double air =
+        static_cast<double>(sent) *
+        (static_cast<double>(coding::CodedPacket::kHeaderBytes) + g +
+         block_bytes);
+    const double efficiency = delivered / air;
+    if (efficiency > best.efficiency) {
+      best.generation_blocks = g;
+      best.send_count = sent;
+      best.redundancy = static_cast<double>(sent) / g;
+      best.success_prob = prob;
+      best.efficiency = efficiency;
+    }
+  }
+  return best;
+}
+
+}  // namespace omnc::codes

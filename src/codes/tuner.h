@@ -1,0 +1,45 @@
+// Finite-length generation tuner (PAPERS.md: "Optimal Finite Length Coding
+// Rate of Random Linear Network Coding Schemes").
+//
+// Asymptotically RLNC is capacity-achieving for any generation size, but at
+// finite length two effects pull against each other: large generations
+// amortize the per-packet coefficient overhead (g bytes of header per m-byte
+// payload) while small generations need fewer extra packets to survive both
+// loss and the O(256^-(r-g)) probability that r received dense rows are rank
+// deficient.  The tuner evaluates the exact finite-length model —
+//
+//   P[full rank | r rows]  = prod_{i=0}^{g-1} (1 - 256^-(r-i))
+//   P[decode | N sent]     = sum_r Binom(N, r, 1-p) * P[full rank | r]
+//
+// — finds the minimal send count N(g) meeting a target decode probability
+// for each candidate generation size, and picks the g that maximizes
+// delivered bytes per on-air byte.  The redundancy N/g feeds the emulation
+// source's rate boost so a lossy run sends just enough.
+#pragma once
+
+#include <cstdint>
+
+namespace omnc::codes {
+
+/// P[r iid uniform GF(256) rows span the full g-dimensional space], r >= g.
+double dense_full_rank_prob(int generation_blocks, int received);
+
+/// P[destination decodes] when `sent` packets each survive independently
+/// with probability (1 - loss_rate).
+double decode_success_prob(int generation_blocks, int sent, double loss_rate);
+
+struct TunerChoice {
+  int generation_blocks = 0;   // chosen g
+  int send_count = 0;          // minimal N with P[decode] >= target
+  double redundancy = 1.0;     // N / g — the source's rate boost
+  double success_prob = 0.0;   // achieved P[decode] at N
+  double efficiency = 0.0;     // delivered bytes per on-air byte
+};
+
+/// Sweeps candidate generation sizes (powers of two in [min_g, max_g]) and
+/// returns the most air-efficient choice meeting `target_success`.
+/// `block_bytes` sets the payload-to-coefficient-overhead ratio.
+TunerChoice tune_generation(double loss_rate, double target_success,
+                            int min_g, int max_g, int block_bytes);
+
+}  // namespace omnc::codes

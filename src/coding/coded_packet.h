@@ -12,6 +12,45 @@ namespace omnc::coding {
 
 struct CodedPacket;
 
+/// Structural side-channel of a coded packet: how its coefficient vector was
+/// produced.  Dense packets carry all n coefficients on the wire; structured
+/// ones (a systematic original, a banded combination) admit a compact
+/// encoding that elides the implied zeros — an uncoded original is fully
+/// described by its block index, a banded row by its window offset/width and
+/// the window's coefficients.  The structure rides next to the packet through
+/// the stack (frame <-> runtime <-> codes) so decoders can exploit it; dense
+/// serialization is byte-identical to the pre-structure wire format.
+struct CodedStructure {
+  enum class Kind : std::uint8_t { kDense = 0, kUncoded = 1, kWindow = 2 };
+  Kind kind = Kind::kDense;
+  std::uint16_t index = 0;   // kUncoded: original block index
+  std::uint16_t offset = 0;  // kWindow: first coefficient column
+  std::uint16_t width = 0;   // kWindow: coefficient count
+
+  bool dense() const { return kind == Kind::kDense; }
+
+  static CodedStructure make_dense() { return {}; }
+  static CodedStructure make_uncoded(std::uint16_t index) {
+    return {Kind::kUncoded, index, 0, 0};
+  }
+  static CodedStructure make_window(std::uint16_t offset, std::uint16_t width) {
+    return {Kind::kWindow, 0, offset, width};
+  }
+
+  /// True if the structure is internally consistent for n coefficient
+  /// columns (uncoded index in range, window inside [0, n) and nonempty).
+  bool valid_for(std::uint16_t generation_blocks) const;
+
+  bool operator==(const CodedStructure&) const = default;
+};
+
+/// Writes the dense n-byte coefficient vector implied by `structure` whose
+/// explicit entries are `window` (the window bytes for kWindow, empty for
+/// kUncoded, all n for kDense) into `out` (n bytes, fully overwritten).
+void expand_coefficients(const CodedStructure& structure,
+                         std::span<const std::uint8_t> window,
+                         std::uint16_t generation_blocks, std::uint8_t* out);
+
 /// Non-owning parse of a coded packet: the header fields are decoded, the
 /// coefficient vector and payload stay as spans into the caller's buffer.
 /// This is the zero-copy receive path — a view can be validated and offered
@@ -74,5 +113,26 @@ struct CodedPacket {
   /// Parses a packet; returns false on truncation or inconsistent lengths.
   static bool parse(std::span<const std::uint8_t> wire, CodedPacket* out);
 };
+
+/// Bytes the compact encoding of a packet with `block_bytes` of payload
+/// occupies under `structure`: the 12-byte header, a structure tag, the
+/// structure fields, the window coefficients (kWindow only), the payload.
+/// kDense has no compact form; callers keep the dense wire format for it.
+std::size_t compact_wire_size(const CodedStructure& structure,
+                              std::uint16_t block_bytes);
+
+/// Appends the compact encoding of `packet` (whose coefficients are dense in
+/// memory) under `structure` to `out`.  Returns false — appending nothing —
+/// if the structure is dense or inconsistent with the packet's geometry.
+bool serialize_compact(const CodedPacket& packet,
+                       const CodedStructure& structure,
+                       std::vector<std::uint8_t>& out);
+
+/// Parses a compact encoding.  On success the view's `coefficients` span
+/// holds only the explicit window bytes (empty for an uncoded original) —
+/// dimensions_match() intentionally fails; consumers go through `structure`
+/// or expand_coefficients().  The payload span aliases `wire` as usual.
+bool parse_compact(std::span<const std::uint8_t> wire, CodedPacketView* view,
+                   CodedStructure* structure);
 
 }  // namespace omnc::coding

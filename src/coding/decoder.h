@@ -40,6 +40,9 @@ class ProgressiveDecoder {
   std::size_t packets_seen() const { return packets_seen_; }
   std::size_t packets_innovative() const { return rref_.rank(); }
 
+  /// Pivot column claimed by the last innovative offer, -1 otherwise.
+  int last_pivot() const { return rref_.last_insert_pivot(); }
+
   /// Block `index` if it has already been fully decoded (its row is a unit
   /// coefficient vector); nullptr otherwise.  All blocks qualify once
   /// complete() holds.

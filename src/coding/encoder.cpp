@@ -25,14 +25,16 @@ void SourceEncoder::next_packet_into(Rng& rng, CodedPacket* out) const {
   out->generation_blocks = params.generation_blocks;
   out->block_bytes = params.block_bytes;
   out->coefficients.resize(n);
-  // All-zero coefficient vectors are useless; retry (probability 256^-n).
+  // Pinned draw count: exactly n byte draws per packet, no retry loop.  The
+  // all-zero vector (probability 256^-n) is repaired deterministically so
+  // every code family consumes the same number of RNG draws per emission and
+  // det-clock traces stay byte-identical across families.
   bool nonzero = false;
-  while (!nonzero) {
-    for (auto& c : out->coefficients) {
-      c = rng.next_byte();
-      nonzero |= (c != 0);
-    }
+  for (auto& c : out->coefficients) {
+    c = rng.next_byte();
+    nonzero |= (c != 0);
   }
+  if (!nonzero) out->coefficients[0] = 1;
   out->payload.assign(params.block_bytes, 0);
   // Fused fold over the generation's blocks: 2-4 source rows per pass over
   // the payload instead of one destination read/write per block.

@@ -51,15 +51,19 @@ void Recoder::recode_into(Rng& rng, CodedPacket* out) const {
   out->coefficients.assign(n, 0);
   out->payload.assign(m, 0);
   // Random combination over the basis.  At least one multiplier must be
-  // nonzero, otherwise the output would be the zero packet.
+  // nonzero, otherwise the output would be the zero packet.  The draw count
+  // is pinned at exactly rank() byte draws: the old retry loop re-drew the
+  // whole multiplier vector on an all-zero draw (probability 256^-rank —
+  // very much reachable at rank 1), which desynchronized det-clock RNG
+  // streams between runs that differed only in code family.  An all-zero
+  // draw is repaired deterministically instead.
   multipliers_.resize(count);
   bool nonzero = false;
-  while (!nonzero) {
-    for (auto& mult : multipliers_) {
-      mult = rng.next_byte();
-      nonzero |= (mult != 0);
-    }
+  for (auto& mult : multipliers_) {
+    mult = rng.next_byte();
+    nonzero |= (mult != 0);
   }
+  if (!nonzero) multipliers_[0] = 1;
   // Fold the combination through the fused kernels: 2-4 basis rows per
   // destination pass instead of re-reading the output row for each source.
   coeff_srcs_.resize(count);

@@ -24,7 +24,10 @@ bool RrefAccumulator::insert(const std::uint8_t* coefficients,
                              const std::uint8_t* payload) {
   OMNC_SCOPED_TIMER("coding/rref_insert");
   OMNC_ASSERT(payload_bytes_ == 0 || payload != nullptr);
-  if (complete()) return false;  // the basis already spans the whole space
+  if (complete()) {
+    last_insert_pivot_ = -1;
+    return false;  // the basis already spans the whole space
+  }
   const bool track_payload = payload_bytes_ > 0;
   // Elimination acts on [coefficients | transform] as one contiguous row.
   // Live transform entries stop at column rank_ (the incoming row adds one
@@ -77,7 +80,10 @@ bool RrefAccumulator::insert(const std::uint8_t* coefficients,
       break;
     }
   }
-  if (pivot == pivot_cols_) return false;  // linearly dependent
+  if (pivot == pivot_cols_) {
+    last_insert_pivot_ = -1;
+    return false;  // linearly dependent
+  }
   // Normalize so the pivot entry is 1.
   const std::uint8_t pivot_value = sc[pivot];
   if (pivot_value != 1) {
@@ -119,6 +125,7 @@ bool RrefAccumulator::insert(const std::uint8_t* coefficients,
   rows_.insert(pos, entry);
   pivot_to_row_[pivot] = static_cast<int>(slot);
   ++rank_;
+  last_insert_pivot_ = static_cast<int>(pivot);
   return true;
 }
 
@@ -242,6 +249,7 @@ const std::uint8_t* RrefAccumulator::materialize(std::size_t index) const {
 
 void RrefAccumulator::clear() {
   rank_ = 0;
+  last_insert_pivot_ = -1;
   rows_.clear();
   std::fill(pivot_to_row_.begin(), pivot_to_row_.end(), -1);
   basis_.clear();

@@ -65,6 +65,11 @@ class RrefAccumulator {
   /// just the coefficient part (no allocation; reuses a member buffer).
   bool would_be_innovative(const std::uint8_t* coefficients) const;
 
+  /// Pivot column claimed by the most recent successful insert(), or -1 if
+  /// no insert has succeeded since construction/clear() or the last offer
+  /// was rejected.  Feeds the per-packet "pv" trace field.
+  int last_insert_pivot() const { return last_insert_pivot_; }
+
   /// Coefficient block (pivot_cols bytes, reduced form) of the basis row
   /// whose pivot is `pivot`, or nullptr if absent.
   const std::uint8_t* coefficients_for_pivot(std::size_t pivot) const;
@@ -116,6 +121,7 @@ class RrefAccumulator {
   std::size_t payload_bytes_;
   std::size_t stride_;             // bytes per basis-arena row
   std::size_t rank_ = 0;
+  int last_insert_pivot_ = -1;
   std::vector<BasisRow> rows_;     // sorted by pivot
   std::vector<int> pivot_to_row_;  // pivot -> arena row slot, -1 when absent
   std::vector<std::uint8_t> basis_;  // rank x stride, coefficients reduced

@@ -15,12 +15,13 @@ protocols::NodeRuntime make_runtime(const routing::SessionGraph& graph,
                                     int local, const EmuNodeConfig& config) {
   if (local == graph.source) {
     return protocols::NodeRuntime::source(config.coding, config.session_id,
-                                          config.data_seed);
+                                          config.data_seed, config.code);
   }
   if (local == graph.destination) {
-    return protocols::NodeRuntime::destination(config.coding);
+    return protocols::NodeRuntime::destination(config.coding, config.code);
   }
-  return protocols::NodeRuntime::relay(config.coding, config.session_id);
+  return protocols::NodeRuntime::relay(config.coding, config.session_id,
+                                       config.code);
 }
 
 }  // namespace
@@ -100,7 +101,8 @@ void EmuNode::broadcast(const wire::Frame& frame) {
 
 void EmuNode::emit_span(obs::SpanEvent::Kind kind, double now,
                         std::uint32_t generation, obs::SpanId span, int peer,
-                        std::size_t rank, std::vector<obs::SpanId> parents) {
+                        std::size_t rank, std::vector<obs::SpanId> parents,
+                        int pivot, bool uncoded) {
   if (!span_sink_) return;
   obs::SpanEvent event;
   event.kind = kind;
@@ -111,6 +113,8 @@ void EmuNode::emit_span(obs::SpanEvent::Kind kind, double now,
   event.peer = peer;
   event.span = span;
   event.rank = rank;
+  event.pivot = pivot;
+  event.uncoded = uncoded;
   event.parents = std::move(parents);
   span_sink_(event);
 }
@@ -265,7 +269,7 @@ void EmuNode::send_ack(double now) {
 
 double EmuNode::effective_rate(double now) {
   if (runtime_.role() == protocols::NodeRuntime::Role::kSource) {
-    return rate_bytes_per_s_ * redundancy_boost_;
+    return rate_bytes_per_s_ * redundancy_boost_ * config_.source_redundancy;
   }
   double rate = rate_bytes_per_s_;
   if (rate_from_price_ && config_.price_stale_s > 0.0) {
@@ -305,8 +309,15 @@ void EmuNode::pace(double now) {
     // Steady-state transmit: the frame's packet vectors and the serialize
     // buffer are node members, so emitting a packet allocates nothing once
     // their capacity is warm.
-    runtime_.next_packet_into(rng_, &tx_frame_.packet);
-    tx_frame_.type = wire::FrameType::kCodedData;
+    runtime_.next_packet_into(rng_, &tx_frame_.packet, &tx_structure_);
+    // Structured packets (systematic originals, banded windows) ride the
+    // compact frame, whose coefficient header is an index or a window slice
+    // instead of n dense bytes; dense packets keep the pre-family frame and
+    // its exact bytes.  The token bucket is charged the frame's actual air
+    // size, so the compressed header converts directly into send budget.
+    tx_frame_.type = tx_structure_.dense() ? wire::FrameType::kCodedData
+                                           : wire::FrameType::kCodedDataCompact;
+    tx_frame_.structure = tx_structure_;
     tx_frame_.session_id = tx_frame_.packet.session_id;
     // Every coded-data frame gets a span id on the wire (stamped whether or
     // not anything listens, so traced and untraced runs exchange
@@ -321,7 +332,10 @@ void EmuNode::pace(double now) {
               basis_spans_);
     broadcast(tx_frame_);
     emit_span(obs::SpanEvent::Kind::kTransmit, now, gen, span, -1, 0);
-    tokens_ -= packet_air_bytes_;
+    tokens_ -= tx_structure_.dense()
+                   ? packet_air_bytes_
+                   : static_cast<double>(coding::compact_wire_size(
+                         tx_structure_, config_.coding.block_bytes));
     ++stats_.data_packets_sent;
   }
 }
@@ -372,6 +386,7 @@ void EmuNode::on_frame(double now, int from,
   resync_wait_s_ = config_.resync_silence_s;
   switch (frame.type) {
     case wire::FrameType::kCodedData:
+    case wire::FrameType::kCodedDataCompact:
       break;  // unreachable: data frames took the view fast path above
     case wire::FrameType::kGenerationAck:
       handle_ack(now, frame.ack);
@@ -410,7 +425,7 @@ void EmuNode::handle_data(double now, int from,
         if (runtime_.flush_to(gen)) basis_spans_.clear();
       }
       if (gen == runtime_.generation_id()) {
-        const auto outcome = runtime_.receive(packet);
+        const auto outcome = runtime_.receive(packet, frame.structure);
         emit_span(obs::SpanEvent::Kind::kReceive, now, gen, span, from,
                   runtime_.rank());
         if (outcome.innovative) {
@@ -429,14 +444,14 @@ void EmuNode::handle_data(double now, int from,
         source_moved_on_ = true;
       }
       if (gen != runtime_.generation_id()) break;  // stale (already decoded)
-      const auto outcome = runtime_.receive(packet);
+      const auto outcome = runtime_.receive(packet, frame.structure);
       emit_span(obs::SpanEvent::Kind::kReceive, now, gen, span, from,
                 runtime_.rank());
       if (outcome.innovative) {
         ++stats_.innovative_received;
         if (span.valid()) basis_spans_.push_back(span);
         emit_span(obs::SpanEvent::Kind::kInnovate, now, gen, span, from,
-                  runtime_.rank());
+                  runtime_.rank(), {}, outcome.pivot, outcome.uncoded);
       }
       if (!outcome.generation_complete) break;
       // Decode finished: verify the plaintext against the source's

@@ -43,6 +43,7 @@
 #include <functional>
 #include <vector>
 
+#include "codes/code_spec.h"
 #include "common/rng.h"
 #include "emu/transport.h"
 #include "obs/span.h"
@@ -55,6 +56,15 @@ namespace omnc::emu {
 
 struct EmuNodeConfig {
   coding::CodingParams coding;
+  /// Code family every node in the session runs (DESIGN.md §15).  The dense
+  /// default reproduces the pre-family emulation byte-for-byte; systematic
+  /// and banded emissions ride kCodedDataCompact frames whose smaller air
+  /// size is charged against the same token bucket.
+  codes::CodeSpec code;
+  /// Extra source send budget as a rate multiplier (>= 1): the finite-length
+  /// auto-tuner raises this with the loss rate so short generations still
+  /// decode without waiting out a stall boost.
+  double source_redundancy = 1.0;
   std::uint32_t session_id = 1;
   std::uint64_t data_seed = 1;  // shared: destination re-derives source data
   std::uint64_t rng_seed = 1;   // coding-coefficient RNG (forked per node)
@@ -197,7 +207,8 @@ class EmuNode {
   void broadcast(const wire::Frame& frame);
   void emit_span(obs::SpanEvent::Kind kind, double now,
                  std::uint32_t generation, obs::SpanId span, int peer,
-                 std::size_t rank, std::vector<obs::SpanId> parents = {});
+                 std::size_t rank, std::vector<obs::SpanId> parents = {},
+                 int pivot = -1, bool uncoded = false);
   void send_ack(double now);
   void flood_prices(double now);
   double effective_rate(double now);
@@ -283,6 +294,7 @@ class EmuNode {
   // packet and the serialization buffer keep their capacity across sends,
   // and the destination recovers each generation into the same buffer.
   wire::Frame tx_frame_;
+  coding::CodedStructure tx_structure_;
   std::vector<std::uint8_t> tx_bytes_;
   std::vector<std::uint8_t> recover_buf_;
 

@@ -1275,9 +1275,25 @@ void region_axpy_scatter(std::uint8_t* const* dsts, const std::uint8_t* coeffs,
   region_axpy_scatter_backend(active_backend(), dsts, coeffs, count, src, n);
 }
 
+namespace {
+// Thread-local so the emulation's per-node threads never contend; the code
+// family tests drive a single-threaded decoder and read their own counters.
+thread_local KernelStats g_kernel_stats;
+
+inline void count_mul(std::uint64_t calls, std::uint64_t bytes) {
+  g_kernel_stats.mul_calls += calls;
+  g_kernel_stats.mul_bytes += bytes;
+}
+}  // namespace
+
+KernelStats kernel_stats() { return g_kernel_stats; }
+
+void reset_kernel_stats() { g_kernel_stats = KernelStats{}; }
+
 void region_mul_backend(Backend backend, std::uint8_t* dst,
                         const std::uint8_t* src, std::uint8_t c,
                         std::size_t n) {
+  count_mul(1, n);
   switch (backend) {
     case Backend::kScalarTable:
       scalar_mul(dst, src, c, n);
@@ -1313,6 +1329,7 @@ void region_mul_backend(Backend backend, std::uint8_t* dst,
 void region_axpy_backend(Backend backend, std::uint8_t* dst,
                          const std::uint8_t* src, std::uint8_t c,
                          std::size_t n) {
+  count_mul(1, n);
   switch (backend) {
     case Backend::kScalarTable:
       scalar_axpy(dst, src, c, n);
@@ -1349,6 +1366,7 @@ void region_axpy2_backend(Backend backend, std::uint8_t* dst,
                           const std::uint8_t* src0, std::uint8_t c0,
                           const std::uint8_t* src1, std::uint8_t c1,
                           std::size_t n) {
+  count_mul(1, 2 * n);
   switch (backend) {
     case Backend::kScalarTable:
       scalar_axpy2(dst, src0, c0, src1, c1, n);
@@ -1387,6 +1405,7 @@ void region_axpy4_backend(Backend backend, std::uint8_t* dst,
                           const std::uint8_t* src2, std::uint8_t c2,
                           const std::uint8_t* src3, std::uint8_t c3,
                           std::size_t n) {
+  count_mul(1, 4 * n);
   switch (backend) {
     case Backend::kScalarTable:
       scalar_axpy4(dst, src0, c0, src1, c1, src2, c2, src3, c3, n);
@@ -1423,19 +1442,25 @@ void region_axpy_scatter_backend(Backend backend, std::uint8_t* const* dsts,
                                  const std::uint8_t* coeffs, std::size_t count,
                                  const std::uint8_t* src, std::size_t n) {
   switch (backend) {
+    // The fused scatter paths count here; the default path delegates to
+    // region_axpy_backend per destination and is counted there.
 #ifdef OMNC_X86
     case Backend::kSsse3:
+      count_mul(1, count * n);
       ssse3_axpy_scatter(dsts, coeffs, count, src, n);
       return;
     case Backend::kAvx2:
+      count_mul(1, count * n);
       avx2_axpy_scatter(dsts, coeffs, count, src, n);
       return;
     case Backend::kGfni:
+      count_mul(1, count * n);
       gfni_axpy_scatter(dsts, coeffs, count, src, n);
       return;
 #endif
 #ifdef OMNC_NEON
     case Backend::kNeon:
+      count_mul(1, count * n);
       neon_axpy_scatter(dsts, coeffs, count, src, n);
       return;
 #endif

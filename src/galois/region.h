@@ -60,6 +60,23 @@ Backend active_backend();
 
 const char* backend_name(Backend backend);
 
+/// Thread-local accounting of GF *multiply* kernel work (region_mul and the
+/// axpy family; region_xor is multiply-free and deliberately not counted).
+/// Every dispatch funnels through the region_*_backend functions, so the
+/// counters see all multiply traffic regardless of backend or fusing.  Used
+/// by the code-family tests to prove structural claims — e.g. that a
+/// systematic decode of a lossless generation performs zero multiplies.
+struct KernelStats {
+  std::uint64_t mul_calls = 0;  // multiply-kernel invocations
+  std::uint64_t mul_bytes = 0;  // source bytes folded through multiplies
+};
+
+/// Snapshot of this thread's counters since the last reset.
+KernelStats kernel_stats();
+
+/// Zeroes this thread's counters.
+void reset_kernel_stats();
+
 /// dst[i] ^= src[i]
 void region_xor(std::uint8_t* dst, const std::uint8_t* src, std::size_t n);
 

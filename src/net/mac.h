@@ -28,6 +28,7 @@
 #include <memory>
 #include <vector>
 
+#include "coding/coded_packet.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "net/topology.h"
@@ -42,6 +43,12 @@ struct Frame {
   NodeId to = kBroadcast;  // kBroadcast or a unicast target
   bool reliable = false;   // MAC-layer ARQ (unicast only)
   std::shared_ptr<const std::vector<std::uint8_t>> bytes;
+  /// Coded-data frames: the packet's coefficient-structure side channel
+  /// (DESIGN.md §15).  The sim's in-memory bytes stay the dense wire form —
+  /// slots are fixed-size, so compression buys nothing here — but the
+  /// structure rides along so receiving decoders keep their systematic /
+  /// banded fast paths.  Dense for control frames and pre-family callers.
+  coding::CodedStructure structure;
 };
 
 /// Gilbert-Elliott two-state link fading.  The paper's PHY is driven by

@@ -68,6 +68,12 @@ struct SpanEvent {
   SpanId span;             // the packet the event is about
   std::size_t rank = 0;    // kReceive/kInnovate: receiver rank after absorb;
                            // kDecode: basis size
+  /// kInnovate at a destination: pivot column the packet landed on (-1 when
+  /// unknown — relays and pre-family traces don't report one).
+  int pivot = -1;
+  /// kInnovate: the packet took the systematic zero-work fast path (an
+  /// uncoded original landing on a free pivot; DESIGN.md §15).
+  bool uncoded = false;
   std::vector<SpanId> parents;  // kEnqueue (recoded input basis) and kDecode
 
   bool operator==(const SpanEvent&) const = default;

@@ -228,6 +228,10 @@ int TraceRecorder::begin_run(
   append_int(line, "sessions", static_cast<long long>(graphs.size()));
   line += ',';
   append_int(line, "shared_q", context.shared_queue ? 1 : 0);
+  if (!context.code_family.empty()) {
+    line += ',';
+    append_string(line, "code_family", context.code_family);
+  }
   line += '}';
   std::fputs(line.c_str(), file_);
   std::fputc('\n', file_);
@@ -348,6 +352,14 @@ void TraceRecorder::record_span(int run, const SpanEvent& event) {
   if (event.rank != 0) {
     line += ',';
     append_int(line, "rk", static_cast<long long>(event.rank));
+  }
+  if (event.pivot != -1) {
+    line += ',';
+    append_int(line, "pv", event.pivot);
+  }
+  if (event.uncoded) {
+    line += ',';
+    append_int(line, "uc", 1);
   }
   if (!event.parents.empty()) {
     line += ",\"par\":[";

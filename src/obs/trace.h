@@ -49,6 +49,10 @@ struct RunContext {
   /// Multi-unicast: mean_queue of every recorded result is the channel-wide
   /// shared average, not the per-session one assemble() computes.
   bool shared_queue = false;
+  /// Code-family selector the run's sessions used ("dense", "systematic",
+  /// "banded:W"; DESIGN.md §15).  Empty means dense and is omitted from the
+  /// run_begin record, so pre-family traces stay byte-identical.
+  std::string code_family;
 };
 
 class TraceRecorder {

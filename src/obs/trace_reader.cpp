@@ -377,6 +377,7 @@ bool read_trace(const std::string& path, Trace* out, std::string* error) {
       run.context.cbr_bytes_per_s = record.num("cbr");
       run.context.sim_seconds = record.num("sim_seconds");
       run.context.shared_queue = record.integer("shared_q") != 0;
+      run.context.code_family = record.text("code_family");
       run.graphs.resize(static_cast<std::size_t>(record.integer("sessions")));
     } else if (type == "graph") {
       RecordedRun& run = run_of(static_cast<int>(record.integer("r")));
@@ -437,6 +438,8 @@ bool read_trace(const std::string& path, Trace* out, std::string* error) {
       event.span.origin = static_cast<std::uint16_t>(record.integer("o", 0));
       event.span.seq = static_cast<std::uint32_t>(record.integer("q", 0));
       event.rank = static_cast<std::size_t>(record.integer("rk", 0));
+      event.pivot = static_cast<int>(record.integer("pv", -1));
+      event.uncoded = record.integer("uc", 0) != 0;
       if (const Json* par = record.find("par"); par != nullptr) {
         for (const Json& p : par->items) {
           if (p.items.size() != 2) {

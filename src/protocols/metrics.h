@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "codes/code_spec.h"
 #include "coding/generation.h"
 #include "net/mac.h"
 
@@ -11,6 +12,9 @@ namespace omnc::protocols {
 
 struct ProtocolConfig {
   coding::CodingParams coding;   // generation geometry (paper: 40 x 1 KB)
+  /// Code family every session's nodes run (DESIGN.md §15); the dense
+  /// default reproduces the pre-family engine byte-for-byte.
+  codes::CodeSpec code;
   net::MacConfig mac;            // channel capacity, slot size, queue bound
   /// Application offered load; the paper uses UDP CBR at half the channel
   /// capacity.

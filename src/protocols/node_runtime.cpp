@@ -5,39 +5,44 @@
 namespace omnc::protocols {
 
 NodeRuntime::NodeRuntime(Role role, const coding::CodingParams& params,
-                         std::uint32_t session_id, std::uint64_t data_seed)
+                         std::uint32_t session_id, std::uint64_t data_seed,
+                         const codes::CodeSpec& spec)
     : role_(role),
       params_(params),
       session_id_(session_id),
-      data_seed_(data_seed) {
+      data_seed_(data_seed),
+      spec_(spec.clamped_for(params)) {
   switch (role_) {
     case Role::kSource:
       break;
     case Role::kRelay:
-      recoder_ = std::make_unique<coding::Recoder>(params_, session_id_,
-                                                   /*generation_id=*/0);
+      recoder_ = std::make_unique<codes::FamilyRecoder>(
+          params_, session_id_, /*generation_id=*/0, spec_);
       break;
     case Role::kDestination:
-      decoder_ = std::make_unique<coding::ProgressiveDecoder>(
-          params_, /*generation_id=*/0);
+      decoder_ = std::make_unique<codes::FamilyDecoder>(
+          params_, /*generation_id=*/0, spec_);
       break;
   }
 }
 
 NodeRuntime NodeRuntime::source(const coding::CodingParams& params,
                                 std::uint32_t session_id,
-                                std::uint64_t data_seed) {
-  return NodeRuntime(Role::kSource, params, session_id, data_seed);
+                                std::uint64_t data_seed,
+                                const codes::CodeSpec& spec) {
+  return NodeRuntime(Role::kSource, params, session_id, data_seed, spec);
 }
 
 NodeRuntime NodeRuntime::relay(const coding::CodingParams& params,
-                               std::uint32_t session_id) {
-  return NodeRuntime(Role::kRelay, params, session_id, /*data_seed=*/0);
+                               std::uint32_t session_id,
+                               const codes::CodeSpec& spec) {
+  return NodeRuntime(Role::kRelay, params, session_id, /*data_seed=*/0, spec);
 }
 
-NodeRuntime NodeRuntime::destination(const coding::CodingParams& params) {
+NodeRuntime NodeRuntime::destination(const coding::CodingParams& params,
+                                     const codes::CodeSpec& spec) {
   return NodeRuntime(Role::kDestination, params, /*session_id=*/0,
-                     /*data_seed=*/0);
+                     /*data_seed=*/0, spec);
 }
 
 std::uint32_t NodeRuntime::generation_id() const {
@@ -65,43 +70,55 @@ bool NodeRuntime::can_send(std::uint32_t live_generation) const {
   return false;  // unreachable
 }
 
-coding::CodedPacket NodeRuntime::next_packet(Rng& rng) const {
-  if (role_ == Role::kSource) {
-    OMNC_ASSERT(encoder_.has_value());
-    return encoder_->next_packet(rng);
-  }
-  OMNC_ASSERT(role_ == Role::kRelay);
-  return recoder_->recode(rng);
+coding::CodedPacket NodeRuntime::next_packet(
+    Rng& rng, coding::CodedStructure* structure) {
+  coding::CodedPacket out;
+  next_packet_into(rng, &out, structure);
+  return out;
 }
 
-void NodeRuntime::next_packet_into(Rng& rng, coding::CodedPacket* out) const {
+void NodeRuntime::next_packet_into(Rng& rng, coding::CodedPacket* out,
+                                   coding::CodedStructure* structure) {
+  coding::CodedStructure local;
+  coding::CodedStructure* sink = structure ? structure : &local;
   if (role_ == Role::kSource) {
     OMNC_ASSERT(encoder_.has_value());
-    encoder_->next_packet_into(rng, out);
+    encoder_->next_packet_into(rng, out, sink);
     return;
   }
   OMNC_ASSERT(role_ == Role::kRelay);
-  recoder_->recode_into(rng, out);
+  recoder_->recode_into(rng, out, sink);
 }
 
 NodeRuntime::ReceiveOutcome NodeRuntime::receive(
     const coding::CodedPacket& packet) {
-  return receive(packet.as_view());
+  return receive(packet.as_view(), coding::CodedStructure::make_dense());
 }
 
 NodeRuntime::ReceiveOutcome NodeRuntime::receive(
     const coding::CodedPacketView& view) {
+  return receive(view, coding::CodedStructure::make_dense());
+}
+
+NodeRuntime::ReceiveOutcome NodeRuntime::receive(
+    const coding::CodedPacketView& view,
+    const coding::CodedStructure& structure) {
   ReceiveOutcome outcome;
   switch (role_) {
     case Role::kSource:
       break;  // the source ignores data packets
     case Role::kRelay:
-      outcome.innovative = recoder_->offer(view);
+      outcome.innovative = recoder_->offer(view, structure);
       break;
-    case Role::kDestination:
-      outcome.innovative = decoder_->offer(view);
+    case Role::kDestination: {
+      const codes::FamilyDecoder::OfferResult result =
+          decoder_->offer(view, structure);
+      outcome.innovative = result.innovative;
+      outcome.pivot = result.pivot;
+      outcome.uncoded = result.uncoded;
       outcome.generation_complete = decoder_->complete();
       break;
+    }
   }
   return outcome;
 }
@@ -119,7 +136,7 @@ bool NodeRuntime::maybe_start_generation(double now, double cbr_bytes_per_s,
   if (bytes_arrived + 1e-9 < needed) return false;
   source_generation_.emplace(
       coding::Generation::synthetic(current_generation_, params_, data_seed_));
-  encoder_.emplace(*source_generation_, session_id_);
+  encoder_.emplace(*source_generation_, session_id_, spec_);
   generation_active_ = true;
   generation_start_time_ = now;
   return true;
@@ -176,6 +193,10 @@ std::size_t NodeRuntime::rank() const {
       return decoder_->rank();
   }
   return 0;  // unreachable
+}
+
+const codes::StructuredDecoder::Stats* NodeRuntime::structured_stats() const {
+  return role_ == Role::kDestination ? decoder_->structured_stats() : nullptr;
 }
 
 }  // namespace omnc::protocols

@@ -2,11 +2,20 @@
 //
 // A NodeRuntime owns everything one node keeps for one session, keyed by its
 // role in the session DAG:
-//   * source      — the CBR-gated current generation, its random linear
-//                   encoder, and the generation lifecycle counters;
+//   * source      — the CBR-gated current generation, its family-
+//                   parameterized encoder, and the generation lifecycle
+//                   counters;
 //   * relay       — the innovation-filtered recode buffer (Sec. 4, "Packet
 //                   and Queue Management") plus generation-expiry flushing;
-//   * destination — the progressive Gauss–Jordan decoder.
+//   * destination — the family-parameterized decoder (progressive
+//                   Gauss–Jordan for dense, the structured CBD-style decoder
+//                   for systematic/banded — DESIGN.md §15).
+//
+// The code family is a construction-time CodeSpec; the default dense spec
+// reproduces the pre-family pipeline byte-for-byte and draw-for-draw.  Every
+// emitted packet carries a CodedStructure side channel describing its
+// coefficient structure, which the wire layer compresses and receive() feeds
+// back into the decoder's structural fast paths.
 //
 // The SessionEngine composes one NodeRuntime per (session, node) pair; in
 // the multi-unicast scenario a physical node therefore carries several
@@ -19,10 +28,10 @@
 #include <span>
 #include <vector>
 
-#include "coding/decoder.h"
-#include "coding/encoder.h"
+#include "codes/code_spec.h"
+#include "codes/family_runtime.h"
+#include "coding/coded_packet.h"
 #include "coding/generation.h"
-#include "coding/recoder.h"
 #include "common/rng.h"
 
 namespace omnc::protocols {
@@ -32,12 +41,16 @@ class NodeRuntime {
   enum class Role : std::uint8_t { kSource, kRelay, kDestination };
 
   static NodeRuntime source(const coding::CodingParams& params,
-                            std::uint32_t session_id, std::uint64_t data_seed);
+                            std::uint32_t session_id, std::uint64_t data_seed,
+                            const codes::CodeSpec& spec = {});
   static NodeRuntime relay(const coding::CodingParams& params,
-                           std::uint32_t session_id);
-  static NodeRuntime destination(const coding::CodingParams& params);
+                           std::uint32_t session_id,
+                           const codes::CodeSpec& spec = {});
+  static NodeRuntime destination(const coding::CodingParams& params,
+                                 const codes::CodeSpec& spec = {});
 
   Role role() const { return role_; }
+  const codes::CodeSpec& code_spec() const { return spec_; }
 
   /// The generation this node currently works on: the id the source is
   /// emitting, the relay is buffering, or the destination is decoding.
@@ -48,28 +61,39 @@ class NodeRuntime {
   /// older generation must stay silent.
   bool can_send(std::uint32_t live_generation) const;
 
-  /// Emits one coded packet: a fresh random combination from the source
-  /// encoder or the relay's recode basis.  Requires can_send().
-  coding::CodedPacket next_packet(Rng& rng) const;
+  /// Emits one coded packet from the source encoder or the relay's recode
+  /// basis.  Requires can_send().  `structure` (optional) receives the
+  /// packet's coefficient structure for wire compression; dense-spec
+  /// emissions are byte- and draw-identical to the pre-family pipeline.
+  coding::CodedPacket next_packet(Rng& rng,
+                                  coding::CodedStructure* structure = nullptr);
 
   /// Allocation-free variant: fills `out` reusing its vectors' capacity.
   /// Identical output bytes (and rng draw sequence) to next_packet().
-  void next_packet_into(Rng& rng, coding::CodedPacket* out) const;
+  void next_packet_into(Rng& rng, coding::CodedPacket* out,
+                        coding::CodedStructure* structure = nullptr);
 
   struct ReceiveOutcome {
     bool innovative = false;
     /// Destination only: the decoder just reached full rank.
     bool generation_complete = false;
+    /// Destination only: pivot column the packet claimed, -1 if rejected.
+    int pivot = -1;
+    /// Destination only: landed via the systematic zero-work fast path.
+    bool uncoded = false;
   };
 
   /// Absorbs a packet of this node's current generation (relay or
-  /// destination).
+  /// destination).  The overloads without a structure treat the packet as
+  /// dense.
   ReceiveOutcome receive(const coding::CodedPacket& packet);
-
-  /// Zero-copy variant: the view's spans are read in place and copied (once)
-  /// into the coding arenas only if the packet is innovative.  The view only
-  /// needs to stay valid for the duration of the call.
   ReceiveOutcome receive(const coding::CodedPacketView& view);
+
+  /// Zero-copy family-aware variant: the view's coefficient span holds the
+  /// structure's explicit bytes (all n for dense, the window for banded,
+  /// empty for an uncoded original), exactly as DataFrameView::parse yields.
+  ReceiveOutcome receive(const coding::CodedPacketView& view,
+                         const coding::CodedStructure& structure);
 
   // --- source lifecycle --------------------------------------------------
 
@@ -109,26 +133,32 @@ class NodeRuntime {
 
   std::size_t rank() const;
 
+  /// Destination only: structured-decoder statistics (nullptr under the
+  /// dense spec).
+  const codes::StructuredDecoder::Stats* structured_stats() const;
+
  private:
   NodeRuntime(Role role, const coding::CodingParams& params,
-              std::uint32_t session_id, std::uint64_t data_seed);
+              std::uint32_t session_id, std::uint64_t data_seed,
+              const codes::CodeSpec& spec);
 
   Role role_;
   coding::CodingParams params_;
   std::uint32_t session_id_ = 0;
   std::uint64_t data_seed_ = 0;
+  codes::CodeSpec spec_;  // clamped to params_
 
   // Source state.
   std::optional<coding::Generation> source_generation_;
-  std::optional<coding::SourceEncoder> encoder_;
+  std::optional<codes::FamilyEncoder> encoder_;
   std::uint32_t current_generation_ = 0;
   bool generation_active_ = false;
   double generation_start_time_ = 0.0;
   int generations_completed_ = 0;
 
   // Relay / destination state.
-  std::unique_ptr<coding::Recoder> recoder_;
-  std::unique_ptr<coding::ProgressiveDecoder> decoder_;
+  std::unique_ptr<codes::FamilyRecoder> recoder_;
+  std::unique_ptr<codes::FamilyDecoder> decoder_;
 };
 
 }  // namespace omnc::protocols

@@ -118,13 +118,14 @@ SessionEngine::SessionEngine(const net::Topology& topology,
       if (local == graph.source) {
         session.runtimes.push_back(NodeRuntime::source(
             config_.protocol.coding, static_cast<std::uint32_t>(s),
-            spec.data_seed));
+            spec.data_seed, config_.protocol.code));
       } else if (local == graph.destination) {
-        session.runtimes.push_back(
-            NodeRuntime::destination(config_.protocol.coding));
+        session.runtimes.push_back(NodeRuntime::destination(
+            config_.protocol.coding, config_.protocol.code));
       } else {
         session.runtimes.push_back(NodeRuntime::relay(
-            config_.protocol.coding, static_cast<std::uint32_t>(s)));
+            config_.protocol.coding, static_cast<std::uint32_t>(s),
+            config_.protocol.code));
       }
     }
     const std::size_t v = static_cast<std::size_t>(graph.size());
@@ -219,8 +220,8 @@ void SessionEngine::on_slot(sim::Time now) {
       const int wanted = state.policy->packets_to_enqueue(local, slot_seconds);
       if (wanted <= 0) continue;
       for (int k = 0; k < wanted; ++k) {
-        coding::CodedPacket packet = node.next_packet(rng_);
         net::Frame frame;
+        coding::CodedPacket packet = node.next_packet(rng_, &frame.structure);
         frame.from = graph.node_id(local);
         frame.to = net::kBroadcast;
         frame.bytes = std::make_shared<const std::vector<std::uint8_t>>(
@@ -287,7 +288,24 @@ void SessionEngine::on_receive_frame(net::NodeId rx, const net::Frame& frame) {
   const bool ok = coding::CodedPacket::parse(*frame.bytes, &packet);
   OMNC_ASSERT_MSG(ok, "malformed frame on the air");
 
-  const NodeRuntime::ReceiveOutcome outcome = node.receive(packet);
+  // The sim's bytes are always the dense wire form, but the frame's
+  // structure side channel keeps the structured decoders' fast paths alive;
+  // the view is re-sliced to the structure's explicit coefficient bytes.
+  coding::CodedPacketView view = packet.as_view();
+  switch (frame.structure.kind) {
+    case coding::CodedStructure::Kind::kDense:
+      break;
+    case coding::CodedStructure::Kind::kUncoded:
+      view.coefficients = {};
+      break;
+    case coding::CodedStructure::Kind::kWindow:
+      view.coefficients =
+          view.coefficients.subspan(frame.structure.offset,
+                                    frame.structure.width);
+      break;
+  }
+  const NodeRuntime::ReceiveOutcome outcome =
+      node.receive(view, frame.structure);
   int edge = -1;
   if (outcome.innovative) {
     const std::size_t v = static_cast<std::size_t>(graph.size());

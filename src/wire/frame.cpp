@@ -56,7 +56,7 @@ double get_double(const std::uint8_t* p) {
 
 bool valid_type(std::uint8_t raw) {
   return raw >= static_cast<std::uint8_t>(FrameType::kCodedData) &&
-         raw <= static_cast<std::uint8_t>(FrameType::kResyncInfo);
+         raw <= static_cast<std::uint8_t>(FrameType::kCodedDataCompact);
 }
 
 /// Appends just the body of `frame` (everything after the header) to `out`,
@@ -71,6 +71,12 @@ void append_body(const Frame& frame, std::vector<std::uint8_t>& out) {
       put_u16(out, pkt.block_bytes);
       out.insert(out.end(), pkt.coefficients.begin(), pkt.coefficients.end());
       out.insert(out.end(), pkt.payload.begin(), pkt.payload.end());
+      break;
+    }
+    case FrameType::kCodedDataCompact: {
+      const bool ok =
+          coding::serialize_compact(frame.packet, frame.structure, out);
+      OMNC_ASSERT_MSG(ok, "compact frame with a dense/inconsistent structure");
       break;
     }
     case FrameType::kGenerationAck:
@@ -118,6 +124,9 @@ std::size_t body_size(const Frame& frame) {
   switch (frame.type) {
     case FrameType::kCodedData:
       return frame.packet.wire_size();
+    case FrameType::kCodedDataCompact:
+      return coding::compact_wire_size(frame.structure,
+                                       frame.packet.block_bytes);
     case FrameType::kGenerationAck:
       return GenerationAck::kBytes;
     case FrameType::kProbeBeacon:
@@ -146,6 +155,24 @@ bool parse_body(FrameType type, std::uint32_t session_id,
       // The embedded packet header repeats the session id; a frame whose
       // two copies disagree was corrupted or forged.
       return out->packet.session_id == session_id;
+    }
+    case FrameType::kCodedDataCompact: {
+      coding::CodedPacketView view;
+      if (!coding::parse_compact(body, &view, &out->structure)) return false;
+      if (view.session_id != session_id) return false;
+      // The owning frame always exposes dense coefficients; the kept
+      // structure says which of them serialize() re-emits, so the round
+      // trip reproduces the compact bytes exactly.
+      out->packet.session_id = view.session_id;
+      out->packet.generation_id = view.generation_id;
+      out->packet.generation_blocks = view.generation_blocks;
+      out->packet.block_bytes = view.block_bytes;
+      out->packet.coefficients.assign(view.generation_blocks, 0);
+      coding::expand_coefficients(out->structure, view.coefficients,
+                                  view.generation_blocks,
+                                  out->packet.coefficients.data());
+      out->packet.payload.assign(view.payload.begin(), view.payload.end());
+      return true;
     }
     case FrameType::kGenerationAck:
       if (body.size() != GenerationAck::kBytes) return false;
@@ -309,14 +336,25 @@ bool DataFrameView::parse(std::span<const std::uint8_t> bytes,
                           DataFrameView* out) {
   Header header;
   if (!parse_header(bytes, &header)) return false;
-  if (header.type != FrameType::kCodedData) return false;
+  if (header.type != FrameType::kCodedData &&
+      header.type != FrameType::kCodedDataCompact) {
+    return false;
+  }
   if (header.checksum != fnv1a(header.checksummed)) return false;
   DataFrameView view;
   view.session_id = header.session_id;
   view.trace_origin = header.trace_origin;
   view.trace_seq = header.trace_seq;
-  if (!coding::CodedPacketView::parse(header.payload, &view.packet)) {
-    return false;
+  if (header.type == FrameType::kCodedData) {
+    if (!coding::CodedPacketView::parse(header.payload, &view.packet)) {
+      return false;
+    }
+    view.structure = coding::CodedStructure::make_dense();
+  } else {
+    if (!coding::parse_compact(header.payload, &view.packet,
+                               &view.structure)) {
+      return false;
+    }
   }
   // The embedded packet header repeats the session id; a frame whose two
   // copies disagree was corrupted or forged (same check as Frame::parse).
@@ -330,6 +368,17 @@ Frame make_coded_data(coding::CodedPacket packet) {
   frame.type = FrameType::kCodedData;
   frame.session_id = packet.session_id;
   frame.packet = std::move(packet);
+  return frame;
+}
+
+Frame make_coded_data_compact(coding::CodedPacket packet,
+                              const coding::CodedStructure& structure) {
+  OMNC_ASSERT(!structure.dense());
+  Frame frame;
+  frame.type = FrameType::kCodedDataCompact;
+  frame.session_id = packet.session_id;
+  frame.packet = std::move(packet);
+  frame.structure = structure;
   return frame;
 }
 
@@ -408,8 +457,12 @@ bool peek_trace(std::span<const std::uint8_t> bytes, std::uint16_t* origin,
 bool peek_generation(std::span<const std::uint8_t> bytes, std::uint32_t* out) {
   Header header;
   if (!parse_header(bytes, &header)) return false;
-  if (header.type != FrameType::kCodedData) return false;
-  // CodedPacket wire header: session id (u32) then generation id (u32).
+  if (header.type != FrameType::kCodedData &&
+      header.type != FrameType::kCodedDataCompact) {
+    return false;
+  }
+  // Both data bodies open with the CodedPacket wire header: session id
+  // (u32) then generation id (u32).
   if (header.payload.size() < 8) return false;
   *out = get_u32(header.payload.data() + 4);
   return true;

@@ -73,6 +73,13 @@ enum class FrameType : std::uint8_t {
   kPriceUpdate = 5,    // payload: PriceUpdate
   kResyncRequest = 6,  // payload: ResyncRequest
   kResyncInfo = 7,     // payload: ResyncInfo
+  // Structured coded data with a compressed coefficient vector: the
+  // CodedPacket header, a CodedStructure tag (uncoded block index or band
+  // offset/width + the window's coefficients), and the payload — the dense
+  // n-byte coefficient vector is implied, not carried.  Emitted by the
+  // systematic/banded code families (DESIGN.md §15); dense packets keep
+  // kCodedData, whose bytes are unchanged.
+  kCodedDataCompact = 8,
 };
 
 /// FNV-1a 32-bit over a byte range (the header checksum).
@@ -180,7 +187,12 @@ struct Frame {
   std::uint16_t trace_origin = 0;
   std::uint32_t trace_seq = 0;
 
-  coding::CodedPacket packet;  // kCodedData
+  coding::CodedPacket packet;  // kCodedData / kCodedDataCompact (dense form)
+  /// kCodedDataCompact: how `packet` compresses on the wire.  The in-memory
+  /// packet always carries dense coefficients (parse expands them); the
+  /// structure says which bytes serialize() re-emits, so a round trip is
+  /// byte-identical.  Stays kDense for kCodedData frames.
+  coding::CodedStructure structure;
   GenerationAck ack;           // kGenerationAck
   ProbeBeacon beacon;          // kProbeBeacon
   ProbeReport report;          // kProbeReport
@@ -219,6 +231,10 @@ struct DataFrameView {
   std::uint16_t trace_origin = 0;
   std::uint32_t trace_seq = 0;
   coding::CodedPacketView packet;
+  /// kCodedDataCompact frames parse with their structure and a coefficient
+  /// span holding only the explicit window bytes (empty for an uncoded
+  /// original); kCodedData frames yield kDense and the full n-byte span.
+  coding::CodedStructure structure;
 
   static bool parse(std::span<const std::uint8_t> bytes, DataFrameView* out);
 };
@@ -227,6 +243,10 @@ struct DataFrameView {
 
 /// Wraps a coded packet; the frame's session id is the packet's.
 Frame make_coded_data(coding::CodedPacket packet);
+/// Wraps a structured coded packet as a compact frame.  `packet` carries
+/// dense coefficients; `structure` must be non-dense and consistent with it.
+Frame make_coded_data_compact(coding::CodedPacket packet,
+                              const coding::CodedStructure& structure);
 Frame make_ack(std::uint32_t session_id, const GenerationAck& ack);
 Frame make_beacon(std::uint32_t session_id, const ProbeBeacon& beacon);
 Frame make_report(std::uint32_t session_id, const ProbeReport& report);
@@ -245,9 +265,10 @@ bool peek_session(std::span<const std::uint8_t> bytes, std::uint32_t* out);
 bool peek_trace(std::span<const std::uint8_t> bytes, std::uint16_t* origin,
                 std::uint32_t* seq);
 
-/// Reads the generation id of a kCodedData frame without a full parse (the
-/// CodedPacket header embeds it right after the session id).  False for
-/// non-data frames or a payload too short to carry a packet header.
+/// Reads the generation id of a kCodedData / kCodedDataCompact frame without
+/// a full parse (both body layouts open with the CodedPacket header, which
+/// embeds it right after the session id).  False for non-data frames or a
+/// payload too short to carry a packet header.
 bool peek_generation(std::span<const std::uint8_t> bytes, std::uint32_t* out);
 
 }  // namespace omnc::wire

@@ -7,6 +7,13 @@
 // SessionResult field byte-for-byte: the refactor moved code, not behavior.
 // EXPECT_EQ on doubles is deliberate; any drift in RNG consumption order,
 // metric summation order, or event sequencing fails loudly here.
+//
+// Re-captured once when the coefficient draw count became a pinned invariant
+// (DESIGN.md §15): the recoder used to re-draw an all-zero multiplier set
+// (probability 256^-rank, i.e. 1/256 at rank 1), so long runs consumed a
+// different number of RNG bytes than the fixed engine.  The pins below are
+// from the pinned-draw engine; the dense code family must keep reproducing
+// them byte-for-byte.
 #include <gtest/gtest.h>
 
 #include <cstdio>
@@ -81,7 +88,7 @@ TEST(SessionRegression, OmncMatchesPreRefactorEngine) {
   expect_pinned(result, protocol.edge_innovative_deliveries(),
                 Pin{281, 2403.7618927090502, 2526.8628226247683,
                     3.6995006067395515, 1.0, 1.0, 16586, 14668, 0,
-                    {2037, 1730, 1125, 1131}});
+                    {2036, 1730, 1126, 1130}});
   EXPECT_TRUE(result.rc_converged);
 }
 
@@ -110,7 +117,7 @@ TEST(SessionRegression, OmncWithTracingAttachedMatchesTheSamePins) {
     expect_pinned(result, protocol.edge_innovative_deliveries(),
                   Pin{281, 2403.7618927090502, 2526.8628226247683,
                       3.6995006067395515, 1.0, 1.0, 16586, 14668, 0,
-                      {2037, 1730, 1125, 1131}});
+                      {2036, 1730, 1126, 1130}});
   }
   std::remove(path.c_str());
 }
@@ -121,9 +128,9 @@ TEST(SessionRegression, MoreMatchesPreRefactorEngine) {
   MoreProtocol protocol(topo, graph, pin_config(42), MoreConfig{});
   const SessionResult result = protocol.run();
   expect_pinned(result, protocol.edge_innovative_deliveries(),
-                Pin{447, 3816.5468075800859, 3982.7605504722169,
-                    0.71681601792214045, 1.0, 1.0, 15157, 16154, 0,
-                    {3564, 3372, 1192, 2385}});
+                Pin{445, 3803.4664229411424, 3961.7647510912284,
+                    0.71513581629794631, 1.0, 1.0, 15089, 16122, 0,
+                    {3555, 3367, 1192, 2374}});
 }
 
 TEST(SessionRegression, OldMoreMatchesPreRefactorEngine) {
@@ -132,10 +139,10 @@ TEST(SessionRegression, OldMoreMatchesPreRefactorEngine) {
   OldMoreProtocol protocol(topo, graph, pin_config(42), OldMoreConfig{});
   const SessionResult result = protocol.run();
   expect_pinned(result, protocol.edge_innovative_deliveries(),
-                Pin{389, 3322.9640863682839, 3429.6190558918943,
-                    1.5091360963315086, 0.66666666666666663, 0.5, 14147,
-                    15807, 0,
-                    {3115, 3078, 3115, 0}});
+                Pin{389, 3322.7312501206247, 3428.2898406575428,
+                    1.5104312517501581, 0.66666666666666663, 0.5, 14147,
+                    15783, 0,
+                    {3115, 3082, 3115, 0}});
 }
 
 TEST(SessionRegression, MoreWithFadingAndStaleFlushMatches) {
@@ -149,9 +156,9 @@ TEST(SessionRegression, MoreWithFadingAndStaleFlushMatches) {
   MoreProtocol protocol(topo, graph, config, MoreConfig{});
   const SessionResult result = protocol.run();
   expect_pinned(result, protocol.edge_innovative_deliveries(),
-                Pin{461, 3942.9848190615912, 4335.4600305428585,
-                    0.74876318491551974, 1.0, 1.0, 15155, 15588, 0,
-                    {3597, 2951, 1510, 2184}});
+                Pin{464, 3965.0276179016255, 4360.3167827162251,
+                    0.75172687389152903, 1.0, 1.0, 15198, 15575, 0,
+                    {3599, 3045, 1422, 2291}});
 }
 
 }  // namespace

@@ -1,0 +1,80 @@
+// Finite-length generation tuner (codes/tuner.h): the exact full-rank and
+// loss-convolution model, its monotonicity, and the efficiency-maximizing
+// sweep that feeds omnc_emu --auto-tune.
+#include "codes/tuner.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace omnc::codes {
+namespace {
+
+TEST(Tuner, FullRankProbMatchesClosedForm) {
+  // r == g: prod_{k=1}^{g} (1 - 256^-k).
+  for (const int g : {1, 2, 8, 40}) {
+    double expected = 1.0;
+    for (int k = 1; k <= g; ++k) expected *= 1.0 - std::pow(256.0, -k);
+    EXPECT_NEAR(dense_full_rank_prob(g, g), expected, 1e-12) << "g=" << g;
+  }
+  // One excess row multiplies every term's exponent by 256.
+  EXPECT_GT(dense_full_rank_prob(8, 9), dense_full_rank_prob(8, 8));
+  EXPECT_NEAR(dense_full_rank_prob(8, 16), 1.0, 1e-9);
+  // Fewer rows than dimensions can never be full rank.
+  EXPECT_EQ(dense_full_rank_prob(8, 7), 0.0);
+}
+
+TEST(Tuner, DecodeSuccessProbIsMonotone) {
+  // More packets help; more loss hurts; the lossless case reduces to the
+  // pure rank-deficiency model.
+  EXPECT_NEAR(decode_success_prob(16, 20, 0.0), dense_full_rank_prob(16, 20),
+              1e-12);
+  double last = 0.0;
+  for (int sent = 16; sent <= 40; ++sent) {
+    const double p = decode_success_prob(16, sent, 0.3);
+    EXPECT_GE(p, last);
+    last = p;
+  }
+  EXPECT_GT(decode_success_prob(16, 30, 0.1),
+            decode_success_prob(16, 30, 0.5));
+}
+
+TEST(Tuner, SweepMeetsTargetAndScalesRedundancyWithLoss) {
+  const double target = 0.99;
+  const TunerChoice clean = tune_generation(0.0, target, 8, 64, 1024);
+  const TunerChoice lossy = tune_generation(0.4, target, 8, 64, 1024);
+  for (const TunerChoice& choice : {clean, lossy}) {
+    EXPECT_GE(choice.success_prob, target);
+    EXPECT_GE(choice.generation_blocks, 8);
+    EXPECT_LE(choice.generation_blocks, 64);
+    // Candidates are powers of two.
+    EXPECT_EQ(choice.generation_blocks & (choice.generation_blocks - 1), 0);
+    EXPECT_GE(choice.send_count, choice.generation_blocks);
+    EXPECT_NEAR(choice.redundancy,
+                static_cast<double>(choice.send_count) /
+                    choice.generation_blocks,
+                1e-12);
+    EXPECT_GT(choice.efficiency, 0.0);
+    EXPECT_LE(choice.efficiency, 1.0);
+  }
+  // Lossless needs barely more than g packets; 40% loss needs ~1/(1-p) more.
+  EXPECT_LT(clean.redundancy, 1.2);
+  EXPECT_GT(lossy.redundancy, 1.5);
+  // The achieved send count is minimal: one fewer packet misses the target.
+  EXPECT_LT(decode_success_prob(lossy.generation_blocks, lossy.send_count - 1,
+                                0.4),
+            target);
+}
+
+TEST(Tuner, LargerBlocksFavorLargerGenerations) {
+  // With big payloads the per-packet coefficient overhead (g bytes) is
+  // negligible, so larger generations win on rank-deficiency amortization;
+  // with tiny payloads the g-byte header dominates and small g wins.
+  const TunerChoice big = tune_generation(0.2, 0.99, 8, 128, 4096);
+  const TunerChoice small = tune_generation(0.2, 0.99, 8, 128, 16);
+  EXPECT_GE(big.generation_blocks, small.generation_blocks);
+  EXPECT_GT(big.efficiency, small.efficiency);
+}
+
+}  // namespace
+}  // namespace omnc::codes

@@ -4,6 +4,8 @@
 // Usage: omnc_emu [--transport loopback|udp] [--topology diamond|chain]
 //                 [--hops N] [--link-p P] [--generations N] [--gen-blocks N]
 //                 [--block-bytes B] [--capacity C] [--cbr R] [--seed S]
+//                 [--code-family dense|systematic|banded[:W]] [--band-width W]
+//                 [--auto-tune] [--tune-target P]
 //                 [--clock real|warp|det] [--speedup X] [--time-scale X]
 //                 [--timeout S] [--virtual-timeout S] [--probe-window S]
 //                 [--oracle-rates] [--cross-check] [--tol-lo R] [--tol-hi R]
@@ -17,6 +19,16 @@
 //   --topology      diamond: the paper's Fig. 2 four-node relay diamond;
 //                   chain: a (--hops)-link line with --link-p   (diamond)
 //   --generations   generations the source must deliver              (8)
+//   --code-family   code family every node runs (DESIGN.md §15):
+//                   dense | systematic | banded[:W].  Defaults to the
+//                   OMNC_CODE_FAMILY environment variable, then dense;
+//                   non-dense emissions ride compact coefficient frames
+//   --band-width    banded window width override (0 = auto, n/4)
+//   --auto-tune     finite-length tuner: picks the generation size
+//                   (powers of two within [8, --gen-blocks]) and the source
+//                   redundancy from the session graph's mean link loss,
+//                   overriding --gen-blocks (codes/tuner.h)
+//   --tune-target   decode-probability target for --auto-tune       (0.99)
 //   --clock         how virtual time advances (DESIGN.md §12):
 //                   real: wall time x speedup; warp: as fast as the node
 //                   threads can step; det: single-threaded deterministic
@@ -63,6 +75,8 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "codes/code_spec.h"
+#include "codes/tuner.h"
 #include "common/options.h"
 #include "emu/emu_harness.h"
 #include "emu/fault_transport.h"
@@ -127,6 +141,23 @@ int main(int argc, char** argv) {
   config.node.cbr_bytes_per_s = options.get_double("cbr", 1e4);
   config.node.max_generations =
       static_cast<int>(options.get_int("generations", 8));
+  codes::CodeSpec code_spec = codes::CodeSpec::from_env();
+  const std::string family_arg = options.get("code-family", "");
+  if (!family_arg.empty() && !codes::CodeSpec::parse(family_arg, &code_spec)) {
+    std::fprintf(stderr,
+                 "unknown --code-family %s (dense|systematic|banded[:W])\n",
+                 family_arg.c_str());
+    return 2;
+  }
+  if (options.has("band-width")) {
+    if (code_spec.family != codes::CodeFamily::kBanded) {
+      std::fprintf(stderr, "--band-width requires --code-family banded\n");
+      return 2;
+    }
+    code_spec.band_width =
+        static_cast<std::uint16_t>(options.get_int("band-width", 0));
+  }
+  config.node.code = code_spec;
   config.node.probe_window_s = options.get_double("probe-window", 0.0);
   config.node.data_start_s = config.node.probe_window_s + 0.5;
   const std::string clock_name = options.get("clock", "real");
@@ -147,6 +178,30 @@ int main(int argc, char** argv) {
   if (graph.size() == 0) {
     std::fprintf(stderr, "topology is not connected\n");
     return 2;
+  }
+
+  // Finite-length auto-tune: the measured loss is the session graph's mean
+  // link loss (each forwarding hop faces one of these links), the tuner
+  // picks the most air-efficient generation size meeting the decode target
+  // and its send count becomes the source's redundancy multiplier.
+  const bool auto_tune = options.get_bool("auto-tune", false);
+  codes::TunerChoice tuned;
+  if (auto_tune) {
+    double loss_sum = 0.0;
+    for (const auto& edge : graph.edges) loss_sum += 1.0 - edge.p;
+    const double loss =
+        graph.edges.empty() ? 0.0 : loss_sum / static_cast<double>(graph.edges.size());
+    tuned = codes::tune_generation(
+        loss, options.get_double("tune-target", 0.99), 8,
+        config.node.coding.generation_blocks,
+        config.node.coding.block_bytes);
+    config.node.coding.generation_blocks =
+        static_cast<std::uint16_t>(tuned.generation_blocks);
+    config.node.source_redundancy = tuned.redundancy;
+    std::printf("# auto-tune: mean link loss %.3f -> g=%d, send %d "
+                "(redundancy %.2f, P[decode]=%.4f, efficiency %.3f)\n",
+                loss, tuned.generation_blocks, tuned.send_count,
+                tuned.redundancy, tuned.success_prob, tuned.efficiency);
   }
 
   // The same preparation OmncProtocol::prepare runs: distributed rate
@@ -208,17 +263,24 @@ int main(int argc, char** argv) {
   };
   TransportBundle bundle = make_transport();
 
+  // The code-family suffix appears only for non-dense runs, so every dense
+  // record key (and with it the pre-family baselines) stays byte-identical.
+  std::string family_suffix;
+  if (!code_spec.is_dense()) {
+    family_suffix = ";code_family=" + code_spec.selector();
+  }
+  if (auto_tune) family_suffix += ";auto_tune=1";
   char params[384];
   std::snprintf(params, sizeof(params),
                 "transport=%s;topology=%s;generations=%d;gen_blocks=%u;"
-                "block_bytes=%u;seed=%llu%s%s",
+                "block_bytes=%u;seed=%llu%s%s%s",
                 transport_name.c_str(), topology_name.c_str(),
                 config.node.max_generations,
                 config.node.coding.generation_blocks,
                 config.node.coding.block_bytes,
                 static_cast<unsigned long long>(seed),
                 fault_spec.empty() ? "" : ";fault_plan=",
-                fault_spec.c_str());
+                fault_spec.c_str(), family_suffix.c_str());
   bench::ObsSetup obs = bench::parse_obs(options, "omnc_emu", params, seed);
   bench::JsonWriter json(options);
 
@@ -259,6 +321,7 @@ int main(int argc, char** argv) {
     context.capacity_bytes_per_s = capacity;
     context.cbr_bytes_per_s = config.node.cbr_bytes_per_s;
     context.sim_seconds = config.wall_timeout_s * config.speedup;
+    if (!code_spec.is_dense()) context.code_family = code_spec.selector();
     run_id = obs.recorder->begin_run(context, {&graph});
     run_sink = std::make_unique<obs::RunSink>(obs.recorder.get(), run_id);
     // No end_run record on purpose: the emulation result is not a
@@ -284,6 +347,10 @@ int main(int argc, char** argv) {
               config.node.coding.block_bytes,
               vtime::clock_mode_name(config.clock_mode), config.speedup,
               static_cast<unsigned long long>(seed));
+  if (!code_spec.is_dense()) {
+    std::printf("# code family: %s\n",
+                code_spec.clamped_for(config.node.coding).selector().c_str());
+  }
   if (bundle.fault != nullptr) {
     std::printf("# fault plan: %s\n",
                 bundle.fault->plan().describe().c_str());
@@ -393,6 +460,14 @@ int main(int argc, char** argv) {
               static_cast<double>(result.transport.copies_dropped));
   json.record("omnc_emu", params, "parse_errors",
               static_cast<double>(result.parse_errors));
+  if (auto_tune) {
+    json.record("omnc_emu", params, "tuned_gen_blocks",
+                static_cast<double>(tuned.generation_blocks));
+    json.record("omnc_emu", params, "tuned_send_count",
+                static_cast<double>(tuned.send_count));
+    json.record("omnc_emu", params, "tuned_redundancy", tuned.redundancy);
+    json.record("omnc_emu", params, "tuned_success_prob", tuned.success_prob);
+  }
   if (want_health) {
     // Histogram-derived metrics are deterministic under --clock det (bucket
     // floors, exact counts), so bench_compare can gate them like any other.

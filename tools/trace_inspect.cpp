@@ -28,6 +28,9 @@
 //                   walk back to source roots (exit 1 when it does not)
 //   --histograms    latency histograms recorded in the trace (hop delay,
 //                   decode latency, stall wait): count/mean/percentiles
+//   --codes         per-run code-family summary from span records:
+//                   innovative / non-innovative receive counts, mean pivot
+//                   column, and the systematic fast-path hit ratio
 //   --diff B.jsonl  cross-run regression triage: compare this trace's
 //                   histograms and event counts against trace B
 //   --run N         restrict the report to one run id
@@ -405,6 +408,57 @@ int print_timeline(const obs::Trace& trace, const Options& options) {
   return status;
 }
 
+void print_codes(const obs::Trace& trace, const Options& options) {
+  // Per-run code-family summary from the span stream: how many receives were
+  // innovative, where the innovative packets landed (mean pivot column), and
+  // how often the systematic zero-work fast path fired.  Pre-family traces
+  // (no code_family in run_begin, no pv/uc on spans) report as dense with
+  // unknown pivots.
+  using Kind = obs::SpanEvent::Kind;
+  bool printed = false;
+  TextTable table({"run", "family", "innovative", "non-innov", "mean pivot",
+                   "uncoded hits", "systematic ratio"});
+  for (const auto& run : trace.runs) {
+    if (!run_selected(options, run)) continue;
+    std::size_t receives = 0;
+    std::size_t innovative = 0;
+    std::size_t uncoded = 0;
+    std::size_t pivots = 0;
+    double pivot_sum = 0.0;
+    for (const auto& event : run.spans) {
+      if (event.kind == Kind::kReceive) ++receives;
+      if (event.kind != Kind::kInnovate) continue;
+      ++innovative;
+      if (event.uncoded) ++uncoded;
+      if (event.pivot >= 0) {
+        ++pivots;
+        pivot_sum += static_cast<double>(event.pivot);
+      }
+    }
+    if (receives == 0 && innovative == 0) continue;
+    printed = true;
+    const std::string family = run.context.code_family.empty()
+                                   ? "dense"
+                                   : run.context.code_family;
+    table.add_row(
+        {std::to_string(run.id), family, std::to_string(innovative),
+         std::to_string(receives - innovative),
+         pivots > 0
+             ? TextTable::fmt(pivot_sum / static_cast<double>(pivots), 2)
+             : "-",
+         std::to_string(uncoded),
+         innovative > 0 ? TextTable::fmt(static_cast<double>(uncoded) /
+                                             static_cast<double>(innovative),
+                                         3)
+                        : "-"});
+  }
+  if (printed) {
+    std::printf("%s\n", table.render().c_str());
+  } else {
+    std::printf("no span records in trace (schema < 2 or tracing off)\n");
+  }
+}
+
 void print_histograms(const obs::Trace& trace, const Options& options) {
   bool printed = false;
   TextTable table({"run", "name", "count", "mean", "p50", "p90", "p99",
@@ -559,7 +613,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "usage: trace_inspect <trace.jsonl> [--summary] "
                          "[--queues] [--edges] [--latency] [--convergence] "
                          "[--probes] [--transport] [--faults] [--registry] "
-                         "[--timeline G|all] [--histograms] [--diff B.jsonl] "
+                         "[--timeline G|all] [--histograms] [--codes] "
+                         "[--diff B.jsonl] "
                          "[--verify] [--check-json PATH] [--run N]\n");
     return 2;
   }
@@ -580,7 +635,8 @@ int main(int argc, char** argv) {
       options.get_bool("faults", false) ||
       options.get_bool("registry", false) || options.get_bool("verify", false) ||
       options.has("timeline") || options.get_bool("histograms", false) ||
-      options.has("diff") || options.has("check-json");
+      options.get_bool("codes", false) || options.has("diff") ||
+      options.has("check-json");
 
   if (!any_section || options.get_bool("summary", false)) {
     print_summary(trace, options);
@@ -593,6 +649,7 @@ int main(int argc, char** argv) {
   if (options.get_bool("transport", false)) print_transport(trace, options);
   if (options.get_bool("faults", false)) print_faults(trace, options);
   if (options.get_bool("registry", false)) print_registry(trace);
+  if (options.get_bool("codes", false)) print_codes(trace, options);
   if (options.get_bool("histograms", false)) print_histograms(trace, options);
 
   int status = 0;
