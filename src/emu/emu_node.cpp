@@ -123,6 +123,15 @@ void EmuNode::step(double now) {
   transport_.poll(local_, [&](int from, std::span<const std::uint8_t> bytes) {
     on_frame(now, from, bytes);
   });
+  step_local(now);
+}
+
+void EmuNode::deliver(double now, int from,
+                      std::span<const std::uint8_t> bytes) {
+  on_frame(now, from, bytes);
+}
+
+void EmuNode::step_local(double now) {
   if (config_.probe_window_s > 0.0) run_probe(now);
   switch (runtime_.role()) {
     case protocols::NodeRuntime::Role::kSource:

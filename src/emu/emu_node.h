@@ -161,6 +161,18 @@ class EmuNode {
   /// called from a single thread with non-decreasing `now`.
   void step(double now);
 
+  /// Hands the node one received frame directly, bypassing its own transport
+  /// poll.  The session mux drains a *shared* socket once per node and
+  /// demultiplexes frames to the per-session runtimes itself, so mux-managed
+  /// nodes receive through deliver() and advance through step_local() —
+  /// together those equal step() exactly.  Same threading contract as
+  /// step(): one thread per node, non-decreasing `now`.
+  void deliver(double now, int from, std::span<const std::uint8_t> bytes);
+
+  /// The timer/pacing half of step(): control-plane timers, recovery, and
+  /// data pacing — everything except the transport poll.
+  void step_local(double now);
+
   /// Generations the source has retired; readable from any thread while the
   /// node is running (the harness's stop condition).
   int completed_generations() const {

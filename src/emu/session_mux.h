@@ -1,0 +1,161 @@
+// Session-multiplexed emulation runtime: many concurrent unicast sessions
+// over ONE shared transport (DESIGN.md §16).
+//
+// EmuHarness runs a single session with the transport polled from one
+// thread per node.  The paper's setting — and the ROADMAP's "millions of
+// users" item — is many unicasts sharing the same lossy substrate, which is
+// also the prerequisite for inter-session coding (reverse carpooling,
+// COPE-style XOR).  SessionMux owns one EmuNode per (session, node) and
+// demultiplexes every received frame by the wire-header session id, so S
+// sessions cost N sockets (one per *physical node*), not S x N.
+//
+// Sharding model — the socket is the serialization domain.  The Transport
+// contract says send(i)/poll(i) run only on node i's thread; with sessions
+// sharing node i's socket, every runtime collocated at node i must live on
+// the same thread.  So the mux shards by physical node, not by session: K
+// worker threads each own a slice of node indices, and per tick a worker
+// drains each owned node's socket once (recvmmsg-batched on UDP), routes
+// each frame to the right session's runtime at that node, then steps every
+// session's runtime there.  Thread count is K, independent of S — replacing
+// thread-per-session (S x N threads) scaling.  Workers ask the transport
+// for a TransportReadiness set (epoll on UDP) so idle sockets cost nothing.
+//
+// Demux hygiene: a frame reaches a session's runtime only after
+// (a) peek_session succeeds (malformed/truncated headers are unroutable —
+// they cannot be charged to any session's parse-error count), and (b) for
+// data frames, the embedded coded-packet session id agrees with the header
+// (a disagreement is corruption or forgery and must not leak across
+// sessions).  Rejections are counted per reason in MuxRunResult.
+//
+// Determinism: under ClockMode::kDeterministic the mux runs single-threaded
+// round-robin (node-major, then session order), making the whole run — all
+// S per-session traces — a pure function of the seeds.  With sessions = 1
+// the schedule is exactly EmuHarness's, byte for byte.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "emu/emu_harness.h"
+#include "emu/emu_node.h"
+#include "emu/transport.h"
+#include "obs/span.h"
+#include "protocols/metrics_bus.h"
+#include "routing/node_selection.h"
+#include "time/clock.h"
+
+namespace omnc::emu {
+
+struct MuxConfig {
+  /// Per-node template plus clock/timeout/tick settings.  Session s
+  /// (0-based) derives its identity from the template:
+  ///   session_id = emu.node.session_id + s
+  ///   data_seed  = emu.node.data_seed + s
+  ///   rng_seed   = emu.node.rng_seed + s
+  /// so session 0 reproduces the template exactly and every session is an
+  /// independent seed-deterministic unicast.
+  EmuConfig emu;
+
+  /// Concurrent unicast sessions over the shared transport.
+  int sessions = 1;
+
+  /// Worker threads under kReal/kWarp; each owns the node indices congruent
+  /// to its shard id.  0 picks min(nodes, hardware threads).  Ignored under
+  /// kDeterministic (single-threaded by definition).  Clamped to [1, nodes].
+  int shards = 0;
+};
+
+struct MuxRunResult {
+  bool completed = false;  // every session retired max_generations
+  bool data_ok = false;    // every session's decoded data checked out
+  /// One EmuRunResult per session, index = session ordinal.  The shared
+  /// channel cannot be split per session, so each entry's `transport` is
+  /// zero — read the aggregate below.
+  std::vector<EmuRunResult> sessions;
+  double virtual_elapsed = 0.0;
+  TransportStats transport;
+  // Demux rejections, counted before any runtime is involved (a rejected
+  // frame is attributed to *no* session).
+  std::size_t demux_unroutable = 0;        // header peek failed
+  std::size_t demux_session_mismatch = 0;  // embedded id != header id
+  std::size_t demux_unknown_session = 0;   // no runtime for that session id
+};
+
+class SessionMux {
+ public:
+  /// `transport.nodes()` must equal `graph.size()`; every session runs the
+  /// same session graph (same source/destination/forwarder set).
+  SessionMux(const routing::SessionGraph& graph, Transport& transport,
+             const MuxConfig& config);
+
+  /// Installs one transmit rate per local node, identically in every
+  /// session (oracle mode; the emulated channel is not capacity-coupled
+  /// across sessions — see DESIGN.md §16).
+  void install_rates(const std::vector<double>& rates_bytes_per_s);
+
+  /// Hands the rate-control outcome to every session's source for in-band
+  /// price flooding (distributed mode).
+  void install_price_table(std::vector<double> rates_bytes_per_s,
+                           std::vector<double> lambda,
+                           std::vector<double> beta, int iterations);
+
+  /// Observes protocol + transport events across all sessions; per-session
+  /// events carry their session id, transport-level events (send/deliver)
+  /// carry session 0 because a byte count alone names no session.  The mux
+  /// serializes calls; the sink itself need not be thread-safe.
+  void set_metric_sink(std::function<void(const protocols::MetricEvent&)> sink);
+
+  /// Observes packet-lifecycle spans across all sessions (each event
+  /// carries its session id).  Serialized like the metric sink.
+  void set_span_sink(std::function<void(const obs::SpanEvent&)> sink);
+
+  /// Blocks until every session finishes or the horizon expires.
+  MuxRunResult run();
+
+  /// The wire session id session ordinal `session` runs under.
+  std::uint32_t session_id_of(int session) const;
+
+  EmuNode& node(int session, int local);
+
+  /// Demux verdict for one received buffer, exposed for tests (fuzzable
+  /// without sockets).  kDeliver fills `session` with the header session id;
+  /// the caller still maps it to a runtime (or counts unknown-session).
+  enum class DemuxDecision { kDeliver, kUnroutable, kSessionMismatch };
+  static DemuxDecision classify(std::span<const std::uint8_t> bytes,
+                                std::uint32_t* session);
+
+ private:
+  class MuxTap;
+
+  /// Routes one received frame on node `node` to the owning session's
+  /// runtime; called from the worker thread that owns the node.
+  void dispatch(double now, int node, int from,
+                std::span<const std::uint8_t> bytes);
+  /// Drains node `node`'s transport queue, then advances every session's
+  /// runtime at that node — the mux analogue of EmuNode::step.
+  void drain_and_step(double now, int node, bool drain);
+  bool all_completed() const;
+  bool run_threaded(vtime::Clock& clock, double tick, double horizon,
+                    int shards);
+  bool run_deterministic(vtime::DeterministicClock& clock, double tick,
+                         double horizon);
+  EmuRunResult session_result(int session, double virtual_elapsed) const;
+
+  const routing::SessionGraph& graph_;
+  Transport& transport_;
+  MuxConfig config_;
+  /// nodes_[session][local].
+  std::vector<std::vector<std::unique_ptr<EmuNode>>> nodes_;
+  std::unordered_map<std::uint32_t, int> session_index_;  // wire id -> ordinal
+  std::function<void(const protocols::MetricEvent&)> sink_;
+  std::function<void(const obs::SpanEvent&)> span_sink_;
+
+  std::atomic<std::size_t> demux_unroutable_{0};
+  std::atomic<std::size_t> demux_session_mismatch_{0};
+  std::atomic<std::size_t> demux_unknown_session_{0};
+};
+
+}  // namespace omnc::emu

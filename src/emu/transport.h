@@ -17,7 +17,9 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <span>
+#include <vector>
 
 #include "time/clock.h"
 
@@ -31,6 +33,7 @@ struct TransportStats {
   std::size_t copies_delivered = 0;  // per-receiver copies handed to poll()
   std::size_t datagrams_truncated = 0;  // UDP: frame larger than recv buffer
   std::size_t socket_errors = 0;        // UDP: unexpected recvfrom failures
+  std::size_t eintr_retries = 0;        // UDP: recv/send retried after EINTR
   std::size_t rcvbuf_effective_bytes = 0;  // UDP: granted SO_RCVBUF (min
                                            // across sockets); 0 elsewhere
 };
@@ -83,6 +86,24 @@ class TransportObserver {
   }
 };
 
+/// Non-blocking readiness set over a subset of a transport's nodes, created
+/// by Transport::make_readiness.  A sharded run loop (the session mux) owns
+/// one readiness object per worker thread and asks it each tick which of the
+/// shard's sockets have data pending, skipping the poll syscall on idle ones
+/// — with hundreds of nodes the per-tick cost becomes one epoll_wait instead
+/// of one recv per socket.  Purely an optimization: polling every node
+/// without a readiness object is always correct.
+class TransportReadiness {
+ public:
+  virtual ~TransportReadiness() = default;
+
+  /// Appends the watched node ids that currently have data pending to
+  /// `ready` (without clearing it) and returns true.  Returns false when
+  /// readiness could not be determined this round — the caller must then
+  /// poll every watched node.  Never blocks.
+  virtual bool poll_ready(std::vector<int>* ready) = 0;
+};
+
 class Transport {
  public:
   /// Receives one delivered frame; `from` is the sender's node index.
@@ -109,6 +130,17 @@ class Transport {
   /// every layer of a run agrees on "now".  Decorators forward to the
   /// transport they wrap.
   virtual void bind_clock(const vtime::Clock* clock) { clock_ = clock; }
+
+  /// Builds a readiness set watching `nodes` (each owned by the calling
+  /// shard), or nullptr when the transport has no cheap readiness signal —
+  /// the base implementation — in which case callers poll every node each
+  /// tick.  The returned object is only used from the creating thread and
+  /// must not outlive the transport.
+  virtual std::unique_ptr<TransportReadiness> make_readiness(
+      std::span<const int> nodes) {
+    (void)nodes;
+    return nullptr;
+  }
 
   /// `observer` must outlive the transport (or be reset to nullptr first).
   void set_observer(TransportObserver* observer) { observer_ = observer; }

@@ -117,6 +117,13 @@ void HealthMonitor::on_metric(const protocols::MetricEvent& event) {
       // kGenerationAck carries session time; progress tracking uses the
       // event's own clock consistently with the stall detector.
       last_progress_ = std::max(last_progress_, event.time);
+      if (event.session != 0) {
+        SessionHealth& session = sessions_[event.session];
+        ++session.acks;
+        session.last_ack_time = std::max(session.last_ack_time, event.time);
+        session.latency_sum += event.value;
+        session.latency_max = std::max(session.latency_max, event.value);
+      }
       break;
     default:
       break;
@@ -242,6 +249,23 @@ std::string HealthMonitor::to_json() const {
   append_counter(out, "stall_boosts", stall_boosts_);
   append_counter(out, "generations_completed", acks_);
   append_counter(out, "span_events", span_events_);
+  out += "},\"sessions\":{";
+  bool first_session = true;
+  for (const auto& [id, session] : sessions_) {
+    if (!first_session) out += ',';
+    first_session = false;
+    out += '"';
+    out += std::to_string(id);
+    out += "\":{\"acks\":\"";
+    out += std::to_string(session.acks);
+    out += "\",\"last_ack\":";
+    append_double(out, session.last_ack_time);
+    out += ",\"mean_latency\":";
+    append_double(out, session.mean_latency());
+    out += ",\"max_latency\":";
+    append_double(out, session.latency_max);
+    out += '}';
+  }
   out += "},\"histograms\":{\"hop_delay\":";
   out += hop_delay_.to_json();
   out += ",\"decode_latency\":";
@@ -278,7 +302,19 @@ std::string HealthMonitor::one_liner() const {
       now_, acks_, sends_, drops_, delivers_, parse_errors_, resyncs_,
       stall_boosts_, hop_delay_.quantile(50.0), decode_latency_.quantile(50.0),
       anomalies_.size());
-  return std::string(buf);
+  std::string line(buf);
+  if (sessions_.size() > 1) {
+    // Mux runs: how many sessions are reporting and how far the laggard is
+    // — the one number that says whether the fleet is advancing together.
+    std::uint64_t min_acks = UINT64_MAX;
+    for (const auto& [id, session] : sessions_) {
+      min_acks = std::min(min_acks, session.acks);
+    }
+    std::snprintf(buf, sizeof(buf), " sessions=%zu min_gens=%" PRIu64,
+                  sessions_.size(), min_acks);
+    line += buf;
+  }
+  return line;
 }
 
 bool HealthMonitor::write_json(const std::string& path) const {

@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -62,6 +63,21 @@ struct HealthAnomaly {
   std::string detail;
 };
 
+/// Per-session decode progress, aggregated from kGenerationAck events (the
+/// only metric family that both names a session and carries its decode
+/// latency).  Session-mux runs (DESIGN.md §16) interleave many sessions
+/// through one monitor; this keeps each one's trajectory separable.
+struct SessionHealth {
+  std::uint64_t acks = 0;        // generations this session completed
+  double last_ack_time = 0.0;    // session seconds of the newest ACK
+  double latency_sum = 0.0;      // decode latencies, for the mean
+  double latency_max = 0.0;
+
+  double mean_latency() const {
+    return acks > 0 ? latency_sum / static_cast<double>(acks) : 0.0;
+  }
+};
+
 class HealthMonitor {
  public:
   explicit HealthMonitor(HealthConfig config = {});
@@ -84,6 +100,13 @@ class HealthMonitor {
   const std::vector<SpanEvent>& flight_dump() const { return flight_dump_; }
   double now() const { return now_; }
   std::uint64_t generations_completed() const { return acks_; }
+  /// Per-session ACK progress, keyed by wire session id (ordered, so the
+  /// JSON document lists sessions deterministically).  Events with session
+  /// 0 — single-session captures predating session stamping — aggregate
+  /// into the monitor-wide counters only.
+  const std::map<std::uint32_t, SessionHealth>& sessions() const {
+    return sessions_;
+  }
 
   /// Complete health document (counters, histogram summaries, anomalies,
   /// flight dump) as one JSON object.
@@ -124,6 +147,9 @@ class HealthMonitor {
   Histogram hop_delay_;
   Histogram decode_latency_;
   Histogram stall_wait_;
+
+  // Per-session ACK progress (see sessions()).
+  std::map<std::uint32_t, SessionHealth> sessions_;
 
   // Per-hop delay: span key -> transmit time, FIFO-bounded (broadcast means
   // several receives may look up one transmit, so entries are not consumed).

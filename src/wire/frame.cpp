@@ -468,4 +468,18 @@ bool peek_generation(std::span<const std::uint8_t> bytes, std::uint32_t* out) {
   return true;
 }
 
+bool peek_data_session(std::span<const std::uint8_t> bytes,
+                       std::uint32_t* out) {
+  Header header;
+  if (!parse_header(bytes, &header)) return false;
+  if (header.type != FrameType::kCodedData &&
+      header.type != FrameType::kCodedDataCompact) {
+    return false;
+  }
+  // The CodedPacket wire header opens with its own session id (u32).
+  if (header.payload.size() < 8) return false;
+  *out = get_u32(header.payload.data());
+  return true;
+}
+
 }  // namespace omnc::wire

@@ -271,4 +271,14 @@ bool peek_trace(std::span<const std::uint8_t> bytes, std::uint16_t* origin,
 /// payload too short to carry a packet header.
 bool peek_generation(std::span<const std::uint8_t> bytes, std::uint32_t* out);
 
+/// Reads the *embedded* session id of a kCodedData / kCodedDataCompact frame
+/// — the CodedPacket's own copy at the start of the body, not the frame
+/// header's.  Demultiplexers cross-check the two before routing a frame to a
+/// session's runtime: a disagreement means corruption or forgery, and
+/// Frame::parse / DataFrameView::parse would reject the frame anyway, so it
+/// must never be attributed to either session.  False for non-data frames or
+/// a payload too short to carry a packet header.
+bool peek_data_session(std::span<const std::uint8_t> bytes,
+                       std::uint32_t* out);
+
 }  // namespace omnc::wire

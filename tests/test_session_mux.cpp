@@ -1,0 +1,320 @@
+// Session-mux runtime (DESIGN.md §16): S sessions over ONE shared transport
+// must (a) replay byte-identically under the deterministic clock, (b) leave
+// each session's trajectory untouched by its neighbours when the links are
+// lossless (exact equality against S independent single-session runs),
+// (c) collapse to exactly the EmuHarness schedule for sessions = 1, and
+// (d) reject malformed or cross-session frames at the demux boundary before
+// any runtime sees them.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "coding/coded_packet.h"
+#include "emu/emu_harness.h"
+#include "emu/loopback_transport.h"
+#include "emu/session_mux.h"
+#include "net/topology.h"
+#include "opt/rate_control.h"
+#include "opt/sunicast.h"
+#include "routing/node_selection.h"
+#include "wire/frame.h"
+
+namespace omnc::emu {
+namespace {
+
+constexpr double kCapacity = 2e4;
+
+net::Topology diamond(double p_scale = 1.0) {
+  std::vector<std::vector<double>> p(4, std::vector<double>(4, 0.0));
+  p[0][1] = p[1][0] = 0.8 * p_scale;
+  p[0][2] = p[2][0] = 0.6 * p_scale;
+  p[1][3] = p[3][1] = 0.7 * p_scale;
+  p[2][3] = p[3][2] = 0.9 * p_scale;
+  return net::Topology::from_link_matrix(p);
+}
+
+/// The Fig. 2 diamond with every link perfect: loss RNG never fires, so
+/// sessions sharing the channel cannot perturb each other's packet fates.
+net::Topology lossless_diamond() {
+  std::vector<std::vector<double>> p(4, std::vector<double>(4, 0.0));
+  p[0][1] = p[1][0] = 1.0;
+  p[0][2] = p[2][0] = 1.0;
+  p[1][3] = p[3][1] = 1.0;
+  p[2][3] = p[3][2] = 1.0;
+  return net::Topology::from_link_matrix(p);
+}
+
+EmuConfig det_config(int generations) {
+  EmuConfig config;
+  config.node.coding.generation_blocks = 8;
+  config.node.coding.block_bytes = 64;
+  config.node.cbr_bytes_per_s = 1e4;
+  config.node.max_generations = generations;
+  config.node.session_id = 1;
+  config.node.data_seed = 1;
+  config.node.rng_seed = 1;
+  config.clock_mode = vtime::ClockMode::kDeterministic;
+  config.speedup = 20.0;
+  config.virtual_timeout_s = 240.0;
+  return config;
+}
+
+std::vector<double> oracle_rates(const routing::SessionGraph& graph) {
+  opt::RateControlParams params;
+  params.capacity = kCapacity;
+  opt::DistributedRateControl control(graph, params);
+  std::vector<double> rates = control.run().b;
+  opt::rescale_to_feasible(graph, rates, kCapacity);
+  return rates;
+}
+
+std::unique_ptr<LoopbackTransport> make_loopback(
+    const net::Topology& topo, const routing::SessionGraph& graph,
+    std::uint64_t seed) {
+  LoopbackConfig loopback;
+  loopback.seed = seed;
+  loopback.max_inbox = 1 << 20;  // mux backlogs must not hit the inbox cap
+  return std::make_unique<LoopbackTransport>(
+      graph.size(), link_matrix_from_topology(topo, graph), loopback);
+}
+
+MuxRunResult run_mux(const net::Topology& topo,
+                     const routing::SessionGraph& graph, int sessions,
+                     vtime::ClockMode clock_mode) {
+  const std::unique_ptr<LoopbackTransport> transport =
+      make_loopback(topo, graph, 1);
+  MuxConfig config;
+  config.emu = det_config(3);
+  config.emu.clock_mode = clock_mode;
+  config.sessions = sessions;
+  SessionMux mux(graph, *transport, config);
+  mux.install_rates(oracle_rates(graph));
+  return mux.run();
+}
+
+void expect_session_equal(const EmuRunResult& a, const EmuRunResult& b,
+                          const char* label) {
+  EXPECT_EQ(a.completed, b.completed) << label;
+  EXPECT_EQ(a.data_ok, b.data_ok) << label;
+  EXPECT_EQ(a.generations_completed, b.generations_completed) << label;
+  EXPECT_EQ(a.goodput_bytes_per_s, b.goodput_bytes_per_s) << label;
+  EXPECT_EQ(a.last_ack_time, b.last_ack_time) << label;
+  EXPECT_EQ(a.mean_ack_latency, b.mean_ack_latency) << label;
+  EXPECT_EQ(a.ack_latencies, b.ack_latencies) << label;
+  EXPECT_EQ(a.data_packets_sent, b.data_packets_sent) << label;
+  EXPECT_EQ(a.parse_errors, b.parse_errors) << label;
+}
+
+TEST(SessionMux, DeterministicReplayIsByteIdenticalAcrossEightSessions) {
+  const net::Topology topo = diamond();
+  const routing::SessionGraph graph = routing::select_nodes(topo, 0, 3);
+  const MuxRunResult first =
+      run_mux(topo, graph, 8, vtime::ClockMode::kDeterministic);
+  const MuxRunResult second =
+      run_mux(topo, graph, 8, vtime::ClockMode::kDeterministic);
+
+  ASSERT_TRUE(first.completed);
+  ASSERT_TRUE(first.data_ok);
+  ASSERT_EQ(first.sessions.size(), 8u);
+  ASSERT_EQ(second.sessions.size(), 8u);
+  for (std::size_t s = 0; s < first.sessions.size(); ++s) {
+    expect_session_equal(first.sessions[s], second.sessions[s], "replay");
+  }
+  EXPECT_EQ(first.transport.frames_sent, second.transport.frames_sent);
+  EXPECT_EQ(first.transport.copies_delivered,
+            second.transport.copies_delivered);
+  EXPECT_EQ(first.transport.copies_dropped, second.transport.copies_dropped);
+  EXPECT_EQ(first.demux_unroutable, 0u);
+  EXPECT_EQ(first.demux_session_mismatch, 0u);
+  EXPECT_EQ(first.demux_unknown_session, 0u);
+}
+
+TEST(SessionMux, LosslessSessionsMatchIndependentSoloRunsExactly) {
+  // On perfect links the shared channel draws no loss RNG, so multiplexing
+  // eight sessions must not change any one of them: session s of the mux
+  // run equals a single-session EmuHarness run with session s's derived
+  // seeds, field for field.
+  const net::Topology topo = lossless_diamond();
+  const routing::SessionGraph graph = routing::select_nodes(topo, 0, 3);
+  const std::vector<double> rates = oracle_rates(graph);
+
+  const int sessions = 8;
+  const std::unique_ptr<LoopbackTransport> transport =
+      make_loopback(topo, graph, 1);
+  MuxConfig mux_config;
+  mux_config.emu = det_config(3);
+  mux_config.sessions = sessions;
+  SessionMux mux(graph, *transport, mux_config);
+  mux.install_rates(rates);
+  const MuxRunResult muxed = mux.run();
+  ASSERT_TRUE(muxed.completed);
+  ASSERT_TRUE(muxed.data_ok);
+  ASSERT_EQ(muxed.sessions.size(), static_cast<std::size_t>(sessions));
+
+  for (int s = 0; s < sessions; ++s) {
+    const std::unique_ptr<LoopbackTransport> solo_transport =
+        make_loopback(topo, graph, 1);
+    EmuConfig solo = det_config(3);
+    solo.node.session_id = 1 + static_cast<std::uint32_t>(s);
+    solo.node.data_seed = 1 + static_cast<std::uint64_t>(s);
+    solo.node.rng_seed = 1 + static_cast<std::uint64_t>(s);
+    EmuHarness harness(graph, *solo_transport, solo);
+    harness.install_rates(rates);
+    const EmuRunResult alone = harness.run();
+    expect_session_equal(muxed.sessions[static_cast<std::size_t>(s)], alone,
+                         "solo comparison");
+  }
+}
+
+TEST(SessionMux, SingleSessionCollapsesToEmuHarnessExactly) {
+  // sessions = 1 must be EmuHarness by another name: same deterministic
+  // schedule, same RNG draw order, same result — on *lossy* links too.
+  const net::Topology topo = diamond();
+  const routing::SessionGraph graph = routing::select_nodes(topo, 0, 3);
+  const std::vector<double> rates = oracle_rates(graph);
+
+  const std::unique_ptr<LoopbackTransport> mux_transport =
+      make_loopback(topo, graph, 1);
+  MuxConfig mux_config;
+  mux_config.emu = det_config(3);
+  mux_config.sessions = 1;
+  SessionMux mux(graph, *mux_transport, mux_config);
+  mux.install_rates(rates);
+  const MuxRunResult muxed = mux.run();
+  ASSERT_EQ(muxed.sessions.size(), 1u);
+
+  const std::unique_ptr<LoopbackTransport> harness_transport =
+      make_loopback(topo, graph, 1);
+  EmuHarness harness(graph, *harness_transport, det_config(3));
+  harness.install_rates(rates);
+  const EmuRunResult alone = harness.run();
+
+  expect_session_equal(muxed.sessions[0], alone, "harness equivalence");
+  EXPECT_EQ(muxed.transport.frames_sent, alone.transport.frames_sent);
+  EXPECT_EQ(muxed.transport.copies_delivered,
+            alone.transport.copies_delivered);
+  EXPECT_EQ(muxed.transport.copies_dropped, alone.transport.copies_dropped);
+}
+
+TEST(SessionMux, WarpSoakCompletesEverySession) {
+  // Threaded sharded loop under the warp clock: all sessions decode, data
+  // checks out, and nothing was rejected at the demux boundary.
+  const net::Topology topo = diamond();
+  const routing::SessionGraph graph = routing::select_nodes(topo, 0, 3);
+  const MuxRunResult result = run_mux(topo, graph, 12, vtime::ClockMode::kWarp);
+  EXPECT_TRUE(result.completed);
+  EXPECT_TRUE(result.data_ok);
+  ASSERT_EQ(result.sessions.size(), 12u);
+  for (const EmuRunResult& session : result.sessions) {
+    EXPECT_TRUE(session.completed);
+    EXPECT_TRUE(session.data_ok);
+    EXPECT_EQ(session.generations_completed, 3);
+    EXPECT_GT(session.goodput_bytes_per_s, 0.0);
+  }
+  EXPECT_EQ(result.demux_unroutable, 0u);
+  EXPECT_EQ(result.demux_session_mismatch, 0u);
+  EXPECT_EQ(result.demux_unknown_session, 0u);
+}
+
+coding::CodedPacket sample_packet(std::uint32_t session) {
+  coding::CodedPacket packet;
+  packet.session_id = session;
+  packet.generation_id = 3;
+  packet.generation_blocks = 4;
+  packet.block_bytes = 8;
+  packet.coefficients = {1, 2, 3, 4};
+  packet.payload = {10, 20, 30, 40, 50, 60, 70, 80};
+  return packet;
+}
+
+TEST(SessionMuxDemux, ClassifyAcceptsMatchingDataFrame) {
+  const std::vector<std::uint8_t> bytes =
+      wire::make_coded_data(sample_packet(7)).serialize();
+  std::uint32_t session = 0;
+  EXPECT_EQ(SessionMux::classify(bytes, &session),
+            SessionMux::DemuxDecision::kDeliver);
+  EXPECT_EQ(session, 7u);
+}
+
+TEST(SessionMuxDemux, ClassifyAcceptsControlFrames) {
+  const std::vector<std::uint8_t> bytes =
+      wire::make_ack(9, wire::GenerationAck{42, 3, 17}).serialize();
+  std::uint32_t session = 0;
+  EXPECT_EQ(SessionMux::classify(bytes, &session),
+            SessionMux::DemuxDecision::kDeliver);
+  EXPECT_EQ(session, 9u);
+}
+
+TEST(SessionMuxDemux, ClassifyRejectsEveryTruncation) {
+  const std::vector<std::uint8_t> bytes =
+      wire::make_coded_data(sample_packet(7)).serialize();
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    std::uint32_t session = 0;
+    EXPECT_EQ(SessionMux::classify({bytes.data(), len}, &session),
+              SessionMux::DemuxDecision::kUnroutable)
+        << "prefix length " << len;
+  }
+}
+
+TEST(SessionMuxDemux, ClassifyRejectsHeaderEmbeddedDisagreement) {
+  // A frame whose wire header says session 8 but whose embedded coded
+  // packet says 7 is corruption or forgery; routing it by either id would
+  // leak it across sessions.
+  wire::Frame frame = wire::make_coded_data(sample_packet(7));
+  frame.session_id = 8;
+  const std::vector<std::uint8_t> bytes = frame.serialize();
+  std::uint32_t session = 0;
+  EXPECT_EQ(SessionMux::classify(bytes, &session),
+            SessionMux::DemuxDecision::kSessionMismatch);
+}
+
+TEST(SessionMuxDemux, UnknownAndMismatchedFramesNeverReachARuntime) {
+  // Inject hostile frames straight onto the shared channel before the run:
+  // a well-formed data frame for a session the mux does not host, and a
+  // header/embedded disagreement.  Both must land in the demux counters
+  // while every real session still completes untouched.
+  const net::Topology topo = lossless_diamond();
+  const routing::SessionGraph graph = routing::select_nodes(topo, 0, 3);
+  const std::unique_ptr<LoopbackTransport> transport =
+      make_loopback(topo, graph, 1);
+  MuxConfig config;
+  config.emu = det_config(3);
+  config.sessions = 2;  // hosts wire sessions 1 and 2
+  SessionMux mux(graph, *transport, config);
+  mux.install_rates(oracle_rates(graph));
+
+  transport->send(0, wire::make_coded_data(sample_packet(99)).serialize());
+  wire::Frame forged = wire::make_coded_data(sample_packet(1));
+  forged.session_id = 2;  // header claims session 2, body says 1
+  transport->send(0, forged.serialize());
+
+  const MuxRunResult result = mux.run();
+  EXPECT_TRUE(result.completed);
+  EXPECT_TRUE(result.data_ok);
+  // Each hostile broadcast reaches every receiving node on perfect-ish
+  // links at least once; the exact copy count depends on link loss, so the
+  // counters are lower-bounded, not pinned.
+  EXPECT_GE(result.demux_unknown_session, 1u);
+  EXPECT_GE(result.demux_session_mismatch, 1u);
+  EXPECT_EQ(result.demux_unroutable, 0u);
+}
+
+TEST(SessionMux, SessionIdsAndSeedsAreDerivedFromTheTemplate) {
+  const net::Topology topo = diamond();
+  const routing::SessionGraph graph = routing::select_nodes(topo, 0, 3);
+  const std::unique_ptr<LoopbackTransport> transport =
+      make_loopback(topo, graph, 1);
+  MuxConfig config;
+  config.emu = det_config(1);
+  config.emu.node.session_id = 5;
+  config.sessions = 3;
+  SessionMux mux(graph, *transport, config);
+  EXPECT_EQ(mux.session_id_of(0), 5u);
+  EXPECT_EQ(mux.session_id_of(1), 6u);
+  EXPECT_EQ(mux.session_id_of(2), 7u);
+}
+
+}  // namespace
+}  // namespace omnc::emu

@@ -4,6 +4,7 @@
 // Usage: omnc_emu [--transport loopback|udp] [--topology diamond|chain]
 //                 [--hops N] [--link-p P] [--generations N] [--gen-blocks N]
 //                 [--block-bytes B] [--capacity C] [--cbr R] [--seed S]
+//                 [--sessions N] [--shards K]
 //                 [--code-family dense|systematic|banded[:W]] [--band-width W]
 //                 [--auto-tune] [--tune-target P]
 //                 [--clock real|warp|det] [--speedup X] [--time-scale X]
@@ -19,6 +20,15 @@
 //   --topology      diamond: the paper's Fig. 2 four-node relay diamond;
 //                   chain: a (--hops)-link line with --link-p   (diamond)
 //   --generations   generations the source must deliver              (8)
+//   --sessions      concurrent unicast sessions multiplexed over ONE
+//                   shared transport (SessionMux, DESIGN.md §16):
+//                   session s runs wire session id 1+s with seeds
+//                   --seed + s.  1 keeps the classic single-session
+//                   EmuHarness path, byte-identical to prior releases (1)
+//   --shards        worker threads for --sessions > 1 under real/warp
+//                   clocks; each owns the node indices congruent to its
+//                   shard id (the socket is the serialization domain).
+//                   0 = min(nodes, hardware threads)                  (0)
 //   --code-family   code family every node runs (DESIGN.md §15):
 //                   dense | systematic | banded[:W].  Defaults to the
 //                   OMNC_CODE_FAMILY environment variable, then dense;
@@ -81,6 +91,7 @@
 #include "emu/emu_harness.h"
 #include "emu/fault_transport.h"
 #include "emu/loopback_transport.h"
+#include "emu/session_mux.h"
 #include "emu/udp_transport.h"
 #include "net/topology.h"
 #include "obs/health.h"
@@ -171,6 +182,12 @@ int main(int argc, char** argv) {
   config.wall_timeout_s = options.get_double("timeout", 60.0);
   config.virtual_timeout_s = options.get_double("virtual-timeout", 0.0);
   const double capacity = options.get_double("capacity", 2e4);
+  const int sessions = static_cast<int>(options.get_int("sessions", 1));
+  const int shards = static_cast<int>(options.get_int("shards", 0));
+  if (sessions < 1) {
+    std::fprintf(stderr, "--sessions must be >= 1\n");
+    return 2;
+  }
 
   const net::Topology topo = make_topology(topology_name, hops, link_p);
   const net::NodeId destination = static_cast<net::NodeId>(topo.node_count() - 1);
@@ -270,26 +287,29 @@ int main(int argc, char** argv) {
     family_suffix = ";code_family=" + code_spec.selector();
   }
   if (auto_tune) family_suffix += ";auto_tune=1";
-  char params[384];
+  // Session-mux runs append their dimensions so mux records never collide
+  // with the single-session baselines (which stay byte-identical).  Shards
+  // only appear when pinned explicitly — the auto value depends on the
+  // host's core count and would make record keys machine-dependent.
+  std::string mux_suffix;
+  if (sessions > 1) {
+    mux_suffix = ";sessions=" + std::to_string(sessions);
+    if (shards > 0) mux_suffix += ";shards=" + std::to_string(shards);
+  }
+  char params[448];
   std::snprintf(params, sizeof(params),
                 "transport=%s;topology=%s;generations=%d;gen_blocks=%u;"
-                "block_bytes=%u;seed=%llu%s%s%s",
+                "block_bytes=%u;seed=%llu%s%s%s%s",
                 transport_name.c_str(), topology_name.c_str(),
                 config.node.max_generations,
                 config.node.coding.generation_blocks,
                 config.node.coding.block_bytes,
                 static_cast<unsigned long long>(seed),
                 fault_spec.empty() ? "" : ";fault_plan=",
-                fault_spec.c_str(), family_suffix.c_str());
+                fault_spec.c_str(), family_suffix.c_str(),
+                mux_suffix.c_str());
   bench::ObsSetup obs = bench::parse_obs(options, "omnc_emu", params, seed);
   bench::JsonWriter json(options);
-
-  emu::EmuHarness harness(graph, *bundle.transport, config);
-  if (options.get_bool("oracle-rates", false)) {
-    harness.install_rates(rates);
-  } else {
-    harness.install_price_table(rates, rc.lambda, rc.beta, rc.iterations);
-  }
 
   // The health plane rides the same serialized sinks as the recorder: the
   // monitor is fed whenever tracing (its histograms land in the trace at run
@@ -328,15 +348,304 @@ int main(int argc, char** argv) {
     // SessionResult the replay sinks could reconstruct, so the run stays a
     // pure event stream (trace_inspect --verify treats it as vacuous).
   }
+  const bool oracle_rates = options.get_bool("oracle-rates", false);
+  auto metric_sink = [&](const protocols::MetricEvent& event) {
+    if (run_sink != nullptr) run_sink->on_event(event);
+    if (want_health) health.on_metric(event);
+  };
+  auto span_sink = [&](const obs::SpanEvent& event) {
+    if (obs.recorder != nullptr) obs.recorder->record_span(run_id, event);
+    if (want_health) health.on_span(event);
+  };
+
+  // --sessions > 1 takes the session-mux runtime (DESIGN.md §16); the
+  // classic single-session EmuHarness path below is untouched so its
+  // records, traces, and exit behavior stay byte-identical.
+  if (sessions > 1) {
+    emu::MuxConfig mux_config;
+    mux_config.emu = config;
+    mux_config.sessions = sessions;
+    mux_config.shards = shards;
+    emu::SessionMux mux(graph, *bundle.transport, mux_config);
+    if (oracle_rates) {
+      mux.install_rates(rates);
+    } else {
+      mux.install_price_table(rates, rc.lambda, rc.beta, rc.iterations);
+    }
+    if (run_sink != nullptr || want_health) {
+      mux.set_metric_sink(metric_sink);
+      mux.set_span_sink(span_sink);
+    }
+
+    std::printf("# omnc_emu: %d sessions muxed over shared %s, %s, %d nodes, "
+                "%d generations each of %u x %u B, clock %s, seed %llu\n",
+                sessions, transport_name.c_str(), topology_name.c_str(),
+                graph.size(), config.node.max_generations,
+                config.node.coding.generation_blocks,
+                config.node.coding.block_bytes,
+                vtime::clock_mode_name(config.clock_mode),
+                static_cast<unsigned long long>(seed));
+    if (!code_spec.is_dense()) {
+      std::printf("# code family: %s\n",
+                  code_spec.clamped_for(config.node.coding).selector().c_str());
+    }
+    if (bundle.fault != nullptr) {
+      std::printf("# fault plan: %s\n",
+                  bundle.fault->plan().describe().c_str());
+    }
+    const emu::MuxRunResult result = mux.run();
+
+    int gens_total = 0;
+    int sessions_completed = 0;
+    double goodput_min = 0.0, goodput_max = 0.0, goodput_sum = 0.0;
+    double latency_sum = 0.0;
+    std::size_t parse_errors = 0;
+    for (std::size_t s = 0; s < result.sessions.size(); ++s) {
+      const emu::EmuRunResult& session = result.sessions[s];
+      gens_total += session.generations_completed;
+      if (session.completed) ++sessions_completed;
+      if (s == 0 || session.goodput_bytes_per_s < goodput_min) {
+        goodput_min = session.goodput_bytes_per_s;
+      }
+      if (s == 0 || session.goodput_bytes_per_s > goodput_max) {
+        goodput_max = session.goodput_bytes_per_s;
+      }
+      goodput_sum += session.goodput_bytes_per_s;
+      latency_sum += session.mean_ack_latency;
+      parse_errors += session.parse_errors;
+    }
+    const double count = static_cast<double>(result.sessions.size());
+    std::printf("completed: %s (%d/%d sessions)  decoded data: %s\n",
+                result.completed ? "yes" : "NO (timeout)", sessions_completed,
+                sessions, result.data_ok ? "ok" : "MISMATCH");
+    std::printf("generations: %d total  session goodput min/mean/max: "
+                "%.1f / %.1f / %.1f B/s  mean latency %.3f s\n",
+                gens_total, goodput_min, goodput_sum / count, goodput_max,
+                latency_sum / count);
+    // Per-session lines stay readable for sweeps; big soaks get the laggard.
+    if (sessions <= 16) {
+      for (std::size_t s = 0; s < result.sessions.size(); ++s) {
+        const emu::EmuRunResult& session = result.sessions[s];
+        std::printf("  session %u: %d gens, %.1f B/s, last ACK %.3f s, "
+                    "mean latency %.3f s%s%s\n",
+                    mux.session_id_of(static_cast<int>(s)),
+                    session.generations_completed,
+                    session.goodput_bytes_per_s, session.last_ack_time,
+                    session.mean_ack_latency,
+                    session.completed ? "" : " [INCOMPLETE]",
+                    session.data_ok ? "" : " [DATA MISMATCH]");
+      }
+    } else {
+      std::size_t worst = 0;
+      for (std::size_t s = 1; s < result.sessions.size(); ++s) {
+        if (result.sessions[s].goodput_bytes_per_s <
+            result.sessions[worst].goodput_bytes_per_s) {
+          worst = s;
+        }
+      }
+      const emu::EmuRunResult& session = result.sessions[worst];
+      std::printf("  slowest session %u: %d gens, %.1f B/s, last ACK %.3f s\n",
+                  mux.session_id_of(static_cast<int>(worst)),
+                  session.generations_completed, session.goodput_bytes_per_s,
+                  session.last_ack_time);
+    }
+    std::printf("transport: %zu broadcasts (%zu bytes), %zu delivered, "
+                "%zu dropped, %zu parse errors, %zu EINTR retries\n",
+                result.transport.frames_sent, result.transport.bytes_sent,
+                result.transport.copies_delivered,
+                result.transport.copies_dropped, parse_errors,
+                result.transport.eintr_retries);
+    if (result.demux_unroutable + result.demux_session_mismatch +
+            result.demux_unknown_session >
+        0) {
+      std::printf("demux rejections: %zu unroutable, %zu session mismatch, "
+                  "%zu unknown session\n",
+                  result.demux_unroutable, result.demux_session_mismatch,
+                  result.demux_unknown_session);
+    }
+    if (bundle.fault != nullptr) {
+      const emu::FaultStats faults = bundle.fault->fault_stats();
+      std::printf("faults: %zu lost, %zu duplicated, %zu reordered, "
+                  "%zu partition drops, %zu blackout rx drops, "
+                  "%zu blackout tx suppressed\n",
+                  faults.lost, faults.duplicated, faults.reordered,
+                  faults.partition_drops, faults.blackout_rx_drops,
+                  faults.blackout_tx_suppressed);
+    }
+
+    if (want_health) {
+      if (health_stderr) {
+        std::fprintf(stderr, "%s\n", health.one_liner().c_str());
+      }
+      if (!health_path.empty() && !health.write_json(health_path)) {
+        std::fprintf(stderr, "cannot write --health-json %s\n",
+                     health_path.c_str());
+      }
+      std::printf("health: hop delay p50 %.6f s p99 %.6f s (%llu hops), "
+                  "decode p50 %.3f s, %zu anomalies, %zu sessions tracked\n",
+                  health.hop_delay().quantile(50.0),
+                  health.hop_delay().quantile(99.0),
+                  static_cast<unsigned long long>(health.hop_delay().count()),
+                  health.decode_latency().quantile(50.0),
+                  health.anomalies().size(), health.sessions().size());
+      for (const obs::HealthAnomaly& anomaly : health.anomalies()) {
+        std::printf("  anomaly t=%.3f %s: %s\n", anomaly.time,
+                    anomaly.kind.c_str(), anomaly.detail.c_str());
+      }
+    }
+    if (obs.recorder != nullptr) {
+      obs.recorder->record_histogram(run_id, "hop_delay", health.hop_delay());
+      obs.recorder->record_histogram(run_id, "decode_latency",
+                                     health.decode_latency());
+      obs.recorder->record_histogram(run_id, "stall_wait",
+                                     health.stall_wait());
+    }
+
+    json.record("omnc_emu", params, "mux_sessions",
+                static_cast<double>(sessions));
+    json.record("omnc_emu", params, "completed", result.completed ? 1.0 : 0.0);
+    json.record("omnc_emu", params, "data_ok", result.data_ok ? 1.0 : 0.0);
+    json.record("omnc_emu", params, "generations_total",
+                static_cast<double>(gens_total));
+    json.record("omnc_emu", params, "session_goodput_min_bytes_per_s",
+                goodput_min);
+    json.record("omnc_emu", params, "session_goodput_mean_bytes_per_s",
+                goodput_sum / count);
+    json.record("omnc_emu", params, "session_goodput_max_bytes_per_s",
+                goodput_max);
+    json.record("omnc_emu", params, "mean_ack_latency_s",
+                latency_sum / count);
+    json.record("omnc_emu", params, "frames_sent",
+                static_cast<double>(result.transport.frames_sent));
+    json.record("omnc_emu", params, "copies_delivered",
+                static_cast<double>(result.transport.copies_delivered));
+    json.record("omnc_emu", params, "copies_dropped",
+                static_cast<double>(result.transport.copies_dropped));
+    json.record("omnc_emu", params, "parse_errors",
+                static_cast<double>(parse_errors));
+    json.record("omnc_emu", params, "demux_unroutable",
+                static_cast<double>(result.demux_unroutable));
+    json.record("omnc_emu", params, "demux_session_mismatch",
+                static_cast<double>(result.demux_session_mismatch));
+    json.record("omnc_emu", params, "demux_unknown_session",
+                static_cast<double>(result.demux_unknown_session));
+    if (sessions <= 16) {
+      for (std::size_t s = 0; s < result.sessions.size(); ++s) {
+        char metric[64];
+        std::snprintf(metric, sizeof(metric),
+                      "session%u_goodput_bytes_per_s", mux.session_id_of(
+                          static_cast<int>(s)));
+        json.record("omnc_emu", params, metric,
+                    result.sessions[s].goodput_bytes_per_s);
+      }
+    }
+
+    bool ok = result.completed && result.data_ok;
+
+    if (options.get_bool("cross-check", false)) {
+      if (config.clock_mode == vtime::ClockMode::kDeterministic) {
+        // Deterministic mux runs owe an exact replay: a second run on a
+        // pristine transport stack must reproduce every session's result
+        // bit for bit.
+        TransportBundle replay_bundle = make_transport();
+        emu::SessionMux replay(graph, *replay_bundle.transport, mux_config);
+        if (oracle_rates) {
+          replay.install_rates(rates);
+        } else {
+          replay.install_price_table(rates, rc.lambda, rc.beta,
+                                     rc.iterations);
+        }
+        const emu::MuxRunResult second = replay.run();
+        bool exact =
+            second.sessions.size() == result.sessions.size() &&
+            second.transport.frames_sent == result.transport.frames_sent &&
+            second.transport.copies_delivered ==
+                result.transport.copies_delivered &&
+            second.transport.copies_dropped ==
+                result.transport.copies_dropped &&
+            second.demux_unroutable == result.demux_unroutable &&
+            second.demux_session_mismatch == result.demux_session_mismatch &&
+            second.demux_unknown_session == result.demux_unknown_session;
+        for (std::size_t s = 0; exact && s < result.sessions.size(); ++s) {
+          const emu::EmuRunResult& a = result.sessions[s];
+          const emu::EmuRunResult& b = second.sessions[s];
+          exact = a.completed == b.completed && a.data_ok == b.data_ok &&
+                  a.generations_completed == b.generations_completed &&
+                  a.goodput_bytes_per_s == b.goodput_bytes_per_s &&
+                  a.last_ack_time == b.last_ack_time &&
+                  a.mean_ack_latency == b.mean_ack_latency &&
+                  a.ack_latencies == b.ack_latencies &&
+                  a.data_packets_sent == b.data_packets_sent;
+          if (!exact) {
+            std::printf("replay divergence in session %u: goodput %.17g vs "
+                        "%.17g, gens %d vs %d\n",
+                        mux.session_id_of(static_cast<int>(s)),
+                        a.goodput_bytes_per_s, b.goodput_bytes_per_s,
+                        a.generations_completed, b.generations_completed);
+          }
+        }
+        std::printf("cross-check: deterministic mux replay %s "
+                    "(%zu sessions)\n",
+                    exact ? "EXACT" : "DIVERGED", result.sessions.size());
+        json.record("omnc_emu", params, "replay_exact", exact ? 1.0 : 0.0);
+        ok = ok && exact;
+      } else {
+        // Tolerance mode: each session is an independent unicast of the
+        // same shape, so every one must individually land inside the
+        // emu/sim band a single-session run is held to.
+        protocols::ProtocolConfig sim_config;
+        sim_config.coding = config.node.coding;
+        sim_config.mac.capacity_bytes_per_s = capacity;
+        sim_config.mac.slot_bytes = coding::CodedPacket::kHeaderBytes +
+                                    config.node.coding.generation_blocks +
+                                    config.node.coding.block_bytes;
+        sim_config.mac.fading.enabled = false;
+        sim_config.cbr_bytes_per_s = config.node.cbr_bytes_per_s;
+        sim_config.max_generations = config.node.max_generations;
+        sim_config.max_sim_seconds = 600.0;
+        sim_config.seed = seed;
+        protocols::OmncProtocol sim(topo, graph, sim_config,
+                                    protocols::OmncConfig{});
+        const protocols::SessionResult sim_result = sim.run();
+        const double tol_lo = options.get_double("tol-lo", 0.2);
+        const double tol_hi = options.get_double("tol-hi", 3.5);
+        int within = 0;
+        for (const emu::EmuRunResult& session : result.sessions) {
+          const double ratio =
+              sim_result.throughput_bytes_per_s > 0.0
+                  ? session.goodput_bytes_per_s /
+                        sim_result.throughput_bytes_per_s
+                  : 0.0;
+          if (ratio >= tol_lo && ratio <= tol_hi) ++within;
+        }
+        const bool all_within =
+            within == static_cast<int>(result.sessions.size());
+        std::printf("cross-check: sim goodput %.1f B/s, %d/%zu sessions "
+                    "inside [%.2f, %.2f] — %s\n",
+                    sim_result.throughput_bytes_per_s, within,
+                    result.sessions.size(), tol_lo, tol_hi,
+                    all_within ? "ok" : "OUT OF TOLERANCE");
+        json.record("omnc_emu", params, "sim_goodput_bytes_per_s",
+                    sim_result.throughput_bytes_per_s);
+        json.record("omnc_emu", params, "sessions_within_tolerance",
+                    static_cast<double>(within));
+        ok = ok && all_within;
+      }
+    }
+
+    bench::finish_obs(obs);
+    return ok ? 0 : 1;
+  }
+
+  emu::EmuHarness harness(graph, *bundle.transport, config);
+  if (oracle_rates) {
+    harness.install_rates(rates);
+  } else {
+    harness.install_price_table(rates, rc.lambda, rc.beta, rc.iterations);
+  }
   if (run_sink != nullptr || want_health) {
-    harness.set_metric_sink([&](const protocols::MetricEvent& event) {
-      if (run_sink != nullptr) run_sink->on_event(event);
-      if (want_health) health.on_metric(event);
-    });
-    harness.set_span_sink([&](const obs::SpanEvent& event) {
-      if (obs.recorder != nullptr) obs.recorder->record_span(run_id, event);
-      if (want_health) health.on_span(event);
-    });
+    harness.set_metric_sink(metric_sink);
+    harness.set_span_sink(span_sink);
   }
 
   std::printf("# omnc_emu: %s over %s, %d nodes, %d generations of %u x %u B, "

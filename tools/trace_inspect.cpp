@@ -3,8 +3,8 @@
 //
 // Usage: trace_inspect <trace.jsonl> [--summary] [--queues] [--edges]
 //                      [--latency] [--convergence] [--probes] [--transport]
-//                      [--faults] [--registry] [--verify] [--check-json PATH]
-//                      [--run N]
+//                      [--sessions] [--faults] [--registry] [--verify]
+//                      [--check-json PATH] [--run N]
 //
 //   --summary       per-run result table (default when nothing is selected)
 //   --queues        per-node queue timelines rebuilt by QueueTimelineSink
@@ -14,6 +14,11 @@
 //   --probes        link-prober estimates vs true reception probabilities
 //   --transport     emulation transport summary (emu_send / emu_drop /
 //                   emu_deliver / emu_parse_error events, per-link loss)
+//   --sessions      per-session breakdown of a session-mux run (omnc_emu
+//                   --sessions N): generations ACKed, ACK latency, and
+//                   session-attributed drops, grouped by wire session id;
+//                   session-0 (unattributable transport) events are
+//                   reported separately
 //   --faults        fault-injection summary (floss / freord / fdup / fpart /
 //                   fblack events per kind and per link, truncated-datagram
 //                   parse errors, fault activity time span)
@@ -36,6 +41,7 @@
 //   --run N         restrict the report to one run id
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -254,6 +260,91 @@ void print_transport(const obs::Trace& trace, const Options& options) {
     std::printf("%s\n", table.render().c_str());
   }
   if (!printed) std::printf("no transport events in trace\n");
+}
+
+/// Per-session breakdown of a session-mux run: every kGenerationAck names
+/// its session and carries the decode latency, and demux-verified drops are
+/// attributed by the frame's session id.  Span records contribute the
+/// per-session innovative-receive count.  Events with session 0 (pure
+/// transport byte counts, truncations) are unattributable by design and
+/// reported as their own row.
+void print_sessions(const obs::Trace& trace, const Options& options) {
+  using Type = protocols::MetricEvent::Type;
+  bool printed = false;
+  for (const auto& run : trace.runs) {
+    if (!run_selected(options, run)) continue;
+    struct SessionRow {
+      std::size_t acks = 0;
+      double last_ack = 0.0;
+      double latency_sum = 0.0;
+      double latency_max = 0.0;
+      std::size_t drops = 0;
+      std::size_t innovative = 0;
+    };
+    std::map<std::uint32_t, SessionRow> rows;  // keyed by wire session id
+    std::size_t unattributed = 0;
+    for (const auto& event : run.events) {
+      switch (event.type) {
+        case Type::kGenerationAck:
+          if (event.session == 0) break;
+          {
+            SessionRow& row = rows[event.session];
+            ++row.acks;
+            row.last_ack = std::max(row.last_ack, event.time);
+            row.latency_sum += event.value;
+            row.latency_max = std::max(row.latency_max, event.value);
+          }
+          break;
+        case Type::kEmuDrop:
+        case Type::kEmuFaultLoss:
+        case Type::kEmuFaultPartition:
+        case Type::kEmuFaultBlackout:
+          if (event.session != 0) {
+            ++rows[event.session].drops;
+          } else {
+            ++unattributed;
+          }
+          break;
+        case Type::kEmuSend:
+        case Type::kEmuDeliver:
+        case Type::kEmuParseError:
+          ++unattributed;
+          break;
+        default:
+          break;
+      }
+    }
+    for (const auto& span : run.spans) {
+      if (span.kind == obs::SpanEvent::Kind::kInnovate && span.session != 0) {
+        ++rows[span.session].innovative;
+      }
+    }
+    if (rows.empty()) continue;
+    printed = true;
+    std::printf("-- run %d (%s): per-session progress --\n", run.id,
+                run.context.protocol.c_str());
+    TextTable table({"session", "gens", "last ack", "mean lat", "max lat",
+                     "drops", "innovative"});
+    for (const auto& [id, row] : rows) {
+      table.add_row(
+          {std::to_string(id), std::to_string(row.acks),
+           TextTable::fmt(row.last_ack, 3),
+           row.acks > 0
+               ? TextTable::fmt(row.latency_sum /
+                                    static_cast<double>(row.acks), 3)
+               : "-",
+           TextTable::fmt(row.latency_max, 3), std::to_string(row.drops),
+           std::to_string(row.innovative)});
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf("%zu sessions, %zu unattributed transport events "
+                "(session 0)\n\n",
+                rows.size(), unattributed);
+  }
+  if (!printed) {
+    std::printf("no session-attributed events in trace (single-session "
+                "capture predating session stamping, or tracing off)\n");
+  }
 }
 
 void print_faults(const obs::Trace& trace, const Options& options) {
@@ -612,7 +703,8 @@ int main(int argc, char** argv) {
   if (options.positional().empty()) {
     std::fprintf(stderr, "usage: trace_inspect <trace.jsonl> [--summary] "
                          "[--queues] [--edges] [--latency] [--convergence] "
-                         "[--probes] [--transport] [--faults] [--registry] "
+                         "[--probes] [--transport] [--sessions] [--faults] "
+                         "[--registry] "
                          "[--timeline G|all] [--histograms] [--codes] "
                          "[--diff B.jsonl] "
                          "[--verify] [--check-json PATH] [--run N]\n");
@@ -632,6 +724,7 @@ int main(int argc, char** argv) {
       options.get_bool("convergence", false) ||
       options.get_bool("probes", false) ||
       options.get_bool("transport", false) ||
+      options.get_bool("sessions", false) ||
       options.get_bool("faults", false) ||
       options.get_bool("registry", false) || options.get_bool("verify", false) ||
       options.has("timeline") || options.get_bool("histograms", false) ||
@@ -647,6 +740,7 @@ int main(int argc, char** argv) {
   if (options.get_bool("convergence", false)) print_convergence(trace, options);
   if (options.get_bool("probes", false)) print_probes(trace);
   if (options.get_bool("transport", false)) print_transport(trace, options);
+  if (options.get_bool("sessions", false)) print_sessions(trace, options);
   if (options.get_bool("faults", false)) print_faults(trace, options);
   if (options.get_bool("registry", false)) print_registry(trace);
   if (options.get_bool("codes", false)) print_codes(trace, options);
